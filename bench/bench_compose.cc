@@ -1,0 +1,118 @@
+// Lemma 2 ablation: stay-move composition vs the classical construction.
+//
+// Section 4.2 proves TT composition in O(|Sigma||M1||M2|) using stay moves
+// and shows the classical Rounds/Baker substitution is exponential in |M1|
+// (the 4-b's example). This bench generalizes that example: M1_L rewrites
+// every `a` into a chain of L `b`s, M2 doubles every `b`; the classical
+// composed rule holds a complete binary tree of height L.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "compose/compose.h"
+#include "compose/mtt.h"
+#include "util/strings.h"
+
+using namespace xqmft;
+
+namespace {
+
+Mtt ChainTt(int l) {
+  Mtt m;
+  StateId q = m.AddState("q0", 0);
+  m.set_initial_state(q);
+  BExpr chain = BExpr::Call(q, InputVar::kX1);
+  for (int i = 0; i < l; ++i) {
+    chain = BExpr::Label(Symbol::Element("b"), std::move(chain), BExpr::Eps());
+  }
+  m.SetSymbolRule(q, Symbol::Element("a"), std::move(chain));
+  m.SetDefaultRule(q, BExpr::Eps());
+  m.SetEpsilonRule(q, BExpr::Eps());
+  return m;
+}
+
+Mtt Doubler() {
+  Mtt m;
+  StateId p = m.AddState("p0", 0);
+  m.set_initial_state(p);
+  m.SetSymbolRule(p, Symbol::Element("b"),
+                  BExpr::Label(Symbol::Element("c"),
+                               BExpr::Call(p, InputVar::kX1),
+                               BExpr::Call(p, InputVar::kX1)));
+  m.SetDefaultRule(p, BExpr::Eps());
+  m.SetEpsilonRule(p, BExpr::Eps());
+  return m;
+}
+
+void PrintSizeTable() {
+  std::printf("\nLemma 2: composed transducer size |M| vs chain length L "
+              "(M1_L: a -> b^L; M2: b -> c(.,.))\n");
+  std::printf("%4s %12s %14s %14s\n", "L", "|M1|", "stay-move |M|",
+              "classical |M|");
+  Mtt m2 = Doubler();
+  for (int l = 2; l <= 16; l += 2) {
+    Mtt m1 = ChainTt(l);
+    Result<Mtt> stay = ComposeTtTt(m1, m2);
+    Result<Mtt> naive = NaiveComposeTtTt(m1, m2, 40'000'000);
+    std::printf("%4d %12zu %14zu %14s\n", l, m1.Size(),
+                stay.ok() ? stay.value().Size() : 0,
+                naive.ok() ? std::to_string(naive.value().Size()).c_str()
+                           : "overflow");
+  }
+  std::printf("\n");
+}
+
+void BenchStay(benchmark::State& state) {
+  int l = static_cast<int>(state.range(0));
+  Mtt m1 = ChainTt(l);
+  Mtt m2 = Doubler();
+  std::size_t size = 0;
+  for (auto _ : state) {
+    Result<Mtt> c = ComposeTtTt(m1, m2);
+    if (!c.ok()) {
+      state.SkipWithError(c.status().ToString().c_str());
+      return;
+    }
+    size = c.value().Size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["composed_size"] = static_cast<double>(size);
+}
+
+void BenchNaive(benchmark::State& state) {
+  int l = static_cast<int>(state.range(0));
+  Mtt m1 = ChainTt(l);
+  Mtt m2 = Doubler();
+  std::size_t size = 0;
+  for (auto _ : state) {
+    Result<Mtt> c = NaiveComposeTtTt(m1, m2, 100'000'000);
+    if (!c.ok()) {
+      state.SkipWithError(c.status().ToString().c_str());
+      return;
+    }
+    size = c.value().Size();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["composed_size"] = static_cast<double>(size);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintSizeTable();
+  for (int l : {4, 8, 12, 16, 20}) {
+    benchmark::RegisterBenchmark("compose/stay_move", BenchStay)
+        ->Arg(l)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  for (int l : {4, 8, 12, 16, 20}) {
+    benchmark::RegisterBenchmark("compose/classical", BenchNaive)
+        ->Arg(l)
+        ->Unit(benchmark::kMicrosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

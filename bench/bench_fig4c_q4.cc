@@ -1,0 +1,17 @@
+// Figure 4(c): XMark Q4 — following-sibling + nested predicate; GCX N/A.
+//
+// Regenerates the sub-figure's two series (elapsed time, peak memory) for
+// MFT (no opt), MFT (opt) and the GCX baseline over growing inputs. See
+// src/bench_common/fig4.h for the environment knobs.
+#include <benchmark/benchmark.h>
+
+#include "bench_common/fig4.h"
+
+int main(int argc, char** argv) {
+  xqmft::RegisterFig4Benchmarks("q04", /*include_table1_datasets=*/false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 4(g): doubling query — copies the input twice.
+//
+// Regenerates the sub-figure's two series (elapsed time, peak memory) for
+// MFT (no opt), MFT (opt) and the GCX baseline over growing inputs. See
+// src/bench_common/fig4.h for the environment knobs.
+#include <benchmark/benchmark.h>
+
+#include "bench_common/fig4.h"
+
+int main(int argc, char** argv) {
+  xqmft::RegisterFig4Benchmarks("double", /*include_table1_datasets=*/true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

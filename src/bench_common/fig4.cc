@@ -1,0 +1,165 @@
+#include "bench_common/fig4.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "bench_common/queries.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "gcx/gcx_engine.h"
+#include "util/strings.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+
+namespace {
+
+std::size_t EnvMb(const char* name, std::size_t def_mb) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def_mb * 1024 * 1024;
+  return static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
+}
+
+struct Fig4Dataset {
+  DatasetKind kind;
+  std::size_t bytes;
+  std::string display;
+};
+
+std::vector<Fig4Dataset> DatasetsFor(bool include_table1) {
+  std::vector<Fig4Dataset> out;
+  for (std::size_t bytes : BenchSizesBytes()) {
+    out.push_back({DatasetKind::kXmark, bytes,
+                   StrFormat("xmark_%zuMB", bytes >> 20)});
+  }
+  if (include_table1) {
+    std::size_t fixed = EnvMb("XQMFT_BENCH_T1_MB", 4);
+    out.push_back({DatasetKind::kTreebank, fixed,
+                   StrFormat("treebank_%zuMB", fixed >> 20)});
+    out.push_back({DatasetKind::kMedline, fixed,
+                   StrFormat("medline_%zuMB", fixed >> 20)});
+    out.push_back({DatasetKind::kProtein, fixed,
+                   StrFormat("protein_%zuMB", fixed >> 20)});
+  }
+  return out;
+}
+
+void BenchMft(benchmark::State& state, const BenchQuery& bq,
+              const Fig4Dataset& ds, bool optimize) {
+  Result<std::string> path = EnsureDataset(ds.kind, ds.bytes);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  PipelineOptions options;
+  options.optimize = optimize;
+  Result<std::unique_ptr<CompiledQuery>> cq =
+      CompiledQuery::Compile(bq.text, options);
+  if (!cq.ok()) {
+    state.SkipWithError(cq.status().ToString().c_str());
+    return;
+  }
+  StreamStats stats;
+  std::size_t out_events = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    Status st = cq.value()->StreamFile(path.value(), &sink, &stats);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    out_events = stats.output_events;
+  }
+  state.counters["peak_mem_B"] = static_cast<double>(stats.peak_bytes);
+  state.counters["out_events"] = static_cast<double>(out_events);
+  state.counters["bytes_in"] = static_cast<double>(stats.bytes_in);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(stats.bytes_in * state.iterations()));
+}
+
+void BenchGcx(benchmark::State& state, const BenchQuery& bq,
+              const Fig4Dataset& ds) {
+  Result<std::string> path = EnsureDataset(ds.kind, ds.bytes);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  auto query = ParseQuery(bq.text);
+  if (!query.ok()) {
+    state.SkipWithError(query.status().ToString().c_str());
+    return;
+  }
+  Result<std::unique_ptr<GcxQuery>> gq = GcxQuery::Compile(*query.value());
+  if (!gq.ok()) {
+    // Figure 4(c): GCX cannot run Q4 (following-sibling); report N/A.
+    state.SkipWithError(("N/A: " + gq.status().ToString()).c_str());
+    return;
+  }
+  GcxOptions options;
+  options.max_buffer_bytes = EnvMb("XQMFT_BENCH_GCX_CAP_MB", 24);
+  GcxStats stats;
+  for (auto _ : state) {
+    auto src = FileSource::Open(path.value());
+    if (!src.ok()) {
+      state.SkipWithError(src.status().ToString().c_str());
+      return;
+    }
+    CountingSink sink;
+    Status st = gq.value()->Run(src.value().get(), &sink, options, &stats);
+    if (!st.ok()) {
+      // The paper marks GCX failures (e.g. the doubling query beyond its
+      // buffer budget) as missing data points.
+      state.SkipWithError(("FAIL: " + st.ToString()).c_str());
+      return;
+    }
+  }
+  state.counters["peak_mem_B"] = static_cast<double>(stats.peak_bytes);
+  state.counters["out_events"] = static_cast<double>(stats.output_events);
+  state.counters["bytes_in"] = static_cast<double>(stats.bytes_in);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(stats.bytes_in * state.iterations()));
+}
+
+}  // namespace
+
+std::vector<std::size_t> BenchSizesBytes() {
+  const char* env = std::getenv("XQMFT_BENCH_SIZES_MB");
+  std::string spec = env != nullptr ? env : "1,4,16";
+  std::vector<std::size_t> out;
+  for (const std::string& part : SplitString(spec, ',')) {
+    long mb = std::atol(part.c_str());
+    if (mb > 0) out.push_back(static_cast<std::size_t>(mb) * 1024 * 1024);
+  }
+  if (out.empty()) out.push_back(1024 * 1024);
+  return out;
+}
+
+void RegisterFig4Benchmarks(const std::string& query_id,
+                            bool include_table1_datasets) {
+  const BenchQuery& bq = QueryById(query_id);
+  std::size_t noopt_cap = EnvMb("XQMFT_BENCH_NOOPT_CAP_MB", 4);
+  for (const Fig4Dataset& ds : DatasetsFor(include_table1_datasets)) {
+    if (ds.bytes <= noopt_cap) {
+      benchmark::RegisterBenchmark(
+          StrFormat("%s/mft_noopt/%s", bq.id, ds.display.c_str()).c_str(),
+          [bq, ds](benchmark::State& st) { BenchMft(st, bq, ds, false); })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+    benchmark::RegisterBenchmark(
+        StrFormat("%s/mft_opt/%s", bq.id, ds.display.c_str()).c_str(),
+        [bq, ds](benchmark::State& st) { BenchMft(st, bq, ds, true); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        StrFormat("%s/gcx/%s", bq.id, ds.display.c_str()).c_str(),
+        [bq, ds](benchmark::State& st) { BenchGcx(st, bq, ds); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace xqmft

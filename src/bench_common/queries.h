@@ -1,0 +1,34 @@
+// The benchmark query corpus: the nine Figure 3 programs (XMark Q1, Q2, Q4,
+// Q13, Q16, Q17 and the double/fourstar/deepdup corner cases) plus the
+// paper's two worked examples (Section 2.1's nested loops and Section 2.2's
+// Pperson). Shared between the test suites and the Figure 4 benches.
+#ifndef XQMFT_BENCH_COMMON_QUERIES_H_
+#define XQMFT_BENCH_COMMON_QUERIES_H_
+
+#include <string>
+#include <vector>
+
+namespace xqmft {
+
+struct BenchQuery {
+  const char* id;       ///< short identifier (q01, q02, ...)
+  const char* figure;   ///< the paper experiment it belongs to
+  const char* text;     ///< MinXQuery source
+  bool gcx_supported;   ///< false for Q4 (following-sibling), per Fig. 4(c)
+};
+
+/// All Figure 3 queries, in the paper's order.
+const std::vector<BenchQuery>& Figure3Queries();
+
+/// Looks up a query by id; aborts if unknown (programmer error).
+const BenchQuery& QueryById(const std::string& id);
+
+/// Section 2.2's Pperson query.
+extern const char* kPersonQuery;
+
+/// Section 2.1's nested for/let example.
+extern const char* kSection21Query;
+
+}  // namespace xqmft
+
+#endif  // XQMFT_BENCH_COMMON_QUERIES_H_

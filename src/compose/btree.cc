@@ -1,0 +1,45 @@
+#include "compose/btree.h"
+
+namespace xqmft {
+
+bool BTreeEquals(const BTreePtr& a, const BTreePtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->label == b->label && BTreeEquals(a->left, b->left) &&
+         BTreeEquals(a->right, b->right);
+}
+
+std::size_t BTreeSize(const BTreePtr& t) {
+  if (t == nullptr) return 0;
+  return 1 + BTreeSize(t->left) + BTreeSize(t->right);
+}
+
+std::string BTreeToString(const BTreePtr& t) {
+  if (t == nullptr) return "e";
+  return t->label.ToString() + "(" + BTreeToString(t->left) + "," +
+         BTreeToString(t->right) + ")";
+}
+
+namespace {
+
+BTreePtr FcnsFrom(const Forest& f, std::size_t i) {
+  if (i >= f.size()) return nullptr;
+  const Tree& t = f[i];
+  return MakeBNode(t.symbol(), FcnsFrom(t.children, 0), FcnsFrom(f, i + 1));
+}
+
+}  // namespace
+
+BTreePtr Fcns(const Forest& f) { return FcnsFrom(f, 0); }
+
+Forest Unfcns(const BTreePtr& t) {
+  Forest out;
+  const BNode* cur = t.get();
+  while (cur != nullptr) {
+    out.push_back(Tree(cur->label.kind, cur->label.name, Unfcns(cur->left)));
+    cur = cur->right.get();
+  }
+  return out;
+}
+
+}  // namespace xqmft

@@ -1,0 +1,54 @@
+// Binary XML trees (Section 4.2 of the paper).
+//
+// A binary XML tree has internal nodes of rank 2 and epsilon leaves. Every
+// forest corresponds to a binary tree through the first-child/next-sibling
+// encoding fcns: fcns(eps) = eps, fcns(s(f1) f2) = s(fcns(f1), fcns(f2)) —
+// and the encoding is a bijection, so binary trees can always be read back
+// as forests.
+#ifndef XQMFT_COMPOSE_BTREE_H_
+#define XQMFT_COMPOSE_BTREE_H_
+
+#include <memory>
+#include <string>
+
+#include "xml/forest.h"
+#include "xml/symbol.h"
+
+namespace xqmft {
+
+struct BNode;
+
+/// Immutable shared binary tree; nullptr is the epsilon leaf.
+using BTreePtr = std::shared_ptr<const BNode>;
+
+/// \brief A rank-2 node of a binary XML tree.
+struct BNode {
+  Symbol label;
+  BTreePtr left;
+  BTreePtr right;
+
+  BNode(Symbol l, BTreePtr lt, BTreePtr rt)
+      : label(std::move(l)), left(std::move(lt)), right(std::move(rt)) {}
+};
+
+inline BTreePtr MakeBNode(Symbol label, BTreePtr left, BTreePtr right) {
+  return std::make_shared<BNode>(std::move(label), std::move(left),
+                                 std::move(right));
+}
+
+/// Structural equality (nullptr = eps).
+bool BTreeEquals(const BTreePtr& a, const BTreePtr& b);
+
+/// Number of labeled nodes.
+std::size_t BTreeSize(const BTreePtr& t);
+
+/// Term rendering, e.g. `a(b(e,e),e)` with `e` for epsilon leaves.
+std::string BTreeToString(const BTreePtr& t);
+
+/// First-child/next-sibling encoding and its inverse.
+BTreePtr Fcns(const Forest& f);
+Forest Unfcns(const BTreePtr& t);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_COMPOSE_BTREE_H_

@@ -1,0 +1,892 @@
+#include "compose/compose.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mft/optimize.h"
+#include "util/strings.h"
+
+namespace xqmft {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Preparation: symbol specialization (the Lemma 2 pre-step)
+// --------------------------------------------------------------------------
+
+// Resolves %t output labels to the concrete symbol (legal in symbol rules,
+// where the current label is known).
+BExpr ResolveCurrentLabel(const BExpr& e, const Symbol& sym) {
+  BExpr out = e;
+  if (out.kind == BKind::kLabel && out.current_label) {
+    out.current_label = false;
+    out.symbol = sym;
+  }
+  for (BExpr& c : out.children) c = ResolveCurrentLabel(c, sym);
+  return out;
+}
+
+// For every symbol the second transducer tests, ensure the first has an
+// explicit rule (cloned from its default — or, for text symbols, its text —
+// rule with %t replaced by the symbol), so the composed transducer always
+// knows which rule of the second transducer applies to the first's output
+// labels. Also materializes a text rule in every state of the first
+// transducer: the composed rules inherit the first's patterns, and keeping
+// the text/element kind split explicit lets %t output labels of the first
+// select between the second's text and default rules.
+void SpecializeFirst(Mtt* m1, const Mtt& m2) {
+  std::set<Symbol> tested;
+  for (StateId p = 0; p < m2.num_states(); ++p) {
+    for (const auto& [sym, rhs] : m2.rules(p).symbol_rules) tested.insert(sym);
+  }
+  for (StateId q = 0; q < m1->num_states(); ++q) {
+    // Resolve %t in existing symbol rules first.
+    std::vector<std::pair<Symbol, BExpr>> resolved;
+    for (const auto& [sym, rhs] : m1->rules(q).symbol_rules) {
+      resolved.emplace_back(sym, ResolveCurrentLabel(rhs, sym));
+    }
+    for (auto& [sym, rhs] : resolved) {
+      m1->SetSymbolRule(q, sym, std::move(rhs));
+    }
+    if (!m1->rules(q).default_rule) continue;
+    if (!m1->rules(q).text_rule) {
+      m1->SetTextRule(q, *m1->rules(q).default_rule);
+    }
+    for (const Symbol& sym : tested) {
+      if (m1->rules(q).symbol_rules.count(sym)) continue;
+      const BExpr& base = sym.kind == NodeKind::kText
+                              ? *m1->rules(q).text_rule
+                              : *m1->rules(q).default_rule;
+      m1->SetSymbolRule(q, sym, ResolveCurrentLabel(base, sym));
+    }
+  }
+}
+
+// A uniform view of one rule of the first transducer.
+struct RuleView {
+  StateId state;
+  enum class Pattern { kSymbol, kText, kDefault, kEpsilon } pattern;
+  Symbol symbol;        // for kSymbol
+  const BExpr* rhs;
+
+  /// For %t output labels under this rule: is the copied label text-kind?
+  bool TextContext() const { return pattern == Pattern::kText; }
+};
+
+std::vector<RuleView> AllRules(const Mtt& m) {
+  std::vector<RuleView> out;
+  for (StateId q = 0; q < m.num_states(); ++q) {
+    const MttStateRules& r = m.rules(q);
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      out.push_back({q, RuleView::Pattern::kSymbol, sym, &rhs});
+    }
+    if (r.text_rule) {
+      out.push_back({q, RuleView::Pattern::kText, {}, &*r.text_rule});
+    }
+    if (r.default_rule) {
+      out.push_back({q, RuleView::Pattern::kDefault, {}, &*r.default_rule});
+    }
+    if (r.epsilon_rule) {
+      out.push_back({q, RuleView::Pattern::kEpsilon, {}, &*r.epsilon_rule});
+    }
+  }
+  return out;
+}
+
+// The rule of M2's state p that applies to an unknown (%t) label copied by
+// the first transducer: its text rule in text-rule context, else default.
+const BExpr* SecondRuleForUnknownLabel(const Mtt& m2, StateId p,
+                                       bool text_context) {
+  const MttStateRules& r = m2.rules(p);
+  if (text_context && r.text_rule) return &*r.text_rule;
+  return &*r.default_rule;
+}
+
+// Installs `rhs` under the rule's pattern, with safe filler rules so the
+// composed transducer stays total (the filler rules are unreachable: the
+// rule-node states are only entered through stay moves under the matching
+// pattern).
+void InstallUnderPattern(Mtt* m, StateId q, const RuleView& r, BExpr rhs,
+                         int num_params) {
+  BExpr filler =
+      num_params > 0 ? BExpr::Param(1) : BExpr::Eps();
+  switch (r.pattern) {
+    case RuleView::Pattern::kSymbol:
+      m->SetSymbolRule(q, r.symbol, std::move(rhs));
+      break;
+    case RuleView::Pattern::kText:
+      m->SetTextRule(q, std::move(rhs));
+      break;
+    case RuleView::Pattern::kDefault:
+      m->SetDefaultRule(q, std::move(rhs));
+      break;
+    case RuleView::Pattern::kEpsilon:
+      m->SetEpsilonRule(q, std::move(rhs));
+      break;
+  }
+  if (r.pattern != RuleView::Pattern::kDefault && !m->rules(q).default_rule) {
+    m->SetDefaultRule(q, filler);
+  }
+  if (r.pattern != RuleView::Pattern::kEpsilon && !m->rules(q).epsilon_rule) {
+    m->SetEpsilonRule(q, filler);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Lemma 2: TT . TT -> TT with stay moves (quadratic)
+// --------------------------------------------------------------------------
+
+class TtTtComposer {
+ public:
+  TtTtComposer(const Mtt& m1, const Mtt& m2) : m1_(m1), m2_(m2) {}
+
+  Result<Mtt> Compose() {
+    rules_ = AllRules(m1_);
+    StateId init = PairState(m1_.initial_state(), m2_.initial_state());
+    (void)init;
+    while (!work_.empty()) {
+      WorkItem item = work_.back();
+      work_.pop_back();
+      if (item.is_pair) {
+        XQMFT_RETURN_NOT_OK(EmitPairRules(item.q, item.p, item.id));
+      } else {
+        XQMFT_RETURN_NOT_OK(EmitNodeRules(item.rule, item.node, item.p,
+                                          item.id));
+      }
+    }
+    out_.set_initial_state(0);
+    XQMFT_RETURN_NOT_OK(out_.Validate());
+    return std::move(out_);
+  }
+
+ private:
+  struct WorkItem {
+    bool is_pair;
+    StateId q, p;
+    std::size_t rule;
+    const BExpr* node;
+    StateId id;
+  };
+
+  StateId PairState(StateId q, StateId p) {
+    auto key = std::make_pair(q, p);
+    auto it = pair_ids_.find(key);
+    if (it != pair_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        "<" + m1_.state_name(q) + "," + m2_.state_name(p) + ">", 0);
+    pair_ids_[key] = id;
+    work_.push_back(WorkItem{true, q, p, 0, nullptr, id});
+    return id;
+  }
+
+  StateId NodeState(std::size_t rule, const BExpr* node, StateId p) {
+    auto key = std::make_tuple(rule, node, p);
+    auto it = node_ids_.find(key);
+    if (it != node_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        StrFormat("<r%zu,n%zu,%s>", rule, node_ids_.size(),
+                  m2_.state_name(p).c_str()),
+        0);
+    node_ids_[key] = id;
+    work_.push_back(WorkItem{false, -1, p, rule, node, id});
+    return id;
+  }
+
+  // <q,p>(pattern of r) -> <r, root, p>(x0), for every rule r of q.
+  Status EmitPairRules(StateId q, StateId p, StateId id) {
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      const RuleView& r = rules_[ri];
+      if (r.state != q) continue;
+      BExpr rhs = BExpr::Call(NodeState(ri, r.rhs, p), InputVar::kX0);
+      InstallUnderPattern(&out_, id, r, std::move(rhs), 0);
+    }
+    return Status::OK();
+  }
+
+  // <r,u,p>(pattern of r) -> translation of node u under state p.
+  Status EmitNodeRules(std::size_t ri, const BExpr* u, StateId p,
+                       StateId id) {
+    const RuleView& r = rules_[ri];
+    BExpr rhs;
+    XQMFT_RETURN_NOT_OK(TranslateNode(ri, u, p, &rhs));
+    InstallUnderPattern(&out_, id, r, std::move(rhs), 0);
+    return Status::OK();
+  }
+
+  Status TranslateNode(std::size_t ri, const BExpr* u, StateId p,
+                       BExpr* out) {
+    switch (u->kind) {
+      case BKind::kParam:
+        return Status::InvalidArgument("Lemma 2 requires TTs (no parameters)");
+      case BKind::kCall:
+        // <q', p>(x_i)
+        *out = BExpr::Call(PairState(u->state, p), u->input);
+        return Status::OK();
+      case BKind::kEps: {
+        const BExpr* prule = m2_.LookupEpsilonRule(p);
+        if (prule == nullptr) return Status::Internal("M2 lacks epsilon rule");
+        return RewriteSecond(*prule, ri, u, /*sym=*/nullptr, out);
+      }
+      case BKind::kLabel: {
+        if (u->current_label) {
+          // Unknown label: after specialization it falls outside M2's
+          // tested symbols, so M2's default rule applies — or its text rule
+          // when the host rule matches text nodes; %t flows through.
+          const BExpr* prule = SecondRuleForUnknownLabel(
+              m2_, p, rules_[ri].TextContext());
+          return RewriteSecond(*prule, ri, u, /*sym=*/nullptr, out);
+        }
+        const BExpr* prule = m2_.LookupRule(p, u->symbol);
+        if (prule == nullptr) return Status::Internal("M2 not total");
+        return RewriteSecond(*prule, ri, u, &u->symbol, out);
+      }
+    }
+    return Status::Internal("unhandled node kind");
+  }
+
+  // Clones M2's rhs, substituting calls p'(x_i) with stay calls into the
+  // corresponding rule-node states: x0 -> u itself, x1 -> u's left child,
+  // x2 -> u's right child. `sym` (if known) resolves %t labels.
+  Status RewriteSecond(const BExpr& e, std::size_t ri, const BExpr* u,
+                       const Symbol* sym, BExpr* out) {
+    switch (e.kind) {
+      case BKind::kEps:
+        *out = BExpr::Eps();
+        return Status::OK();
+      case BKind::kParam:
+        return Status::InvalidArgument("Lemma 2 requires TTs (no parameters)");
+      case BKind::kLabel: {
+        BExpr l, r;
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[0], ri, u, sym, &l));
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[1], ri, u, sym, &r));
+        if (e.current_label && sym != nullptr) {
+          *out = BExpr::Label(*sym, std::move(l), std::move(r));
+        } else if (e.current_label) {
+          *out = BExpr::CurrentLabel(std::move(l), std::move(r));
+        } else {
+          *out = BExpr::Label(e.symbol, std::move(l), std::move(r));
+        }
+        return Status::OK();
+      }
+      case BKind::kCall: {
+        const BExpr* target = u;
+        switch (e.input) {
+          case InputVar::kX0:
+            target = u;
+            break;
+          case InputVar::kX1:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[0];
+            break;
+          case InputVar::kX2:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[1];
+            break;
+        }
+        *out = BExpr::Call(NodeState(ri, target, e.state), InputVar::kX0);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled rewrite kind");
+  }
+
+  const Mtt& m1_;
+  const Mtt& m2_;
+  Mtt out_;
+  std::vector<RuleView> rules_;
+  std::map<std::pair<StateId, StateId>, StateId> pair_ids_;
+  std::map<std::tuple<std::size_t, const BExpr*, StateId>, StateId> node_ids_;
+  std::vector<WorkItem> work_;
+};
+
+// --------------------------------------------------------------------------
+// Classical construction (exponential): substitute translated right-hand
+// sides in place.
+// --------------------------------------------------------------------------
+
+class NaiveComposer {
+ public:
+  NaiveComposer(const Mtt& m1, const Mtt& m2, std::uint64_t fuel)
+      : m1_(m1), m2_(m2), fuel_(fuel) {}
+
+  Result<Mtt> Compose() {
+    rules_ = AllRules(m1_);
+    PairState(m1_.initial_state(), m2_.initial_state());
+    while (!work_.empty()) {
+      auto [q, p, id] = work_.back();
+      work_.pop_back();
+      for (const RuleView& r : rules_) {
+        if (r.state != q) continue;
+        BExpr rhs;
+        XQMFT_RETURN_NOT_OK(Translate(p, *r.rhs, &rhs));
+        InstallUnderPattern(&out_, id, r, std::move(rhs), 0);
+      }
+    }
+    out_.set_initial_state(0);
+    XQMFT_RETURN_NOT_OK(out_.Validate());
+    return std::move(out_);
+  }
+
+ private:
+  StateId PairState(StateId q, StateId p) {
+    auto key = std::make_pair(q, p);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        "<" + m1_.state_name(q) + "," + m2_.state_name(p) + ">", 0);
+    ids_[key] = id;
+    work_.emplace_back(q, p, id);
+    return id;
+  }
+
+  // Runs state p of M2 over the rhs tree `u` of M1 symbolically,
+  // substituting translated rules in place (no stay-move compression). %t
+  // labels survive only in default rules (SpecializeFirst resolved the
+  // symbol-rule occurrences), where M2's default rule applies.
+  Status Translate(StateId p, const BExpr& u, BExpr* out) {
+    if (fuel_ == 0) {
+      return Status::ResourceExhausted(
+          "naive composition exceeded its size budget");
+    }
+    --fuel_;
+    switch (u.kind) {
+      case BKind::kParam:
+        return Status::InvalidArgument("naive composition requires TTs");
+      case BKind::kCall:
+        *out = BExpr::Call(PairState(u.state, p), u.input);
+        return Status::OK();
+      case BKind::kEps:
+        return Rewrite(*m2_.LookupEpsilonRule(p), u, nullptr, out);
+      case BKind::kLabel: {
+        if (u.current_label) {
+          return Rewrite(*m2_.rules(p).default_rule, u, nullptr, out);
+        }
+        return Rewrite(*m2_.LookupRule(p, u.symbol), u, &u.symbol, out);
+      }
+    }
+    return Status::Internal("unhandled node kind");
+  }
+
+  // Substitutes M2's rhs: p'(x1)/p'(x2) recurse into u's children; p'(x0)
+  // recurses on u itself. `node_sym` resolves %t when the label is known.
+  Status Rewrite(const BExpr& e, const BExpr& u, const Symbol* node_sym,
+                 BExpr* out) {
+    if (fuel_ == 0) {
+      return Status::ResourceExhausted(
+          "naive composition exceeded its size budget");
+    }
+    --fuel_;
+    switch (e.kind) {
+      case BKind::kEps:
+        *out = BExpr::Eps();
+        return Status::OK();
+      case BKind::kParam:
+        return Status::InvalidArgument("naive composition requires TTs");
+      case BKind::kLabel: {
+        BExpr l, r;
+        XQMFT_RETURN_NOT_OK(Rewrite(e.children[0], u, node_sym, &l));
+        XQMFT_RETURN_NOT_OK(Rewrite(e.children[1], u, node_sym, &r));
+        if (e.current_label && node_sym != nullptr) {
+          *out = BExpr::Label(*node_sym, std::move(l), std::move(r));
+        } else if (e.current_label) {
+          *out = BExpr::CurrentLabel(std::move(l), std::move(r));
+        } else {
+          *out = BExpr::Label(e.symbol, std::move(l), std::move(r));
+        }
+        return Status::OK();
+      }
+      case BKind::kCall:
+        switch (e.input) {
+          case InputVar::kX0:
+            return Translate(e.state, u, out);
+          case InputVar::kX1:
+            XQMFT_CHECK(u.kind == BKind::kLabel);
+            return Translate(e.state, u.children[0], out);
+          case InputVar::kX2:
+            XQMFT_CHECK(u.kind == BKind::kLabel);
+            return Translate(e.state, u.children[1], out);
+        }
+        return Status::Internal("bad input var");
+    }
+    return Status::Internal("unhandled rewrite kind");
+  }
+
+  const Mtt& m1_;
+  const Mtt& m2_;
+  std::uint64_t fuel_;
+  Mtt out_;
+  std::vector<RuleView> rules_;
+  std::map<std::pair<StateId, StateId>, StateId> ids_;
+  std::vector<std::tuple<StateId, StateId, StateId>> work_;
+};
+
+// --------------------------------------------------------------------------
+// Lemma 3, first form: MTT . TT — the composed states carry |Q2| copies of
+// every accumulating parameter (one per second-transducer state).
+// --------------------------------------------------------------------------
+
+class MttTtComposer {
+ public:
+  MttTtComposer(const Mtt& m1, const Mtt& m2) : m1_(m1), m2_(m2) {}
+
+  Result<Mtt> Compose() {
+    rules_ = AllRules(m1_);
+    n_ = m2_.num_states();
+    PairState(m1_.initial_state(), m2_.initial_state());
+    while (!work_.empty()) {
+      WorkItem item = work_.back();
+      work_.pop_back();
+      if (item.is_pair) {
+        XQMFT_RETURN_NOT_OK(EmitPairRules(item.q, item.p, item.id));
+      } else {
+        XQMFT_RETURN_NOT_OK(
+            EmitNodeRules(item.rule, item.node, item.p, item.id));
+      }
+    }
+    out_.set_initial_state(0);
+    XQMFT_RETURN_NOT_OK(out_.Validate());
+    return std::move(out_);
+  }
+
+ private:
+  struct WorkItem {
+    bool is_pair;
+    StateId q, p;
+    std::size_t rule;
+    const BExpr* node;
+    StateId id;
+  };
+
+  // Composed parameter index for (original param j, second state p_l).
+  int ParamIndex(int j, StateId l) const { return (j - 1) * n_ + l + 1; }
+
+  StateId PairState(StateId q, StateId p) {
+    auto key = std::make_pair(q, p);
+    auto it = pair_ids_.find(key);
+    if (it != pair_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        "<" + m1_.state_name(q) + "," + m2_.state_name(p) + ">",
+        m1_.num_params(q) * n_);
+    pair_ids_[key] = id;
+    work_.push_back(WorkItem{true, q, p, 0, nullptr, id});
+    return id;
+  }
+
+  StateId NodeState(std::size_t rule, const BExpr* node, StateId p) {
+    auto key = std::make_tuple(rule, node, p);
+    auto it = node_ids_.find(key);
+    if (it != node_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        StrFormat("<r%zu,n%zu,%s>", rule, node_ids_.size(),
+                  m2_.state_name(p).c_str()),
+        m1_.num_params(rules_[rule].state) * n_);
+    node_ids_[key] = id;
+    work_.push_back(WorkItem{false, -1, p, rule, node, id});
+    return id;
+  }
+
+  std::vector<BExpr> AllHostParams(StateId host_q) const {
+    std::vector<BExpr> out;
+    int total = m1_.num_params(host_q) * n_;
+    out.reserve(static_cast<std::size_t>(total));
+    for (int i = 1; i <= total; ++i) out.push_back(BExpr::Param(i));
+    return out;
+  }
+
+  Status EmitPairRules(StateId q, StateId p, StateId id) {
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      const RuleView& r = rules_[ri];
+      if (r.state != q) continue;
+      BExpr rhs =
+          BExpr::Call(NodeState(ri, r.rhs, p), InputVar::kX0, AllHostParams(q));
+      InstallUnderPattern(&out_, id, r, std::move(rhs),
+                          m1_.num_params(q) * n_);
+    }
+    return Status::OK();
+  }
+
+  Status EmitNodeRules(std::size_t ri, const BExpr* u, StateId p,
+                       StateId id) {
+    const RuleView& r = rules_[ri];
+    BExpr rhs;
+    XQMFT_RETURN_NOT_OK(TranslateNode(ri, u, p, &rhs));
+    InstallUnderPattern(&out_, id, r, std::move(rhs),
+                        m1_.num_params(r.state) * n_);
+    return Status::OK();
+  }
+
+  Status TranslateNode(std::size_t ri, const BExpr* u, StateId p,
+                       BExpr* out) {
+    const StateId host_q = rules_[ri].state;
+    switch (u->kind) {
+      case BKind::kParam:
+        // The p-translation of the j-th intermediate parameter is the
+        // (j, p) copy.
+        *out = BExpr::Param(ParamIndex(u->param, p));
+        return Status::OK();
+      case BKind::kCall: {
+        // <q', p>(x_i, args') with args'[(j', l)] = <r, arg_j', p_l>(x0, Y).
+        std::vector<BExpr> args;
+        int mprime = m1_.num_params(u->state);
+        args.reserve(static_cast<std::size_t>(mprime * n_));
+        for (int j = 0; j < mprime; ++j) {
+          for (StateId l = 0; l < n_; ++l) {
+            args.push_back(BExpr::Call(NodeState(ri, &u->children[j], l),
+                                       InputVar::kX0, AllHostParams(host_q)));
+          }
+        }
+        *out = BExpr::Call(PairState(u->state, p), u->input, std::move(args));
+        return Status::OK();
+      }
+      case BKind::kEps: {
+        const BExpr* prule = m2_.LookupEpsilonRule(p);
+        return RewriteSecond(*prule, ri, u, nullptr, out);
+      }
+      case BKind::kLabel: {
+        if (u->current_label) {
+          const BExpr* prule = SecondRuleForUnknownLabel(
+              m2_, p, rules_[ri].TextContext());
+          return RewriteSecond(*prule, ri, u, nullptr, out);
+        }
+        const BExpr* prule = m2_.LookupRule(p, u->symbol);
+        return RewriteSecond(*prule, ri, u, &u->symbol, out);
+      }
+    }
+    return Status::Internal("unhandled node kind");
+  }
+
+  Status RewriteSecond(const BExpr& e, std::size_t ri, const BExpr* u,
+                       const Symbol* sym, BExpr* out) {
+    const StateId host_q = rules_[ri].state;
+    switch (e.kind) {
+      case BKind::kEps:
+        *out = BExpr::Eps();
+        return Status::OK();
+      case BKind::kParam:
+        return Status::InvalidArgument(
+            "the second transducer of ComposeMttThenTt must be a TT");
+      case BKind::kLabel: {
+        BExpr l, r;
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[0], ri, u, sym, &l));
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[1], ri, u, sym, &r));
+        if (e.current_label && sym != nullptr) {
+          *out = BExpr::Label(*sym, std::move(l), std::move(r));
+        } else if (e.current_label) {
+          *out = BExpr::CurrentLabel(std::move(l), std::move(r));
+        } else {
+          *out = BExpr::Label(e.symbol, std::move(l), std::move(r));
+        }
+        return Status::OK();
+      }
+      case BKind::kCall: {
+        const BExpr* target = u;
+        switch (e.input) {
+          case InputVar::kX0:
+            target = u;
+            break;
+          case InputVar::kX1:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[0];
+            break;
+          case InputVar::kX2:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[1];
+            break;
+        }
+        *out = BExpr::Call(NodeState(ri, target, e.state), InputVar::kX0,
+                           AllHostParams(host_q));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled rewrite kind");
+  }
+
+  const Mtt& m1_;
+  const Mtt& m2_;
+  Mtt out_;
+  int n_ = 0;
+  std::vector<RuleView> rules_;
+  std::map<std::pair<StateId, StateId>, StateId> pair_ids_;
+  std::map<std::tuple<std::size_t, const BExpr*, StateId>, StateId> node_ids_;
+  std::vector<WorkItem> work_;
+};
+
+// --------------------------------------------------------------------------
+// Lemma 3, second form: TT . MTT — the second transducer's parameters pass
+// through unchanged while it walks the first's right-hand sides.
+// --------------------------------------------------------------------------
+
+class TtMttComposer {
+ public:
+  TtMttComposer(const Mtt& m1, const Mtt& m2) : m1_(m1), m2_(m2) {}
+
+  Result<Mtt> Compose() {
+    rules_ = AllRules(m1_);
+    PairState(m1_.initial_state(), m2_.initial_state());
+    while (!work_.empty()) {
+      WorkItem item = work_.back();
+      work_.pop_back();
+      if (item.is_pair) {
+        XQMFT_RETURN_NOT_OK(EmitPairRules(item.q, item.p, item.id));
+      } else {
+        XQMFT_RETURN_NOT_OK(
+            EmitNodeRules(item.rule, item.node, item.p, item.id));
+      }
+    }
+    out_.set_initial_state(0);
+    XQMFT_RETURN_NOT_OK(out_.Validate());
+    return std::move(out_);
+  }
+
+ private:
+  struct WorkItem {
+    bool is_pair;
+    StateId q, p;
+    std::size_t rule;
+    const BExpr* node;
+    StateId id;
+  };
+
+  StateId PairState(StateId q, StateId p) {
+    auto key = std::make_pair(q, p);
+    auto it = pair_ids_.find(key);
+    if (it != pair_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        "<" + m1_.state_name(q) + "," + m2_.state_name(p) + ">",
+        m2_.num_params(p));
+    pair_ids_[key] = id;
+    work_.push_back(WorkItem{true, q, p, 0, nullptr, id});
+    return id;
+  }
+
+  StateId NodeState(std::size_t rule, const BExpr* node, StateId p) {
+    auto key = std::make_tuple(rule, node, p);
+    auto it = node_ids_.find(key);
+    if (it != node_ids_.end()) return it->second;
+    StateId id = out_.AddState(
+        StrFormat("<r%zu,n%zu,%s>", rule, node_ids_.size(),
+                  m2_.state_name(p).c_str()),
+        m2_.num_params(p));
+    node_ids_[key] = id;
+    work_.push_back(WorkItem{false, -1, p, rule, node, id});
+    return id;
+  }
+
+  static std::vector<BExpr> Params(int m) {
+    std::vector<BExpr> out;
+    out.reserve(static_cast<std::size_t>(m));
+    for (int i = 1; i <= m; ++i) out.push_back(BExpr::Param(i));
+    return out;
+  }
+
+  Status EmitPairRules(StateId q, StateId p, StateId id) {
+    for (std::size_t ri = 0; ri < rules_.size(); ++ri) {
+      const RuleView& r = rules_[ri];
+      if (r.state != q) continue;
+      BExpr rhs = BExpr::Call(NodeState(ri, r.rhs, p), InputVar::kX0,
+                              Params(m2_.num_params(p)));
+      InstallUnderPattern(&out_, id, r, std::move(rhs), m2_.num_params(p));
+    }
+    return Status::OK();
+  }
+
+  Status EmitNodeRules(std::size_t ri, const BExpr* u, StateId p,
+                       StateId id) {
+    const RuleView& r = rules_[ri];
+    BExpr rhs;
+    XQMFT_RETURN_NOT_OK(TranslateNode(ri, u, p, &rhs));
+    InstallUnderPattern(&out_, id, r, std::move(rhs), m2_.num_params(p));
+    return Status::OK();
+  }
+
+  Status TranslateNode(std::size_t ri, const BExpr* u, StateId p,
+                       BExpr* out) {
+    switch (u->kind) {
+      case BKind::kParam:
+        return Status::InvalidArgument(
+            "the first transducer of ComposeTtThenMtt must be a TT");
+      case BKind::kCall:
+        *out = BExpr::Call(PairState(u->state, p), u->input,
+                           Params(m2_.num_params(p)));
+        return Status::OK();
+      case BKind::kEps: {
+        const BExpr* prule = m2_.LookupEpsilonRule(p);
+        return RewriteSecond(*prule, ri, u, nullptr, out);
+      }
+      case BKind::kLabel: {
+        if (u->current_label) {
+          const BExpr* prule = SecondRuleForUnknownLabel(
+              m2_, p, rules_[ri].TextContext());
+          return RewriteSecond(*prule, ri, u, nullptr, out);
+        }
+        const BExpr* prule = m2_.LookupRule(p, u->symbol);
+        return RewriteSecond(*prule, ri, u, &u->symbol, out);
+      }
+    }
+    return Status::Internal("unhandled node kind");
+  }
+
+  // Clones the MTT rhs: parameters pass through; calls q'(x_i, args) become
+  // stay calls into the rule-node states with recursively rewritten args.
+  Status RewriteSecond(const BExpr& e, std::size_t ri, const BExpr* u,
+                       const Symbol* sym, BExpr* out) {
+    switch (e.kind) {
+      case BKind::kEps:
+        *out = BExpr::Eps();
+        return Status::OK();
+      case BKind::kParam:
+        *out = BExpr::Param(e.param);
+        return Status::OK();
+      case BKind::kLabel: {
+        BExpr l, r;
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[0], ri, u, sym, &l));
+        XQMFT_RETURN_NOT_OK(RewriteSecond(e.children[1], ri, u, sym, &r));
+        if (e.current_label && sym != nullptr) {
+          *out = BExpr::Label(*sym, std::move(l), std::move(r));
+        } else if (e.current_label) {
+          *out = BExpr::CurrentLabel(std::move(l), std::move(r));
+        } else {
+          *out = BExpr::Label(e.symbol, std::move(l), std::move(r));
+        }
+        return Status::OK();
+      }
+      case BKind::kCall: {
+        const BExpr* target = u;
+        switch (e.input) {
+          case InputVar::kX0:
+            target = u;
+            break;
+          case InputVar::kX1:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[0];
+            break;
+          case InputVar::kX2:
+            XQMFT_CHECK(u->kind == BKind::kLabel);
+            target = &u->children[1];
+            break;
+        }
+        std::vector<BExpr> args;
+        args.reserve(e.children.size());
+        for (const BExpr& a : e.children) {
+          BExpr ra;
+          XQMFT_RETURN_NOT_OK(RewriteSecond(a, ri, u, sym, &ra));
+          args.push_back(std::move(ra));
+        }
+        *out = BExpr::Call(NodeState(ri, target, e.state), InputVar::kX0,
+                           std::move(args));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled rewrite kind");
+  }
+
+  const Mtt& m1_;
+  const Mtt& m2_;
+  Mtt out_;
+  std::vector<RuleView> rules_;
+  std::map<std::pair<StateId, StateId>, StateId> pair_ids_;
+  std::map<std::tuple<std::size_t, const BExpr*, StateId>, StateId> node_ids_;
+  std::vector<WorkItem> work_;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Public entry points
+// --------------------------------------------------------------------------
+
+Result<Mtt> ComposeTtTt(const Mtt& m1, const Mtt& m2) {
+  if (!m1.IsTopDown() || !m2.IsTopDown()) {
+    return Status::InvalidArgument("ComposeTtTt requires two TTs");
+  }
+  Mtt m1s = m1;
+  SpecializeFirst(&m1s, m2);
+  return TtTtComposer(m1s, m2).Compose();
+}
+
+Result<Mtt> NaiveComposeTtTt(const Mtt& m1, const Mtt& m2,
+                             std::uint64_t fuel) {
+  if (!m1.IsTopDown() || !m2.IsTopDown()) {
+    return Status::InvalidArgument("NaiveComposeTtTt requires two TTs");
+  }
+  Mtt m1s = m1;
+  SpecializeFirst(&m1s, m2);
+  return NaiveComposer(m1s, m2, fuel).Compose();
+}
+
+Result<Mtt> ComposeMttThenTt(const Mtt& m1, const Mtt& m2) {
+  if (!m2.IsTopDown()) {
+    return Status::InvalidArgument(
+        "ComposeMttThenTt: the second transducer must be a TT");
+  }
+  Mtt m1s = m1;
+  SpecializeFirst(&m1s, m2);
+  return MttTtComposer(m1s, m2).Compose();
+}
+
+Result<Mtt> ComposeTtThenMtt(const Mtt& m1, const Mtt& m2) {
+  if (!m1.IsTopDown()) {
+    return Status::InvalidArgument(
+        "ComposeTtThenMtt: the first transducer must be a TT");
+  }
+  Mtt m1s = m1;
+  SpecializeFirst(&m1s, m2);
+  return TtMttComposer(m1s, m2).Compose();
+}
+
+Result<Mft> ComposeMttThenForestFt(const Mtt& m1, const Mft& m2_ft) {
+  if (!m2_ft.IsForestTransducer()) {
+    return Status::InvalidArgument(
+        "ComposeMttThenForestFt: the second transducer must be an FT");
+  }
+  Mtt tt2 = MftToMtt(m2_ft);
+  XQMFT_ASSIGN_OR_RETURN(Mtt composed, ComposeMttThenTt(m1, tt2));
+  // The construction is within the O(|Sigma||M1||M2|) bound but leaves many
+  // dead or stay-trivial states; the Section 4.1 passes clean them up.
+  return OptimizeMft(MttEvalToMft(composed));
+}
+
+Result<Mft> ComposeTtThenForestFt(const Mtt& m1_tt, const Mft& m2_ft) {
+  if (!m1_tt.IsTopDown()) {
+    return Status::InvalidArgument(
+        "ComposeTtThenForestFt: the first transducer must be a TT");
+  }
+  if (!m2_ft.IsForestTransducer()) {
+    return Status::InvalidArgument(
+        "ComposeTtThenForestFt: the second transducer must be an FT");
+  }
+  Mtt tt2 = MftToMtt(m2_ft);
+  XQMFT_ASSIGN_OR_RETURN(Mtt composed, ComposeTtTt(m1_tt, tt2));
+  return OptimizeMft(MttEvalToMft(composed));
+}
+
+Result<Mtt> ComposeForestFtThenTt(const Mft& m1_ft, const Mtt& m2_tt) {
+  if (!m1_ft.IsForestTransducer()) {
+    return Status::InvalidArgument(
+        "ComposeForestFtThenTt: the first transducer must be an FT");
+  }
+  if (!m2_tt.IsTopDown()) {
+    return Status::InvalidArgument(
+        "ComposeForestFtThenTt: the second transducer must be a TT");
+  }
+  // M1 = tt1 . eval (Lemma 1(2)); eval is an MTT (Lemma 1(3)); compose
+  // tt1 with the eval MTT (Lemma 3), then with M2 (Lemma 3).
+  Mtt tt1 = MftToMtt(m1_ft);
+  XQMFT_ASSIGN_OR_RETURN(Mtt fcns_of_m1, ComposeTtThenMtt(tt1, MakeEvalMtt()));
+  return ComposeMttThenTt(fcns_of_m1, m2_tt);
+}
+
+Result<Mft> ComposeForestFts(const Mft& m1_ft, const Mft& m2_ft) {
+  if (!m1_ft.IsForestTransducer() || !m2_ft.IsForestTransducer()) {
+    return Status::InvalidArgument("ComposeForestFts requires two FTs");
+  }
+  // fcns(M1(f)) as an MTT, then M2's TT, then reinterpret @.
+  Mtt tt2 = MftToMtt(m2_ft);
+  XQMFT_ASSIGN_OR_RETURN(Mtt fcns_of_m1,
+                         ComposeForestFtThenTt(m1_ft, tt2));
+  return OptimizeMft(MttEvalToMft(fcns_of_m1));
+}
+
+}  // namespace xqmft

@@ -1,0 +1,63 @@
+// Composition constructions of Section 4.2.
+//
+// The paper's complexity insight: with stay moves, composing transducers
+// takes time (and size) O(|Sigma| |M1| |M2|) because the second transducer's
+// walk over the first's right-hand sides is broken into one state per
+// (rule, rhs-node, state) triple — instead of substituting translated
+// right-hand sides in place, which is the classical Rounds/Baker
+// construction and explodes exponentially (the 4-b's example of the paper).
+//
+// Semantics contracts (all property-tested):
+//   ComposeTtTt(M1,M2):        [[M]](t)  = [[M2]]([[M1]](t))          (Lemma 2)
+//   NaiveComposeTtTt(M1,M2):   same, classical exponential construction
+//   ComposeMttThenTt(M1,M2):   [[M]](t)  = [[M2]]([[M1]](t))          (Lemma 3)
+//   ComposeTtThenMtt(M1,M2):   [[M]](t)  = [[M2]]([[M1]](t))          (Lemma 3)
+//   ComposeMttThenForestFt:    [[N]](f)  = [[M2]](Unfcns([[M1]](Fcns f)))   (Thm 3)
+//   ComposeTtThenForestFt:     FT result, same contract               (Thm 4)
+//   ComposeForestFtThenTt:     [[M]](Fcns f) = [[M2]](Fcns([[M1]](f))) (Thm 5)
+//   ComposeForestFts(M1,M2):   [[N]](f)  = [[M2]]([[M1]](f)), N an MFT
+//                              ("two FTs compose into one MFT")
+#ifndef XQMFT_COMPOSE_COMPOSE_H_
+#define XQMFT_COMPOSE_COMPOSE_H_
+
+#include <cstdint>
+
+#include "compose/convert.h"
+#include "compose/mtt.h"
+#include "mft/mft.h"
+#include "util/status.h"
+
+namespace xqmft {
+
+/// Lemma 2: composes two TTs into one TT using stay moves; time and size
+/// O(|Sigma||M1||M2|).
+Result<Mtt> ComposeTtTt(const Mtt& m1, const Mtt& m2);
+
+/// The classical construction (Rounds/Baker): translates M1's right-hand
+/// sides through M2 by substitution. Exponential in the worst case; `fuel`
+/// bounds the number of constructed rhs nodes (ResourceExhausted beyond).
+Result<Mtt> NaiveComposeTtTt(const Mtt& m1, const Mtt& m2,
+                             std::uint64_t fuel = 50'000'000);
+
+/// Lemma 3, first form: M1 an MTT, M2 a TT; result realizes M1 then M2.
+/// The composed states carry |Q2| copies of each accumulating parameter.
+Result<Mtt> ComposeMttThenTt(const Mtt& m1, const Mtt& m2);
+
+/// Lemma 3, second form: M1 a TT, M2 an MTT; result realizes M1 then M2.
+Result<Mtt> ComposeTtThenMtt(const Mtt& m1, const Mtt& m2);
+
+/// Theorem 3: MTT then forest FT, realized by one forest MFT.
+Result<Mft> ComposeMttThenForestFt(const Mtt& m1, const Mft& m2_ft);
+
+/// Theorem 4: TT then forest FT, realized by one forest FT.
+Result<Mft> ComposeTtThenForestFt(const Mtt& m1_tt, const Mft& m2_ft);
+
+/// Theorem 5: forest FT then TT, realized by one MTT.
+Result<Mtt> ComposeForestFtThenTt(const Mft& m1_ft, const Mtt& m2_tt);
+
+/// Headline corollary: two forest FTs compose into one forest MFT.
+Result<Mft> ComposeForestFts(const Mft& m1_ft, const Mft& m2_ft);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_COMPOSE_COMPOSE_H_

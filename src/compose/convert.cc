@@ -1,0 +1,163 @@
+#include "compose/convert.h"
+
+namespace xqmft {
+
+const Symbol& AtSymbol() {
+  static const Symbol kAt = Symbol::Element("@");
+  return kAt;
+}
+
+namespace {
+
+void EvalInto(const BTreePtr& t, Forest* out) {
+  if (t == nullptr) return;
+  if (t->label == AtSymbol()) {
+    EvalInto(t->left, out);
+    EvalInto(t->right, out);
+    return;
+  }
+  Forest children;
+  EvalInto(t->left, &children);
+  out->push_back(Tree(t->label.kind, t->label.name, std::move(children)));
+  EvalInto(t->right, out);
+}
+
+// Forest RHS -> tree RHS. A labelled item s(f) followed by the rest of the
+// forest becomes s(T(f), T(rest)) — the label node carries its continuation
+// in the second child; calls and parameters need an explicit @ when
+// followed by more items (the paper's @(q(x1), @(y1, b(e,e))) example).
+BExpr TreeifyForest(const Rhs& rhs, std::size_t i) {
+  if (i >= rhs.size()) return BExpr::Eps();
+  const RhsNode& item = rhs[i];
+  switch (item.kind) {
+    case RhsKind::kLabel: {
+      BExpr kids = TreeifyForest(item.children, 0);
+      BExpr rest = TreeifyForest(rhs, i + 1);
+      if (item.current_label) {
+        return BExpr::CurrentLabel(std::move(kids), std::move(rest));
+      }
+      return BExpr::Label(item.symbol, std::move(kids), std::move(rest));
+    }
+    case RhsKind::kCall: {
+      std::vector<BExpr> args;
+      args.reserve(item.args.size());
+      for (const Rhs& a : item.args) args.push_back(TreeifyForest(a, 0));
+      BExpr call = BExpr::Call(item.state, item.input, std::move(args));
+      if (i + 1 >= rhs.size()) return call;
+      return BExpr::Label(AtSymbol(), std::move(call),
+                          TreeifyForest(rhs, i + 1));
+    }
+    case RhsKind::kParam: {
+      BExpr p = BExpr::Param(item.param);
+      if (i + 1 >= rhs.size()) return p;
+      return BExpr::Label(AtSymbol(), std::move(p), TreeifyForest(rhs, i + 1));
+    }
+  }
+  return BExpr::Eps();
+}
+
+// Tree RHS -> forest RHS (interpreting @ and label continuations).
+Rhs UntreeifyExpr(const BExpr& e) {
+  Rhs out;
+  switch (e.kind) {
+    case BKind::kEps:
+      return out;
+    case BKind::kLabel: {
+      if (!e.current_label && e.symbol == AtSymbol()) {
+        Rhs l = UntreeifyExpr(e.children[0]);
+        Rhs r = UntreeifyExpr(e.children[1]);
+        out = std::move(l);
+        for (RhsNode& n : r) out.push_back(std::move(n));
+        return out;
+      }
+      RhsNode node = e.current_label
+                         ? RhsNode::CurrentLabel(UntreeifyExpr(e.children[0]))
+                         : RhsNode::Label(e.symbol,
+                                          UntreeifyExpr(e.children[0]));
+      out.push_back(std::move(node));
+      Rhs rest = UntreeifyExpr(e.children[1]);
+      for (RhsNode& n : rest) out.push_back(std::move(n));
+      return out;
+    }
+    case BKind::kCall: {
+      std::vector<Rhs> args;
+      args.reserve(e.children.size());
+      for (const BExpr& a : e.children) args.push_back(UntreeifyExpr(a));
+      out.push_back(RhsNode::Call(e.state, e.input, std::move(args)));
+      return out;
+    }
+    case BKind::kParam:
+      out.push_back(RhsNode::Param(e.param));
+      return out;
+  }
+  return out;
+}
+
+}  // namespace
+
+Forest EvalBTree(const BTreePtr& t) {
+  Forest out;
+  EvalInto(t, &out);
+  return out;
+}
+
+Mtt MftToMtt(const Mft& mft) {
+  Mtt out;
+  for (StateId q = 0; q < mft.num_states(); ++q) {
+    out.AddState(mft.state_name(q), mft.num_params(q));
+  }
+  out.set_initial_state(mft.initial_state());
+  for (StateId q = 0; q < mft.num_states(); ++q) {
+    const StateRules& r = mft.rules(q);
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      out.SetSymbolRule(q, sym, TreeifyForest(rhs, 0));
+    }
+    if (r.text_rule) out.SetTextRule(q, TreeifyForest(*r.text_rule, 0));
+    if (r.default_rule) out.SetDefaultRule(q, TreeifyForest(*r.default_rule, 0));
+    if (r.epsilon_rule) out.SetEpsilonRule(q, TreeifyForest(*r.epsilon_rule, 0));
+  }
+  return out;
+}
+
+Mft MttEvalToMft(const Mtt& mtt) {
+  Mft out;
+  for (StateId q = 0; q < mtt.num_states(); ++q) {
+    out.AddState(mtt.state_name(q), mtt.num_params(q));
+  }
+  out.set_initial_state(mtt.initial_state());
+  for (StateId q = 0; q < mtt.num_states(); ++q) {
+    const MttStateRules& r = mtt.rules(q);
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      out.SetSymbolRule(q, sym, UntreeifyExpr(rhs));
+    }
+    if (r.text_rule) out.SetTextRule(q, UntreeifyExpr(*r.text_rule));
+    if (r.default_rule) out.SetDefaultRule(q, UntreeifyExpr(*r.default_rule));
+    if (r.epsilon_rule) out.SetEpsilonRule(q, UntreeifyExpr(*r.epsilon_rule));
+  }
+  return out;
+}
+
+Mtt MakeEvalMtt() {
+  Mtt m;
+  StateId q0 = m.AddState("ev0", 0);
+  StateId q = m.AddState("ev", 1);
+  m.set_initial_state(q0);
+  // ev0(t) = ev(t, eps)
+  m.SetDefaultRule(q0, BExpr::Call(q, InputVar::kX0, {BExpr::Eps()}));
+  m.SetEpsilonRule(q0, BExpr::Call(q, InputVar::kX0, {BExpr::Eps()}));
+  // ev(@(x1,x2), y1) -> ev(x1, ev(x2, y1))
+  m.SetSymbolRule(
+      q, AtSymbol(),
+      BExpr::Call(q, InputVar::kX1,
+                  {BExpr::Call(q, InputVar::kX2, {BExpr::Param(1)})}));
+  // ev(s(x1,x2), y1) -> s(ev(x1, eps), ev(x2, y1))
+  m.SetDefaultRule(
+      q, BExpr::CurrentLabel(
+             BExpr::Call(q, InputVar::kX1, {BExpr::Eps()}),
+             BExpr::Call(q, InputVar::kX2, {BExpr::Param(1)})));
+  // ev(eps, y1) -> y1
+  m.SetEpsilonRule(q, BExpr::Param(1));
+  return m;
+}
+
+}  // namespace xqmft

@@ -1,0 +1,47 @@
+// Lemma 1 of the paper: the correspondences between forest transducers and
+// tree transducers over binary trees.
+//
+//   (1) mft = mtt . eval   — an MFT decomposes into an MTT producing trees
+//       with a binary concatenation symbol @, followed by the evaluation
+//       mapping; and conversely @-interpreting an MTT's right-hand sides
+//       yields an MFT.
+//   (2) ft = tt . eval     — the rank-1 restriction of (1).
+//   (3) eval is itself realizable by a (one-parameter) MTT.
+//
+// Conventions. An Mft over forests corresponds to an Mtt over the fcns
+// encodings of those forests: [[MftToMtt(M)]](Fcns(f)) is a tree t with
+// EvalBTree(t) = [[M]](f). The @ symbol is Symbol::Element("@"), which
+// cannot collide with element names ('@' is not a name character).
+#ifndef XQMFT_COMPOSE_CONVERT_H_
+#define XQMFT_COMPOSE_CONVERT_H_
+
+#include "compose/btree.h"
+#include "compose/mtt.h"
+#include "mft/mft.h"
+
+namespace xqmft {
+
+/// The binary concatenation symbol @.
+const Symbol& AtSymbol();
+
+/// The evaluation mapping: interprets @ as forest concatenation and every
+/// other binary label fcns-style: eval(s(l,r)) = s(eval(l)) eval(r).
+Forest EvalBTree(const BTreePtr& t);
+
+/// Lemma 1(1), forward: replaces concatenation by @ in every right-hand
+/// side. For every forest f: EvalBTree([[result]](Fcns(f))) = [[mft]](f).
+/// Preserves ranks, so FTs become TTs (Lemma 1(2)).
+Mtt MftToMtt(const Mft& mft);
+
+/// Lemma 1(1), converse: interprets @ and label continuations back into
+/// forest concatenation. For every f: [[result]](f) =
+/// EvalBTree([[mtt]](Fcns(f))).
+Mft MttEvalToMft(const Mtt& mtt);
+
+/// Lemma 1(3): eval as a one-parameter MTT. For every tree t:
+/// [[result]](t) = Fcns(EvalBTree(t)).
+Mtt MakeEvalMtt();
+
+}  // namespace xqmft
+
+#endif  // XQMFT_COMPOSE_CONVERT_H_

@@ -1,0 +1,306 @@
+#include "compose/mtt.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+std::size_t BExprSize(const BExpr& e) {
+  std::size_t n = 1;
+  for (const BExpr& c : e.children) n += BExprSize(c);
+  return n;
+}
+
+StateId Mtt::AddState(std::string name, int num_params) {
+  states_.push_back(StateInfo{std::move(name), num_params});
+  rules_.emplace_back();
+  return static_cast<StateId>(states_.size()) - 1;
+}
+
+void Mtt::SetSymbolRule(StateId q, Symbol s, BExpr rhs) {
+  rules_[q].symbol_rules[std::move(s)] = std::move(rhs);
+}
+void Mtt::SetTextRule(StateId q, BExpr rhs) {
+  rules_[q].text_rule = std::move(rhs);
+}
+void Mtt::SetDefaultRule(StateId q, BExpr rhs) {
+  rules_[q].default_rule = std::move(rhs);
+}
+void Mtt::SetEpsilonRule(StateId q, BExpr rhs) {
+  rules_[q].epsilon_rule = std::move(rhs);
+}
+
+const BExpr* Mtt::LookupRule(StateId q, const Symbol& sym) const {
+  const MttStateRules& r = rules_[q];
+  auto it = r.symbol_rules.find(sym);
+  if (it != r.symbol_rules.end()) return &it->second;
+  if (sym.kind == NodeKind::kText && r.text_rule) return &*r.text_rule;
+  if (r.default_rule) return &*r.default_rule;
+  return nullptr;
+}
+
+const BExpr* Mtt::LookupEpsilonRule(StateId q) const {
+  const MttStateRules& r = rules_[q];
+  return r.epsilon_rule ? &*r.epsilon_rule : nullptr;
+}
+
+bool Mtt::IsTopDown() const {
+  for (const StateInfo& s : states_) {
+    if (s.num_params != 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+Status ValidateBExpr(const Mtt& mtt, const BExpr& e, int m, bool epsilon_rule,
+                     const std::string& where) {
+  switch (e.kind) {
+    case BKind::kEps:
+      return Status::OK();
+    case BKind::kLabel:
+      if (e.children.size() != 2) {
+        return Status::InvalidArgument("non-binary output node in " + where);
+      }
+      if (e.current_label && epsilon_rule) {
+        return Status::InvalidArgument("%t output in epsilon rule of " + where);
+      }
+      for (const BExpr& c : e.children) {
+        XQMFT_RETURN_NOT_OK(ValidateBExpr(mtt, c, m, epsilon_rule, where));
+      }
+      return Status::OK();
+    case BKind::kCall: {
+      if (e.state < 0 || e.state >= mtt.num_states()) {
+        return Status::InvalidArgument("call to unknown state in " + where);
+      }
+      if (epsilon_rule && e.input != InputVar::kX0) {
+        return Status::InvalidArgument("x1/x2 in epsilon rule of " + where);
+      }
+      int want = mtt.num_params(e.state);
+      if (static_cast<int>(e.children.size()) != want) {
+        return Status::InvalidArgument(
+            StrFormat("call arity mismatch (%zu vs %d) in %s",
+                      e.children.size(), want, where.c_str()));
+      }
+      for (const BExpr& c : e.children) {
+        XQMFT_RETURN_NOT_OK(ValidateBExpr(mtt, c, m, epsilon_rule, where));
+      }
+      return Status::OK();
+    }
+    case BKind::kParam:
+      if (e.param < 1 || e.param > m) {
+        return Status::InvalidArgument(
+            StrFormat("parameter y%d out of range in %s", e.param,
+                      where.c_str()));
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+void CollectBExprAlphabet(const BExpr& e, std::set<Symbol>* out) {
+  if (e.kind == BKind::kLabel && !e.current_label) out->insert(e.symbol);
+  for (const BExpr& c : e.children) CollectBExprAlphabet(c, out);
+}
+
+}  // namespace
+
+Status Mtt::Validate() const {
+  if (states_.empty()) return Status::InvalidArgument("MTT has no states");
+  if (num_params(initial_) != 0) {
+    return Status::InvalidArgument("initial state must have rank 1");
+  }
+  for (StateId q = 0; q < num_states(); ++q) {
+    const MttStateRules& r = rules_[q];
+    const std::string& name = states_[q].name;
+    int m = states_[q].num_params;
+    if (!r.default_rule) {
+      return Status::InvalidArgument("state " + name + " lacks a default rule");
+    }
+    if (!r.epsilon_rule) {
+      return Status::InvalidArgument("state " + name + " lacks an epsilon rule");
+    }
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      XQMFT_RETURN_NOT_OK(
+          ValidateBExpr(*this, rhs, m, false, name + " on " + sym.ToString()));
+    }
+    if (r.text_rule) {
+      XQMFT_RETURN_NOT_OK(
+          ValidateBExpr(*this, *r.text_rule, m, false, name + " text"));
+    }
+    XQMFT_RETURN_NOT_OK(
+        ValidateBExpr(*this, *r.default_rule, m, false, name + " default"));
+    XQMFT_RETURN_NOT_OK(
+        ValidateBExpr(*this, *r.epsilon_rule, m, true, name + " epsilon"));
+  }
+  return Status::OK();
+}
+
+std::set<Symbol> Mtt::CollectAlphabet() const {
+  std::set<Symbol> out;
+  for (StateId q = 0; q < num_states(); ++q) {
+    const MttStateRules& r = rules_[q];
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      out.insert(sym);
+      CollectBExprAlphabet(rhs, &out);
+    }
+    if (r.text_rule) CollectBExprAlphabet(*r.text_rule, &out);
+    if (r.default_rule) CollectBExprAlphabet(*r.default_rule, &out);
+    if (r.epsilon_rule) CollectBExprAlphabet(*r.epsilon_rule, &out);
+  }
+  return out;
+}
+
+std::size_t Mtt::Size() const {
+  std::size_t n = CollectAlphabet().size();
+  for (StateId q = 0; q < num_states(); ++q) {
+    const MttStateRules& r = rules_[q];
+    std::size_t m = static_cast<std::size_t>(states_[q].num_params);
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      n += 4 + m + BExprSize(rhs);
+    }
+    if (r.text_rule) n += 4 + m + BExprSize(*r.text_rule);
+    if (r.default_rule) n += 4 + m + BExprSize(*r.default_rule);
+    if (r.epsilon_rule) n += 2 + m + BExprSize(*r.epsilon_rule);
+  }
+  return n;
+}
+
+namespace {
+
+void BExprToString(const Mtt& mtt, const BExpr& e, std::string* out) {
+  switch (e.kind) {
+    case BKind::kEps:
+      *out += "e";
+      return;
+    case BKind::kLabel:
+      *out += e.current_label ? "%t" : e.symbol.ToString();
+      *out += '(';
+      BExprToString(mtt, e.children[0], out);
+      *out += ',';
+      BExprToString(mtt, e.children[1], out);
+      *out += ')';
+      return;
+    case BKind::kCall:
+      *out += mtt.state_name(e.state);
+      *out += "(x" + std::to_string(static_cast<int>(e.input));
+      for (const BExpr& c : e.children) {
+        *out += ", ";
+        BExprToString(mtt, c, out);
+      }
+      *out += ')';
+      return;
+    case BKind::kParam:
+      *out += "y" + std::to_string(e.param);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Mtt::ToString() const {
+  std::string out;
+  for (StateId q = 0; q < num_states(); ++q) {
+    const MttStateRules& r = rules_[q];
+    std::vector<Symbol> syms;
+    for (const auto& [sym, rhs] : r.symbol_rules) syms.push_back(sym);
+    std::sort(syms.begin(), syms.end());
+    auto print = [&](const std::string& pattern, const BExpr& rhs) {
+      out += state_name(q) + "(" + pattern;
+      for (int j = 1; j <= num_params(q); ++j) out += ", y" + std::to_string(j);
+      out += ") -> ";
+      BExprToString(*this, rhs, &out);
+      out += '\n';
+    };
+    for (const Symbol& s : syms) {
+      print(s.ToString() + "(x1,x2)", r.symbol_rules.at(s));
+    }
+    if (r.text_rule) print("%ttext(x1,x2)", *r.text_rule);
+    if (r.default_rule) print("%t(x1,x2)", *r.default_rule);
+    if (r.epsilon_rule) print("eps", *r.epsilon_rule);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class MttInterp {
+ public:
+  MttInterp(const Mtt& mtt, MttInterpOptions options)
+      : mtt_(mtt), steps_left_(options.max_steps) {}
+
+  Result<BTreePtr> Run(const BTreePtr& input) {
+    return Apply(mtt_.initial_state(), input, {});
+  }
+
+ private:
+  Result<BTreePtr> Apply(StateId q, const BTreePtr& t,
+                         const std::vector<BTreePtr>& params) {
+    if (steps_left_ == 0) {
+      return Status::ResourceExhausted("MTT interpreter step budget exceeded");
+    }
+    --steps_left_;
+    const BExpr* rhs = t == nullptr ? mtt_.LookupEpsilonRule(q)
+                                    : mtt_.LookupRule(q, t->label);
+    if (rhs == nullptr) {
+      return Status::Internal("no applicable rule for MTT state " +
+                              mtt_.state_name(q));
+    }
+    return Eval(*rhs, t, params);
+  }
+
+  Result<BTreePtr> Eval(const BExpr& e, const BTreePtr& t,
+                        const std::vector<BTreePtr>& params) {
+    switch (e.kind) {
+      case BKind::kEps:
+        return BTreePtr(nullptr);
+      case BKind::kLabel: {
+        XQMFT_ASSIGN_OR_RETURN(BTreePtr l, Eval(e.children[0], t, params));
+        XQMFT_ASSIGN_OR_RETURN(BTreePtr r, Eval(e.children[1], t, params));
+        Symbol sym = e.current_label ? t->label : e.symbol;
+        return MakeBNode(std::move(sym), std::move(l), std::move(r));
+      }
+      case BKind::kCall: {
+        BTreePtr target;
+        switch (e.input) {
+          case InputVar::kX0: target = t; break;
+          case InputVar::kX1:
+            XQMFT_CHECK(t != nullptr);
+            target = t->left;
+            break;
+          case InputVar::kX2:
+            XQMFT_CHECK(t != nullptr);
+            target = t->right;
+            break;
+        }
+        std::vector<BTreePtr> args;
+        args.reserve(e.children.size());
+        for (const BExpr& a : e.children) {
+          XQMFT_ASSIGN_OR_RETURN(BTreePtr v, Eval(a, t, params));
+          args.push_back(std::move(v));
+        }
+        return Apply(e.state, target, args);
+      }
+      case BKind::kParam:
+        return params[static_cast<std::size_t>(e.param) - 1];
+    }
+    return Status::Internal("unhandled BExpr kind");
+  }
+
+  const Mtt& mtt_;
+  std::uint64_t steps_left_;
+};
+
+}  // namespace
+
+Result<BTreePtr> RunMtt(const Mtt& mtt, const BTreePtr& input,
+                        MttInterpOptions options) {
+  return MttInterp(mtt, options).Run(input);
+}
+
+}  // namespace xqmft

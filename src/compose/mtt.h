@@ -1,0 +1,156 @@
+// Macro tree transducers (MTTs) and top-down tree transducers (TTs) over
+// binary XML trees, with stay moves, default rules and epsilon rules — the
+// transducer classes of Section 4.2.
+//
+// The paper defines an MTT as an MFT whose right-hand sides are trees with
+// binary output nodes; a TT is an MTT whose states all have rank 1. Rules:
+//
+//   q(a(x1,x2), y1..ym)  -> rhs      (symbol rule)
+//   q(%t(x1,x2), y1..ym) -> rhs      (default rule; %t output copies label)
+//   q(eps, y1..ym)       -> rhs      (epsilon rule; only x0 available)
+//
+// where rhs is a *tree*: eps | c(rhs,rhs) | y_j | q'(x_i, rhs...).
+#ifndef XQMFT_COMPOSE_MTT_H_
+#define XQMFT_COMPOSE_MTT_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "compose/btree.h"
+#include "mft/mft.h"  // StateId, InputVar
+#include "util/status.h"
+
+namespace xqmft {
+
+enum class BKind : unsigned char {
+  kEps,
+  kLabel,  ///< binary output node (fixed symbol or %t)
+  kCall,   ///< q(x_i, args...)
+  kParam,  ///< y_j
+};
+
+/// \brief A right-hand-side tree of an MTT rule.
+struct BExpr {
+  BKind kind = BKind::kEps;
+
+  // kLabel
+  bool current_label = false;
+  Symbol symbol;
+  std::vector<BExpr> children;  ///< exactly two for kLabel; args for kCall
+
+  // kCall
+  StateId state = -1;
+  InputVar input = InputVar::kX0;
+
+  // kParam
+  int param = 0;
+
+  static BExpr Eps() { return BExpr{}; }
+  static BExpr Label(Symbol s, BExpr l, BExpr r) {
+    BExpr e;
+    e.kind = BKind::kLabel;
+    e.symbol = std::move(s);
+    e.children.push_back(std::move(l));
+    e.children.push_back(std::move(r));
+    return e;
+  }
+  static BExpr CurrentLabel(BExpr l, BExpr r) {
+    BExpr e;
+    e.kind = BKind::kLabel;
+    e.current_label = true;
+    e.children.push_back(std::move(l));
+    e.children.push_back(std::move(r));
+    return e;
+  }
+  static BExpr Call(StateId q, InputVar x, std::vector<BExpr> args = {}) {
+    BExpr e;
+    e.kind = BKind::kCall;
+    e.state = q;
+    e.input = x;
+    e.children = std::move(args);
+    return e;
+  }
+  static BExpr Param(int j) {
+    BExpr e;
+    e.kind = BKind::kParam;
+    e.param = j;
+    return e;
+  }
+};
+
+/// Nodes of an RHS tree (labels, calls, params, eps leaves each count 1).
+std::size_t BExprSize(const BExpr& e);
+
+/// \brief Rules of one MTT state. Like the forest MFT, a state may carry a
+/// %ttext rule that catches text-labelled nodes ahead of the default rule —
+/// necessary because document text labels are unbounded and cannot all be
+/// symbol rules.
+struct MttStateRules {
+  std::unordered_map<Symbol, BExpr, SymbolHash> symbol_rules;
+  std::optional<BExpr> text_rule;     ///< %ttext: any text-kind label
+  std::optional<BExpr> default_rule;
+  std::optional<BExpr> epsilon_rule;
+};
+
+/// \brief A deterministic total macro tree transducer over binary XML trees.
+class Mtt {
+ public:
+  StateId AddState(std::string name, int num_params);
+
+  int num_states() const { return static_cast<int>(states_.size()); }
+  int num_params(StateId q) const { return states_[q].num_params; }
+  const std::string& state_name(StateId q) const { return states_[q].name; }
+
+  StateId initial_state() const { return initial_; }
+  void set_initial_state(StateId q) { initial_ = q; }
+
+  void SetSymbolRule(StateId q, Symbol s, BExpr rhs);
+  void SetTextRule(StateId q, BExpr rhs);
+  void SetDefaultRule(StateId q, BExpr rhs);
+  void SetEpsilonRule(StateId q, BExpr rhs);
+
+  const MttStateRules& rules(StateId q) const { return rules_[q]; }
+
+  /// Rule selection: exact symbol, else the text rule for text-kind labels,
+  /// else default.
+  const BExpr* LookupRule(StateId q, const Symbol& sym) const;
+  const BExpr* LookupEpsilonRule(StateId q) const;
+
+  /// Rank-1 everywhere: the TT subclass.
+  bool IsTopDown() const;
+
+  /// Structural validity (arities, parameter ranges, x-variable scope).
+  Status Validate() const;
+
+  /// Size |M|: |Sigma| + sum of rule sizes (lhs analogous to Mft::Size).
+  std::size_t Size() const;
+
+  std::set<Symbol> CollectAlphabet() const;
+
+  std::string ToString() const;
+
+ private:
+  struct StateInfo {
+    std::string name;
+    int num_params;
+  };
+  std::vector<StateInfo> states_;
+  std::vector<MttStateRules> rules_;
+  StateId initial_ = 0;
+};
+
+struct MttInterpOptions {
+  std::uint64_t max_steps = 20'000'000;
+};
+
+/// Reference interpreter: [[q0]](input).
+Result<BTreePtr> RunMtt(const Mtt& mtt, const BTreePtr& input,
+                        MttInterpOptions options = {});
+
+}  // namespace xqmft
+
+#endif  // XQMFT_COMPOSE_MTT_H_

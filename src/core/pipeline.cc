@@ -1,0 +1,48 @@
+#include "core/pipeline.h"
+
+#include "mft/interp.h"
+#include "translate/translate.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+
+Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+    const std::string& query_text, PipelineOptions options) {
+  std::unique_ptr<CompiledQuery> cq(new CompiledQuery());
+  cq->options_ = options;
+  XQMFT_ASSIGN_OR_RETURN(cq->query_, ParseQuery(query_text));
+  XQMFT_RETURN_NOT_OK(ValidateQuery(*cq->query_));
+  XQMFT_ASSIGN_OR_RETURN(cq->raw_mft_, TranslateQuery(*cq->query_));
+  if (options.optimize) {
+    cq->mft_ = OptimizeMft(cq->raw_mft_, options.optimizer, &cq->report_);
+  } else {
+    cq->mft_ = cq->raw_mft_;
+    cq->report_.before = ComputeStats(cq->raw_mft_);
+    cq->report_.after = cq->report_.before;
+  }
+  return cq;
+}
+
+Status CompiledQuery::Stream(ByteSource* source, OutputSink* sink,
+                             StreamStats* stats) const {
+  return StreamTransform(mft_, source, sink, options_.stream, stats);
+}
+
+Status CompiledQuery::StreamFile(const std::string& path, OutputSink* sink,
+                                 StreamStats* stats) const {
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> src,
+                         FileSource::Open(path));
+  return Stream(src.get(), sink, stats);
+}
+
+Status CompiledQuery::StreamString(const std::string& xml, OutputSink* sink,
+                                   StreamStats* stats) const {
+  StringSource src(xml);
+  return Stream(&src, sink, stats);
+}
+
+Result<Forest> CompiledQuery::Evaluate(const Forest& input) const {
+  return RunMft(mft_, input);
+}
+
+}  // namespace xqmft

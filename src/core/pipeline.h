@@ -1,0 +1,76 @@
+// Public facade: the paper's full pipeline in one object.
+//
+//   MinXQuery text --parse--> AST --T,F (Section 3)--> MFT
+//                  --optimize (Section 4.1)--> streaming-friendly MFT
+//                  --streaming engine [30]--> XML-to-XML stream processor
+//
+// Typical use:
+//
+//   auto cq = CompiledQuery::Compile("<out>{$input//a}</out>");
+//   StringSink sink;
+//   cq.value()->StreamFile("input.xml", &sink);
+#ifndef XQMFT_CORE_PIPELINE_H_
+#define XQMFT_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "mft/mft.h"
+#include "mft/optimize.h"
+#include "stream/engine.h"
+#include "util/status.h"
+#include "xml/forest.h"
+#include "xquery/ast.h"
+
+namespace xqmft {
+
+struct PipelineOptions {
+  /// Run the Section 4.1 parameter/stay/reachability optimizations. The
+  /// unoptimized transducer buffers the whole input (Figure 4's no-opt
+  /// curves); disable only for measurement.
+  bool optimize = true;
+  OptimizeOptions optimizer;
+  StreamOptions stream;
+};
+
+/// \brief A compiled MinXQuery program, ready to stream documents.
+class CompiledQuery {
+ public:
+  /// Parses, validates, translates, and (by default) optimizes.
+  static Result<std::unique_ptr<CompiledQuery>> Compile(
+      const std::string& query_text, PipelineOptions options = {});
+
+  /// The executable transducer (optimized if so configured).
+  const Mft& mft() const { return mft_; }
+  /// The transducer as produced by the Section 3 translation.
+  const Mft& unoptimized_mft() const { return raw_mft_; }
+  /// What the optimizer did.
+  const OptimizeReport& optimize_report() const { return report_; }
+  /// The parsed query.
+  const QueryExpr& query() const { return *query_; }
+
+  /// Streams a document through the transducer.
+  Status Stream(ByteSource* source, OutputSink* sink,
+                StreamStats* stats = nullptr) const;
+  Status StreamFile(const std::string& path, OutputSink* sink,
+                    StreamStats* stats = nullptr) const;
+  Status StreamString(const std::string& xml, OutputSink* sink,
+                      StreamStats* stats = nullptr) const;
+
+  /// Non-streaming reference evaluation (whole document in memory); used
+  /// for differential testing and debugging.
+  Result<Forest> Evaluate(const Forest& input) const;
+
+ private:
+  CompiledQuery() = default;
+
+  std::unique_ptr<QueryExpr> query_;
+  Mft raw_mft_;
+  Mft mft_;
+  OptimizeReport report_;
+  PipelineOptions options_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_CORE_PIPELINE_H_

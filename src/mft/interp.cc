@@ -1,0 +1,123 @@
+#include "mft/interp.h"
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+namespace {
+
+// A position in the input: the suffix of forest `*f` starting at index `i`.
+// x1 of the head tree is (head.children, 0); x2 is (f, i+1); epsilon is
+// reached when i == f->size().
+struct Pos {
+  const Forest* f;
+  std::size_t i;
+
+  bool AtEnd() const { return i >= f->size(); }
+  const Tree& Head() const { return (*f)[i]; }
+  Pos Next() const { return Pos{f, i + 1}; }
+  Pos Children() const { return Pos{&Head().children, 0}; }
+};
+
+class Interp {
+ public:
+  Interp(const Mft& mft, InterpOptions options)
+      : mft_(mft), steps_left_(options.max_steps) {}
+
+  Result<Forest> Run(const Forest& input) {
+    Forest out;
+    XQMFT_RETURN_NOT_OK(
+        Apply(mft_.initial_state(), Pos{&input, 0}, {}, &out));
+    return out;
+  }
+
+ private:
+  Status Apply(StateId q, Pos pos, const std::vector<Forest>& params,
+               Forest* out) {
+    if (steps_left_ == 0) {
+      return Status::ResourceExhausted(
+          "MFT interpreter exceeded the step budget (non-terminating "
+          "stay-move loop?)");
+    }
+    --steps_left_;
+    const Rhs* rhs;
+    const Tree* node = nullptr;
+    if (pos.AtEnd()) {
+      rhs = mft_.LookupEpsilonRule(q);
+    } else {
+      node = &pos.Head();
+      rhs = mft_.LookupRule(q, node->kind, node->label);
+    }
+    if (rhs == nullptr) {
+      return Status::Internal("no applicable rule for state " +
+                              mft_.state_name(q));
+    }
+    return EvalRhs(*rhs, pos, node, params, out);
+  }
+
+  Status EvalRhs(const Rhs& rhs, Pos pos, const Tree* node,
+                 const std::vector<Forest>& params, Forest* out) {
+    for (const RhsNode& item : rhs) {
+      switch (item.kind) {
+        case RhsKind::kLabel: {
+          Tree t;
+          if (item.current_label) {
+            XQMFT_CHECK(node != nullptr);  // Validate() forbids %t in eps rules
+            t.kind = node->kind;
+            t.label = node->label;
+          } else {
+            t.kind = item.symbol.kind;
+            t.label = item.symbol.name;
+          }
+          XQMFT_RETURN_NOT_OK(
+              EvalRhs(item.children, pos, node, params, &t.children));
+          out->push_back(std::move(t));
+          break;
+        }
+        case RhsKind::kCall: {
+          Pos target = pos;
+          switch (item.input) {
+            case InputVar::kX0:
+              target = pos;
+              break;
+            case InputVar::kX1:
+              XQMFT_CHECK(node != nullptr);
+              target = pos.Children();
+              break;
+            case InputVar::kX2:
+              XQMFT_CHECK(node != nullptr);
+              target = pos.Next();
+              break;
+          }
+          std::vector<Forest> arg_values;
+          arg_values.reserve(item.args.size());
+          for (const Rhs& arg : item.args) {
+            Forest v;
+            XQMFT_RETURN_NOT_OK(EvalRhs(arg, pos, node, params, &v));
+            arg_values.push_back(std::move(v));
+          }
+          XQMFT_RETURN_NOT_OK(Apply(item.state, target, arg_values, out));
+          break;
+        }
+        case RhsKind::kParam: {
+          const Forest& v = params[static_cast<std::size_t>(item.param) - 1];
+          AppendForest(out, v);
+          break;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const Mft& mft_;
+  std::uint64_t steps_left_;
+};
+
+}  // namespace
+
+Result<Forest> RunMft(const Mft& mft, const Forest& input,
+                      InterpOptions options) {
+  return Interp(mft, options).Run(input);
+}
+
+}  // namespace xqmft

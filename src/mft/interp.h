@@ -1,0 +1,33 @@
+// Reference interpreter for MFTs, implementing the denotational semantics of
+// Section 2.2 directly:
+//
+//   [[q]](g0, f1..fm) = [[r]]   where r is the applicable rule's RHS,
+//
+// with call-by-value parameter passing. This interpreter materializes the
+// whole input and output; it exists as executable ground truth for the
+// streaming engine and the translation, not as the production evaluator.
+#ifndef XQMFT_MFT_INTERP_H_
+#define XQMFT_MFT_INTERP_H_
+
+#include <cstdint>
+
+#include "mft/mft.h"
+#include "util/status.h"
+#include "xml/forest.h"
+
+namespace xqmft {
+
+struct InterpOptions {
+  /// Maximum number of rule applications before the run is aborted with
+  /// ResourceExhausted. Guards against non-terminating stay-move loops in
+  /// hand-written transducers (the paper only deals with terminating MFTs).
+  std::uint64_t max_steps = 50'000'000;
+};
+
+/// Runs [[M]](input). The transducer must Validate() beforehand.
+Result<Forest> RunMft(const Mft& mft, const Forest& input,
+                      InterpOptions options = {});
+
+}  // namespace xqmft
+
+#endif  // XQMFT_MFT_INTERP_H_

@@ -1,0 +1,379 @@
+#include "mft/mft.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+bool RhsNode::operator==(const RhsNode& o) const {
+  if (kind != o.kind) return false;
+  switch (kind) {
+    case RhsKind::kLabel:
+      return current_label == o.current_label &&
+             (current_label || symbol == o.symbol) && children == o.children;
+    case RhsKind::kCall:
+      return state == o.state && input == o.input && args == o.args;
+    case RhsKind::kParam:
+      return param == o.param;
+  }
+  return false;
+}
+
+std::size_t RhsSize(const Rhs& rhs) {
+  std::size_t n = 0;
+  for (const RhsNode& node : rhs) {
+    n += 1;
+    if (node.kind == RhsKind::kLabel) {
+      n += RhsSize(node.children);
+    } else if (node.kind == RhsKind::kCall) {
+      for (const Rhs& arg : node.args) n += RhsSize(arg);
+    }
+  }
+  return n;
+}
+
+StateId Mft::AddState(std::string name, int num_params) {
+  states_.push_back(StateInfo{std::move(name), num_params});
+  rules_.emplace_back();
+  return static_cast<StateId>(states_.size()) - 1;
+}
+
+void Mft::SetSymbolRule(StateId q, Symbol s, Rhs rhs) {
+  rules_[q].symbol_rules[std::move(s)] = std::move(rhs);
+}
+void Mft::SetTextRule(StateId q, Rhs rhs) {
+  rules_[q].text_rule = std::move(rhs);
+}
+void Mft::SetDefaultRule(StateId q, Rhs rhs) {
+  rules_[q].default_rule = std::move(rhs);
+}
+void Mft::SetEpsilonRule(StateId q, Rhs rhs) {
+  rules_[q].epsilon_rule = std::move(rhs);
+}
+
+const Rhs* Mft::LookupRule(StateId q, NodeKind kind,
+                           const std::string& label) const {
+  const StateRules& r = rules_[q];
+  if (!r.symbol_rules.empty()) {
+    auto it = r.symbol_rules.find(Symbol(kind, label));
+    if (it != r.symbol_rules.end()) return &it->second;
+  }
+  if (kind == NodeKind::kText && r.text_rule.has_value()) {
+    return &*r.text_rule;
+  }
+  if (r.default_rule.has_value()) return &*r.default_rule;
+  return nullptr;
+}
+
+const Rhs* Mft::LookupEpsilonRule(StateId q) const {
+  const StateRules& r = rules_[q];
+  if (r.epsilon_rule.has_value()) return &*r.epsilon_rule;
+  return nullptr;
+}
+
+namespace {
+
+// Validation walker: checks calls, params, and x-variable restrictions.
+Status ValidateRhs(const Mft& mft, const Rhs& rhs, int m, bool epsilon_rule,
+                   const std::string& where) {
+  for (const RhsNode& node : rhs) {
+    switch (node.kind) {
+      case RhsKind::kLabel:
+        if (node.current_label && epsilon_rule) {
+          return Status::InvalidArgument(
+              "%t output label in epsilon rule of " + where);
+        }
+        XQMFT_RETURN_NOT_OK(
+            ValidateRhs(mft, node.children, m, epsilon_rule, where));
+        break;
+      case RhsKind::kCall: {
+        if (node.state < 0 || node.state >= mft.num_states()) {
+          return Status::InvalidArgument("call to unknown state in " + where);
+        }
+        if (epsilon_rule && node.input != InputVar::kX0) {
+          return Status::InvalidArgument(
+              "x1/x2 used in epsilon rule of " + where);
+        }
+        int want = mft.num_params(node.state);
+        if (static_cast<int>(node.args.size()) != want) {
+          return Status::InvalidArgument(StrFormat(
+              "call to %s with %zu arguments, expected %d, in %s",
+              mft.state_name(node.state).c_str(), node.args.size(), want,
+              where.c_str()));
+        }
+        for (const Rhs& arg : node.args) {
+          XQMFT_RETURN_NOT_OK(ValidateRhs(mft, arg, m, epsilon_rule, where));
+        }
+        break;
+      }
+      case RhsKind::kParam:
+        if (node.param < 1 || node.param > m) {
+          return Status::InvalidArgument(
+              StrFormat("parameter y%d out of range in %s", node.param,
+                        where.c_str()));
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void CollectRhsAlphabet(const Rhs& rhs, std::set<Symbol>* out) {
+  for (const RhsNode& node : rhs) {
+    if (node.kind == RhsKind::kLabel) {
+      if (!node.current_label) out->insert(node.symbol);
+      CollectRhsAlphabet(node.children, out);
+    } else if (node.kind == RhsKind::kCall) {
+      for (const Rhs& arg : node.args) CollectRhsAlphabet(arg, out);
+    }
+  }
+}
+
+}  // namespace
+
+Status Mft::Validate() const {
+  if (states_.empty()) return Status::InvalidArgument("MFT has no states");
+  if (initial_ < 0 || initial_ >= num_states()) {
+    return Status::InvalidArgument("initial state out of range");
+  }
+  if (num_params(initial_) != 0) {
+    return Status::InvalidArgument("initial state must have rank 1");
+  }
+  for (StateId q = 0; q < num_states(); ++q) {
+    const StateRules& r = rules_[q];
+    const std::string& name = states_[q].name;
+    int m = states_[q].num_params;
+    if (!r.default_rule.has_value()) {
+      return Status::InvalidArgument("state " + name + " lacks a default rule");
+    }
+    if (!r.epsilon_rule.has_value()) {
+      return Status::InvalidArgument("state " + name + " lacks an epsilon rule");
+    }
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      XQMFT_RETURN_NOT_OK(ValidateRhs(*this, rhs, m, false,
+                                      name + " on " + sym.ToString()));
+    }
+    if (r.text_rule.has_value()) {
+      XQMFT_RETURN_NOT_OK(
+          ValidateRhs(*this, *r.text_rule, m, false, name + " text rule"));
+    }
+    XQMFT_RETURN_NOT_OK(
+        ValidateRhs(*this, *r.default_rule, m, false, name + " default rule"));
+    XQMFT_RETURN_NOT_OK(
+        ValidateRhs(*this, *r.epsilon_rule, m, true, name + " epsilon rule"));
+  }
+  return Status::OK();
+}
+
+std::set<Symbol> Mft::CollectAlphabet() const {
+  std::set<Symbol> out;
+  for (StateId q = 0; q < num_states(); ++q) {
+    const StateRules& r = rules_[q];
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      out.insert(sym);
+      CollectRhsAlphabet(rhs, &out);
+    }
+    if (r.text_rule) CollectRhsAlphabet(*r.text_rule, &out);
+    if (r.default_rule) CollectRhsAlphabet(*r.default_rule, &out);
+    if (r.epsilon_rule) CollectRhsAlphabet(*r.epsilon_rule, &out);
+  }
+  return out;
+}
+
+std::size_t Mft::Size() const {
+  std::size_t n = CollectAlphabet().size();
+  for (StateId q = 0; q < num_states(); ++q) {
+    const StateRules& r = rules_[q];
+    std::size_t m = static_cast<std::size_t>(states_[q].num_params);
+    std::size_t lhs_sym = 4 + m;  // q, sigma, x1, x2, params
+    std::size_t lhs_eps = 2 + m;  // q, eps, params
+    for (const auto& [sym, rhs] : r.symbol_rules) {
+      n += lhs_sym + RhsSize(rhs);
+    }
+    if (r.text_rule) n += lhs_sym + RhsSize(*r.text_rule);
+    if (r.default_rule) n += lhs_sym + RhsSize(*r.default_rule);
+    if (r.epsilon_rule) n += lhs_eps + RhsSize(*r.epsilon_rule);
+  }
+  return n;
+}
+
+bool Mft::IsForestTransducer() const {
+  for (const StateInfo& s : states_) {
+    if (s.num_params != 0) return false;
+  }
+  return true;
+}
+
+std::size_t Mft::NumRules() const {
+  std::size_t n = 0;
+  for (const StateRules& r : rules_) {
+    n += r.symbol_rules.size();
+    n += r.text_rule.has_value();
+    n += r.default_rule.has_value();
+    n += r.epsilon_rule.has_value();
+  }
+  return n;
+}
+
+std::size_t Mft::TotalParams() const {
+  std::size_t n = 0;
+  for (const StateInfo& s : states_) n += static_cast<std::size_t>(s.num_params);
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const Mft& mft) : mft_(mft) {
+    // Disambiguate duplicate state names with #index suffixes.
+    std::unordered_map<std::string, int> name_count;
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      ++name_count[mft_.state_name(q)];
+    }
+    display_.resize(mft_.num_states());
+    std::unordered_map<std::string, int> seen;
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      const std::string& n = mft_.state_name(q);
+      if (name_count[n] > 1) {
+        display_[q] = n + "_" + std::to_string(seen[n]++);
+      } else {
+        display_[q] = n;
+      }
+    }
+  }
+
+  std::string Print() {
+    // Emit states in first-mention order (initial state first, then call
+    // targets as they appear in the printed text). The parser assigns state
+    // ids by first mention, so this makes print -> parse -> print stable.
+    std::vector<StateId> order;
+    std::vector<bool> queued(static_cast<std::size_t>(mft_.num_states()),
+                             false);
+    auto intern = [&](StateId q) {
+      if (!queued[static_cast<std::size_t>(q)]) {
+        queued[static_cast<std::size_t>(q)] = true;
+        order.push_back(q);
+      }
+    };
+    intern(mft_.initial_state());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      StateId q = order[i];
+      const StateRules& r = mft_.rules(q);
+      std::vector<Symbol> syms;
+      for (const auto& [sym, rhs] : r.symbol_rules) syms.push_back(sym);
+      std::sort(syms.begin(), syms.end());
+      for (const Symbol& sym : syms) {
+        InternCalls(r.symbol_rules.at(sym), intern);
+      }
+      if (r.text_rule) InternCalls(*r.text_rule, intern);
+      if (r.default_rule) InternCalls(*r.default_rule, intern);
+      if (r.epsilon_rule) InternCalls(*r.epsilon_rule, intern);
+    }
+    for (StateId q = 0; q < mft_.num_states(); ++q) intern(q);  // unreachable
+
+    std::string out;
+    for (StateId q : order) PrintState(q, &out);
+    return out;
+  }
+
+ private:
+  template <typename Fn>
+  void InternCalls(const Rhs& rhs, const Fn& intern) {
+    for (const RhsNode& node : rhs) {
+      if (node.kind == RhsKind::kLabel) {
+        InternCalls(node.children, intern);
+      } else if (node.kind == RhsKind::kCall) {
+        intern(node.state);
+        for (const Rhs& arg : node.args) InternCalls(arg, intern);
+      }
+    }
+  }
+
+  void PrintState(StateId q, std::string* out) {
+    const StateRules& r = mft_.rules(q);
+    std::vector<Symbol> syms;
+    for (const auto& [sym, rhs] : r.symbol_rules) syms.push_back(sym);
+    std::sort(syms.begin(), syms.end());
+    for (const Symbol& sym : syms) {
+      PrintRule(q, sym.ToString() + "(x1)x2", r.symbol_rules.at(sym), out);
+    }
+    if (r.text_rule) PrintRule(q, "%ttext(x1)x2", *r.text_rule, out);
+    if (r.default_rule) PrintRule(q, "%t(x1)x2", *r.default_rule, out);
+    if (r.epsilon_rule) PrintRule(q, "eps", *r.epsilon_rule, out);
+  }
+
+  void PrintRule(StateId q, const std::string& pattern, const Rhs& rhs,
+                 std::string* out) {
+    *out += display_[q];
+    *out += '(';
+    *out += pattern;
+    for (int j = 1; j <= mft_.num_params(q); ++j) {
+      *out += ", y" + std::to_string(j);
+    }
+    *out += ") -> ";
+    if (rhs.empty()) {
+      *out += "eps";
+    } else {
+      PrintRhs(rhs, out);
+    }
+    *out += '\n';
+  }
+
+  void PrintRhs(const Rhs& rhs, std::string* out) {
+    bool first = true;
+    for (const RhsNode& node : rhs) {
+      if (!first) *out += ' ';
+      first = false;
+      PrintNode(node, out);
+    }
+  }
+
+  void PrintNode(const RhsNode& node, std::string* out) {
+    switch (node.kind) {
+      case RhsKind::kLabel:
+        if (node.current_label) {
+          *out += "%t";
+        } else {
+          *out += node.symbol.ToString();
+        }
+        if (!node.children.empty()) {
+          *out += '(';
+          PrintRhs(node.children, out);
+          *out += ')';
+        }
+        break;
+      case RhsKind::kCall: {
+        *out += display_[node.state];
+        *out += "(x" + std::to_string(static_cast<int>(node.input));
+        for (const Rhs& arg : node.args) {
+          *out += ", ";
+          if (arg.empty()) {
+            *out += "eps";
+          } else {
+            PrintRhs(arg, out);
+          }
+        }
+        *out += ')';
+        break;
+      }
+      case RhsKind::kParam:
+        *out += 'y' + std::to_string(node.param);
+        break;
+    }
+  }
+
+  const Mft& mft_;
+  std::vector<std::string> display_;
+};
+
+}  // namespace
+
+std::string Mft::ToString() const { return Printer(*this).Print(); }
+
+}  // namespace xqmft

@@ -1,0 +1,205 @@
+// Macro Forest Transducers (Definition 2 of the paper).
+//
+// An MFT is a finite set of ranked states with rules of the forms
+//
+//   q(sigma(x1)x2, y1..ym) -> rhs       (symbol rule, sigma in Sigma)
+//   q(%ttext(x1)x2, y1..ym) -> rhs      (text rule: any text node)
+//   q(%t(x1)x2, y1..ym) -> rhs          (default rule: any node; required)
+//   q(eps, y1..ym) -> rhs               (epsilon rule; required)
+//
+// where rhs is a forest over output labels, parameter references y_j, and
+// state calls q'(x_i, rhs_1, .., rhs_n) with x_i in {x0, x1, x2}: x0 = the
+// current forest (a "stay move"), x1 = the children of the current head node,
+// x2 = its following siblings. In an epsilon rule only x0 exists. Output
+// labels in default/text rules may be `%t`, which copies the current node's
+// (kind, name) label. Transducers are deterministic and total by
+// construction; rule lookup order is: exact symbol, then the text rule for
+// text nodes, then the default rule.
+#ifndef XQMFT_MFT_MFT_H_
+#define XQMFT_MFT_MFT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/forest.h"
+#include "xml/symbol.h"
+
+namespace xqmft {
+
+/// Identifier of an MFT state (index into the state table).
+using StateId = int;
+
+/// Input variable selector in a state call.
+enum class InputVar : unsigned char {
+  kX0 = 0,  ///< the current forest (stay move)
+  kX1 = 1,  ///< children of the current head node
+  kX2 = 2,  ///< following siblings of the current head node
+};
+
+struct RhsNode;
+
+/// A right-hand-side forest: a sequence of RHS items. Empty = eps.
+using Rhs = std::vector<RhsNode>;
+
+enum class RhsKind : unsigned char {
+  kLabel,  ///< output node: fixed symbol or %t (copy of current input label)
+  kCall,   ///< state call q(x_i, args...)
+  kParam,  ///< accumulating parameter y_j
+};
+
+/// \brief One node of a rule right-hand side.
+struct RhsNode {
+  RhsKind kind = RhsKind::kLabel;
+
+  // kLabel
+  bool current_label = false;  ///< true for %t output labels
+  Symbol symbol;               ///< valid when !current_label
+  Rhs children;
+
+  // kCall
+  StateId state = -1;
+  InputVar input = InputVar::kX0;
+  std::vector<Rhs> args;
+
+  // kParam
+  int param = 0;  ///< 1-based parameter index
+
+  bool operator==(const RhsNode& o) const;
+
+  static RhsNode Label(Symbol s, Rhs children = {}) {
+    RhsNode n;
+    n.kind = RhsKind::kLabel;
+    n.symbol = std::move(s);
+    n.children = std::move(children);
+    return n;
+  }
+  static RhsNode CurrentLabel(Rhs children = {}) {
+    RhsNode n;
+    n.kind = RhsKind::kLabel;
+    n.current_label = true;
+    n.children = std::move(children);
+    return n;
+  }
+  static RhsNode Call(StateId q, InputVar x, std::vector<Rhs> args = {}) {
+    RhsNode n;
+    n.kind = RhsKind::kCall;
+    n.state = q;
+    n.input = x;
+    n.args = std::move(args);
+    return n;
+  }
+  static RhsNode Param(int j) {
+    RhsNode n;
+    n.kind = RhsKind::kParam;
+    n.param = j;
+    return n;
+  }
+};
+
+/// Number of nodes of an RHS forest (labels, calls and params all count 1;
+/// children and argument forests count recursively).
+std::size_t RhsSize(const Rhs& rhs);
+
+/// \brief All rules of one state.
+struct StateRules {
+  std::unordered_map<Symbol, Rhs, SymbolHash> symbol_rules;
+  std::optional<Rhs> text_rule;     ///< %ttext rule (any text node)
+  std::optional<Rhs> default_rule;  ///< %t rule (required for validity)
+  std::optional<Rhs> epsilon_rule;  ///< eps rule (required for validity)
+};
+
+/// \brief A deterministic, total macro forest transducer.
+class Mft {
+ public:
+  /// Adds a state with `num_params` accumulating parameters (rank is
+  /// num_params + 1). Names are for printing; they need not be unique but
+  /// the printer disambiguates duplicates.
+  StateId AddState(std::string name, int num_params);
+
+  int num_states() const { return static_cast<int>(states_.size()); }
+  int num_params(StateId q) const { return states_[q].num_params; }
+  int rank(StateId q) const { return states_[q].num_params + 1; }
+  const std::string& state_name(StateId q) const { return states_[q].name; }
+  void set_state_name(StateId q, std::string name) {
+    states_[q].name = std::move(name);
+  }
+
+  StateId initial_state() const { return initial_; }
+  void set_initial_state(StateId q) { initial_ = q; }
+
+  void SetSymbolRule(StateId q, Symbol s, Rhs rhs);
+  void SetTextRule(StateId q, Rhs rhs);
+  void SetDefaultRule(StateId q, Rhs rhs);
+  void SetEpsilonRule(StateId q, Rhs rhs);
+
+  /// The paper's q(%, y..) shorthand: installs `rhs` as both the default and
+  /// the epsilon rule. `rhs` must not use x1/x2.
+  void SetStayRule(StateId q, const Rhs& rhs) {
+    SetDefaultRule(q, rhs);
+    SetEpsilonRule(q, rhs);
+  }
+
+  const StateRules& rules(StateId q) const { return rules_[q]; }
+  StateRules& mutable_rules(StateId q) { return rules_[q]; }
+
+  /// Selects the rule applicable to a node with the given kind and label:
+  /// exact symbol rule, else text rule (for text nodes), else default rule.
+  /// Never null on a validated transducer.
+  const Rhs* LookupRule(StateId q, NodeKind kind, const std::string& label) const;
+
+  /// The epsilon rule of q. Never null on a validated transducer.
+  const Rhs* LookupEpsilonRule(StateId q) const;
+
+  /// Structural well-formedness: initial state rank 1, default and epsilon
+  /// rules present for every state, call arities match state ranks, parameter
+  /// indices within rank, x1/x2 absent from epsilon rules, %t output labels
+  /// absent from epsilon rules.
+  Status Validate() const;
+
+  /// The alphabet Sigma: symbols tested in rules or emitted in right-hand
+  /// sides.
+  std::set<Symbol> CollectAlphabet() const;
+
+  /// The paper's size |M|: |Sigma| plus the sizes of all left-hand and
+  /// right-hand sides. An lhs q(sigma(x1)x2, y1..ym) counts 4 + m nodes; an
+  /// epsilon lhs counts 2 + m.
+  std::size_t Size() const;
+
+  /// True if every state has rank 1 (no accumulating parameters): the paper's
+  /// top-down forest transducer (FT) subclass.
+  bool IsForestTransducer() const;
+
+  /// Pretty-prints all rules in the paper's syntax (parsable by ParseMft).
+  std::string ToString() const;
+
+  /// Total number of rules.
+  std::size_t NumRules() const;
+
+  /// Sum of num_params over all states (optimization metric).
+  std::size_t TotalParams() const;
+
+ private:
+  struct StateInfo {
+    std::string name;
+    int num_params;
+  };
+  std::vector<StateInfo> states_;
+  std::vector<StateRules> rules_;
+  StateId initial_ = 0;
+};
+
+/// Parses the textual rule syntax printed by Mft::ToString. One rule per
+/// line; `#` starts a comment. Patterns: `sym(x1)x2`, `"text"(x1)x2`,
+/// `%ttext(x1)x2`, `%t(x1)x2`, `eps`, or `%` (shorthand for default+epsilon).
+/// RHS items: `eps`, `yN`, `label`, `label(...)`, `"text"`, `%t`, `%t(...)`,
+/// or a call `state(xI, arg, ...)`. A name is a call iff its first argument
+/// is x0/x1/x2. The first rule's state is the initial state.
+Result<Mft> ParseMft(const std::string& text);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_MFT_MFT_H_

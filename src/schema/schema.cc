@@ -1,0 +1,425 @@
+#include "schema/schema.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+namespace {
+
+// Content-model alphabet symbol classes.
+struct Atom {
+  enum Kind { kName, kText, kAny } kind = kName;
+  std::string name;
+
+  bool Matches(NodeKind node_kind, const std::string& label) const {
+    switch (kind) {
+      case kName:
+        return node_kind == NodeKind::kElement && label == name;
+      case kText:
+        return node_kind == NodeKind::kText;
+      case kAny:
+        (void)label;
+        return true;
+    }
+    return false;
+  }
+};
+
+// Regex AST.
+struct Re {
+  enum Kind { kAtom, kSeq, kAlt, kStar, kPlus, kOpt, kEmpty } kind = kEmpty;
+  Atom atom;
+  std::vector<Re> children;
+};
+
+// Thompson NFA with epsilon edges.
+struct Nfa {
+  struct Edge {
+    int to;
+    int atom;  // -1 = epsilon
+  };
+  std::vector<std::vector<Edge>> states;
+  std::vector<Atom> atoms;
+  int start = 0;
+  int accept = 0;
+
+  int NewState() {
+    states.emplace_back();
+    return static_cast<int>(states.size()) - 1;
+  }
+};
+
+void BuildNfa(const Re& re, Nfa* nfa, int from, int to) {
+  switch (re.kind) {
+    case Re::kEmpty:
+      nfa->states[static_cast<std::size_t>(from)].push_back({to, -1});
+      return;
+    case Re::kAtom: {
+      int a = static_cast<int>(nfa->atoms.size());
+      nfa->atoms.push_back(re.atom);
+      nfa->states[static_cast<std::size_t>(from)].push_back({to, a});
+      return;
+    }
+    case Re::kSeq: {
+      int prev = from;
+      for (std::size_t i = 0; i < re.children.size(); ++i) {
+        int next = i + 1 == re.children.size() ? to : nfa->NewState();
+        BuildNfa(re.children[i], nfa, prev, next);
+        prev = next;
+      }
+      if (re.children.empty()) {
+        nfa->states[static_cast<std::size_t>(from)].push_back({to, -1});
+      }
+      return;
+    }
+    case Re::kAlt:
+      for (const Re& c : re.children) BuildNfa(c, nfa, from, to);
+      return;
+    case Re::kStar: {
+      int mid = nfa->NewState();
+      nfa->states[static_cast<std::size_t>(from)].push_back({mid, -1});
+      BuildNfa(re.children[0], nfa, mid, mid);
+      nfa->states[static_cast<std::size_t>(mid)].push_back({to, -1});
+      return;
+    }
+    case Re::kPlus: {
+      int mid = nfa->NewState();
+      BuildNfa(re.children[0], nfa, from, mid);
+      BuildNfa(re.children[0], nfa, mid, mid);
+      nfa->states[static_cast<std::size_t>(mid)].push_back({to, -1});
+      return;
+    }
+    case Re::kOpt:
+      nfa->states[static_cast<std::size_t>(from)].push_back({to, -1});
+      BuildNfa(re.children[0], nfa, from, to);
+      return;
+  }
+}
+
+// The validator runs NFA subset simulation directly (content models are
+// tiny, so determinization-on-the-fly beats precomputing DFAs).
+struct ContentModel {
+  Nfa nfa;
+
+  std::set<int> EpsClosure(const std::set<int>& in) const {
+    std::set<int> out = in;
+    std::vector<int> work(in.begin(), in.end());
+    while (!work.empty()) {
+      int s = work.back();
+      work.pop_back();
+      for (const Nfa::Edge& e : nfa.states[static_cast<std::size_t>(s)]) {
+        if (e.atom < 0 && out.insert(e.to).second) work.push_back(e.to);
+      }
+    }
+    return out;
+  }
+
+  std::set<int> Start() const { return EpsClosure({nfa.start}); }
+
+  std::set<int> Step(const std::set<int>& in, NodeKind kind,
+                     const std::string& label) const {
+    std::set<int> next;
+    for (int s : in) {
+      for (const Nfa::Edge& e : nfa.states[static_cast<std::size_t>(s)]) {
+        if (e.atom >= 0 &&
+            nfa.atoms[static_cast<std::size_t>(e.atom)].Matches(kind, label)) {
+          next.insert(e.to);
+        }
+      }
+    }
+    return EpsClosure(next);
+  }
+
+  bool Accepting(const std::set<int>& in) const {
+    return in.count(nfa.accept) > 0;
+  }
+};
+
+// --- Regex parser -----------------------------------------------------------
+
+class ReParser {
+ public:
+  explicit ReParser(const std::string& s) : s_(s) {}
+
+  Result<Re> Parse() {
+    Re re;
+    XQMFT_RETURN_NOT_OK(ParseAlt(&re));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument("schema regex: trailing characters in '" +
+                                     s_ + "'");
+    }
+    return re;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  Status ParseAlt(Re* out) {
+    Re first;
+    XQMFT_RETURN_NOT_OK(ParseSeq(&first));
+    SkipWs();
+    if (pos_ >= s_.size() || s_[pos_] != '|') {
+      *out = std::move(first);
+      return Status::OK();
+    }
+    out->kind = Re::kAlt;
+    out->children.push_back(std::move(first));
+    while (pos_ < s_.size() && s_[pos_] == '|') {
+      ++pos_;
+      Re next;
+      XQMFT_RETURN_NOT_OK(ParseSeq(&next));
+      out->children.push_back(std::move(next));
+      SkipWs();
+    }
+    return Status::OK();
+  }
+
+  Status ParseSeq(Re* out) {
+    out->kind = Re::kSeq;
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] == '|' || s_[pos_] == ')') break;
+      Re item;
+      XQMFT_RETURN_NOT_OK(ParsePostfix(&item));
+      out->children.push_back(std::move(item));
+    }
+    if (out->children.size() == 1) {
+      Re only = std::move(out->children[0]);
+      *out = std::move(only);
+    }
+    return Status::OK();
+  }
+
+  Status ParsePostfix(Re* out) {
+    Re base;
+    XQMFT_RETURN_NOT_OK(ParsePrimary(&base));
+    while (pos_ < s_.size() &&
+           (s_[pos_] == '*' || s_[pos_] == '+' || s_[pos_] == '?')) {
+      Re wrapped;
+      wrapped.kind = s_[pos_] == '*'   ? Re::kStar
+                     : s_[pos_] == '+' ? Re::kPlus
+                                       : Re::kOpt;
+      wrapped.children.push_back(std::move(base));
+      base = std::move(wrapped);
+      ++pos_;
+    }
+    *out = std::move(base);
+    return Status::OK();
+  }
+
+  Status ParsePrimary(Re* out) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '(') {
+      ++pos_;
+      XQMFT_RETURN_NOT_OK(ParseAlt(out));
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ')') {
+        return Status::InvalidArgument("schema regex: missing ')'");
+      }
+      ++pos_;
+      return Status::OK();
+    }
+    std::string name;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_' || s_[pos_] == '-' || s_[pos_] == '.')) {
+      name += s_[pos_++];
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("schema regex: expected a name");
+    }
+    out->kind = Re::kAtom;
+    if (name == "text") {
+      out->atom.kind = Atom::kText;
+    } else if (name == "any") {
+      out->atom.kind = Atom::kAny;
+    } else {
+      out->atom.kind = Atom::kName;
+      out->atom.name = std::move(name);
+    }
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- Schema ------------------------------------------------------------------
+
+struct Schema::Impl {
+  std::unordered_map<std::string, ContentModel> models;
+  bool strict = false;
+
+  const ContentModel* Find(const std::string& name) const {
+    auto it = models.find(name);
+    return it == models.end() ? nullptr : &it->second;
+  }
+};
+
+Schema::Schema() : impl_(new Impl) {}
+Schema::~Schema() = default;
+bool Schema::strict() const { return impl_->strict; }
+
+Result<std::shared_ptr<const Schema>> Schema::Parse(const std::string& text,
+                                                    bool strict) {
+  std::shared_ptr<Schema> schema(new Schema());
+  schema->impl_->strict = strict;
+  for (const std::string& raw_line : SplitString(text, '\n')) {
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t arrow = line.find("->");
+    if (arrow == std::string_view::npos) {
+      return Status::InvalidArgument("schema rule without '->': " +
+                                     std::string(line));
+    }
+    std::string name(StripWhitespace(line.substr(0, arrow)));
+    std::string body(StripWhitespace(line.substr(arrow + 2)));
+    if (name.empty()) {
+      return Status::InvalidArgument("schema rule without element name");
+    }
+    if (schema->impl_->models.count(name)) {
+      return Status::InvalidArgument("duplicate schema rule for " + name);
+    }
+    Re re;
+    XQMFT_ASSIGN_OR_RETURN(re, ReParser(body).Parse());
+    ContentModel model;
+    model.nfa.start = model.nfa.NewState();
+    model.nfa.accept = model.nfa.NewState();
+    BuildNfa(re, &model.nfa, model.nfa.start, model.nfa.accept);
+    schema->impl_->models.emplace(std::move(name), std::move(model));
+  }
+  return std::shared_ptr<const Schema>(schema);
+}
+
+// --- Validator ---------------------------------------------------------------
+
+struct SchemaValidator::State {
+  struct Frame {
+    const ContentModel* model;  // null = unconstrained
+    std::set<int> states;
+    std::string name;
+  };
+  std::vector<Frame> stack;
+  bool complete = false;
+};
+
+SchemaValidator::SchemaValidator(std::shared_ptr<const Schema> schema)
+    : schema_(std::move(schema)), state_(new State) {
+  // Virtual root: unconstrained (the document sequence).
+  state_->stack.push_back({nullptr, {}, "#root"});
+}
+
+SchemaValidator::~SchemaValidator() = default;
+
+bool SchemaValidator::complete() const { return state_->complete; }
+
+Status SchemaValidator::Feed(const XmlEvent& event) {
+  auto& stack = state_->stack;
+  switch (event.type) {
+    case XmlEventType::kStartElement: {
+      State::Frame& parent = stack.back();
+      if (parent.model != nullptr) {
+        parent.states =
+            parent.model->Step(parent.states, NodeKind::kElement, event.name);
+        if (parent.states.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("schema violation: <%s> not allowed here inside <%s>",
+                        event.name.c_str(), parent.name.c_str()));
+        }
+      }
+      const ContentModel* model = schema_->impl().Find(event.name);
+      if (model == nullptr && schema_->strict()) {
+        return Status::InvalidArgument(
+            "schema violation: no rule for element <" + event.name +
+            "> (strict mode)");
+      }
+      State::Frame frame;
+      frame.model = model;
+      if (model != nullptr) frame.states = model->Start();
+      frame.name = event.name;
+      stack.push_back(std::move(frame));
+      return Status::OK();
+    }
+    case XmlEventType::kText: {
+      State::Frame& parent = stack.back();
+      if (parent.model != nullptr) {
+        parent.states =
+            parent.model->Step(parent.states, NodeKind::kText, event.text);
+        if (parent.states.empty()) {
+          return Status::InvalidArgument(
+              "schema violation: text not allowed here inside <" +
+              parent.name + ">");
+        }
+      }
+      return Status::OK();
+    }
+    case XmlEventType::kEndElement: {
+      State::Frame& top = stack.back();
+      if (top.model != nullptr && !top.model->Accepting(top.states)) {
+        return Status::InvalidArgument(
+            "schema violation: <" + top.name +
+            "> closed before its content model was satisfied");
+      }
+      stack.pop_back();
+      if (stack.empty()) {
+        return Status::Internal("validator stack underflow");
+      }
+      return Status::OK();
+    }
+    case XmlEventType::kEndOfDocument:
+      if (stack.size() != 1) {
+        return Status::InvalidArgument("schema violation: unclosed elements");
+      }
+      state_->complete = true;
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status FeedForest(SchemaValidator* v, const Forest& f) {
+  for (const Tree& t : f) {
+    XmlEvent ev;
+    if (t.kind == NodeKind::kText) {
+      ev.type = XmlEventType::kText;
+      ev.text = t.label;
+      XQMFT_RETURN_NOT_OK(v->Feed(ev));
+      continue;
+    }
+    ev.type = XmlEventType::kStartElement;
+    ev.name = t.label;
+    XQMFT_RETURN_NOT_OK(v->Feed(ev));
+    XQMFT_RETURN_NOT_OK(FeedForest(v, t.children));
+    XmlEvent end;
+    end.type = XmlEventType::kEndElement;
+    end.name = t.label;
+    XQMFT_RETURN_NOT_OK(v->Feed(end));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateForest(const Schema& schema, const Forest& forest) {
+  // Wrap through a shared_ptr alias that does not own (the caller's schema
+  // outlives the validator in this synchronous helper).
+  std::shared_ptr<const Schema> alias(&schema, [](const Schema*) {});
+  SchemaValidator v(alias);
+  XQMFT_RETURN_NOT_OK(FeedForest(&v, forest));
+  XmlEvent eod;
+  eod.type = XmlEventType::kEndOfDocument;
+  return v.Feed(eod);
+}
+
+}  // namespace xqmft

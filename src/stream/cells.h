@@ -1,0 +1,171 @@
+// Incremental input representation for the streaming engine.
+//
+// The input forest is revealed one SAX event at a time as a graph of
+// reference-counted cells in first-child/next-sibling form:
+//
+//   cell ::= Pending                      (nothing known yet)
+//          | Eps                          (this position is the empty forest)
+//          | Node(label, child, sibling)  (a node; child/sibling are cells)
+//
+// A Pending cell mutates in place exactly once (to Eps or Node) when its
+// event arrives; thunks blocked on it observe the update. Reference counts
+// release consumed prefixes of the stream: whatever the transducer still
+// references is exactly the buffered part of the input, which is how the
+// no-opt/opt memory difference of Figure 4 arises naturally.
+#ifndef XQMFT_STREAM_CELLS_H_
+#define XQMFT_STREAM_CELLS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/intrusive_ptr.h"
+#include "util/memory_tracker.h"
+#include "util/status.h"
+#include "xml/events.h"
+#include "xml/symbol.h"
+
+namespace xqmft {
+
+enum class CellState : unsigned char {
+  kPending,
+  kEps,
+  kNode,
+};
+
+/// \brief One position of the incrementally revealed input forest.
+class Cell : public RefCounted {
+ public:
+  explicit Cell(MemoryTracker* tracker) : tracker_(tracker) {
+    tracker_->Charge(sizeof(Cell));
+  }
+  ~Cell() override {
+    tracker_->Release(sizeof(Cell) + label_.capacity());
+    // Unlink child/sibling chains iteratively: dropping the head of a long
+    // fully-owned chain must not recurse once per node (documents are often
+    // deeper than the stack is forgiving).
+    std::vector<IntrusivePtr<Cell>> work;
+    if (child_) work.push_back(std::move(child_));
+    if (sibling_) work.push_back(std::move(sibling_));
+    while (!work.empty()) {
+      IntrusivePtr<Cell> c = std::move(work.back());
+      work.pop_back();
+      if (c->ref_count() == 1) {
+        // We hold the last reference: steal the links so the node destructs
+        // flat, and keep walking.
+        if (c->child_) work.push_back(std::move(c->child_));
+        if (c->sibling_) work.push_back(std::move(c->sibling_));
+      }
+    }
+  }
+
+  CellState state() const { return state_; }
+  NodeKind kind() const { return kind_; }
+  const std::string& label() const { return label_; }
+  const IntrusivePtr<Cell>& child() const { return child_; }
+  const IntrusivePtr<Cell>& sibling() const { return sibling_; }
+
+  /// Pending -> Eps.
+  void FillEps() {
+    XQMFT_CHECK(state_ == CellState::kPending);
+    state_ = CellState::kEps;
+  }
+
+  /// Pending -> Node.
+  void FillNode(NodeKind kind, std::string label, IntrusivePtr<Cell> child,
+                IntrusivePtr<Cell> sibling) {
+    XQMFT_CHECK(state_ == CellState::kPending);
+    state_ = CellState::kNode;
+    kind_ = kind;
+    label_ = std::move(label);
+    tracker_->Charge(label_.capacity());
+    child_ = std::move(child);
+    sibling_ = std::move(sibling);
+  }
+
+ private:
+  MemoryTracker* tracker_;
+  CellState state_ = CellState::kPending;
+  NodeKind kind_ = NodeKind::kElement;
+  std::string label_;
+  IntrusivePtr<Cell> child_;
+  IntrusivePtr<Cell> sibling_;
+};
+
+/// \brief Builds the cell graph from SAX events. Holds references only to
+/// the open rightmost spine (O(depth)).
+class CellBuilder {
+ public:
+  explicit CellBuilder(MemoryTracker* tracker)
+      : tracker_(tracker),
+        root_(MakeIntrusive<Cell>(tracker)),
+        tail_(root_),
+        cells_created_(1) {}
+
+  /// Hands over the cell for the whole input forest (initially Pending).
+  /// The builder must not keep this reference: a Node cell retains its
+  /// child and sibling cells, so holding the root would retain the entire
+  /// stream and defeat incremental reclamation. May be called once.
+  IntrusivePtr<Cell> TakeRoot() {
+    XQMFT_CHECK(root_);
+    return std::move(root_);
+  }
+
+  /// Feeds one event. kEndOfDocument closes the top-level chain.
+  Status Feed(const XmlEvent& event) {
+    switch (event.type) {
+      case XmlEventType::kStartElement: {
+        IntrusivePtr<Cell> child = MakeIntrusive<Cell>(tracker_);
+        IntrusivePtr<Cell> sibling = MakeIntrusive<Cell>(tracker_);
+        cells_created_ += 2;
+        tail_->FillNode(NodeKind::kElement, event.name, child, sibling);
+        resume_.push_back(sibling);
+        tail_ = std::move(child);
+        return Status::OK();
+      }
+      case XmlEventType::kText: {
+        IntrusivePtr<Cell> child = MakeIntrusive<Cell>(tracker_);
+        child->FillEps();
+        IntrusivePtr<Cell> sibling = MakeIntrusive<Cell>(tracker_);
+        cells_created_ += 2;
+        tail_->FillNode(NodeKind::kText, event.text, std::move(child),
+                        sibling);
+        tail_ = std::move(sibling);
+        return Status::OK();
+      }
+      case XmlEventType::kEndElement: {
+        if (resume_.empty()) {
+          return Status::InvalidArgument("unbalanced end element event");
+        }
+        tail_->FillEps();
+        tail_ = std::move(resume_.back());
+        resume_.pop_back();
+        return Status::OK();
+      }
+      case XmlEventType::kEndOfDocument: {
+        if (!resume_.empty()) {
+          return Status::InvalidArgument(
+              "end of document with unclosed elements");
+        }
+        if (tail_->state() == CellState::kPending) tail_->FillEps();
+        done_ = true;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown event type");
+  }
+
+  bool done() const { return done_; }
+  std::uint64_t cells_created() const { return cells_created_; }
+
+ private:
+  MemoryTracker* tracker_;
+  IntrusivePtr<Cell> root_;
+  IntrusivePtr<Cell> tail_;
+  std::vector<IntrusivePtr<Cell>> resume_;
+  std::uint64_t cells_created_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_STREAM_CELLS_H_

@@ -1,0 +1,89 @@
+#include "stream/dag_sink.h"
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace xqmft {
+
+DagSink::DagSink() { stack_.emplace_back(); }
+
+std::uint32_t DagSink::Intern(Node node) {
+  // Structural key: kind, label, child ids.
+  std::string key;
+  key += node.kind == NodeKind::kText ? 'T' : 'E';
+  key += node.label;
+  for (std::uint32_t c : node.children) {
+    key += '#';
+    key += std::to_string(c);
+  }
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  std::uint32_t id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  intern_.emplace(std::move(key), id);
+  return id;
+}
+
+void DagSink::StartElement(const std::string& name) {
+  open_names_.push_back(name);
+  stack_.emplace_back();
+}
+
+void DagSink::EndElement(const std::string& name) {
+  XQMFT_CHECK(!open_names_.empty() && open_names_.back() == name);
+  open_names_.pop_back();
+  Node node;
+  node.kind = NodeKind::kElement;
+  node.label = name;
+  node.children = std::move(stack_.back());
+  stack_.pop_back();
+  node.size = 1;
+  for (std::uint32_t c : node.children) node.size += nodes_[c].size;
+  total_nodes_ += 1;  // children were counted when they closed
+  std::uint32_t id = Intern(std::move(node));
+  stack_.back().push_back(id);
+}
+
+void DagSink::Text(const std::string& content) {
+  Node node;
+  node.kind = NodeKind::kText;
+  node.label = content;
+  node.size = 1;
+  total_nodes_ += 1;
+  std::uint32_t id = Intern(std::move(node));
+  stack_.back().push_back(id);
+}
+
+std::string DagSink::GrammarToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    out += StrFormat("#%zu = ", i);
+    if (n.kind == NodeKind::kText) {
+      out += "\"" + n.label + "\"";
+    } else {
+      out += n.label + "(";
+      for (std::size_t c = 0; c < n.children.size(); ++c) {
+        if (c > 0) out += ' ';
+        out += "#" + std::to_string(n.children[c]);
+      }
+      out += ")";
+    }
+    out += '\n';
+  }
+  out += "roots:";
+  for (std::uint32_t r : roots()) out += " #" + std::to_string(r);
+  out += '\n';
+  return out;
+}
+
+std::string DagSink::Expand(std::uint32_t id) const {
+  const Node& n = nodes_[id];
+  if (n.kind == NodeKind::kText) return XmlEscape(n.label);
+  std::string out = "<" + n.label + ">";
+  for (std::uint32_t c : n.children) out += Expand(c);
+  out += "</" + n.label + ">";
+  return out;
+}
+
+}  // namespace xqmft

@@ -1,0 +1,75 @@
+// Grammar-compressed output (Section 6, future work): "Their outputs can,
+// however, be represented using grammar-based compression in linear space
+// with respect to the input size."
+//
+// DagSink is an OutputSink that hash-conses every completed subtree of the
+// output stream: identical subtrees share one grammar rule, so the stored
+// representation is a minimal DAG — the sharing-maximal special case of a
+// straight-line tree grammar. An MFT with exponential size increase (e.g.
+// the doubling transducer of Section 4.2) produces an output DAG of size
+// linear in the input while the unfolded output tree is exponential; the
+// `CompressionRatio` accessor exposes exactly that gap.
+#ifndef XQMFT_STREAM_DAG_SINK_H_
+#define XQMFT_STREAM_DAG_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/events.h"
+#include "xml/symbol.h"
+
+namespace xqmft {
+
+/// \brief Hash-consing output sink building a minimal output DAG.
+class DagSink : public OutputSink {
+ public:
+  DagSink();
+
+  void StartElement(const std::string& name) override;
+  void EndElement(const std::string& name) override;
+  void Text(const std::string& content) override;
+
+  /// Nodes of the unfolded output tree.
+  std::uint64_t total_nodes() const { return total_nodes_; }
+  /// Rules of the grammar (distinct subtrees).
+  std::size_t unique_nodes() const { return nodes_.size(); }
+  /// total / unique; large values mean highly compressible output.
+  double CompressionRatio() const {
+    return nodes_.empty() ? 1.0
+                          : static_cast<double>(total_nodes_) /
+                                static_cast<double>(nodes_.size());
+  }
+
+  /// Ids of the output forest's top-level trees (grammar start symbols).
+  /// Valid once all elements are closed.
+  const std::vector<std::uint32_t>& roots() const { return stack_.front(); }
+
+  /// Renders the grammar, one rule per line: `#id = label(#c1 #c2 ...)`.
+  std::string GrammarToString() const;
+
+  /// Unfolds rule `id` back into markup (testing; exponential in the worst
+  /// case by design).
+  std::string Expand(std::uint32_t id) const;
+
+ private:
+  struct Node {
+    NodeKind kind;
+    std::string label;
+    std::vector<std::uint32_t> children;
+    std::uint64_t size;  // unfolded subtree size
+  };
+
+  std::uint32_t Intern(Node node);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, std::uint32_t> intern_;  // structural key
+  std::vector<std::vector<std::uint32_t>> stack_;  // child lists of open elems
+  std::vector<std::string> open_names_;
+  std::uint64_t total_nodes_ = 0;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_STREAM_DAG_SINK_H_

@@ -1,0 +1,416 @@
+#include "stream/engine.h"
+
+#include <vector>
+
+#include "schema/schema.h"
+#include "stream/cells.h"
+#include "util/intrusive_ptr.h"
+
+namespace xqmft {
+
+namespace {
+
+enum class ExprKind : unsigned char {
+  kNil,
+  kCons,  ///< an output node: label, child forest, following forest
+  kCat,   ///< concatenation of two forests
+  kCall,  ///< suspended state call q(cell, args...)
+  kInd,   ///< indirection to the reduced form
+};
+
+class Expr : public RefCounted {
+ public:
+  explicit Expr(MemoryTracker* tracker) : tracker_(tracker) {
+    tracker_->Charge(sizeof(Expr));
+  }
+  ~Expr() override {
+    tracker_->Release(sizeof(Expr) + label_.capacity() +
+                      args_.capacity() * sizeof(IntrusivePtr<Expr>));
+    // Flatten the destruction of fully-owned expression chains (Ind/Cons
+    // spines can be as long as the output stream).
+    std::vector<IntrusivePtr<Expr>> work;
+    auto take = [&work](IntrusivePtr<Expr>* p) {
+      if (*p) work.push_back(std::move(*p));
+    };
+    take(&child);
+    take(&next);
+    while (!work.empty()) {
+      IntrusivePtr<Expr> e = std::move(work.back());
+      work.pop_back();
+      if (e->ref_count() == 1) {
+        take(&e->child);
+        take(&e->next);
+        for (IntrusivePtr<Expr>& a : e->args_) take(&a);
+      }
+    }
+  }
+
+  ExprKind kind = ExprKind::kNil;
+
+  // kCons
+  NodeKind node_kind = NodeKind::kElement;
+  IntrusivePtr<Expr> child;  // also: kCat left, kInd target
+  IntrusivePtr<Expr> next;   // also: kCat right
+
+  // kCall
+  StateId state = -1;
+  IntrusivePtr<Cell> cell;
+
+  const std::string& label() const { return label_; }
+  void set_label(std::string l) {
+    tracker_->Release(label_.capacity());
+    label_ = std::move(l);
+    tracker_->Charge(label_.capacity());
+  }
+
+  const std::vector<IntrusivePtr<Expr>>& args() const { return args_; }
+  void set_args(std::vector<IntrusivePtr<Expr>> a) {
+    tracker_->Release(args_.capacity() * sizeof(IntrusivePtr<Expr>));
+    args_ = std::move(a);
+    tracker_->Charge(args_.capacity() * sizeof(IntrusivePtr<Expr>));
+  }
+
+  // Collapses this expression into an indirection (after reduction) or a
+  // Cons/Nil; releases call references so consumed input can be freed.
+  void BecomeInd(IntrusivePtr<Expr> target) {
+    kind = ExprKind::kInd;
+    child = std::move(target);
+    next.reset();
+    cell.reset();
+    set_args({});
+    set_label({});
+  }
+
+ private:
+  MemoryTracker* tracker_;
+  std::string label_;
+  std::vector<IntrusivePtr<Expr>> args_;
+};
+
+enum class PumpResult {
+  kDone,
+  kNeedInput,
+};
+
+class Engine {
+ public:
+  Engine(const Mft& mft, OutputSink* sink, const StreamOptions& options)
+      : mft_(mft), sink_(sink), options_(options), builder_(&tracker_) {}
+
+  Status Run(ByteSource* source, StreamStats* stats) {
+    SaxParser parser(source, options_.sax);
+
+    // Root thunk: q0 applied to the whole (pending) input forest.
+    IntrusivePtr<Expr> root = NewExpr();
+    root->kind = ExprKind::kCall;
+    root->state = mft_.initial_state();
+    root->cell = builder_.TakeRoot();
+
+    // The emitter stack: (expression to emit, element to close afterwards).
+    struct Frame {
+      IntrusivePtr<Expr> expr;
+      std::string close_label;
+      bool has_close = false;
+    };
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, "", false});
+    root.reset();
+
+    XmlEvent event;
+    std::size_t bytes_at_first_output = 0;
+    bool saw_output = false;
+
+    while (!stack.empty()) {
+      // Pump: emit as much as is determined.
+      Frame& top = stack.back();
+      IntrusivePtr<Expr> e = Deref(top.expr);
+      top.expr = e;
+
+      bool blocked = false;
+      XQMFT_RETURN_NOT_OK(Whnf(e.get(), resume_valid_, &blocked));
+      if (blocked) {
+        // Need more input. Consecutive blocked pumps resume the suspended
+        // reduction (nothing else mutates the graph in between).
+        resume_valid_ = true;
+        if (builder_.done()) {
+          return Status::Internal(
+              "streaming engine blocked after end of input");
+        }
+        XQMFT_RETURN_NOT_OK(parser.Next(&event));
+        if (options_.validator != nullptr) {
+          XQMFT_RETURN_NOT_OK(options_.validator->Feed(event));
+        }
+        XQMFT_RETURN_NOT_OK(builder_.Feed(event));
+        continue;
+      }
+      resume_valid_ = false;
+      e = Deref(e);
+      top.expr = e;
+      if (e->kind == ExprKind::kNil) {
+        if (top.has_close) {
+          sink_->EndElement(top.close_label);
+          ++output_events_;
+        }
+        stack.pop_back();
+        continue;
+      }
+      XQMFT_CHECK(e->kind == ExprKind::kCons);
+      if (!saw_output) {
+        saw_output = true;
+        bytes_at_first_output = parser.bytes_consumed();
+      }
+      if (e->node_kind == NodeKind::kText) {
+        sink_->Text(e->label());
+        ++output_events_;
+        top.expr = e->next;
+      } else {
+        sink_->StartElement(e->label());
+        ++output_events_;
+        Frame child_frame;
+        child_frame.expr = e->child;
+        child_frame.close_label = e->label();
+        child_frame.has_close = true;
+        top.expr = e->next;
+        stack.push_back(std::move(child_frame));
+      }
+    }
+
+    if (stats != nullptr) {
+      stats->peak_bytes = tracker_.peak_bytes();
+      stats->final_bytes = tracker_.current_bytes();
+      stats->rule_applications = steps_;
+      stats->cells_created = builder_.cells_created();
+      stats->exprs_created = exprs_created_;
+      stats->bytes_in = parser.bytes_consumed();
+      stats->output_events = output_events_;
+      stats->bytes_in_at_first_output = bytes_at_first_output;
+    }
+    return Status::OK();
+  }
+
+ private:
+  IntrusivePtr<Expr> NewExpr() {
+    ++exprs_created_;
+    return MakeIntrusive<Expr>(&tracker_);
+  }
+
+  static IntrusivePtr<Expr> Deref(IntrusivePtr<Expr> e) {
+    while (e->kind == ExprKind::kInd) e = e->child;
+    return e;
+  }
+
+  // Reduces `e` (in place) to Nil or Cons; sets *blocked if the reduction
+  // needs an input cell that is still Pending. Iterative with an explicit
+  // stack of Cat ancestors whose left spine is being forced — recursion
+  // here would be proportional to document depth for descendant scans.
+  Status Whnf(Expr* e, bool resume, bool* blocked) {
+    // Resume from the last blocked position when re-pumped after a blocked
+    // pump: the graph only changes through this function and through cell
+    // fills, so the saved Cat spine is still valid. Without this, each
+    // input event would re-walk the spine from the root — quadratic in
+    // document depth for descendant scans.
+    if (resume && whnf_resume_ != nullptr) {
+      e = whnf_resume_;
+    } else {
+      cat_stack_.clear();
+    }
+    whnf_resume_ = nullptr;
+    while (true) {
+      switch (e->kind) {
+        case ExprKind::kNil:
+        case ExprKind::kCons: {
+          if (cat_stack_.empty()) return Status::OK();
+          // Rewrite the innermost pending Cat now that its left is WHNF.
+          Expr* cat = cat_stack_.back();
+          cat_stack_.pop_back();
+          IntrusivePtr<Expr> lt = Deref(cat->child);
+          if (lt->kind == ExprKind::kNil) {
+            IntrusivePtr<Expr> right = cat->next;
+            cat->BecomeInd(right);
+            e = right.get();  // kept alive by cat's indirection
+            continue;
+          }
+          XQMFT_CHECK(lt->kind == ExprKind::kCons);
+          // Cons(l, c, n) ++ r  =>  Cons(l, c, n ++ r)
+          IntrusivePtr<Expr> tail = NewExpr();
+          tail->kind = ExprKind::kCat;
+          tail->child = lt->next;
+          tail->next = cat->next;
+          cat->kind = ExprKind::kCons;
+          cat->node_kind = lt->node_kind;
+          cat->set_label(lt->label());
+          cat->child = lt->child;
+          cat->next = tail;
+          cat->cell.reset();
+          cat->set_args({});
+          e = cat;
+          continue;
+        }
+        case ExprKind::kInd: {
+          // Path-compress the indirection chain, then continue on the target.
+          IntrusivePtr<Expr> t = Deref(e->child);
+          e->child = t;
+          e = t.get();
+          continue;
+        }
+        case ExprKind::kCat:
+          cat_stack_.push_back(e);
+          e = e->child.get();
+          continue;
+        case ExprKind::kCall: {
+          const Cell* cell = e->cell.get();
+          if (cell->state() == CellState::kPending) {
+            // Suspend, remembering where to resume, and compress the link
+            // from the innermost Cat to this call so the indirections of
+            // consumed input are released during the suspension (otherwise
+            // sparse-match scans retain the whole skipped stretch).
+            whnf_resume_ = e;
+            if (!cat_stack_.empty()) {
+              Expr* cat = cat_stack_.back();
+              cat->child = Deref(cat->child);
+            }
+            *blocked = true;
+            return Status::OK();
+          }
+          if (steps_ >= options_.max_steps) {
+            return Status::ResourceExhausted(
+                "streaming engine exceeded the step budget");
+          }
+          ++steps_;
+          const Rhs* rhs;
+          if (cell->state() == CellState::kEps) {
+            rhs = mft_.LookupEpsilonRule(e->state);
+          } else {
+            rhs = mft_.LookupRule(e->state, cell->kind(), cell->label());
+          }
+          if (rhs == nullptr) {
+            return Status::Internal("no applicable rule for state " +
+                                    mft_.state_name(e->state));
+          }
+          IntrusivePtr<Cell> cell_ref = e->cell;
+          std::vector<IntrusivePtr<Expr>> args = e->args();
+          IntrusivePtr<Expr> inst =
+              Instantiate(*rhs, cell_ref.get(), args, nullptr);
+          e->BecomeInd(inst);
+          e = Deref(inst).get();
+          continue;
+        }
+      }
+    }
+  }
+
+  // Builds the expression graph for an RHS forest. `tail` (may be null) is
+  // appended after the instantiated forest.
+  IntrusivePtr<Expr> Instantiate(const Rhs& rhs, const Cell* cell,
+                                 const std::vector<IntrusivePtr<Expr>>& args,
+                                 IntrusivePtr<Expr> tail) {
+    IntrusivePtr<Expr> acc = std::move(tail);
+    for (auto it = rhs.rbegin(); it != rhs.rend(); ++it) {
+      const RhsNode& item = *it;
+      switch (item.kind) {
+        case RhsKind::kLabel: {
+          IntrusivePtr<Expr> node = NewExpr();
+          node->kind = ExprKind::kCons;
+          if (item.current_label) {
+            node->node_kind = cell->kind();
+            node->set_label(cell->label());
+          } else {
+            node->node_kind = item.symbol.kind;
+            node->set_label(item.symbol.name);
+          }
+          node->child = Instantiate(item.children, cell, args, nullptr);
+          node->next = acc ? std::move(acc) : NilExpr();
+          acc = std::move(node);
+          break;
+        }
+        case RhsKind::kParam: {
+          const IntrusivePtr<Expr>& value =
+              args[static_cast<std::size_t>(item.param) - 1];
+          if (!acc) {
+            acc = value;  // shared: evaluated at most once
+          } else {
+            IntrusivePtr<Expr> cat = NewExpr();
+            cat->kind = ExprKind::kCat;
+            cat->child = value;
+            cat->next = std::move(acc);
+            acc = std::move(cat);
+          }
+          break;
+        }
+        case RhsKind::kCall: {
+          IntrusivePtr<Expr> call = NewExpr();
+          call->kind = ExprKind::kCall;
+          call->state = item.state;
+          switch (item.input) {
+            case InputVar::kX0:
+              call->cell = IntrusivePtr<Cell>(const_cast<Cell*>(cell));
+              break;
+            case InputVar::kX1:
+              call->cell = cell->child();
+              break;
+            case InputVar::kX2:
+              call->cell = cell->sibling();
+              break;
+          }
+          std::vector<IntrusivePtr<Expr>> call_args;
+          call_args.reserve(item.args.size());
+          for (const Rhs& arg : item.args) {
+            call_args.push_back(Instantiate(arg, cell, args, nullptr));
+          }
+          call->set_args(std::move(call_args));
+          if (!acc) {
+            acc = std::move(call);
+          } else {
+            IntrusivePtr<Expr> cat = NewExpr();
+            cat->kind = ExprKind::kCat;
+            cat->child = std::move(call);
+            cat->next = std::move(acc);
+            acc = std::move(cat);
+          }
+          break;
+        }
+      }
+    }
+    if (!acc) acc = NilExpr();
+    return acc;
+  }
+
+  IntrusivePtr<Expr> NilExpr() {
+    // Nil is immutable; share one instance.
+    if (!nil_) {
+      nil_ = NewExpr();
+      nil_->kind = ExprKind::kNil;
+    }
+    return nil_;
+  }
+
+  const Mft& mft_;
+  OutputSink* sink_;
+  StreamOptions options_;
+  MemoryTracker tracker_;
+  CellBuilder builder_;
+  IntrusivePtr<Expr> nil_;
+  std::vector<Expr*> cat_stack_;
+  Expr* whnf_resume_ = nullptr;  // blocked call to resume from
+  bool resume_valid_ = false;    // last pump blocked; spine still valid
+  std::uint64_t steps_ = 0;
+  std::uint64_t exprs_created_ = 0;
+  std::size_t output_events_ = 0;
+};
+
+}  // namespace
+
+Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
+                       StreamOptions options, StreamStats* stats) {
+  Engine engine(mft, sink, options);
+  return engine.Run(source, stats);
+}
+
+Status StreamTransformString(const Mft& mft, const std::string& xml,
+                             OutputSink* sink, StreamOptions options,
+                             StreamStats* stats) {
+  StringSource source(xml);
+  return StreamTransform(mft, &source, sink, options, stats);
+}
+
+}  // namespace xqmft

@@ -1,0 +1,513 @@
+#include "translate/translate.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+namespace {
+
+// Environment: variable name -> 1-based parameter position.
+struct Env {
+  std::vector<std::pair<std::string, int>> vars;
+
+  int Lookup(const std::string& name) const {
+    for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return -1;
+  }
+  int size() const { return static_cast<int>(vars.size()); }
+
+  Env Extend(const std::string& name) const {
+    Env e = *this;
+    e.vars.emplace_back(name, size() + 1);
+    return e;
+  }
+};
+
+// Symbol classes for scan-state rule generation. A scan state gets one rule
+// per class; transition membership is evaluated per class.
+struct SymClass {
+  enum Kind { kElementName, kTextLiteral, kAnyText, kDefault } kind;
+  std::string name;  // element name or text literal
+};
+
+bool TestMatchesClass(const NodeTest& test, const SymClass& cls) {
+  switch (cls.kind) {
+    case SymClass::kElementName:
+      switch (test.kind) {
+        case NodeTestKind::kName: return test.name == cls.name;
+        case NodeTestKind::kAnyElement: return true;
+        case NodeTestKind::kAnyNode: return true;
+        case NodeTestKind::kText: return false;
+      }
+      return false;
+    case SymClass::kTextLiteral:
+    case SymClass::kAnyText:
+      switch (test.kind) {
+        case NodeTestKind::kName: return false;
+        case NodeTestKind::kAnyElement: return false;
+        case NodeTestKind::kAnyNode: return true;
+        case NodeTestKind::kText: return true;
+      }
+      return false;
+    case SymClass::kDefault:
+      // An element whose name has no exact rule at this state.
+      switch (test.kind) {
+        case NodeTestKind::kName: return false;  // listed names have rules
+        case NodeTestKind::kAnyElement: return true;
+        case NodeTestKind::kAnyNode: return true;
+        case NodeTestKind::kText: return false;
+      }
+      return false;
+  }
+  return false;
+}
+
+class Translator {
+ public:
+  Result<Mft> Translate(const QueryExpr& query) {
+    StateId q0 = mft_.AddState("q0", 0);
+    mft_.set_initial_state(q0);
+    StateId q0p = mft_.AddState("q0p", 1);
+    // q0(%) -> q0p(x0, qcopy(x0))
+    mft_.SetStayRule(
+        q0, {RhsNode::Call(q0p, InputVar::kX0,
+                           {{RhsNode::Call(QCopy(), InputVar::kX0, {})}})});
+    Env rho;
+    rho.vars.emplace_back("input", 1);
+    XQMFT_RETURN_NOT_OK(CompileExpr(query, rho, q0p));
+    XQMFT_RETURN_NOT_OK(mft_.Validate());
+    return std::move(mft_);
+  }
+
+ private:
+  StateId NewState(const std::string& hint, int num_params) {
+    return mft_.AddState(StrFormat("q%d%s", ++counter_, hint.c_str()),
+                         num_params);
+  }
+
+  StateId QCopy() {
+    if (qcopy_ < 0) {
+      qcopy_ = mft_.AddState("qcopy", 0);
+      mft_.SetDefaultRule(
+          qcopy_, {RhsNode::CurrentLabel({RhsNode::Call(qcopy_, InputVar::kX1, {})}),
+                   RhsNode::Call(qcopy_, InputVar::kX2, {})});
+      mft_.SetEpsilonRule(qcopy_, {});
+    }
+    return qcopy_;
+  }
+
+  // y1 .. ym as call arguments.
+  static std::vector<Rhs> ParamArgs(int m) {
+    std::vector<Rhs> args;
+    args.reserve(static_cast<std::size_t>(m));
+    for (int j = 1; j <= m; ++j) args.push_back({RhsNode::Param(j)});
+    return args;
+  }
+
+  // -------------------------------------------------------------------
+  // T: expression compilation
+  // -------------------------------------------------------------------
+
+  Status CompileExpr(const QueryExpr& e, const Env& rho, StateId q) {
+    const int m = rho.size();
+    switch (e.kind) {
+      case QueryKind::kElement: {
+        if (e.children.empty()) {
+          mft_.SetStayRule(q, {RhsNode::Label(Symbol::Element(e.name))});
+          return Status::OK();
+        }
+        StateId qc = NewState("", m);
+        mft_.SetStayRule(
+            q, {RhsNode::Label(Symbol::Element(e.name),
+                               {RhsNode::Call(qc, InputVar::kX0,
+                                              ParamArgs(m))})});
+        return CompileSequence(e.children, rho, qc);
+      }
+      case QueryKind::kString:
+        mft_.SetStayRule(q, {RhsNode::Label(Symbol::Text(e.str))});
+        return Status::OK();
+      case QueryKind::kSequence:
+        return CompileSequence(e.children, rho, q);
+      case QueryKind::kFor: {
+        StateId qbody = NewState("", m + 1);
+        XQMFT_RETURN_NOT_OK(CompilePathScan(e.path, rho, q, qbody));
+        return CompileExpr(*e.body, rho.Extend(e.name), qbody);
+      }
+      case QueryKind::kLet: {
+        StateId qv = NewState("", m);
+        StateId qbody = NewState("", m + 1);
+        std::vector<Rhs> args = ParamArgs(m);
+        args.push_back({RhsNode::Call(qv, InputVar::kX0, ParamArgs(m))});
+        mft_.SetStayRule(q, {RhsNode::Call(qbody, InputVar::kX0, args)});
+        XQMFT_RETURN_NOT_OK(CompileExpr(*e.value, rho, qv));
+        return CompileExpr(*e.body, rho.Extend(e.name), qbody);
+      }
+      case QueryKind::kPath: {
+        if (e.path.IsBareVariable()) {
+          int idx = rho.Lookup(e.path.variable);
+          if (idx < 0) {
+            return Status::InvalidArgument("unbound variable $" +
+                                           e.path.variable);
+          }
+          mft_.SetStayRule(q, {RhsNode::Param(idx)});
+          return Status::OK();
+        }
+        // T(p): q'(%, ys, y_{m+1}) -> y_{m+1}; F(p, q, q').
+        StateId qout = NewState("", m + 1);
+        mft_.SetStayRule(qout, {RhsNode::Param(m + 1)});
+        return CompilePathScan(e.path, rho, q, qout);
+      }
+    }
+    return Status::Internal("unhandled query kind in T");
+  }
+
+  Status CompileSequence(const std::vector<std::unique_ptr<QueryExpr>>& items,
+                         const Env& rho, StateId q) {
+    const int m = rho.size();
+    if (items.empty()) {
+      mft_.SetStayRule(q, {});
+      return Status::OK();
+    }
+    if (items.size() == 1) return CompileExpr(*items[0], rho, q);
+    Rhs rhs;
+    std::vector<StateId> qs;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      StateId qi = NewState("", m);
+      qs.push_back(qi);
+      rhs.push_back(RhsNode::Call(qi, InputVar::kX0, ParamArgs(m)));
+    }
+    mft_.SetStayRule(q, std::move(rhs));
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      XQMFT_RETURN_NOT_OK(CompileExpr(*items[i], rho, qs[i]));
+    }
+    return Status::OK();
+  }
+
+  // -------------------------------------------------------------------
+  // F: path compilation (lazily determinized position-set construction)
+  // -------------------------------------------------------------------
+
+  // Context for compiling one RelPath into scan states.
+  struct ScanCtx {
+    const RelPath* steps = nullptr;
+    // Main scans produce q'(x0, ys, copy) per match; existential (predicate)
+    // scans select between the then/else parameters y1/y2.
+    bool existential = false;
+    // Comparison semantics of the final step (existential scans only).
+    PredicateKind pred_kind = PredicateKind::kExists;
+    std::string literal;
+    // Main scans only:
+    StateId body = -1;
+    int m = 0;
+    std::map<std::vector<int>, StateId> memo;
+  };
+
+  // F(p, q, q'): installs head/chain rules so that state q, invoked at the
+  // bound forest, emits q'(x0, ys, copy) for every match of `path`.
+  // anchor_root: the path starts at $input (q scans the whole top-level
+  // chain); otherwise q is invoked at (t s) and matches are sought within
+  // the head tree t only.
+  Status CompilePathScan(const Path& path, const Env& rho, StateId q,
+                         StateId qbody) {
+    ScanCtx ctx;
+    ctx.steps = &path.steps;
+    ctx.existential = false;
+    ctx.body = qbody;
+    ctx.m = rho.size();
+    bool anchor_root = path.variable == "input" && rho.Lookup("input") == 1 &&
+                       rho.size() == 1;
+    // More precisely: the anchor is the document root iff the path variable
+    // is $input used outside any for scope. Validation guarantees that a
+    // path with steps inside a for uses the nearest for variable, so the
+    // check above reduces to "top-level environment".
+    if (path.variable == "input") anchor_root = true;
+    if (anchor_root) {
+      // q is itself the chain state for position set {0}.
+      ctx.memo[{0}] = q;
+      XQMFT_RETURN_NOT_OK(GenerateChainRules(&ctx, {0}, q));
+    } else {
+      XQMFT_RETURN_NOT_OK(InstallHeadRules(&ctx, q));
+    }
+    return Status::OK();
+  }
+
+  // Head mode: q is invoked at (t s); the first step applies beneath/beside
+  // t only. x2 is not scanned (Equation (1) restricts matches to t).
+  Status InstallHeadRules(ScanCtx* ctx, StateId q) {
+    const RelPath& steps = *ctx->steps;
+    XQMFT_CHECK(!steps.empty());
+    Rhs rhs;
+    StateId first;
+    XQMFT_ASSIGN_OR_RETURN(first, ScanState(ctx, {0}));
+    InputVar target = steps[0].axis == Axis::kFollowingSibling
+                          ? InputVar::kX2
+                          : InputVar::kX1;
+    if (ctx->existential) {
+      rhs.push_back(RhsNode::Call(
+          first, target, {{RhsNode::Param(1)}, {RhsNode::Param(2)}}));
+      mft_.SetDefaultRule(q, rhs);
+      mft_.SetEpsilonRule(q, {RhsNode::Param(2)});
+    } else {
+      rhs.push_back(RhsNode::Call(first, target, ParamArgs(ctx->m)));
+      mft_.SetDefaultRule(q, rhs);
+      mft_.SetEpsilonRule(q, {});
+    }
+    return Status::OK();
+  }
+
+  // Returns (creating if needed) the chain scan state for position set P.
+  Result<StateId> ScanState(ScanCtx* ctx, std::vector<int> p) {
+    auto it = ctx->memo.find(p);
+    if (it != ctx->memo.end()) return it->second;
+    int params = ctx->existential ? 2 : ctx->m;
+    StateId q = NewState(ctx->existential ? "pr" : "sc", params);
+    ctx->memo[p] = q;  // before recursion: transitions may loop back
+    XQMFT_RETURN_NOT_OK(GenerateChainRules(ctx, p, q));
+    return q;
+  }
+
+  // A candidate transition: position i in P can advance to i+1 on a node of
+  // the class, subject to the step's predicates.
+  struct Candidate {
+    int next;  // i+1
+    const PathStep* step;
+  };
+
+  Status GenerateChainRules(ScanCtx* ctx, const std::vector<int>& p,
+                            StateId q) {
+    const RelPath& steps = *ctx->steps;
+    const int n = static_cast<int>(steps.size());
+
+    // Collect the symbol classes relevant at this state.
+    std::set<std::string> names;
+    for (int i : p) {
+      const NodeTest& t = steps[static_cast<std::size_t>(i)].test;
+      if (t.kind == NodeTestKind::kName) names.insert(t.name);
+    }
+    std::vector<SymClass> classes;
+    for (const std::string& name : names) {
+      classes.push_back({SymClass::kElementName, name});
+    }
+    bool comparison = ctx->existential &&
+                      (ctx->pred_kind == PredicateKind::kEquals ||
+                       ctx->pred_kind == PredicateKind::kNotEquals);
+    bool final_candidate = false;
+    for (int i : p) final_candidate |= (i == n - 1);
+    if (comparison && final_candidate) {
+      classes.push_back({SymClass::kTextLiteral, ctx->literal});
+    }
+    classes.push_back({SymClass::kAnyText, ""});
+    classes.push_back({SymClass::kDefault, ""});
+
+    for (const SymClass& cls : classes) {
+      std::vector<Candidate> certain;
+      std::vector<Candidate> gated;
+      for (int i : p) {
+        const PathStep& step = steps[static_cast<std::size_t>(i)];
+        if (!TestMatchesClass(step.test, cls)) continue;
+        // Final-step comparison: only the exact literal class succeeds for
+        // kEquals; any *other* text succeeds for kNotEquals.
+        if (comparison && i == n - 1) {
+          if (ctx->pred_kind == PredicateKind::kEquals &&
+              cls.kind != SymClass::kTextLiteral) {
+            continue;
+          }
+          if (ctx->pred_kind == PredicateKind::kNotEquals &&
+              cls.kind == SymClass::kTextLiteral) {
+            continue;
+          }
+        }
+        if (step.predicates.empty()) {
+          certain.push_back({i + 1, &step});
+        } else {
+          gated.push_back({i + 1, &step});
+        }
+      }
+      Rhs rhs;
+      XQMFT_ASSIGN_OR_RETURN(
+          rhs, ForkBranches(ctx, p, certain, gated, 0, {}));
+      switch (cls.kind) {
+        case SymClass::kElementName:
+          mft_.SetSymbolRule(q, Symbol::Element(cls.name), std::move(rhs));
+          break;
+        case SymClass::kTextLiteral:
+          mft_.SetSymbolRule(q, Symbol::Text(cls.name), std::move(rhs));
+          break;
+        case SymClass::kAnyText:
+          mft_.SetTextRule(q, std::move(rhs));
+          break;
+        case SymClass::kDefault:
+          mft_.SetDefaultRule(q, std::move(rhs));
+          break;
+      }
+    }
+    mft_.SetEpsilonRule(
+        q, ctx->existential ? Rhs{RhsNode::Param(2)} : Rhs{});
+    return Status::OK();
+  }
+
+  // Recursively forks over predicate-gated candidates; `included` collects
+  // the gated positions whose predicates hold on the current branch.
+  Result<Rhs> ForkBranches(ScanCtx* ctx, const std::vector<int>& p,
+                           const std::vector<Candidate>& certain,
+                           const std::vector<Candidate>& gated,
+                           std::size_t k, std::vector<Candidate> included) {
+    if (k == gated.size()) {
+      std::vector<Candidate> matches = certain;
+      for (const Candidate& c : included) matches.push_back(c);
+      return BuildTransition(ctx, p, matches);
+    }
+    std::vector<Candidate> with = included;
+    with.push_back(gated[k]);
+    Rhs then_rhs;
+    XQMFT_ASSIGN_OR_RETURN(then_rhs,
+                           ForkBranches(ctx, p, certain, gated, k + 1, with));
+    Rhs else_rhs;
+    XQMFT_ASSIGN_OR_RETURN(
+        else_rhs, ForkBranches(ctx, p, certain, gated, k + 1, included));
+    // Wrap the step's predicates conjunctively, innermost last.
+    Rhs result = std::move(then_rhs);
+    const auto& preds = gated[k].step->predicates;
+    for (auto it = preds.rbegin(); it != preds.rend(); ++it) {
+      Rhs wrapped;
+      XQMFT_ASSIGN_OR_RETURN(
+          wrapped, PredCall(*it, std::move(result), else_rhs));
+      result = std::move(wrapped);
+    }
+    return result;
+  }
+
+  // One branch's transition: matched set -> selected / descend / chain.
+  Result<Rhs> BuildTransition(ScanCtx* ctx, const std::vector<int>& p,
+                              const std::vector<Candidate>& matches) {
+    const RelPath& steps = *ctx->steps;
+    const int n = static_cast<int>(steps.size());
+
+    bool selected = false;
+    std::set<int> c_set, s_set;
+    for (int i : p) {
+      if (steps[static_cast<std::size_t>(i)].axis == Axis::kDescendant) {
+        c_set.insert(i);
+      }
+      s_set.insert(i);
+    }
+    for (const Candidate& mc : matches) {
+      if (mc.next == n) {
+        selected = true;
+        continue;
+      }
+      Axis next_axis = steps[static_cast<std::size_t>(mc.next)].axis;
+      if (next_axis == Axis::kFollowingSibling) {
+        s_set.insert(mc.next);
+      } else {
+        c_set.insert(mc.next);
+      }
+    }
+
+    if (ctx->existential && selected) {
+      // Existential success: emit the then-branch, stop scanning.
+      return Rhs{RhsNode::Param(1)};
+    }
+
+    std::vector<int> c_vec(c_set.begin(), c_set.end());
+    std::vector<int> s_vec(s_set.begin(), s_set.end());
+
+    if (ctx->existential) {
+      // Else-threading: try the subtree, then the rest of the chain, then
+      // give up with y2 (the paper's q2/q3 pattern).
+      Rhs rest;
+      if (!s_vec.empty()) {
+        StateId qs;
+        XQMFT_ASSIGN_OR_RETURN(qs, ScanState(ctx, s_vec));
+        rest = {RhsNode::Call(qs, InputVar::kX2,
+                              {{RhsNode::Param(1)}, {RhsNode::Param(2)}})};
+      } else {
+        rest = {RhsNode::Param(2)};
+      }
+      if (!c_vec.empty()) {
+        StateId qc;
+        XQMFT_ASSIGN_OR_RETURN(qc, ScanState(ctx, c_vec));
+        return Rhs{RhsNode::Call(qc, InputVar::kX1,
+                                 {{RhsNode::Param(1)}, std::move(rest)})};
+      }
+      return rest;
+    }
+
+    // Main scan: pre-order concatenation of the selected match, the matches
+    // below this node, and the matches on the rest of the chain.
+    Rhs rhs;
+    if (selected) {
+      std::vector<Rhs> args = ParamArgs(ctx->m);
+      args.push_back({RhsNode::CurrentLabel(
+          {RhsNode::Call(QCopy(), InputVar::kX1, {})})});
+      rhs.push_back(RhsNode::Call(ctx->body, InputVar::kX0, std::move(args)));
+    }
+    if (!c_vec.empty()) {
+      StateId qc;
+      XQMFT_ASSIGN_OR_RETURN(qc, ScanState(ctx, c_vec));
+      rhs.push_back(RhsNode::Call(qc, InputVar::kX1, ParamArgs(ctx->m)));
+    }
+    if (!s_vec.empty()) {
+      StateId qs;
+      XQMFT_ASSIGN_OR_RETURN(qs, ScanState(ctx, s_vec));
+      rhs.push_back(RhsNode::Call(qs, InputVar::kX2, ParamArgs(ctx->m)));
+    }
+    return rhs;
+  }
+
+  // A call to the predicate state for `pred` with the given then/else
+  // branches. kEmpty negates by swapping the branches.
+  Result<Rhs> PredCall(const Predicate& pred, Rhs then_rhs, Rhs else_rhs) {
+    if (pred.path.empty()) {
+      // `[.]` is vacuously true; `[empty(.)]` vacuously false.
+      if (pred.kind == PredicateKind::kEmpty) return else_rhs;
+      return then_rhs;
+    }
+    StateId qp;
+    XQMFT_ASSIGN_OR_RETURN(qp, PredState(pred));
+    if (pred.kind == PredicateKind::kEmpty) {
+      std::swap(then_rhs, else_rhs);
+    }
+    return Rhs{RhsNode::Call(qp, InputVar::kX0,
+                             {std::move(then_rhs), std::move(else_rhs)})};
+  }
+
+  // The head state realizing [[qp]](t ts, u1, u2) = u1 if `pred` holds at t,
+  // u2 otherwise.
+  Result<StateId> PredState(const Predicate& pred) {
+    auto it = pred_memo_.find(&pred);
+    if (it != pred_memo_.end()) return it->second;
+    StateId q = NewState("pd", 2);
+    pred_memo_[&pred] = q;
+    auto ctx = std::make_unique<ScanCtx>();
+    ctx->steps = &pred.path;
+    ctx->existential = true;
+    ctx->pred_kind = pred.kind;
+    ctx->literal = pred.literal;
+    XQMFT_RETURN_NOT_OK(InstallHeadRules(ctx.get(), q));
+    pred_ctxs_.push_back(std::move(ctx));  // keep memoized states alive
+    return q;
+  }
+
+  Mft mft_;
+  StateId qcopy_ = -1;
+  int counter_ = 0;
+  std::map<const Predicate*, StateId> pred_memo_;
+  std::vector<std::unique_ptr<ScanCtx>> pred_ctxs_;
+};
+
+}  // namespace
+
+Result<Mft> TranslateQuery(const QueryExpr& query) {
+  XQMFT_RETURN_NOT_OK(ValidateQuery(query));
+  return Translator().Translate(query);
+}
+
+}  // namespace xqmft

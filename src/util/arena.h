@@ -1,0 +1,85 @@
+// Bump-pointer arena allocator.
+//
+// DOM forests built for the reference evaluators are allocated in an Arena:
+// the nodes form an immutable first-child/next-sibling graph whose lifetime is
+// exactly the lifetime of the document, so individual deallocation is wasted
+// work. Destruction frees all blocks at once.
+#ifndef XQMFT_UTIL_ARENA_H_
+#define XQMFT_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace xqmft {
+
+/// \brief Monotonic allocator; Allocate() is O(1), all memory is released in
+/// the destructor. Objects allocated here must be trivially destructible or
+/// have their destructors managed by the caller (the library only places
+/// trivially-destructible node structs plus strings owned elsewhere).
+class Arena {
+ public:
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation.
+  void* Allocate(std::size_t n, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t p = (pos_ + align - 1) & ~(align - 1);
+    if (p + n > cap_) {
+      NewBlock(n + align);
+      p = (pos_ + align - 1) & ~(align - 1);
+    }
+    void* out = cur_ + p;
+    pos_ = p + n;
+    bytes_used_ = total_full_ + pos_;
+    return out;
+  }
+
+  /// Placement-construct a T in the arena. T must be trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires trivially destructible types");
+    return new (Allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies a character range into the arena, returning a stable pointer.
+  const char* CopyString(const char* s, std::size_t n) {
+    char* out = static_cast<char*>(Allocate(n + 1, 1));
+    std::memcpy(out, s, n);
+    out[n] = '\0';
+    return out;
+  }
+
+  /// Bytes handed out so far (approximate live footprint of the arena).
+  std::size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  void NewBlock(std::size_t at_least) {
+    std::size_t sz = at_least > block_bytes_ ? at_least : block_bytes_;
+    blocks_.push_back(std::make_unique<char[]>(sz));
+    total_full_ += pos_;
+    cur_ = blocks_.back().get();
+    cap_ = sz;
+    pos_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cur_ = nullptr;
+  std::size_t cap_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t total_full_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_ARENA_H_

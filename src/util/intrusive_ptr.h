@@ -1,0 +1,102 @@
+// Intrusive reference-counted smart pointer.
+//
+// The streaming engine allocates millions of small cells whose lifetime is
+// governed by sharing inside a thunk graph; an intrusive count avoids the
+// separate control block (and the atomics) of std::shared_ptr. Single-threaded
+// by design: the streaming evaluator is a sequential pushdown machine.
+#ifndef XQMFT_UTIL_INTRUSIVE_PTR_H_
+#define XQMFT_UTIL_INTRUSIVE_PTR_H_
+
+#include <cstdint>
+#include <utility>
+
+namespace xqmft {
+
+/// \brief Base class providing a non-atomic reference count.
+///
+/// Derive with CRTP-free plain inheritance; destruction happens through the
+/// most-derived virtual destructor.
+class RefCounted {
+ public:
+  RefCounted() : refs_(0) {}
+  virtual ~RefCounted() = default;
+
+  RefCounted(const RefCounted&) = delete;
+  RefCounted& operator=(const RefCounted&) = delete;
+
+  void Ref() const { ++refs_; }
+  void Unref() const {
+    if (--refs_ == 0) delete this;
+  }
+  std::uint32_t ref_count() const { return refs_; }
+
+ private:
+  mutable std::uint32_t refs_;
+};
+
+/// \brief Owning pointer to a RefCounted object.
+template <typename T>
+class IntrusivePtr {
+ public:
+  IntrusivePtr() : p_(nullptr) {}
+  IntrusivePtr(std::nullptr_t) : p_(nullptr) {}  // NOLINT implicit
+  explicit IntrusivePtr(T* p) : p_(p) {
+    if (p_) p_->Ref();
+  }
+  IntrusivePtr(const IntrusivePtr& o) : p_(o.p_) {
+    if (p_) p_->Ref();
+  }
+  IntrusivePtr(IntrusivePtr&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+  template <typename U>
+  IntrusivePtr(const IntrusivePtr<U>& o) : p_(o.get()) {  // NOLINT implicit
+    if (p_) p_->Ref();
+  }
+
+  IntrusivePtr& operator=(const IntrusivePtr& o) {
+    if (this != &o) {
+      T* old = p_;
+      p_ = o.p_;
+      if (p_) p_->Ref();
+      if (old) old->Unref();
+    }
+    return *this;
+  }
+  IntrusivePtr& operator=(IntrusivePtr&& o) noexcept {
+    if (this != &o) {
+      if (p_) p_->Unref();
+      p_ = o.p_;
+      o.p_ = nullptr;
+    }
+    return *this;
+  }
+  ~IntrusivePtr() {
+    if (p_) p_->Unref();
+  }
+
+  T* get() const { return p_; }
+  T* operator->() const { return p_; }
+  T& operator*() const { return *p_; }
+  explicit operator bool() const { return p_ != nullptr; }
+
+  bool operator==(const IntrusivePtr& o) const { return p_ == o.p_; }
+  bool operator!=(const IntrusivePtr& o) const { return p_ != o.p_; }
+
+  void reset() {
+    if (p_) p_->Unref();
+    p_ = nullptr;
+  }
+
+ private:
+  T* p_;
+};
+
+/// Allocates a T with `new` and wraps it.
+template <typename T, typename... Args>
+IntrusivePtr<T> MakeIntrusive(Args&&... args) {
+  return IntrusivePtr<T>(new T(std::forward<Args>(args)...));
+}
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_INTRUSIVE_PTR_H_

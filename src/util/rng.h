@@ -1,0 +1,61 @@
+// Small deterministic PRNG (xorshift128+) for data generators and property
+// tests. Determinism across platforms matters more than statistical quality
+// here: the same seed must generate byte-identical benchmark documents.
+#ifndef XQMFT_UTIL_RNG_H_
+#define XQMFT_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xqmft {
+
+/// \brief xorshift128+ generator with convenience helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding so that nearby seeds give unrelated streams.
+    s0_ = SplitMix(&seed);
+    s1_ = SplitMix(&seed);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t Next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(Below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+  double NextDouble() {  // in [0,1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static std::uint64_t SplitMix(std::uint64_t* state) {
+    std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t s0_, s1_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_RNG_H_

@@ -1,0 +1,137 @@
+// Status / Result error-handling primitives, in the style used by database
+// engines (Apache Arrow's arrow::Status / RocksDB's rocksdb::Status).
+//
+// Library code never throws: fallible operations return Status or Result<T>.
+#ifndef XQMFT_UTIL_STATUS_H_
+#define XQMFT_UTIL_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xqmft {
+
+/// Broad machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed (bad query, bad XML)
+  kNotSupported,      ///< feature outside the engine's fragment (e.g. GCX + following-sibling)
+  kOutOfRange,        ///< index/position out of bounds
+  kResourceExhausted, ///< fuel/memory/step budget exceeded
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Result of a fallible operation: OK, or a code plus a message.
+///
+/// Cheap to move (a code and a std::string); comparable to Arrow's Status
+/// without the shared-payload machinery, which this library does not need.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Status status) : v_(std::move(status)) {}   // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status ok_status = Status::OK();
+    if (ok()) return ok_status;
+    return std::get<Status>(v_);
+  }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<T>(v_); }
+  const T& value() const& { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  /// Moves the value out, aborting the process if !ok(). Test/tool helper.
+  T ValueOrDie() && {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status().ToString().c_str());
+      std::abort();
+    }
+    return std::get<T>(std::move(v_));
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define XQMFT_RETURN_NOT_OK(expr)                  \
+  do {                                             \
+    ::xqmft::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define XQMFT_CONCAT_IMPL(a, b) a##b
+#define XQMFT_CONCAT(a, b) XQMFT_CONCAT_IMPL(a, b)
+
+// Assign the value of a Result<T> expression to `lhs`, or propagate its error.
+#define XQMFT_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto XQMFT_CONCAT(_res_, __LINE__) = (rexpr);                       \
+  if (!XQMFT_CONCAT(_res_, __LINE__).ok())                            \
+    return XQMFT_CONCAT(_res_, __LINE__).status();                    \
+  lhs = std::move(XQMFT_CONCAT(_res_, __LINE__)).value()
+
+// Internal invariant check: aborts with a message. Only for programmer errors
+// (never for bad user input, which must surface as a Status).
+#define XQMFT_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "XQMFT_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                         \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers shared across parsers and printers.
+#ifndef XQMFT_UTIL_STRINGS_H_
+#define XQMFT_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqmft {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+/// XML-escapes text content: & < > (quotes left alone outside attributes).
+std::string XmlEscape(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable byte count ("12.0 MB").
+std::string HumanBytes(std::size_t bytes);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_STRINGS_H_

@@ -1,0 +1,129 @@
+// XML stream events and output sinks.
+//
+// The streaming pipeline is event-based end to end: the SAX parser produces
+// events, the streaming MFT engine consumes them and pushes output events
+// into an OutputSink.
+#ifndef XQMFT_XML_EVENTS_H_
+#define XQMFT_XML_EVENTS_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+enum class XmlEventType {
+  kStartElement,
+  kEndElement,
+  kText,
+  kEndOfDocument,
+};
+
+/// \brief One parsing event. For kStartElement, `attrs` holds the attribute
+/// list unless the parser was configured to expand attributes into child
+/// elements (the representation used throughout this system).
+struct XmlEvent {
+  XmlEventType type = XmlEventType::kEndOfDocument;
+  std::string name;  ///< element name (start/end)
+  std::string text;  ///< character data (kText)
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// \brief Receiver of output XML events.
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual void StartElement(const std::string& name) = 0;
+  virtual void EndElement(const std::string& name) = 0;
+  virtual void Text(const std::string& content) = 0;
+};
+
+/// Accumulates serialized markup into a string (tests, examples).
+class StringSink : public OutputSink {
+ public:
+  void StartElement(const std::string& name) override {
+    out_ += '<';
+    out_ += name;
+    out_ += '>';
+  }
+  void EndElement(const std::string& name) override {
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  void Text(const std::string& content) override { out_ += XmlEscape(content); }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Counts events and output bytes without buffering anything (benchmarks).
+class CountingSink : public OutputSink {
+ public:
+  void StartElement(const std::string& name) override {
+    ++elements_;
+    bytes_ += name.size() * 2 + 5;
+  }
+  void EndElement(const std::string&) override {}
+  void Text(const std::string& content) override {
+    ++texts_;
+    bytes_ += content.size();
+  }
+
+  std::size_t elements() const { return elements_; }
+  std::size_t texts() const { return texts_; }
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  std::size_t elements_ = 0;
+  std::size_t texts_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+/// Writes markup to a stdio stream with an internal buffer.
+class FileSink : public OutputSink {
+ public:
+  explicit FileSink(std::FILE* f) : f_(f) { buf_.reserve(kFlushAt * 2); }
+  ~FileSink() override { Flush(); }
+
+  void StartElement(const std::string& name) override {
+    buf_ += '<';
+    buf_ += name;
+    buf_ += '>';
+    MaybeFlush();
+  }
+  void EndElement(const std::string& name) override {
+    buf_ += "</";
+    buf_ += name;
+    buf_ += '>';
+    MaybeFlush();
+  }
+  void Text(const std::string& content) override {
+    buf_ += XmlEscape(content);
+    MaybeFlush();
+  }
+
+  void Flush() {
+    if (!buf_.empty()) {
+      std::fwrite(buf_.data(), 1, buf_.size(), f_);
+      buf_.clear();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kFlushAt = 1 << 16;
+  void MaybeFlush() {
+    if (buf_.size() >= kFlushAt) Flush();
+  }
+  std::FILE* f_;
+  std::string buf_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XML_EVENTS_H_

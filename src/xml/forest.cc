@@ -1,0 +1,189 @@
+#include "xml/forest.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "xml/events.h"
+
+namespace xqmft {
+
+std::size_t ForestSize(const Forest& f) {
+  std::size_t n = 0;
+  for (const Tree& t : f) n += 1 + ForestSize(t.children);
+  return n;
+}
+
+std::size_t ForestDepth(const Forest& f) {
+  std::size_t d = 0;
+  for (const Tree& t : f) d = std::max(d, 1 + ForestDepth(t.children));
+  return d;
+}
+
+void AppendForest(Forest* dst, const Forest& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void AppendForest(Forest* dst, Forest&& src) {
+  dst->insert(dst->end(), std::make_move_iterator(src.begin()),
+              std::make_move_iterator(src.end()));
+}
+
+namespace {
+
+void TreeToTerm(const Tree& t, std::string* out) {
+  if (t.kind == NodeKind::kText) {
+    *out += '"';
+    for (char c : t.label) {
+      if (c == '"' || c == '\\') *out += '\\';
+      *out += c;
+    }
+    *out += '"';
+    return;
+  }
+  *out += t.label;
+  if (!t.children.empty()) {
+    *out += '(';
+    bool first = true;
+    for (const Tree& c : t.children) {
+      if (!first) *out += ' ';
+      first = false;
+      TreeToTerm(c, out);
+    }
+    *out += ')';
+  }
+}
+
+// Recursive-descent parser for term notation.
+class TermParser {
+ public:
+  explicit TermParser(const std::string& s) : s_(s) {}
+
+  Result<Forest> Parse() {
+    Forest f;
+    XQMFT_RETURN_NOT_OK(ParseForest(&f));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("trailing characters at offset %zu in term", pos_));
+    }
+    return f;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == ':';
+  }
+
+  Status ParseForest(Forest* out) {
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] == ')') return Status::OK();
+      Tree t;
+      XQMFT_RETURN_NOT_OK(ParseTree(&t));
+      out->push_back(std::move(t));
+    }
+  }
+
+  Status ParseTree(Tree* out) {
+    if (s_[pos_] == '"') {
+      ++pos_;
+      std::string content;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+        content += s_[pos_++];
+      }
+      if (pos_ >= s_.size()) {
+        return Status::InvalidArgument("unterminated quoted text in term");
+      }
+      ++pos_;  // closing quote
+      *out = Tree::Text(std::move(content));
+      return Status::OK();
+    }
+    if (!IsNameChar(s_[pos_])) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", s_[pos_], pos_));
+    }
+    std::string name;
+    while (pos_ < s_.size() && IsNameChar(s_[pos_])) name += s_[pos_++];
+    Forest children;
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '(') {
+      ++pos_;
+      XQMFT_RETURN_NOT_OK(ParseForest(&children));
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ')') {
+        return Status::InvalidArgument("missing ')' in term");
+      }
+      ++pos_;
+    }
+    *out = Tree::Element(std::move(name), std::move(children));
+    return Status::OK();
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void TreeToXml(const Tree& t, std::string* out) {
+  if (t.kind == NodeKind::kText) {
+    *out += XmlEscape(t.label);
+    return;
+  }
+  *out += '<';
+  *out += t.label;
+  if (t.children.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (const Tree& c : t.children) TreeToXml(c, out);
+  *out += "</";
+  *out += t.label;
+  *out += '>';
+}
+
+}  // namespace
+
+std::string ForestToTerm(const Forest& f) {
+  std::string out;
+  bool first = true;
+  for (const Tree& t : f) {
+    if (!first) out += ' ';
+    first = false;
+    TreeToTerm(t, &out);
+  }
+  return out;
+}
+
+Result<Forest> ParseTerm(const std::string& term) {
+  return TermParser(term).Parse();
+}
+
+std::string ForestToXml(const Forest& f) {
+  std::string out;
+  for (const Tree& t : f) TreeToXml(t, &out);
+  return out;
+}
+
+void EmitForest(const Forest& f, OutputSink* sink) {
+  for (const Tree& t : f) {
+    if (t.kind == NodeKind::kText) {
+      sink->Text(t.label);
+    } else {
+      sink->StartElement(t.label);
+      EmitForest(t.children, sink);
+      sink->EndElement(t.label);
+    }
+  }
+}
+
+}  // namespace xqmft

@@ -1,0 +1,79 @@
+// Value-semantics XML forests (Definition 1 of the paper).
+//
+// A forest is a sequence of unranked trees; each tree has a labelled root and
+// a (possibly empty) child forest. This representation is used by the
+// non-streaming components: the reference XQuery evaluator, the reference MFT
+// interpreter, the GCX baseline's buffers, and the test suites. The streaming
+// engine has its own incremental cell representation (src/stream/).
+#ifndef XQMFT_XML_FOREST_H_
+#define XQMFT_XML_FOREST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/symbol.h"
+
+namespace xqmft {
+
+struct Tree;
+
+/// A forest: an ordered sequence of trees. The empty vector is ε.
+using Forest = std::vector<Tree>;
+
+/// \brief An unranked tree: a (kind, label) root plus a child forest.
+struct Tree {
+  NodeKind kind = NodeKind::kElement;
+  std::string label;
+  Forest children;
+
+  Tree() = default;
+  Tree(NodeKind k, std::string l, Forest c = {})
+      : kind(k), label(std::move(l)), children(std::move(c)) {}
+
+  static Tree Element(std::string l, Forest c = {}) {
+    return Tree(NodeKind::kElement, std::move(l), std::move(c));
+  }
+  static Tree Text(std::string content) {
+    return Tree(NodeKind::kText, std::move(content));
+  }
+
+  Symbol symbol() const { return Symbol(kind, label); }
+
+  bool operator==(const Tree& o) const {
+    return kind == o.kind && label == o.label && children == o.children;
+  }
+};
+
+/// Number of nodes in the forest (the paper's size of a forest).
+std::size_t ForestSize(const Forest& f);
+
+/// Maximum node depth; the empty forest has depth 0, a leaf tree depth 1.
+std::size_t ForestDepth(const Forest& f);
+
+/// Appends `src` to `dst` (forest concatenation).
+void AppendForest(Forest* dst, const Forest& src);
+void AppendForest(Forest* dst, Forest&& src);
+
+/// Term notation per the paper's EBNF, e.g. `a(b "txt") c`. Text nodes print
+/// as quoted strings; ε prints as the empty string.
+std::string ForestToTerm(const Forest& f);
+
+/// Parses term notation (inverse of ForestToTerm). Accepts `a`, `a()`,
+/// `a(b c)`, and quoted text leaves `"content"` with backslash escapes.
+Result<Forest> ParseTerm(const std::string& term);
+
+/// Serializes the forest as XML markup. Adjacent text nodes concatenate, as
+/// the paper notes for <out>JimLi</out>.
+std::string ForestToXml(const Forest& f);
+
+class OutputSink;
+
+/// Replays the forest as Start/Text/End events into a sink — the same event
+/// sequence a streaming engine would produce for this forest.
+void EmitForest(const Forest& f, OutputSink* sink);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XML_FOREST_H_

@@ -1,0 +1,448 @@
+#include "xml/sax_parser.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace xqmft {
+
+namespace {
+constexpr std::size_t kBufSize = 1 << 16;
+
+bool IsNameStart(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool IsNameChar(int c) {
+  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+bool IsWs(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+}  // namespace
+
+std::size_t StringSource::Read(char* buf, std::size_t n) {
+  std::size_t avail = s_.size() - pos_;
+  std::size_t take = n < avail ? n : avail;
+  std::memcpy(buf, s_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+Result<std::unique_ptr<FileSource>> FileSource::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open file: " + path);
+  }
+  return std::unique_ptr<FileSource>(new FileSource(f));
+}
+
+FileSource::~FileSource() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+std::size_t FileSource::Read(char* buf, std::size_t n) {
+  return std::fread(buf, 1, n, f_);
+}
+
+SaxParser::SaxParser(ByteSource* source, SaxOptions options)
+    : source_(source), options_(options) {
+  buf_.resize(kBufSize);
+}
+
+bool SaxParser::Refill() {
+  if (eof_) return false;
+  buf_len_ = source_->Read(buf_.data(), buf_.size());
+  buf_pos_ = 0;
+  if (buf_len_ == 0) {
+    eof_ = true;
+    return false;
+  }
+  return true;
+}
+
+int SaxParser::GetChar() {
+  if (buf_pos_ >= buf_len_ && !Refill()) return -1;
+  ++bytes_consumed_;
+  return static_cast<unsigned char>(buf_[buf_pos_++]);
+}
+
+int SaxParser::PeekChar() {
+  if (buf_pos_ >= buf_len_ && !Refill()) return -1;
+  return static_cast<unsigned char>(buf_[buf_pos_]);
+}
+
+Status SaxParser::Fail(const std::string& msg) const {
+  return Status::InvalidArgument(
+      StrFormat("XML parse error at byte %zu: %s", bytes_consumed_, msg.c_str()));
+}
+
+Status SaxParser::Next(XmlEvent* event) {
+  if (!pending_.empty()) {
+    *event = std::move(pending_.front());
+    pending_.pop_front();
+    return Status::OK();
+  }
+  if (done_) {
+    event->type = XmlEventType::kEndOfDocument;
+    return Status::OK();
+  }
+  while (true) {
+    int c = PeekChar();
+    if (c < 0) {
+      if (!open_.empty()) {
+        return Fail("unexpected end of input; unclosed <" + open_.back() + ">");
+      }
+      done_ = true;
+      event->type = XmlEventType::kEndOfDocument;
+      return Status::OK();
+    }
+    if (c == '<') {
+      XQMFT_RETURN_NOT_OK(LexMarkup(event));
+      if (event->type == XmlEventType::kEndOfDocument) continue;  // skipped
+      return Status::OK();
+    }
+    XQMFT_RETURN_NOT_OK(LexText(event));
+    if (event->type == XmlEventType::kEndOfDocument) continue;  // all-ws text
+    return Status::OK();
+  }
+}
+
+Status SaxParser::LexText(XmlEvent* event) {
+  std::string text;
+  bool all_ws = true;
+  while (true) {
+    int c = PeekChar();
+    if (c < 0 || c == '<') break;
+    GetChar();
+    if (c == '&') {
+      XQMFT_RETURN_NOT_OK(DecodeEntity(&text));
+      all_ws = false;
+      continue;
+    }
+    if (!IsWs(c)) all_ws = false;
+    text += static_cast<char>(c);
+  }
+  if (all_ws && options_.skip_whitespace_text) {
+    event->type = XmlEventType::kEndOfDocument;  // sentinel: nothing produced
+    return Status::OK();
+  }
+  if (!open_.empty() || !all_ws) {
+    event->type = XmlEventType::kText;
+    event->text = std::move(text);
+    event->name.clear();
+    event->attrs.clear();
+    return Status::OK();
+  }
+  event->type = XmlEventType::kEndOfDocument;  // top-level whitespace
+  return Status::OK();
+}
+
+Status SaxParser::LexMarkup(XmlEvent* event) {
+  GetChar();  // '<'
+  int c = PeekChar();
+  if (c < 0) return Fail("truncated markup");
+  if (c == '!') {
+    GetChar();
+    c = PeekChar();
+    if (c == '-') {
+      XQMFT_RETURN_NOT_OK(SkipComment());
+      event->type = XmlEventType::kEndOfDocument;
+      return Status::OK();
+    }
+    if (c == '[') {
+      std::string text;
+      XQMFT_RETURN_NOT_OK(ReadCdata(&text));
+      event->type = XmlEventType::kText;
+      event->text = std::move(text);
+      event->name.clear();
+      event->attrs.clear();
+      return Status::OK();
+    }
+    XQMFT_RETURN_NOT_OK(SkipDoctype());
+    event->type = XmlEventType::kEndOfDocument;
+    return Status::OK();
+  }
+  if (c == '?') {
+    XQMFT_RETURN_NOT_OK(SkipProcessingInstruction());
+    event->type = XmlEventType::kEndOfDocument;
+    return Status::OK();
+  }
+  if (c == '/') {
+    GetChar();
+    std::string name;
+    XQMFT_RETURN_NOT_OK(ReadName(&name));
+    while (IsWs(PeekChar())) GetChar();
+    if (GetChar() != '>') return Fail("expected '>' in end tag");
+    if (open_.empty()) return Fail("end tag </" + name + "> with no open element");
+    if (open_.back() != name) {
+      return Fail("mismatched end tag </" + name + ">, expected </" +
+                  open_.back() + ">");
+    }
+    open_.pop_back();
+    event->type = XmlEventType::kEndElement;
+    event->name = std::move(name);
+    event->attrs.clear();
+    return Status::OK();
+  }
+  // Start tag.
+  std::string name;
+  XQMFT_RETURN_NOT_OK(ReadName(&name));
+  event->type = XmlEventType::kStartElement;
+  event->name = name;
+  event->attrs.clear();
+  bool self_closing = false;
+  while (true) {
+    while (IsWs(PeekChar())) GetChar();
+    c = PeekChar();
+    if (c < 0) return Fail("truncated start tag <" + name);
+    if (c == '>') {
+      GetChar();
+      open_.push_back(name);
+      break;
+    }
+    if (c == '/') {
+      GetChar();
+      if (GetChar() != '>') return Fail("expected '/>' in empty-element tag");
+      self_closing = true;
+      break;
+    }
+    std::string attr_name;
+    XQMFT_RETURN_NOT_OK(ReadName(&attr_name));
+    while (IsWs(PeekChar())) GetChar();
+    if (GetChar() != '=') return Fail("expected '=' after attribute name");
+    while (IsWs(PeekChar())) GetChar();
+    std::string value;
+    XQMFT_RETURN_NOT_OK(ReadAttrValue(&value));
+    event->attrs.emplace_back(std::move(attr_name), std::move(value));
+  }
+  if (options_.expand_attributes && !event->attrs.empty()) {
+    ExpandAttributes(event);
+  }
+  if (self_closing) {
+    // Queue the matching end event behind any attribute-encoding events.
+    XmlEvent end;
+    end.type = XmlEventType::kEndElement;
+    end.name = name;
+    pending_.push_back(std::move(end));
+  }
+  return Status::OK();
+}
+
+void SaxParser::ExpandAttributes(XmlEvent* start_event) {
+  // Encode <e a="v"> as <e><a>v</a>... : attribute nodes become the first
+  // children, each with a single text child (paper Section 2 / Figure 1).
+  for (auto& [aname, avalue] : start_event->attrs) {
+    XmlEvent s;
+    s.type = XmlEventType::kStartElement;
+    s.name = aname;
+    pending_.push_back(std::move(s));
+    if (!avalue.empty()) {
+      XmlEvent t;
+      t.type = XmlEventType::kText;
+      t.text = avalue;
+      pending_.push_back(std::move(t));
+    }
+    XmlEvent e;
+    e.type = XmlEventType::kEndElement;
+    e.name = aname;
+    pending_.push_back(std::move(e));
+  }
+  start_event->attrs.clear();
+}
+
+Status SaxParser::ReadName(std::string* out) {
+  int c = PeekChar();
+  if (!IsNameStart(c)) return Fail("expected a name");
+  out->clear();
+  while (IsNameChar(PeekChar())) *out += static_cast<char>(GetChar());
+  return Status::OK();
+}
+
+Status SaxParser::ReadAttrValue(std::string* out) {
+  int quote = GetChar();
+  if (quote != '"' && quote != '\'') {
+    return Fail("attribute value must be quoted");
+  }
+  out->clear();
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated attribute value");
+    if (c == quote) break;
+    if (c == '&') {
+      XQMFT_RETURN_NOT_OK(DecodeEntity(out));
+      continue;
+    }
+    *out += static_cast<char>(c);
+  }
+  return Status::OK();
+}
+
+Status SaxParser::SkipComment() {
+  // At "-", already consumed "<!".
+  if (GetChar() != '-' || GetChar() != '-') return Fail("malformed comment");
+  int dashes = 0;
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated comment");
+    if (c == '-') {
+      ++dashes;
+    } else if (c == '>' && dashes >= 2) {
+      return Status::OK();
+    } else {
+      dashes = 0;
+    }
+  }
+}
+
+Status SaxParser::SkipProcessingInstruction() {
+  GetChar();  // '?'
+  bool qmark = false;
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated processing instruction");
+    if (c == '>' && qmark) return Status::OK();
+    qmark = (c == '?');
+  }
+}
+
+Status SaxParser::SkipDoctype() {
+  // Already consumed "<!". Skip until the matching '>', tracking an optional
+  // internal subset in [...].
+  int depth = 0;
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated DOCTYPE");
+    if (c == '[') ++depth;
+    if (c == ']') --depth;
+    if (c == '>' && depth <= 0) return Status::OK();
+  }
+}
+
+Status SaxParser::ReadCdata(std::string* out) {
+  // At "[", already consumed "<!".
+  const char* expect = "[CDATA[";
+  for (const char* p = expect; *p; ++p) {
+    if (GetChar() != *p) return Fail("malformed CDATA section");
+  }
+  out->clear();
+  int state = 0;  // count of trailing ']'
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated CDATA section");
+    if (c == ']') {
+      if (state < 2) {
+        ++state;
+        continue;
+      }
+      *out += ']';  // more than two: emit the oldest
+      continue;
+    }
+    if (c == '>' && state == 2) return Status::OK();
+    while (state > 0) {
+      *out += ']';
+      --state;
+    }
+    *out += static_cast<char>(c);
+  }
+}
+
+Status SaxParser::DecodeEntity(std::string* out) {
+  std::string ent;
+  while (true) {
+    int c = GetChar();
+    if (c < 0) return Fail("unterminated entity reference");
+    if (c == ';') break;
+    ent += static_cast<char>(c);
+    if (ent.size() > 10) return Fail("entity reference too long: &" + ent);
+  }
+  if (ent == "amp") {
+    *out += '&';
+  } else if (ent == "lt") {
+    *out += '<';
+  } else if (ent == "gt") {
+    *out += '>';
+  } else if (ent == "quot") {
+    *out += '"';
+  } else if (ent == "apos") {
+    *out += '\'';
+  } else if (!ent.empty() && ent[0] == '#') {
+    long code = 0;
+    if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+      code = std::strtol(ent.c_str() + 2, nullptr, 16);
+    } else {
+      code = std::strtol(ent.c_str() + 1, nullptr, 10);
+    }
+    if (code <= 0 || code > 0x10FFFF) return Fail("bad character reference");
+    // UTF-8 encode.
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  } else {
+    return Fail("unknown entity &" + ent + ";");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Result<Forest> BuildForest(SaxParser* parser) {
+  Forest roots;
+  std::vector<Tree*> stack;
+  XmlEvent ev;
+  while (true) {
+    XQMFT_RETURN_NOT_OK(parser->Next(&ev));
+    switch (ev.type) {
+      case XmlEventType::kEndOfDocument:
+        return roots;
+      case XmlEventType::kStartElement: {
+        Forest* parent = stack.empty() ? &roots : &stack.back()->children;
+        parent->push_back(Tree::Element(ev.name));
+        stack.push_back(&parent->back());
+        break;
+      }
+      case XmlEventType::kEndElement:
+        if (stack.empty()) return Status::Internal("builder stack underflow");
+        stack.pop_back();
+        break;
+      case XmlEventType::kText: {
+        Forest* parent = stack.empty() ? &roots : &stack.back()->children;
+        // Merge adjacent text (CDATA next to text, entity splits).
+        if (!parent->empty() && parent->back().kind == NodeKind::kText) {
+          parent->back().label += ev.text;
+        } else {
+          parent->push_back(Tree::Text(ev.text));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<Forest> ParseXmlForest(std::string_view xml, SaxOptions options) {
+  StringSource src(xml);
+  SaxParser parser(&src, options);
+  return BuildForest(&parser);
+}
+
+Result<Forest> ParseXmlFile(const std::string& path, SaxOptions options) {
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> src,
+                         FileSource::Open(path));
+  SaxParser parser(src.get(), options);
+  return BuildForest(&parser);
+}
+
+}  // namespace xqmft

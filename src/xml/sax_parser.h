@@ -1,0 +1,116 @@
+// Streaming (pull) XML parser.
+//
+// The paper's engine sits behind Expat; this reproduction implements its own
+// parser so the whole system is self-contained. Supported: elements,
+// attributes, character data with entity references, CDATA, comments,
+// processing instructions, DOCTYPE (skipped). Not supported (out of scope for
+// the paper's workloads): namespaces-aware processing, DTD entity definitions.
+#ifndef XQMFT_XML_SAX_PARSER_H_
+#define XQMFT_XML_SAX_PARSER_H_
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/events.h"
+#include "xml/forest.h"
+
+namespace xqmft {
+
+/// \brief Abstract byte source for the parser.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  /// Reads up to `n` bytes into `buf`; returns bytes read, 0 at end of input.
+  virtual std::size_t Read(char* buf, std::size_t n) = 0;
+};
+
+/// In-memory byte source (does not own the string).
+class StringSource : public ByteSource {
+ public:
+  explicit StringSource(std::string_view s) : s_(s) {}
+  std::size_t Read(char* buf, std::size_t n) override;
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+/// Buffered stdio file source; owns and closes the handle.
+class FileSource : public ByteSource {
+ public:
+  /// Opens `path` for reading; returns an error Status if it cannot.
+  static Result<std::unique_ptr<FileSource>> Open(const std::string& path);
+  ~FileSource() override;
+  std::size_t Read(char* buf, std::size_t n) override;
+
+ private:
+  explicit FileSource(std::FILE* f) : f_(f) {}
+  std::FILE* f_;
+};
+
+/// Parser configuration.
+struct SaxOptions {
+  /// Expand attributes into leading child elements with a text-node child
+  /// (the encoding the paper uses for all experiments).
+  bool expand_attributes = true;
+  /// Drop text events that consist solely of ASCII whitespace.
+  bool skip_whitespace_text = true;
+};
+
+/// \brief Pull parser: call Next() repeatedly until kEndOfDocument.
+///
+/// The parser validates tag nesting; a mismatched or unclosed tag yields an
+/// InvalidArgument status.
+class SaxParser {
+ public:
+  SaxParser(ByteSource* source, SaxOptions options = {});
+
+  /// Produces the next event. After kEndOfDocument, keeps returning it.
+  Status Next(XmlEvent* event);
+
+  /// Number of bytes consumed so far.
+  std::size_t bytes_consumed() const { return bytes_consumed_; }
+
+ private:
+  int GetChar();
+  int PeekChar();
+  bool Refill();
+  Status Fail(const std::string& msg) const;
+
+  Status LexMarkup(XmlEvent* event);
+  Status LexText(XmlEvent* event);
+  Status ReadName(std::string* out);
+  Status ReadAttrValue(std::string* out);
+  Status SkipComment();
+  Status SkipProcessingInstruction();
+  Status SkipDoctype();
+  Status ReadCdata(std::string* out);
+  Status DecodeEntity(std::string* out);
+  void ExpandAttributes(XmlEvent* start_event);
+
+  ByteSource* source_;
+  SaxOptions options_;
+  std::vector<char> buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  std::size_t bytes_consumed_ = 0;
+  bool eof_ = false;
+  bool done_ = false;
+  std::vector<std::string> open_;     // element stack for well-formedness
+  std::deque<XmlEvent> pending_;      // synthetic events (attribute encoding)
+};
+
+/// Parses a whole document (or forest of documents) into a DOM Forest.
+Result<Forest> ParseXmlForest(std::string_view xml, SaxOptions options = {});
+
+/// Parses a file into a DOM Forest.
+Result<Forest> ParseXmlFile(const std::string& path, SaxOptions options = {});
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XML_SAX_PARSER_H_

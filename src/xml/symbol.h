@@ -1,0 +1,66 @@
+// Node labels.
+//
+// The paper abstracts an XML node's (type, name) pair into a single label
+// (Section 2: "each node has a type and a name. For us, both are part of the
+// label"). We keep the two components explicit: the kind distinguishes element
+// from text nodes so that `%ttext` rules, `text()` node tests and string
+// comparison predicates are well defined even when a text node's content
+// equals an element name.
+#ifndef XQMFT_XML_SYMBOL_H_
+#define XQMFT_XML_SYMBOL_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace xqmft {
+
+/// Node kind: element or text. Attribute nodes are represented as element
+/// nodes whose single child is a text node (the encoding used by the paper's
+/// experiments; see Table 1's footnote).
+enum class NodeKind : unsigned char {
+  kElement = 0,
+  kText = 1,
+};
+
+/// \brief A transducer alphabet symbol: (kind, name).
+struct Symbol {
+  NodeKind kind = NodeKind::kElement;
+  std::string name;
+
+  Symbol() = default;
+  Symbol(NodeKind k, std::string n) : kind(k), name(std::move(n)) {}
+
+  static Symbol Element(std::string n) {
+    return Symbol(NodeKind::kElement, std::move(n));
+  }
+  static Symbol Text(std::string n) {
+    return Symbol(NodeKind::kText, std::move(n));
+  }
+
+  bool operator==(const Symbol& o) const {
+    return kind == o.kind && name == o.name;
+  }
+  bool operator!=(const Symbol& o) const { return !(*this == o); }
+  bool operator<(const Symbol& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    return name < o.name;
+  }
+
+  /// Debug form: `name` for elements, `"name"` for text symbols.
+  std::string ToString() const {
+    if (kind == NodeKind::kText) return "\"" + name + "\"";
+    return name;
+  }
+};
+
+struct SymbolHash {
+  std::size_t operator()(const Symbol& s) const {
+    std::size_t h = std::hash<std::string>()(s.name);
+    return h * 2 + static_cast<std::size_t>(s.kind);
+  }
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XML_SYMBOL_H_

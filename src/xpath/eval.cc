@@ -1,0 +1,158 @@
+#include "xpath/eval.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace xqmft {
+
+namespace {
+
+// Document-order index: pre-order number per Tree node. Rebuilt per
+// evaluation; this evaluator is ground truth, not the production engine.
+class DocIndex {
+ public:
+  explicit DocIndex(const Forest& roots) { Walk(roots); }
+
+  int OrderOf(const Tree* t) const {
+    auto it = order_.find(t);
+    return it == order_.end() ? -1 : it->second;
+  }
+
+ private:
+  void Walk(const Forest& f) {
+    for (const Tree& t : f) {
+      order_[&t] = next_++;
+      Walk(t.children);
+    }
+  }
+  std::unordered_map<const Tree*, int> order_;
+  int next_ = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Forest& roots) : roots_(roots), index_(roots) {}
+
+  // One step from a set of context nodes; `virtual_root` marks that the
+  // context is the document root rather than a real node set.
+  std::vector<NodeRef> Eval(const std::vector<NodeRef>& contexts,
+                            bool virtual_root, const RelPath& steps) {
+    std::vector<NodeRef> current = contexts;
+    bool at_root = virtual_root;
+    for (const PathStep& step : steps) {
+      std::vector<NodeRef> next;
+      std::set<const Tree*> seen;
+      auto add = [&](NodeRef r) {
+        if (!step.test.Matches(r.node().kind, r.node().label)) return;
+        if (!PredicatesHold(r, step.predicates)) return;
+        if (seen.insert(&r.node()).second) next.push_back(r);
+      };
+      if (at_root) {
+        // Virtual root: children are the top-level trees.
+        switch (step.axis) {
+          case Axis::kChild:
+            AddChildrenOf(roots_, add);
+            break;
+          case Axis::kDescendant:
+            AddDescendantsOf(roots_, add);
+            break;
+          case Axis::kFollowingSibling:
+            break;  // the root has no siblings
+        }
+        at_root = false;
+      } else {
+        for (const NodeRef& ctx : current) {
+          switch (step.axis) {
+            case Axis::kChild:
+              AddChildrenOf(ctx.node().children, add);
+              break;
+            case Axis::kDescendant:
+              AddDescendantsOf(ctx.node().children, add);
+              break;
+            case Axis::kFollowingSibling:
+              for (std::size_t i = ctx.index + 1; i < ctx.list->size(); ++i) {
+                add(NodeRef{ctx.list, i});
+              }
+              break;
+          }
+        }
+      }
+      // Document order.
+      std::sort(next.begin(), next.end(),
+                [&](const NodeRef& a, const NodeRef& b) {
+                  return index_.OrderOf(&a.node()) < index_.OrderOf(&b.node());
+                });
+      current = std::move(next);
+      if (current.empty()) break;
+    }
+    return at_root ? std::vector<NodeRef>{} : current;
+  }
+
+  bool PredicatesHold(NodeRef node, const std::vector<Predicate>& preds) {
+    for (const Predicate& p : preds) {
+      if (!Holds(node, p)) return false;
+    }
+    return true;
+  }
+
+  bool Holds(NodeRef node, const Predicate& pred) {
+    std::vector<NodeRef> matched = Eval({node}, false, pred.path);
+    switch (pred.kind) {
+      case PredicateKind::kExists:
+        return !matched.empty();
+      case PredicateKind::kEmpty:
+        return matched.empty();
+      case PredicateKind::kEquals:
+        for (const NodeRef& r : matched) {
+          if (r.node().kind == NodeKind::kText && r.node().label == pred.literal)
+            return true;
+        }
+        return false;
+      case PredicateKind::kNotEquals:
+        for (const NodeRef& r : matched) {
+          if (r.node().kind == NodeKind::kText && r.node().label != pred.literal)
+            return true;
+        }
+        return false;
+    }
+    return false;
+  }
+
+ private:
+  template <typename Add>
+  void AddChildrenOf(const Forest& f, const Add& add) {
+    for (std::size_t i = 0; i < f.size(); ++i) add(NodeRef{&f, i});
+  }
+
+  template <typename Add>
+  void AddDescendantsOf(const Forest& f, const Add& add) {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      add(NodeRef{&f, i});
+      AddDescendantsOf(f[i].children, add);
+    }
+  }
+
+  const Forest& roots_;
+  DocIndex index_;
+};
+
+}  // namespace
+
+std::vector<NodeRef> EvalStepsFromRoot(const Forest& roots,
+                                       const RelPath& steps) {
+  if (steps.empty()) return {};
+  return Evaluator(roots).Eval({}, true, steps);
+}
+
+std::vector<NodeRef> EvalStepsFromNode(const Forest& roots, NodeRef context,
+                                       const RelPath& steps) {
+  if (steps.empty()) return {context};
+  return Evaluator(roots).Eval({context}, false, steps);
+}
+
+bool EvalPredicate(const Forest& roots, NodeRef node, const Predicate& pred) {
+  return Evaluator(roots).Holds(node, pred);
+}
+
+}  // namespace xqmft

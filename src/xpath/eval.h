@@ -1,0 +1,44 @@
+// Naive DOM evaluator for the XPath fragment — the executable ground truth
+// against which the DFA/subset-construction path compilation (src/translate/)
+// is property-tested. Correctness over speed: sets of matched nodes are
+// deduplicated and returned in document order.
+#ifndef XQMFT_XPATH_EVAL_H_
+#define XQMFT_XPATH_EVAL_H_
+
+#include <vector>
+
+#include "xml/forest.h"
+#include "xpath/ast.h"
+
+namespace xqmft {
+
+/// \brief Reference to a node inside a DOM Forest: the sibling list that
+/// contains it plus its index. Knowing the sibling list makes the
+/// following-sibling axis and the streaming-equation contexts (t_i s_i)
+/// directly expressible.
+struct NodeRef {
+  const Forest* list = nullptr;
+  std::size_t index = 0;
+
+  const Tree& node() const { return (*list)[index]; }
+  bool operator==(const NodeRef& o) const {
+    return list == o.list && index == o.index;
+  }
+};
+
+/// Evaluates `steps` with the document root forest as context ($input acts
+/// as a virtual root whose children are the top-level trees).
+std::vector<NodeRef> EvalStepsFromRoot(const Forest& roots,
+                                       const RelPath& steps);
+
+/// Evaluates `steps` with a bound node as context (`$v/...`).
+std::vector<NodeRef> EvalStepsFromNode(const Forest& roots, NodeRef context,
+                                       const RelPath& steps);
+
+/// Evaluates one predicate at `node` (the `.` anchor). `roots` is the
+/// document, needed only for document-order bookkeeping.
+bool EvalPredicate(const Forest& roots, NodeRef node, const Predicate& pred);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XPATH_EVAL_H_

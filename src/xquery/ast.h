@@ -1,0 +1,66 @@
+// MinXQuery abstract syntax (Figure 2 of the paper):
+//
+//   query    ::= element | clause
+//   element  ::= <name> {element | string | {clause}}* </name>
+//   clause   ::= for $var in ordpath return query
+//              | let $var := query return query
+//              | ordpath
+//              | (query {, query}+)
+//
+// Restrictions enforced by Validate (Section 2.1):
+//   * the input document is bound to $input;
+//   * every XPath expression with steps starts with the variable introduced
+//     by the nearest enclosing for clause, or with $input if there is none;
+//     bare variable references (no steps) may name any in-scope variable.
+#ifndef XQMFT_XQUERY_AST_H_
+#define XQMFT_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xpath/ast.h"
+
+namespace xqmft {
+
+enum class QueryKind : unsigned char {
+  kElement,   ///< <name>content*</name>
+  kString,    ///< string constant inside an element constructor
+  kFor,       ///< for $var in path return body
+  kLet,       ///< let $var := value return body
+  kPath,      ///< ordpath ($var with optional steps)
+  kSequence,  ///< (q1, q2, ...)
+};
+
+/// \brief One MinXQuery expression node.
+struct QueryExpr {
+  QueryKind kind = QueryKind::kSequence;
+
+  std::string name;  ///< element name (kElement), variable (kFor/kLet)
+  std::string str;   ///< literal (kString)
+  Path path;         ///< kFor: the `in` path; kPath: the ordpath
+
+  std::vector<std::unique_ptr<QueryExpr>> children;  ///< kElement content,
+                                                     ///< kSequence items
+  std::unique_ptr<QueryExpr> value;                  ///< kLet bound value
+  std::unique_ptr<QueryExpr> body;                   ///< kFor / kLet return
+};
+
+/// The paper's |P|: number of AST nodes, with each path step and predicate
+/// counted as a node.
+std::size_t QuerySize(const QueryExpr& q);
+
+/// Renders the query back to (normalized) MinXQuery syntax.
+std::string QueryToString(const QueryExpr& q);
+
+/// Parses a MinXQuery program.
+Result<std::unique_ptr<QueryExpr>> ParseQuery(const std::string& text);
+
+/// Checks the Section 2.1 variable restrictions. Returns InvalidArgument
+/// naming the offending variable on violation.
+Status ValidateQuery(const QueryExpr& q);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XQUERY_AST_H_

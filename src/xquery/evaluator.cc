@@ -1,0 +1,159 @@
+#include "xquery/evaluator.h"
+
+#include <unordered_map>
+
+#include "xpath/eval.h"
+
+namespace xqmft {
+
+namespace {
+
+// A variable binding: the whole input document ($input), an input node
+// (for-bound), or a materialized forest (let-bound).
+struct Binding {
+  enum class Kind { kInputDoc, kNode, kForest } kind = Kind::kInputDoc;
+  NodeRef node;   // kNode
+  Forest forest;  // kForest
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Forest& input) : input_(input) {}
+
+  void Bind(const std::string& var, NodeRef node) {
+    env_[var] = Binding{Binding::Kind::kNode, node, {}};
+  }
+
+  Status Eval(const QueryExpr& q, Forest* out) {
+    switch (q.kind) {
+      case QueryKind::kElement: {
+        Tree t = Tree::Element(q.name);
+        for (const auto& c : q.children) {
+          XQMFT_RETURN_NOT_OK(Eval(*c, &t.children));
+        }
+        out->push_back(std::move(t));
+        return Status::OK();
+      }
+      case QueryKind::kString:
+        out->push_back(Tree::Text(q.str));
+        return Status::OK();
+      case QueryKind::kSequence:
+        for (const auto& c : q.children) {
+          XQMFT_RETURN_NOT_OK(Eval(*c, out));
+        }
+        return Status::OK();
+      case QueryKind::kFor: {
+        std::vector<NodeRef> matches;
+        XQMFT_RETURN_NOT_OK(ResolveMatches(q.path, &matches));
+        Saved saved = Save(q.name);
+        Status st;
+        for (const NodeRef& m : matches) {
+          env_[q.name] = Binding{Binding::Kind::kNode, m, {}};
+          st = Eval(*q.body, out);
+          if (!st.ok()) break;
+        }
+        Restore(q.name, std::move(saved));
+        return st;
+      }
+      case QueryKind::kLet: {
+        Forest value;
+        XQMFT_RETURN_NOT_OK(Eval(*q.value, &value));
+        Saved saved = Save(q.name);
+        env_[q.name] = Binding{Binding::Kind::kForest, {}, std::move(value)};
+        Status st = Eval(*q.body, out);
+        Restore(q.name, std::move(saved));
+        return st;
+      }
+      case QueryKind::kPath: {
+        if (q.path.IsBareVariable()) {
+          if (q.path.variable == "input") {
+            AppendForest(out, input_);
+            return Status::OK();
+          }
+          auto it = env_.find(q.path.variable);
+          if (it == env_.end()) {
+            return Status::InvalidArgument("unbound variable $" +
+                                           q.path.variable);
+          }
+          const Binding& b = it->second;
+          if (b.kind == Binding::Kind::kNode) {
+            out->push_back(b.node.node());  // copy of the subtree
+          } else if (b.kind == Binding::Kind::kForest) {
+            AppendForest(out, b.forest);
+          } else {
+            AppendForest(out, input_);
+          }
+          return Status::OK();
+        }
+        std::vector<NodeRef> matches;
+        XQMFT_RETURN_NOT_OK(ResolveMatches(q.path, &matches));
+        for (const NodeRef& m : matches) out->push_back(m.node());
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled query kind");
+  }
+
+ private:
+  // Save/restore for shadowed bindings (e.g. reusing a variable name in a
+  // nested clause).
+  struct Saved {
+    bool had = false;
+    Binding binding;
+  };
+  Saved Save(const std::string& name) {
+    Saved s;
+    auto it = env_.find(name);
+    if (it != env_.end()) {
+      s.had = true;
+      s.binding = std::move(it->second);
+    }
+    return s;
+  }
+  void Restore(const std::string& name, Saved saved) {
+    if (saved.had) {
+      env_[name] = std::move(saved.binding);
+    } else {
+      env_.erase(name);
+    }
+  }
+
+  Status ResolveMatches(const Path& p, std::vector<NodeRef>* out) {
+    if (p.variable == "input" && env_.find("input") == env_.end()) {
+      *out = EvalStepsFromRoot(input_, p.steps);
+      return Status::OK();
+    }
+    auto it = env_.find(p.variable);
+    if (it == env_.end()) {
+      return Status::InvalidArgument("unbound path variable $" + p.variable);
+    }
+    if (it->second.kind != Binding::Kind::kNode) {
+      return Status::InvalidArgument(
+          "path variable $" + p.variable + " is not for-bound");
+    }
+    *out = EvalStepsFromNode(input_, it->second.node, p.steps);
+    return Status::OK();
+  }
+
+  const Forest& input_;
+  std::unordered_map<std::string, Binding> env_;
+};
+
+}  // namespace
+
+Result<Forest> EvaluateQuery(const QueryExpr& q, const Forest& input) {
+  Forest out;
+  XQMFT_RETURN_NOT_OK(Evaluator(input).Eval(q, &out));
+  return out;
+}
+
+Result<Forest> EvaluateQueryBound(const QueryExpr& body, const Forest& roots,
+                                  const std::string& var, NodeRef binding) {
+  Forest out;
+  Evaluator ev(roots);
+  ev.Bind(var, binding);
+  XQMFT_RETURN_NOT_OK(ev.Eval(body, &out));
+  return out;
+}
+
+}  // namespace xqmft

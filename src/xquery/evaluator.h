@@ -1,0 +1,28 @@
+// Reference DOM evaluator for MinXQuery: the denotational [[P]] against
+// which the XQuery-to-MFT translation is property-tested (Theorem 1 states
+// [[M_P]](f) = [[P]](f) for every forest f).
+#ifndef XQMFT_XQUERY_EVALUATOR_H_
+#define XQMFT_XQUERY_EVALUATOR_H_
+
+#include <string>
+
+#include "util/status.h"
+#include "xml/forest.h"
+#include "xpath/eval.h"
+#include "xquery/ast.h"
+
+namespace xqmft {
+
+/// Evaluates `q` on `input` (the forest bound to $input). The query must
+/// pass ValidateQuery.
+Result<Forest> EvaluateQuery(const QueryExpr& q, const Forest& input);
+
+/// Evaluates `body` with `var` for-bound to `binding` (a node of `roots`).
+/// Used by engines that buffer a fragment and evaluate a loop body against
+/// it (the GCX baseline's per-binding evaluation).
+Result<Forest> EvaluateQueryBound(const QueryExpr& body, const Forest& roots,
+                                  const std::string& var, NodeRef binding);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XQUERY_EVALUATOR_H_

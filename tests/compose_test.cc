@@ -1,0 +1,576 @@
+// Tests for the Section 4.2 composition theory: fcns/eval correspondences
+// (Lemma 1), the stay-move TT composition and its quadratic size (Lemma 2,
+// against the classical exponential construction), both MTT/TT compositions
+// (Lemma 3), and the forest-level Theorems 3-5 with randomized semantic
+// contracts.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "compose/btree.h"
+#include "compose/compose.h"
+#include "compose/convert.h"
+#include "compose/mtt.h"
+#include "mft/interp.h"
+#include "mft/mft.h"
+#include "util/rng.h"
+#include "xml/forest.h"
+
+namespace xqmft {
+namespace {
+
+Forest RandomForest(Rng* rng, int depth) {
+  Forest f;
+  int width = static_cast<int>(rng->Below(4));
+  for (int i = 0; i < width; ++i) {
+    if (depth > 0 && rng->Chance(3, 5)) {
+      f.push_back(Tree::Element(
+          std::string(1, static_cast<char>('a' + rng->Below(3))),
+          RandomForest(rng, depth - 1)));
+    } else {
+      f.push_back(Tree::Element(
+          std::string(1, static_cast<char>('a' + rng->Below(3)))));
+    }
+  }
+  return f;
+}
+
+Mft MustParseMft(const std::string& text) {
+  Result<Mft> r = ParseMft(text);
+  if (!r.ok()) ADD_FAILURE() << "ParseMft: " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+BTreePtr MustRunMtt(const Mtt& m, const BTreePtr& t) {
+  Result<BTreePtr> r = RunMtt(m, t);
+  if (!r.ok()) ADD_FAILURE() << "RunMtt: " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+// ---------------------------------------------------------------------------
+// Binary trees and fcns
+// ---------------------------------------------------------------------------
+
+TEST(BTreeTest, FcnsMatchesPaperDefinition) {
+  // fcns(s(f1) f2) = s(fcns(f1), fcns(f2)).
+  Forest f = std::move(ParseTerm("a(b c) d").ValueOrDie());
+  BTreePtr t = Fcns(f);
+  ASSERT_TRUE(t != nullptr);
+  EXPECT_EQ(BTreeToString(t), "a(b(e,c(e,e)),d(e,e))");
+  EXPECT_EQ(BTreeSize(t), 4u);
+}
+
+TEST(BTreeTest, UnfcnsInverts) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    Forest f = RandomForest(&rng, 4);
+    EXPECT_EQ(Unfcns(Fcns(f)), f);
+  }
+}
+
+TEST(BTreeTest, Equality) {
+  Forest f = std::move(ParseTerm("a(b) c").ValueOrDie());
+  EXPECT_TRUE(BTreeEquals(Fcns(f), Fcns(f)));
+  Forest g = std::move(ParseTerm("a(b c)").ValueOrDie());
+  EXPECT_FALSE(BTreeEquals(Fcns(f), Fcns(g)));
+  EXPECT_TRUE(BTreeEquals(nullptr, nullptr));
+}
+
+// ---------------------------------------------------------------------------
+// MTT model + interpreter
+// ---------------------------------------------------------------------------
+
+// The binary-tree identity MTT (a TT).
+Mtt IdentityTt() {
+  Mtt m;
+  StateId q = m.AddState("id", 0);
+  m.set_initial_state(q);
+  m.SetDefaultRule(q, BExpr::CurrentLabel(BExpr::Call(q, InputVar::kX1),
+                                          BExpr::Call(q, InputVar::kX2)));
+  m.SetEpsilonRule(q, BExpr::Eps());
+  return m;
+}
+
+TEST(MttTest, IdentityOnRandomTrees) {
+  Mtt id = IdentityTt();
+  ASSERT_TRUE(id.Validate().ok());
+  EXPECT_TRUE(id.IsTopDown());
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    BTreePtr t = Fcns(RandomForest(&rng, 4));
+    EXPECT_TRUE(BTreeEquals(MustRunMtt(id, t), t));
+  }
+}
+
+TEST(MttTest, ValidateCatchesArityAndParams) {
+  Mtt m;
+  StateId q0 = m.AddState("q0", 0);
+  StateId q1 = m.AddState("q1", 1);
+  m.set_initial_state(q0);
+  m.SetDefaultRule(q0, BExpr::Call(q1, InputVar::kX1, {}));  // missing arg
+  m.SetEpsilonRule(q0, BExpr::Eps());
+  m.SetDefaultRule(q1, BExpr::Param(1));
+  m.SetEpsilonRule(q1, BExpr::Param(1));
+  EXPECT_FALSE(m.Validate().ok());
+}
+
+TEST(MttTest, ParametersAccumulate) {
+  // Reverse the spine of a right chain using one parameter.
+  Mtt m;
+  StateId q0 = m.AddState("q0", 0);
+  StateId q = m.AddState("q", 1);
+  m.set_initial_state(q0);
+  m.SetDefaultRule(q0, BExpr::Call(q, InputVar::kX0, {BExpr::Eps()}));
+  m.SetEpsilonRule(q0, BExpr::Call(q, InputVar::kX0, {BExpr::Eps()}));
+  // q(s(x1,x2), y1) -> q(x2, s(e, y1))
+  m.SetDefaultRule(
+      q, BExpr::Call(q, InputVar::kX2,
+                     {BExpr::CurrentLabel(BExpr::Eps(), BExpr::Param(1))}));
+  m.SetEpsilonRule(q, BExpr::Param(1));
+  ASSERT_TRUE(m.Validate().ok());
+  BTreePtr t = Fcns(std::move(ParseTerm("a b c").ValueOrDie()));
+  BTreePtr out = MustRunMtt(m, t);
+  EXPECT_EQ(ForestToTerm(Unfcns(out)), "c b a");
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 1: conversions
+// ---------------------------------------------------------------------------
+
+TEST(ConvertTest, EvalInterpretsAtAndLabels) {
+  // @(q.., @(y.., b(e,e))) style: eval(b(e,e)) = b; eval(@(l,r)) = l r.
+  BTreePtr b = MakeBNode(Symbol::Element("b"), nullptr, nullptr);
+  BTreePtr a = MakeBNode(Symbol::Element("a"), b, nullptr);
+  BTreePtr at = MakeBNode(AtSymbol(), a, MakeBNode(Symbol::Element("c"),
+                                                   nullptr, nullptr));
+  EXPECT_EQ(ForestToTerm(EvalBTree(at)), "a(b) c");
+}
+
+// The Lemma 1(1) contract: eval([[MftToMtt(M)]](fcns f)) = [[M]](f).
+void ExpectLemma11(const Mft& mft, const Forest& f) {
+  Mtt mtt = MftToMtt(mft);
+  ASSERT_TRUE(mtt.Validate().ok());
+  Forest expected = std::move(RunMft(mft, f)).ValueOrDie();
+  BTreePtr t = MustRunMtt(mtt, Fcns(f));
+  EXPECT_EQ(ForestToTerm(EvalBTree(t)), ForestToTerm(expected));
+  // Converse: reinterpreting @ restores the MFT.
+  Mft back = MttEvalToMft(mtt);
+  ASSERT_TRUE(back.Validate().ok());
+  Forest again = std::move(RunMft(back, f)).ValueOrDie();
+  EXPECT_EQ(ForestToTerm(again), ForestToTerm(expected));
+}
+
+TEST(ConvertTest, Lemma11OnCopyTransducer) {
+  Mft copy = MustParseMft(
+      "qcopy(%t(x1)x2) -> %t(qcopy(x1)) qcopy(x2)\nqcopy(eps) -> eps\n");
+  Rng rng(17);
+  for (int i = 0; i < 20; ++i) {
+    ExpectLemma11(copy, RandomForest(&rng, 4));
+  }
+}
+
+TEST(ConvertTest, Lemma11OnParameterizedMft) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, mark)\n"
+      "q(a(x1)x2, y1) -> y1 q(x1, wrap(y1)) q(x2, y1)\n"
+      "q(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "q(eps, y1) -> eps\n");
+  Rng rng(19);
+  for (int i = 0; i < 20; ++i) {
+    ExpectLemma11(m, RandomForest(&rng, 4));
+  }
+}
+
+TEST(ConvertTest, EvalMttComputesFcnsOfEval) {
+  // Lemma 1(3): [[EvalMtt]](t) = Fcns(EvalBTree(t)) on random @-trees.
+  Mtt ev = MakeEvalMtt();
+  ASSERT_TRUE(ev.Validate().ok());
+  Rng rng(23);
+  std::function<BTreePtr(int)> gen = [&](int depth) -> BTreePtr {
+    if (depth == 0 || rng.Chance(1, 4)) return nullptr;
+    Symbol sym = rng.Chance(1, 3)
+                     ? AtSymbol()
+                     : Symbol::Element(std::string(
+                           1, static_cast<char>('a' + rng.Below(3))));
+    return MakeBNode(sym, gen(depth - 1), gen(depth - 1));
+  };
+  for (int i = 0; i < 40; ++i) {
+    BTreePtr t = gen(5);
+    BTreePtr got = MustRunMtt(ev, t);
+    EXPECT_TRUE(BTreeEquals(got, Fcns(EvalBTree(t))))
+        << BTreeToString(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2: TT . TT with stay moves, vs the classical construction
+// ---------------------------------------------------------------------------
+
+// The paper's example: M1 rewrites every a into 4 b's (on a chain); M2
+// doubles every b into c(.,.).
+Mtt FourBs() {
+  Mtt m;
+  StateId q = m.AddState("q0", 0);
+  m.set_initial_state(q);
+  BExpr chain = BExpr::Call(q, InputVar::kX1);
+  for (int i = 0; i < 4; ++i) {
+    chain = BExpr::Label(Symbol::Element("b"), std::move(chain), BExpr::Eps());
+  }
+  m.SetSymbolRule(q, Symbol::Element("a"), std::move(chain));
+  m.SetDefaultRule(q, BExpr::Eps());
+  m.SetEpsilonRule(q, BExpr::Eps());
+  return m;
+}
+
+Mtt DoubleBs() {
+  Mtt m;
+  StateId p = m.AddState("p0", 0);
+  m.set_initial_state(p);
+  m.SetSymbolRule(p, Symbol::Element("b"),
+                  BExpr::Label(Symbol::Element("c"),
+                               BExpr::Call(p, InputVar::kX1),
+                               BExpr::Call(p, InputVar::kX1)));
+  m.SetDefaultRule(p, BExpr::Eps());
+  m.SetEpsilonRule(p, BExpr::Eps());
+  return m;
+}
+
+BTreePtr AChain(int n) {
+  BTreePtr t = nullptr;
+  for (int i = 0; i < n; ++i) {
+    t = MakeBNode(Symbol::Element("a"), t, nullptr);
+  }
+  return t;
+}
+
+TEST(Lemma2Test, PaperExampleComposesCorrectly) {
+  Mtt m1 = FourBs();
+  Mtt m2 = DoubleBs();
+  Result<Mtt> composed = ComposeTtTt(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_TRUE(composed.value().IsTopDown());
+  for (int n = 0; n <= 3; ++n) {
+    BTreePtr t = AChain(n);
+    BTreePtr direct = MustRunMtt(m2, MustRunMtt(m1, t));
+    BTreePtr via = MustRunMtt(composed.value(), t);
+    EXPECT_TRUE(BTreeEquals(direct, via)) << "n=" << n;
+  }
+}
+
+TEST(Lemma2Test, NaiveConstructionAgreesButExplodes) {
+  Mtt m1 = FourBs();
+  Mtt m2 = DoubleBs();
+  Result<Mtt> naive = NaiveComposeTtTt(m1, m2);
+  ASSERT_TRUE(naive.ok());
+  Result<Mtt> stay = ComposeTtTt(m1, m2);
+  ASSERT_TRUE(stay.ok());
+  for (int n = 0; n <= 3; ++n) {
+    BTreePtr t = AChain(n);
+    EXPECT_TRUE(BTreeEquals(MustRunMtt(naive.value(), t),
+                            MustRunMtt(stay.value(), t)));
+  }
+  // Growth: a chain emitting L b's composes naively into ~2^L rhs nodes
+  // (the paper's "complete binary tree of height 5" at L=4), while the
+  // stay-move construction stays linear in L. The per-state overhead of the
+  // stay construction dominates at tiny L; the exponential takes over well
+  // before L=12.
+  auto chain_tt = [](int l) {
+    Mtt m;
+    StateId q = m.AddState("q0", 0);
+    m.set_initial_state(q);
+    BExpr chain = BExpr::Call(q, InputVar::kX1);
+    for (int i = 0; i < l; ++i) {
+      chain =
+          BExpr::Label(Symbol::Element("b"), std::move(chain), BExpr::Eps());
+    }
+    m.SetSymbolRule(q, Symbol::Element("a"), std::move(chain));
+    m.SetDefaultRule(q, BExpr::Eps());
+    m.SetEpsilonRule(q, BExpr::Eps());
+    return m;
+  };
+  std::size_t naive12 = NaiveComposeTtTt(chain_tt(12), m2).ValueOrDie().Size();
+  std::size_t naive8 = NaiveComposeTtTt(chain_tt(8), m2).ValueOrDie().Size();
+  std::size_t naive4 = NaiveComposeTtTt(chain_tt(4), m2).ValueOrDie().Size();
+  std::size_t stay12 = ComposeTtTt(chain_tt(12), m2).ValueOrDie().Size();
+  std::size_t stay8 = ComposeTtTt(chain_tt(8), m2).ValueOrDie().Size();
+  std::size_t stay4 = ComposeTtTt(chain_tt(4), m2).ValueOrDie().Size();
+  EXPECT_GT(naive8, naive4 * 8);              // exponential growth
+  EXPECT_GT(naive12, naive8 * 8);
+  EXPECT_LT(stay8, stay4 * 3);                // roughly linear growth
+  EXPECT_LT(stay12, stay8 * 2);
+  EXPECT_LT(stay12 * 8, naive12);             // stay moves win outright
+}
+
+TEST(Lemma2Test, NaiveFuelGuard) {
+  Mtt m2 = DoubleBs();
+  Mtt big;  // 24 b's per a: 2^24 rhs nodes, must hit the fuel guard
+  {
+    StateId q = big.AddState("q0", 0);
+    big.set_initial_state(q);
+    BExpr chain = BExpr::Call(q, InputVar::kX1);
+    for (int i = 0; i < 24; ++i) {
+      chain =
+          BExpr::Label(Symbol::Element("b"), std::move(chain), BExpr::Eps());
+    }
+    big.SetSymbolRule(q, Symbol::Element("a"), std::move(chain));
+    big.SetDefaultRule(q, BExpr::Eps());
+    big.SetEpsilonRule(q, BExpr::Eps());
+  }
+  Result<Mtt> r = NaiveComposeTtTt(big, m2, /*fuel=*/100'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  // The stay-move construction handles the same pair instantly.
+  EXPECT_TRUE(ComposeTtTt(big, m2).ok());
+}
+
+// Random terminating TTs: calls use x1/x2 only (strictly consuming).
+Mtt RandomTt(Rng* rng, int states) {
+  Mtt m;
+  for (int i = 0; i < states; ++i) {
+    m.AddState("t" + std::to_string(i), 0);
+  }
+  m.set_initial_state(0);
+  std::function<BExpr(int)> gen = [&](int depth) -> BExpr {
+    switch (rng->Below(depth > 0 ? 3 : 2)) {
+      case 0:
+        return BExpr::Eps();
+      case 1: {
+        StateId q = static_cast<StateId>(rng->Below(
+            static_cast<std::uint64_t>(states)));
+        InputVar x = rng->Chance(1, 2) ? InputVar::kX1 : InputVar::kX2;
+        return BExpr::Call(q, x);
+      }
+      default:
+        return BExpr::Label(
+            Symbol::Element(std::string(1, static_cast<char>('a' + rng->Below(3)))),
+            gen(depth - 1), gen(depth - 1));
+    }
+  };
+  for (int i = 0; i < states; ++i) {
+    if (rng->Chance(2, 3)) {
+      m.SetSymbolRule(i, Symbol::Element("a"), gen(3));
+    }
+    if (rng->Chance(1, 3)) {
+      m.SetSymbolRule(i, Symbol::Element("b"), gen(3));
+    }
+    m.SetDefaultRule(i, gen(3));
+    m.SetEpsilonRule(i, BExpr::Eps());
+  }
+  return m;
+}
+
+class Lemma2Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma2Property, ComposedTtAgreesWithSequential) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  Mtt m1 = RandomTt(&rng, 2 + static_cast<int>(rng.Below(2)));
+  Mtt m2 = RandomTt(&rng, 2 + static_cast<int>(rng.Below(2)));
+  ASSERT_TRUE(m1.Validate().ok());
+  ASSERT_TRUE(m2.Validate().ok());
+  Result<Mtt> composed = ComposeTtTt(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  // Size bound: O(|Sigma||M1||M2|) with a small constant.
+  std::set<Symbol> sigma = m1.CollectAlphabet();
+  for (const Symbol& s : m2.CollectAlphabet()) sigma.insert(s);
+  EXPECT_LE(composed.value().Size(),
+            8 * (sigma.size() + 2) * m1.Size() * m2.Size());
+  for (int i = 0; i < 6; ++i) {
+    BTreePtr t = Fcns(RandomForest(&rng, 3));
+    BTreePtr direct = MustRunMtt(m2, MustRunMtt(m1, t));
+    BTreePtr via = MustRunMtt(composed.value(), t);
+    EXPECT_TRUE(BTreeEquals(direct, via))
+        << "input " << BTreeToString(t) << "\ndirect "
+        << BTreeToString(direct) << "\nvia " << BTreeToString(via);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Property, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Lemma 3: MTT . TT and TT . MTT
+// ---------------------------------------------------------------------------
+
+// Random terminating MTT: one state with a parameter plus helpers.
+Mtt RandomMtt(Rng* rng) {
+  Mtt m;
+  StateId q0 = m.AddState("m0", 0);
+  StateId q1 = m.AddState("m1", 1);
+  m.set_initial_state(q0);
+  std::function<BExpr(int, int)> gen = [&](int depth, int params) -> BExpr {
+    switch (rng->Below(depth > 0 ? 4 : 2)) {
+      case 0:
+        return BExpr::Eps();
+      case 1:
+        if (params > 0) return BExpr::Param(1);
+        return BExpr::Eps();
+      case 2: {
+        InputVar x = rng->Chance(1, 2) ? InputVar::kX1 : InputVar::kX2;
+        if (rng->Chance(1, 2)) {
+          return BExpr::Call(q1, x, {gen(depth - 1, params)});
+        }
+        return BExpr::Call(q0, x);
+      }
+      default:
+        return BExpr::Label(
+            Symbol::Element(std::string(1, static_cast<char>('a' + rng->Below(3)))),
+            gen(depth - 1, params), gen(depth - 1, params));
+    }
+  };
+  m.SetSymbolRule(q0, Symbol::Element("a"), gen(3, 0));
+  m.SetDefaultRule(q0, gen(3, 0));
+  m.SetEpsilonRule(q0, BExpr::Eps());
+  m.SetSymbolRule(q1, Symbol::Element("a"), gen(3, 1));
+  m.SetDefaultRule(q1, gen(3, 1));
+  m.SetEpsilonRule(q1, BExpr::Param(1));
+  return m;
+}
+
+class Lemma3Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma3Property, MttThenTtAgreesWithSequential) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 40503 + 11);
+  Mtt m1 = RandomMtt(&rng);
+  Mtt m2 = RandomTt(&rng, 2);
+  ASSERT_TRUE(m1.Validate().ok());
+  Result<Mtt> composed = ComposeMttThenTt(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  for (int i = 0; i < 6; ++i) {
+    BTreePtr t = Fcns(RandomForest(&rng, 3));
+    BTreePtr direct = MustRunMtt(m2, MustRunMtt(m1, t));
+    BTreePtr via = MustRunMtt(composed.value(), t);
+    EXPECT_TRUE(BTreeEquals(direct, via)) << BTreeToString(t);
+  }
+}
+
+TEST_P(Lemma3Property, TtThenMttAgreesWithSequential) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 69061 + 3);
+  Mtt m1 = RandomTt(&rng, 2);
+  Mtt m2 = RandomMtt(&rng);
+  Result<Mtt> composed = ComposeTtThenMtt(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  for (int i = 0; i < 6; ++i) {
+    BTreePtr t = Fcns(RandomForest(&rng, 3));
+    BTreePtr direct = MustRunMtt(m2, MustRunMtt(m1, t));
+    BTreePtr via = MustRunMtt(composed.value(), t);
+    EXPECT_TRUE(BTreeEquals(direct, via)) << BTreeToString(t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma3Property, ::testing::Range(0, 25));
+
+TEST(Lemma3Test, RejectsWrongClasses) {
+  Rng rng(1);
+  Mtt mtt = RandomMtt(&rng);
+  ASSERT_FALSE(mtt.IsTopDown());
+  EXPECT_FALSE(ComposeTtTt(mtt, IdentityTt()).ok());
+  EXPECT_FALSE(ComposeMttThenTt(IdentityTt(), mtt).ok());
+  EXPECT_FALSE(ComposeTtThenMtt(mtt, mtt).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Theorems 3-5: forest-level compositions
+// ---------------------------------------------------------------------------
+
+// Forest FTs for the contracts.
+Mft RelabelFt() {
+  // a -> z, everything else copied.
+  return MustParseMft(
+      "q0(a(x1)x2) -> z(q0(x1)) q0(x2)\n"
+      "q0(%t(x1)x2) -> %t(q0(x1)) q0(x2)\n"
+      "q0(eps) -> eps\n");
+}
+
+Mft DropBsFt() {
+  // erase b-subtrees.
+  return MustParseMft(
+      "q0(b(x1)x2) -> q0(x2)\n"
+      "q0(%t(x1)x2) -> %t(q0(x1)) q0(x2)\n"
+      "q0(eps) -> eps\n");
+}
+
+Mft DoubleTopFt() {
+  // duplicate every node's subtree at top level: exponential growth class.
+  return MustParseMft(
+      "q0(%t(x1)x2) -> %t(q0(x1)) %t(q0(x1)) q0(x2)\n"
+      "q0(eps) -> eps\n");
+}
+
+class TheoremsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheoremsProperty, ComposeForestFtsRealizesSequentialApplication) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 5);
+  const Mft m1s[] = {RelabelFt(), DropBsFt(), DoubleTopFt()};
+  const Mft m2s[] = {RelabelFt(), DropBsFt()};
+  const Mft& m1 = m1s[rng.Below(3)];
+  const Mft& m2 = m2s[rng.Below(2)];
+  Result<Mft> composed = ComposeForestFts(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  for (int i = 0; i < 5; ++i) {
+    Forest f = RandomForest(&rng, 3);
+    Forest direct = std::move(
+        RunMft(m2, std::move(RunMft(m1, f)).ValueOrDie())).ValueOrDie();
+    Forest via = std::move(RunMft(composed.value(), f)).ValueOrDie();
+    EXPECT_EQ(ForestToTerm(via), ForestToTerm(direct))
+        << "input: " << ForestToTerm(f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremsProperty, ::testing::Range(0, 20));
+
+TEST(TheoremsTest, Theorem4ProducesAnFt) {
+  // TT then forest FT stays rank-1.
+  Mtt m1 = MftToMtt(RelabelFt());
+  ASSERT_TRUE(m1.IsTopDown());
+  Result<Mft> composed = ComposeTtThenForestFt(m1, DropBsFt());
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_TRUE(composed.value().IsForestTransducer());
+}
+
+TEST(TheoremsTest, Theorem5ContractHolds) {
+  // FT then TT: [[M]](Fcns f) = [[M2]](Fcns([[M1]](f))).
+  Mft m1 = DoubleTopFt();
+  Mtt m2 = DoubleBs();
+  Result<Mtt> composed = ComposeForestFtThenTt(m1, m2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  Rng rng(99);
+  for (int i = 0; i < 10; ++i) {
+    Forest f = RandomForest(&rng, 3);
+    Forest mid = std::move(RunMft(m1, f)).ValueOrDie();
+    BTreePtr direct = MustRunMtt(m2, Fcns(mid));
+    BTreePtr via = MustRunMtt(composed.value(), Fcns(f));
+    EXPECT_TRUE(BTreeEquals(direct, via)) << ForestToTerm(f);
+  }
+}
+
+TEST(TheoremsTest, FtCompositionCanHaveDoubleExponentialGrowth) {
+  // Section 4.2's motivation: composing the doubling FT with itself has
+  // double-exponential height increase — yet one MFT realizes it.
+  Mft dbl = DoubleTopFt();
+  Result<Mft> composed = ComposeForestFts(dbl, dbl);
+  ASSERT_TRUE(composed.ok());
+  // The construction routes through the one-parameter eval MTT, so the
+  // resulting MFT genuinely uses accumulating parameters (FTs are not
+  // closed under composition).
+  EXPECT_FALSE(composed.value().IsForestTransducer());
+  Forest f = std::move(ParseTerm("a(a)").ValueOrDie());
+  Forest direct = std::move(
+      RunMft(dbl, std::move(RunMft(dbl, f)).ValueOrDie())).ValueOrDie();
+  Forest via = std::move(RunMft(composed.value(), f)).ValueOrDie();
+  EXPECT_EQ(ForestToTerm(via), ForestToTerm(direct));
+  EXPECT_EQ(direct.size(), 4u);        // 4 top-level trees
+  EXPECT_EQ(ForestSize(direct), 20u);  // of 5 nodes each
+}
+
+TEST(TheoremsTest, RejectNonFtInputs) {
+  Mft mft_with_params = MustParseMft(
+      "q0(%) -> q(x0, eps)\n"
+      "q(%t(x1)x2, y1) -> y1 q(x2, y1)\n"
+      "q(eps, y1) -> y1\n");
+  Mft ft = RelabelFt();
+  EXPECT_FALSE(ComposeForestFts(mft_with_params, ft).ok());
+  EXPECT_FALSE(ComposeForestFts(ft, mft_with_params).ok());
+}
+
+}  // namespace
+}  // namespace xqmft

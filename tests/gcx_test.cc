@@ -1,0 +1,267 @@
+// Tests for the GCX-like baseline engine: fragment checks (following-sibling
+// rejected — Figure 4(c)'s N/A), output equivalence with the reference
+// evaluator on supported queries, projection-buffer memory behaviour, and
+// the buffer cap that models GCX's failure on the doubling query.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common/queries.h"
+#include "gcx/gcx_engine.h"
+#include "util/rng.h"
+#include "xml/forest.h"
+#include "xml/sax_parser.h"
+#include "xquery/ast.h"
+#include "xquery/evaluator.h"
+
+namespace xqmft {
+namespace {
+
+std::unique_ptr<QueryExpr> MustParse(const std::string& text) {
+  Result<std::unique_ptr<QueryExpr>> r = ParseQuery(text);
+  if (!r.ok()) ADD_FAILURE() << "ParseQuery: " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+Forest MustParseXml(const std::string& xml) {
+  return std::move(ParseXmlForest(xml).ValueOrDie());
+}
+
+// Runs the GCX engine and the reference evaluator; both must agree.
+void ExpectGcxAgreement(const std::string& query_text, const std::string& xml,
+                        const std::string& label) {
+  auto q = MustParse(query_text);
+  Forest doc = MustParseXml(xml);
+  Result<Forest> expected = EvaluateQuery(*q, doc);
+  ASSERT_TRUE(expected.ok()) << label;
+  StringSink expected_sink;
+  EmitForest(expected.value(), &expected_sink);
+
+  StringSink sink;
+  Status st = GcxTransformString(*q, xml, &sink);
+  ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+  EXPECT_EQ(sink.str(), expected_sink.str()) << label;
+}
+
+TEST(GcxSupportTest, RejectsFollowingSibling) {
+  auto q = MustParse(QueryById("q04").text);
+  Status st = GcxSupports(*q);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotSupported);
+}
+
+TEST(GcxSupportTest, RejectsTopLevelLet) {
+  auto q = MustParse("let $v := $input/a return <r>{$v}</r>");
+  EXPECT_EQ(GcxSupports(*q).code(), StatusCode::kNotSupported);
+}
+
+TEST(GcxSupportTest, RejectsNonFinalStepPredicate) {
+  auto q = MustParse("<r>{$input/a[./b]/c}</r>");
+  EXPECT_EQ(GcxSupports(*q).code(), StatusCode::kNotSupported);
+}
+
+TEST(GcxSupportTest, AcceptsBenchmarkFragment) {
+  for (const BenchQuery& bq : Figure3Queries()) {
+    auto q = MustParse(bq.text);
+    Status st = GcxSupports(*q);
+    EXPECT_EQ(st.ok(), bq.gcx_supported) << bq.id << ": " << st.ToString();
+  }
+}
+
+TEST(GcxEngineTest, SimpleForLoop) {
+  ExpectGcxAgreement("for $v in $input/r/a return <m>{$v/text()}</m>",
+                     "<r><a>1</a><b>skip</b><a>2</a></r>", "simple-for");
+}
+
+TEST(GcxEngineTest, StaticSkeletonAroundSlot) {
+  ExpectGcxAgreement(
+      "<out><hdr>x</hdr>{for $v in $input/a return <m>{$v}</m>}<ftr>y</ftr></out>",
+      "<a>1</a><a>2</a>", "skeleton");
+}
+
+TEST(GcxEngineTest, FinalStepPredicateActsAsWhere) {
+  ExpectGcxAgreement(
+      "<out>{for $p in $input/r/p[./id/text()=\"x\"] return "
+      "<hit>{$p/v/text()}</hit>}</out>",
+      "<r><p><id>x</id><v>1</v></p><p><id>y</id><v>2</v></p>"
+      "<p><id>x</id><v>3</v></p></r>",
+      "where");
+}
+
+TEST(GcxEngineTest, EmptyPredicate) {
+  ExpectGcxAgreement(
+      "<out>{for $p in $input/r/p[empty(./h/text())] return <n>{$p/n/text()}"
+      "</n>}</out>",
+      "<r><p><n>A</n><h>web</h></p><p><n>B</n></p><p><n>C</n><h/></p></r>",
+      "empty-pred");
+}
+
+TEST(GcxEngineTest, NestedForLoops) {
+  ExpectGcxAgreement(
+      "for $x in $input/r/g return <grp>{for $y in $x/v return "
+      "<val>{$y/text()}</val>}</grp>",
+      "<r><g><v>1</v><v>2</v></g><g><v>3</v></g><g/></r>", "nested-for");
+}
+
+TEST(GcxEngineTest, LetInsideBody) {
+  ExpectGcxAgreement(
+      "for $p in $input/r return let $v := $p/a/text() return "
+      "<out>{$v}{$v}</out>",
+      "<r><a>x</a><a>y</a></r>", "let-body");
+}
+
+TEST(GcxEngineTest, BarePathSlotCopies) {
+  ExpectGcxAgreement("<out>{$input/r/a}</out>",
+                     "<r><a><b>t</b></a><c/><a/></r>", "copy-slot");
+}
+
+TEST(GcxEngineTest, DescendantSlotWithNestedMatches) {
+  ExpectGcxAgreement("<out>{$input//a}</out>",
+                     "<r><a><x><a><a/></a></x></a><b><a/></b></r>",
+                     "nested-matches");
+}
+
+TEST(GcxEngineTest, FourstarQuery) {
+  ExpectGcxAgreement(QueryById("fourstar").text,
+                     "<a><b><c><d><e/></d></c></b></a>", "fourstar");
+}
+
+TEST(GcxEngineTest, DoubleQueryBuffersBothCopies) {
+  ExpectGcxAgreement(QueryById("double").text,
+                     "<r><a>1</a><b/></r>", "double");
+}
+
+TEST(GcxEngineTest, DeepdupQuery) {
+  ExpectGcxAgreement(QueryById("deepdup").text,
+                     "<r><x>1</x><y><z/></y></r>", "deepdup");
+}
+
+TEST(GcxEngineTest, TextNodeBindings) {
+  ExpectGcxAgreement("<out>{$input/r/text()}</out>",
+                     "<r>one<a>skip</a>two</r>", "text-binding");
+}
+
+TEST(GcxEngineTest, MicroXmarkCorpus) {
+  const char* xml =
+      "<site><people>"
+      "<person><person_id>person0</person_id><name>Alice</name></person>"
+      "<person><person_id>person1</person_id><name>Bob</name>"
+      "<homepage>http://b</homepage></person>"
+      "</people>"
+      "<open_auctions><open_auction>"
+      "<bidder><increase>1.0</increase></bidder>"
+      "<bidder><increase>2.5</increase></bidder>"
+      "<reserve>10</reserve></open_auction></open_auctions>"
+      "<closed_auctions><closed_auction><seller>"
+      "<seller_person>person0</seller_person></seller></closed_auction>"
+      "</closed_auctions>"
+      "<regions><australia><item><name>i0</name>"
+      "<description><text>d</text></description></item></australia>"
+      "</regions></site>";
+  for (const BenchQuery& bq : Figure3Queries()) {
+    if (!bq.gcx_supported) continue;
+    ExpectGcxAgreement(bq.text, xml, bq.id);
+  }
+}
+
+TEST(GcxEngineTest, BufferCapFailsDoublingQuery) {
+  auto q = MustParse(QueryById("double").text);
+  std::string xml = "<r>";
+  for (int i = 0; i < 2000; ++i) xml += "<a>payload</a>";
+  xml += "</r>";
+  GcxOptions opts;
+  opts.max_buffer_bytes = 16 * 1024;
+  StringSink sink;
+  Status st = GcxTransformString(*q, xml, &sink, opts);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GcxEngineTest, SelectionStaysUnderCap) {
+  // A selective query with tiny projected buffers passes the same cap that
+  // kills the doubling query.
+  auto q = MustParse(
+      "<out>{for $p in $input/r/p[./id/text()=\"x\"] return "
+      "<hit>{$p/v/text()}</hit>}</out>");
+  std::string xml = "<r>";
+  for (int i = 0; i < 2000; ++i) {
+    xml += "<p><id>" + std::string(i % 5 == 0 ? "x" : "y") +
+           "</id><v>v</v><junk>jjjjjjjjjjjjjjjjjjjj</junk></p>";
+  }
+  xml += "</r>";
+  GcxOptions opts;
+  opts.max_buffer_bytes = 16 * 1024;
+  StringSink sink;
+  GcxStats stats;
+  Status st = GcxTransformString(*q, xml, &sink, opts, &stats);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.bindings, 400u);
+  EXPECT_LT(stats.peak_bytes, 16u * 1024u);
+}
+
+TEST(GcxEngineTest, ProjectionPrunesUnusedContent) {
+  // Q1-style query over records with heavy unused payload: peak memory must
+  // stay near the projected size, not the record size.
+  auto q = MustParse(
+      "<out>{for $p in $input/p return <n>{$p/name/text()}</n>}</out>");
+  std::string junk(512, 'j');
+  std::string xml;
+  for (int i = 0; i < 100; ++i) {
+    xml += "<p><name>n</name><blob>" + junk + "</blob></p>";
+  }
+  GcxStats stats;
+  StringSink sink;
+  ASSERT_TRUE(GcxTransformString(*q, xml, &sink, {}, &stats).ok());
+  // 100 records x ~600 bytes junk; projected buffers keep only <name>.
+  EXPECT_LT(stats.peak_bytes, 2000u);
+}
+
+TEST(GcxEngineTest, StatsArePopulated) {
+  auto q = MustParse("for $v in $input/a return <m>{$v}</m>");
+  GcxStats stats;
+  StringSink sink;
+  ASSERT_TRUE(
+      GcxTransformString(*q, "<a>1</a><a>2</a>", &sink, {}, &stats).ok());
+  EXPECT_EQ(stats.bindings, 2u);
+  EXPECT_GT(stats.output_events, 0u);
+  EXPECT_GT(stats.bytes_in, 0u);
+}
+
+// Randomized equivalence sweep on the supported corpus.
+Forest RandomSite(Rng* rng) {
+  Forest f;
+  std::function<Forest(int)> gen = [&](int depth) -> Forest {
+    Forest g;
+    int width = static_cast<int>(rng->Below(4));
+    for (int i = 0; i < width; ++i) {
+      if (depth > 0 && rng->Chance(3, 5)) {
+        g.push_back(Tree::Element(
+            std::string(1, static_cast<char>('a' + rng->Below(4))),
+            gen(depth - 1)));
+      } else if (g.empty() || g.back().kind != NodeKind::kText) {
+        g.push_back(Tree::Text("t" + std::to_string(rng->Below(5))));
+      }
+    }
+    return g;
+  };
+  f.push_back(Tree::Element("site", gen(4)));
+  return f;
+}
+
+class GcxEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GcxEquivalence, AgreesWithReferenceOnRandomDocs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+  Forest doc = RandomSite(&rng);
+  std::string xml = ForestToXml(doc);
+  for (const BenchQuery& bq : Figure3Queries()) {
+    if (!bq.gcx_supported) continue;
+    ExpectGcxAgreement(bq.text, xml, bq.id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcxEquivalence, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace xqmft

@@ -1,0 +1,384 @@
+// Tests for the Section 4.1 optimization passes: the paper's own examples,
+// semantics preservation on concrete transducers, and pass interaction via
+// the fixpoint driver.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mft/interp.h"
+#include "mft/mft.h"
+#include "mft/optimize.h"
+#include "util/rng.h"
+#include "xml/forest.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+namespace {
+
+Mft MustParseMft(const std::string& text) {
+  Result<Mft> r = ParseMft(text);
+  if (!r.ok()) ADD_FAILURE() << "ParseMft failed: " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+int ParamsOf(const Mft& m, const std::string& name) {
+  for (StateId q = 0; q < m.num_states(); ++q) {
+    if (m.state_name(q) == name) return m.num_params(q);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Unused parameter reduction
+// ---------------------------------------------------------------------------
+
+// The Section 4.1 example. Note: the paper's prose claims y1 of q and y2 of
+// q' are both unused, but its own fixpoint algorithm (which we implement)
+// keeps (q,1): y1 of q flows through q' (rule 1, argument 1) and back into
+// the *output* position y2 of q (rule 4), so it can reach the output and a
+// sound analysis must keep it. Only (q',2) has no path to any output.
+TEST(UnusedParamsTest, PaperExample) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, eps, eps)\n"
+      "q(s(x1)x2, y1, y2) -> d(qp(x2, y1, y2))\n"
+      "q(%t(x1)x2, y1, y2) -> %t(qp(x2, d(y2), s(y2)))\n"
+      "q(eps, y1, y2) -> s(y2)\n"
+      "qp(%t(x1)x2, y1, y2) -> q(x1, eps, y1)\n"
+      "qp(eps, y1, y2) -> eps\n");
+  int removed = 0;
+  EXPECT_TRUE(RemoveUnusedParameters(&m, &removed));
+  EXPECT_EQ(removed, 1);  // exactly (q',2)
+  EXPECT_EQ(ParamsOf(m, "q"), 2);
+  EXPECT_EQ(ParamsOf(m, "qp"), 1);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(UnusedParamsTest, DropsNeverOutputParameter) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, junk)\n"
+      "q(a(x1)x2, y1) -> hit q(x2, y1)\n"
+      "q(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "q(eps, y1) -> eps\n");
+  int removed = 0;
+  EXPECT_TRUE(RemoveUnusedParameters(&m, &removed));
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(ParamsOf(m, "q"), 0);
+  EXPECT_TRUE(m.IsForestTransducer());
+  // Semantics preserved.
+  Forest f = std::move(ParseTerm("a b a").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()), "hit hit");
+}
+
+TEST(UnusedParamsTest, KeepsParameterUsedThroughLabelChild) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, v)\n"
+      "q(%t(x1)x2, y1) -> wrap(y1)\n"
+      "q(eps, y1) -> eps\n");
+  EXPECT_FALSE(RemoveUnusedParameters(&m));
+  EXPECT_EQ(ParamsOf(m, "q"), 1);
+}
+
+TEST(UnusedParamsTest, TransitiveUseThroughCallChain) {
+  // y1 of f is only used because f passes it to g, which outputs it.
+  Mft m = MustParseMft(
+      "q0(%) -> f(x0, v)\n"
+      "f(%t(x1)x2, y1) -> g(x2, y1)\n"
+      "f(eps, y1) -> eps\n"
+      "g(%t(x1)x2, y1) -> y1\n"
+      "g(eps, y1) -> y1\n");
+  EXPECT_FALSE(RemoveUnusedParameters(&m));
+  EXPECT_EQ(ParamsOf(m, "f"), 1);
+  EXPECT_EQ(ParamsOf(m, "g"), 1);
+}
+
+TEST(UnusedParamsTest, NoChangeOnParameterFree) {
+  Mft m = MustParseMft(
+      "q(%t(x1)x2) -> %t(q(x1)) q(x2)\nq(eps) -> eps\n");
+  EXPECT_FALSE(RemoveUnusedParameters(&m));
+}
+
+// ---------------------------------------------------------------------------
+// Constant parameter reduction
+// ---------------------------------------------------------------------------
+
+// The Section 4.1 example (with the paper's obvious `x2`-as-argument typo in
+// the fourth rule read as y1): y1 of q is always eps or passed through, so it
+// is replaced by eps; the epsilon rule's RHS becomes eps.
+TEST(ConstantParamsTest, PaperExample) {
+  Mft m = MustParseMft(
+      "q0(%) -> qp(x0, eps)\n"
+      "q(s(x1)x2, y1, y2) -> q(x1, eps, y2) d(qp(x2, y2))\n"
+      "q(%t(x1)x2, y1, y2) -> q(x1, y1, y2) %t(qp(x2, d(y2)))\n"
+      "q(eps, y1, y2) -> y1\n"
+      "qp(%t(x1)x2, y1) -> d(q(x1, eps, y1))\n"
+      "qp(eps, y1) -> eps\n");
+  int removed = 0;
+  EXPECT_TRUE(RemoveConstantParameters(&m, &removed));
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(ParamsOf(m, "q"), 1);
+  // The q epsilon rule became `-> eps` (y1 replaced by the constant).
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (m.state_name(s) == "q") {
+      EXPECT_TRUE(m.rules(s).epsilon_rule->empty());
+    }
+  }
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+TEST(ConstantParamsTest, NonEmptyConstantIsSubstituted) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, mark(flag))\n"
+      "q(a(x1)x2, y1) -> y1 q(x2, y1)\n"
+      "q(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "q(eps, y1) -> eps\n");
+  int removed = 0;
+  EXPECT_TRUE(RemoveConstantParameters(&m, &removed));
+  EXPECT_EQ(removed, 1);
+  EXPECT_EQ(ParamsOf(m, "q"), 0);
+  Forest f = std::move(ParseTerm("a a").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()),
+            "mark(flag) mark(flag)");
+}
+
+TEST(ConstantParamsTest, DifferentConstantsBlockRemoval) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, u) q(x0, v)\n"
+      "q(%t(x1)x2, y1) -> y1 q(x2, y1)\n"
+      "q(eps, y1) -> eps\n");
+  EXPECT_FALSE(RemoveConstantParameters(&m));
+}
+
+TEST(ConstantParamsTest, NonSelfPassThroughBlocksRemoval) {
+  // p passes its own y1 into q's slot; that is not a *self* pass-through for
+  // q, so q's parameter is not constant. p's own parameter receives two
+  // distinct constants, so it is not constant either.
+  Mft m = MustParseMft(
+      "q0(%) -> p(x0, u) p(x0, w)\n"
+      "p(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "p(eps, y1) -> eps\n"
+      "q(%t(x1)x2, y1) -> y1\n"
+      "q(eps, y1) -> y1\n");
+  EXPECT_FALSE(RemoveConstantParameters(&m));
+}
+
+TEST(ConstantParamsTest, IndirectConstantFlowsThroughOnePass) {
+  // p's parameter is the constant u; q's parameter only receives p's y1.
+  // One invocation removes p's parameter (substituting u); after that q's
+  // call site holds the ground constant u, so the *next* invocation removes
+  // q's too — the fixpoint driver's job.
+  Mft m = MustParseMft(
+      "q0(%) -> p(x0, u)\n"
+      "p(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "p(eps, y1) -> eps\n"
+      "q(%t(x1)x2, y1) -> y1\n"
+      "q(eps, y1) -> y1\n");
+  EXPECT_TRUE(RemoveConstantParameters(&m));
+  EXPECT_EQ(ParamsOf(m, "p"), 0);
+  EXPECT_EQ(ParamsOf(m, "q"), 1);
+  EXPECT_TRUE(RemoveConstantParameters(&m));
+  EXPECT_EQ(ParamsOf(m, "q"), 0);
+  EXPECT_TRUE(m.Validate().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Stay-move removal
+// ---------------------------------------------------------------------------
+
+// Section 4.1: "if we have a rule q(%, y1, y2) -> q'(x0) y1, then all
+// occurrences of q(xi, e1, e2) can be replaced by q'(xi) e1".
+TEST(StayMoveTest, PaperExample) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, a, b)\n"
+      "q(%, y1, y2) -> qp(x0) y1\n"
+      "qp(c(x1)x2) -> hit qp(x2)\n"
+      "qp(%t(x1)x2) -> qp(x2)\n"
+      "qp(eps) -> eps\n");
+  int inlined = 0;
+  EXPECT_TRUE(InlineStayStates(&m, &inlined));
+  EXPECT_EQ(inlined, 1);
+  // q0's rule is now qp(x0) a.
+  Forest f = std::move(ParseTerm("c c").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()), "hit hit a");
+}
+
+TEST(StayMoveTest, InliningRewritesInputVariable) {
+  // The stay state is called on x1/x2; its x0 calls must follow.
+  Mft m = MustParseMft(
+      "q0(a(x1)x2) -> inner(q(x1)) q0(x2)\n"
+      "q0(%t(x1)x2) -> q0(x2)\n"
+      "q0(eps) -> eps\n"
+      "q(%) -> count(x0)\n"
+      "count(%t(x1)x2) -> n count(x2)\n"
+      "count(eps) -> eps\n");
+  EXPECT_TRUE(InlineStayStates(&m));
+  Forest f = std::move(ParseTerm("a(b b b)").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()),
+            "inner(n n n)");
+}
+
+TEST(StayMoveTest, SelfRecursiveStayStateIsSkipped) {
+  // q(%,..) -> q(x0,..) is non-terminating; the pass must not inline it.
+  Mft m = MustParseMft(
+      "q0(%) -> done\n"
+      "q(%, y1) -> q(x0, y1)\n");
+  EXPECT_FALSE(InlineStayStates(&m));
+}
+
+TEST(StayMoveTest, SymbolRuleBlocksInlining) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0)\n"
+      "q(a(x1)x2) -> hit\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_FALSE(InlineStayStates(&m));
+}
+
+// ---------------------------------------------------------------------------
+// Unreachable state removal
+// ---------------------------------------------------------------------------
+
+TEST(UnreachableTest, DropsDeadStates) {
+  Mft m = MustParseMft(
+      "q0(%) -> live(x0)\n"
+      "live(%t(x1)x2) -> %t(live(x1)) live(x2)\n"
+      "live(eps) -> eps\n"
+      "dead1(%t(x1)x2, y1) -> dead2(x1, y1)\n"
+      "dead1(eps, y1) -> y1\n"
+      "dead2(%t(x1)x2, y1) -> dead1(x2, y1)\n"
+      "dead2(eps, y1) -> eps\n");
+  int removed = 0;
+  EXPECT_TRUE(RemoveUnreachableStates(&m, &removed));
+  EXPECT_EQ(removed, 2);
+  EXPECT_EQ(m.num_states(), 2);
+  EXPECT_TRUE(m.Validate().ok());
+  // Behavior unchanged.
+  Forest f = std::move(ParseTerm("a(b)").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()), "a(b)");
+}
+
+TEST(UnreachableTest, KeepsEverythingWhenAllReachable) {
+  Mft m = MustParseMft(
+      "q0(%) -> q1(x0)\n"
+      "q1(%t(x1)x2) -> q1(x1) q1(x2)\n"
+      "q1(eps) -> eps\n");
+  EXPECT_FALSE(RemoveUnreachableStates(&m));
+}
+
+// ---------------------------------------------------------------------------
+// Fixpoint driver
+// ---------------------------------------------------------------------------
+
+// The interaction the paper describes: a parameter becomes removable only
+// after stay-move removal; states become unreachable only after inlining.
+TEST(OptimizeMftTest, PassesInteractToFixpoint) {
+  Mft m = MustParseMft(
+      // q0 feeds the whole input into `hold` as a parameter through a stay
+      // state; after inlining and unused-parameter removal the transducer
+      // needs no parameters at all.
+      "q0(%) -> stay(x0, copy(x0))\n"
+      "stay(%, y1) -> scan(x0, y1)\n"
+      "scan(a(x1)x2, y1) -> hit scan(x2, y1)\n"
+      "scan(%t(x1)x2, y1) -> scan(x2, y1)\n"
+      "scan(eps, y1) -> eps\n"
+      "copy(%t(x1)x2) -> %t(copy(x1)) copy(x2)\n"
+      "copy(eps) -> eps\n");
+  OptimizeReport report;
+  Mft opt = OptimizeMft(m, {}, &report);
+  EXPECT_TRUE(opt.Validate().ok());
+  EXPECT_TRUE(opt.IsForestTransducer()) << opt.ToString();
+  // copy/stay are gone.
+  EXPECT_LT(opt.num_states(), m.num_states());
+  EXPECT_GT(report.iterations, 1);
+  // Semantics preserved.
+  Forest f = std::move(ParseTerm("a b a").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(opt, f)).ValueOrDie()), "hit hit");
+  EXPECT_EQ(ForestToTerm(std::move(RunMft(m, f)).ValueOrDie()), "hit hit");
+}
+
+TEST(OptimizeMftTest, ReportCountsArePopulated) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, junk)\n"
+      "q(a(x1)x2, y1) -> hit q(x2, y1)\n"
+      "q(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "q(eps, y1) -> eps\n"
+      "dead(%t(x1)x2) -> dead(x2)\n"
+      "dead(eps) -> eps\n");
+  OptimizeReport report;
+  Mft opt = OptimizeMft(m, {}, &report);
+  EXPECT_EQ(report.unused_params_removed, 1);
+  EXPECT_EQ(report.states_removed, 1);
+  EXPECT_EQ(report.before.states, 3u);
+  EXPECT_EQ(report.after.states, 2u);
+  EXPECT_LT(report.after.size, report.before.size);
+}
+
+TEST(OptimizeMftTest, OptionsDisablePasses) {
+  Mft m = MustParseMft(
+      "q0(%) -> q(x0, junk)\n"
+      "q(%t(x1)x2, y1) -> q(x2, y1)\n"
+      "q(eps, y1) -> eps\n");
+  OptimizeOptions opts;
+  opts.unused_parameters = false;
+  opts.constant_parameters = false;
+  Mft opt = OptimizeMft(m, opts);
+  EXPECT_EQ(ParamsOf(opt, "q"), 1);  // parameter survives
+}
+
+// Semantics preservation sweep: optimize Mperson and compare outputs on a
+// set of random-ish person documents.
+class OptimizePreservesSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizePreservesSemantics, MpersonDocuments) {
+  const char* rules = R"(
+q0(%) -> out(q1(x0))
+q1(person(x1)x2) -> q2(x1, q4(x1)) q1(x2)
+q1(%t(x1)x2) -> q1(x1) q1(x2)
+q1(eps) -> eps
+q2(p_id(x1)x2, y1) -> q3(x1, y1, q2(x2, y1))
+q2(%t(x1)x2, y1) -> q2(x2, y1)
+q2(eps, y1) -> eps
+q3("person0"(x1)x2, y1, y2) -> y1
+q3(%t(x1)x2, y1, y2) -> q3(x2, y1, y2)
+q3(eps, y1, y2) -> y2
+q4(name(x1)x2) -> q5(x1) q4(x2)
+q4(%t(x1)x2) -> q4(x2)
+q4(eps) -> eps
+q5(%ttext(x1)x2) -> %t(eps) q5(x2)
+q5(%t(x1)x2) -> q5(x2)
+q5(eps) -> eps
+)";
+  Mft m = std::move(ParseMft(rules).ValueOrDie());
+  Mft opt = OptimizeMft(m);
+  Rng rng(GetParam());
+  // Random person forest.
+  Forest doc;
+  int persons = static_cast<int>(rng.Below(4)) + 1;
+  for (int i = 0; i < persons; ++i) {
+    Forest kids;
+    int fields = static_cast<int>(rng.Below(5));
+    for (int j = 0; j < fields; ++j) {
+      switch (rng.Below(3)) {
+        case 0:
+          kids.push_back(Tree::Element(
+              "p_id", {Tree::Text(rng.Chance(1, 2) ? "person0" : "personX")}));
+          break;
+        case 1:
+          kids.push_back(Tree::Element(
+              "name", {Tree::Text("n" + std::to_string(rng.Below(10)))}));
+          break;
+        default:
+          kids.push_back(Tree::Element("junk"));
+      }
+    }
+    doc.push_back(Tree::Element("person", kids));
+  }
+  Forest a = std::move(RunMft(m, doc)).ValueOrDie();
+  Forest b = std::move(RunMft(opt, doc)).ValueOrDie();
+  EXPECT_EQ(a, b) << "input: " << ForestToTerm(doc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizePreservesSemantics,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace xqmft

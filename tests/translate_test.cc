@@ -1,0 +1,439 @@
+// Tests for the XQuery-to-MFT translation (Section 3).
+//
+// The central property is Theorem 1: [[M_P]](f) = [[P]](f) — the translated
+// transducer, run by the reference MFT interpreter, must agree with the
+// reference XQuery evaluator on every document. Exercised on the paper's
+// worked examples, feature-focused micro-queries, and the full Figure 3
+// corpus over randomized documents.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common/queries.h"
+#include "mft/interp.h"
+#include "mft/mft.h"
+#include "mft/optimize.h"
+#include "translate/translate.h"
+#include "util/rng.h"
+#include "xml/forest.h"
+#include "xml/sax_parser.h"
+#include "xquery/ast.h"
+#include "xquery/evaluator.h"
+
+namespace xqmft {
+namespace {
+
+Forest MustParseXml(const std::string& xml) {
+  return std::move(ParseXmlForest(xml).ValueOrDie());
+}
+
+// Asserts the Theorem 1 property on one (query, document) pair, for both the
+// raw and the optimized transducer.
+void ExpectAgreement(const std::string& query_text, const Forest& doc,
+                     const std::string& label) {
+  auto parsed = ParseQuery(query_text);
+  ASSERT_TRUE(parsed.ok()) << label << ": " << parsed.status().ToString();
+  const QueryExpr& query = *parsed.value();
+
+  Result<Forest> expected = EvaluateQuery(query, doc);
+  ASSERT_TRUE(expected.ok()) << label << ": " << expected.status().ToString();
+
+  Result<Mft> mft = TranslateQuery(query);
+  ASSERT_TRUE(mft.ok()) << label << ": " << mft.status().ToString();
+
+  Result<Forest> got = RunMft(mft.value(), doc);
+  ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+  EXPECT_EQ(ForestToTerm(got.value()), ForestToTerm(expected.value()))
+      << label << "\ninput: " << ForestToTerm(doc);
+
+  Mft optimized = OptimizeMft(mft.value());
+  Result<Forest> got_opt = RunMft(optimized, doc);
+  ASSERT_TRUE(got_opt.ok()) << label << " (optimized): "
+                            << got_opt.status().ToString();
+  EXPECT_EQ(ForestToTerm(got_opt.value()), ForestToTerm(expected.value()))
+      << label << " (optimized)\ninput: " << ForestToTerm(doc);
+}
+
+TEST(TranslateTest, StringConstant) {
+  ExpectAgreement("<out>hi</out>", MustParseXml("<a/>"), "string");
+}
+
+TEST(TranslateTest, NestedElements) {
+  ExpectAgreement("<a><b>x</b><c><d>y</d></c></a>", {}, "elements");
+}
+
+TEST(TranslateTest, BareInputVariable) {
+  ExpectAgreement("<out>{$input}</out>",
+                  MustParseXml("<a><b>t</b></a><c/>"), "bare-input");
+}
+
+TEST(TranslateTest, SimpleChildPath) {
+  ExpectAgreement("<out>{$input/a}</out>",
+                  MustParseXml("<a>1</a><b/><a><a>2</a></a>"), "child");
+}
+
+TEST(TranslateTest, ChildChainPath) {
+  ExpectAgreement(
+      "<out>{$input/r/a/b}</out>",
+      MustParseXml("<r><a><b>1</b><c/><b>2</b></a><b>not</b></r>"), "chain");
+}
+
+TEST(TranslateTest, DescendantPath) {
+  ExpectAgreement("<out>{$input//a}</out>",
+                  MustParseXml("<r><a><a><a/></a></a><b><a/></b></r>"),
+                  "descendant-nested");
+}
+
+TEST(TranslateTest, DescendantChildMix) {
+  ExpectAgreement(
+      "<out>{$input//a/b}</out>",
+      MustParseXml("<doc><a><b><c/></b></a><x><a><b/></a></x></doc>"),
+      "desc-child");
+}
+
+TEST(TranslateTest, OverlappingDescendants) {
+  // //a//a: the subset construction must not double-report.
+  ExpectAgreement("<out>{$input//a//a}</out>",
+                  MustParseXml("<a><a><a/></a></a>"), "overlap");
+}
+
+TEST(TranslateTest, TextSelection) {
+  ExpectAgreement("<out>{$input/r/text()}</out>",
+                  MustParseXml("<r>one<a>skip</a>two</r>"), "text");
+}
+
+TEST(TranslateTest, StarAndNodeTests) {
+  Forest doc = MustParseXml("<r>t<a><b/>u</a></r>");
+  ExpectAgreement("<out>{$input/r/*}</out>", doc, "star");
+  ExpectAgreement("<out>{$input/r/node()}</out>", doc, "node");
+}
+
+TEST(TranslateTest, ForLoopWithBody) {
+  ExpectAgreement(
+      "for $v in $input/r/a return <m>{$v/text()}</m>",
+      MustParseXml("<r><a>1</a><b>skip</b><a>2</a></r>"), "for-body");
+}
+
+TEST(TranslateTest, ForBareVariableCopy) {
+  ExpectAgreement("for $v in $input/r/a return <w>{$v}</w>",
+                  MustParseXml("<r><a><b>t</b></a><a/></r>"), "for-copy");
+}
+
+TEST(TranslateTest, NestedForLoops) {
+  ExpectAgreement(
+      "for $x in $input/r/g return <grp>{for $y in $x/v return "
+      "<val>{$y/text()}</val>}</grp>",
+      MustParseXml("<r><g><v>1</v><v>2</v></g><g><v>3</v></g><g/></r>"),
+      "nested-for");
+}
+
+TEST(TranslateTest, LetBinding) {
+  ExpectAgreement(
+      "for $p in $input/r return let $v := $p/a/text() return "
+      "<out>{$v}{$v}</out>",
+      MustParseXml("<r><a>x</a><a>y</a></r>"), "let");
+}
+
+TEST(TranslateTest, SequenceOutput) {
+  ExpectAgreement(
+      "for $v in $input/r/a return ($v/b,$v/c)",
+      MustParseXml("<r><a><c>1</c><b>2</b></a><a><b>3</b></a></r>"),
+      "sequence");
+}
+
+TEST(TranslateTest, FollowingSibling) {
+  ExpectAgreement(
+      "<out>{$input/r/a/following-sibling::b}</out>",
+      MustParseXml("<r><b>0</b><a/><b>1</b><c/><b>2</b></r>"), "fs");
+}
+
+TEST(TranslateTest, FollowingSiblingChained) {
+  ExpectAgreement(
+      "<out>{$input/r/a/following-sibling::b/c}</out>",
+      MustParseXml("<r><a/><b><c>1</c></b><b><d/><c>2</c></b></r>"),
+      "fs-chain");
+}
+
+TEST(TranslateTest, ExistencePredicate) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./q]}</out>",
+      MustParseXml("<r><p><q/></p><p/><p><x><q/></x></p></r>"), "exists");
+}
+
+TEST(TranslateTest, ExistencePredicateDeepPath) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./a/b/c]}</out>",
+      MustParseXml("<r><p><a><b><c/></b></a></p><p><a><b/></a></p></r>"),
+      "exists-deep");
+}
+
+TEST(TranslateTest, EmptyPredicate) {
+  ExpectAgreement(
+      "<out>{$input/r/p[empty(./h/text())]}</out>",
+      MustParseXml("<r><p><h>x</h></p><p/><p><h/></p></r>"), "empty");
+}
+
+TEST(TranslateTest, EqualsPredicate) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./id/text()=\"person0\"]}</out>",
+      MustParseXml("<r><p><id>person0</id><v>A</v></p>"
+                   "<p><id>person1</id><v>B</v></p>"
+                   "<p><a/><id>person0</id></p></r>"),
+      "equals");
+}
+
+TEST(TranslateTest, EqualsPredicateSecondWitness) {
+  // The paper's else-branch walkthrough: the first p_id fails, the second
+  // succeeds; the chain scan must resume via the else parameter.
+  ExpectAgreement(
+      "<out>{$input/p[./id/text()=\"x\"]}</out>",
+      MustParseXml("<p><id>y</id><n>1</n><id>x</id></p>"), "equals-resume");
+}
+
+TEST(TranslateTest, NotEqualsPredicate) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./id/text()!=\"a\"]}</out>",
+      MustParseXml("<r><p><id>a</id><id>b</id></p><p><id>a</id></p>"
+                   "<p><id>c</id></p></r>"),
+      "not-equals");
+}
+
+TEST(TranslateTest, MultiplePredicatesConjunction) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./q][./s]}</out>",
+      MustParseXml("<r><p><q/><s/></p><p><q/></p><p><s/></p></r>"), "conj");
+}
+
+TEST(TranslateTest, PredicateOnIntermediateStep) {
+  ExpectAgreement(
+      "<out>{$input/r/g[./flag]/v}</out>",
+      MustParseXml("<r><g><flag/><v>1</v></g><g><v>2</v></g>"
+                   "<g><flag/><v>3</v><v>4</v></g></r>"),
+      "mid-pred");
+}
+
+TEST(TranslateTest, NestedPredicates) {
+  ExpectAgreement(
+      "<out>{$input/r/p[./a[./b]/c]}</out>",
+      MustParseXml("<r><p><a><b/><c/></a></p><p><a><c/></a></p>"
+                   "<p><a><b/></a><a><c/></a></p></r>"),
+      "nested-pred");
+}
+
+TEST(TranslateTest, Q4StylePredicate) {
+  ExpectAgreement(
+      "<out>{$input/s/oa[./bidder[./pr/text()=\"XX\"]"
+      "/following-sibling::bidder/pr/text()=\"YY\"]}</out>",
+      MustParseXml(
+          "<s>"
+          "<oa><bidder><pr>XX</pr></bidder><bidder><pr>YY</pr></bidder></oa>"
+          "<oa><bidder><pr>YY</pr></bidder><bidder><pr>XX</pr></bidder></oa>"
+          "<oa><bidder><pr>XX</pr></bidder></oa>"
+          "</s>"),
+      "q4-style");
+}
+
+TEST(TranslateTest, PredicateOnDescendantStep) {
+  ExpectAgreement(
+      "<out>{$input//p[./id/text()=\"x\"]}</out>",
+      MustParseXml("<r><p><id>x</id><p><id>y</id></p></p><d><p><id>x</id>"
+                   "</p></d></r>"),
+      "desc-pred");
+}
+
+TEST(TranslateTest, PaperSection21Example) {
+  ExpectAgreement(
+      kSection21Query,
+      MustParseXml("<doc><a><b><c><c/></c><d/><d/></b><b><d/></b></a></doc>"),
+      "section-2.1");
+}
+
+TEST(TranslateTest, PaperPersonQuery) {
+  ExpectAgreement(kPersonQuery,
+                  MustParseXml("<person><p_id><a/>person0</p_id>"
+                               "<name>Jim</name><c/><name>Li</name></person>"),
+                  "pperson-hit");
+  ExpectAgreement(kPersonQuery,
+                  MustParseXml("<person><p_id><a/>perso7</p_id>"
+                               "<name>Jim</name><c/><p_id>person0</p_id>"
+                               "</person>"),
+                  "pperson-else");
+}
+
+TEST(TranslateTest, TranslationIsLinearTimeShape) {
+  // Theorem 1's construction bound: |M_P| grows linearly for a linear
+  // family of queries (a chain of nested elements).
+  std::string q = "<a>x</a>";
+  std::size_t prev_size = 0;
+  std::size_t prev_delta = 0;
+  for (int i = 0; i < 4; ++i) {
+    auto parsed = std::move(ParseQuery(q).ValueOrDie());
+    Mft m = std::move(TranslateQuery(*parsed).ValueOrDie());
+    std::size_t size = m.Size();
+    if (prev_size != 0 && prev_delta != 0) {
+      // Growth stays (roughly) constant per added element.
+      std::size_t delta = size - prev_size;
+      EXPECT_LE(delta, prev_delta + 8);
+    }
+    if (prev_size != 0) prev_delta = size - prev_size;
+    prev_size = size;
+    q = "<w><u>" + q + "</u></w>";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 corpus over randomized XMark-like micro documents
+// ---------------------------------------------------------------------------
+
+// A tiny randomized XMark-shaped document exercising every element the
+// Figure 3 queries touch.
+Forest RandomMicroXmark(Rng* rng) {
+  Forest people;
+  int npers = static_cast<int>(rng->Below(4));
+  for (int i = 0; i < npers; ++i) {
+    Forest kids;
+    kids.push_back(Tree::Element(
+        "person_id",
+        {Tree::Text("person" + std::to_string(rng->Below(3)))}));
+    kids.push_back(Tree::Element(
+        "name", {Tree::Text("n" + std::to_string(rng->Below(10)))}));
+    if (rng->Chance(1, 2)) {
+      Forest hp;
+      if (rng->Chance(2, 3)) hp.push_back(Tree::Text("http://x"));
+      kids.push_back(Tree::Element("homepage", std::move(hp)));
+    }
+    people.push_back(Tree::Element("person", std::move(kids)));
+  }
+
+  Forest auctions;
+  int nauc = static_cast<int>(rng->Below(3));
+  for (int i = 0; i < nauc; ++i) {
+    Forest kids;
+    int nbid = static_cast<int>(rng->Below(4));
+    for (int b = 0; b < nbid; ++b) {
+      Forest bid;
+      bid.push_back(Tree::Element(
+          "personref",
+          {Tree::Element("personref_person",
+                         {Tree::Text(rng->Chance(1, 2) ? "personXX"
+                                                       : "personYY")})}));
+      bid.push_back(Tree::Element(
+          "increase", {Tree::Text(std::to_string(rng->Below(100)))}));
+      kids.push_back(Tree::Element("bidder", std::move(bid)));
+    }
+    kids.push_back(Tree::Element(
+        "reserve", {Tree::Text(std::to_string(rng->Below(1000)))}));
+    auctions.push_back(Tree::Element("open_auction", std::move(kids)));
+  }
+
+  Forest closed;
+  int nclosed = static_cast<int>(rng->Below(3));
+  for (int i = 0; i < nclosed; ++i) {
+    Forest kids;
+    kids.push_back(Tree::Element(
+        "seller", {Tree::Element("seller_person",
+                                 {Tree::Text("person0")})}));
+    if (rng->Chance(1, 2)) {
+      // The deep Q16 path, sometimes truncated so the predicate fails.
+      Forest keyword;
+      if (rng->Chance(2, 3)) keyword.push_back(Tree::Text("gold"));
+      Tree deep = Tree::Element(
+          "annotation",
+          {Tree::Element(
+              "description",
+              {Tree::Element(
+                  "parlist",
+                  {Tree::Element(
+                      "listitem",
+                      {Tree::Element(
+                          "parlist",
+                          {Tree::Element(
+                              "listitem",
+                              {Tree::Element(
+                                  "text",
+                                  {Tree::Element(
+                                      "emph",
+                                      {Tree::Element("keyword",
+                                                     std::move(keyword))})})})})})})})});
+      kids.push_back(std::move(deep));
+    }
+    closed.push_back(Tree::Element("closed_auction", std::move(kids)));
+  }
+
+  Forest items;
+  int nitems = static_cast<int>(rng->Below(3));
+  for (int i = 0; i < nitems; ++i) {
+    items.push_back(Tree::Element(
+        "item",
+        {Tree::Element("name", {Tree::Text("i" + std::to_string(i))}),
+         Tree::Element("description",
+                       {Tree::Element("text", {Tree::Text("desc")})})}));
+  }
+
+  Forest site;
+  site.push_back(Tree::Element("people", std::move(people)));
+  site.push_back(Tree::Element("open_auctions", std::move(auctions)));
+  site.push_back(Tree::Element("closed_auctions", std::move(closed)));
+  site.push_back(Tree::Element(
+      "regions", {Tree::Element("australia", std::move(items))}));
+  return {Tree::Element("site", std::move(site))};
+}
+
+struct CorpusCase {
+  const char* query_id;
+  int seed;
+};
+
+class Figure3Property
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(Figure3Property, TranslatedMftAgreesWithReferenceEvaluator) {
+  const auto& [id, seed] = GetParam();
+  const BenchQuery& bq = QueryById(id);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  Forest doc = RandomMicroXmark(&rng);
+  ExpectAgreement(bq.text, doc, bq.id);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Figure3Property,
+    ::testing::Combine(::testing::Values("q01", "q02", "q04", "q13", "q16",
+                                         "q17", "double", "fourstar",
+                                         "deepdup"),
+                       ::testing::Range(0, 8)),
+    [](const ::testing::TestParamInfo<Figure3Property::ParamType>& info) {
+      return std::get<0>(info.param) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Generic random documents for the structure-agnostic queries.
+class GenericDocProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GenericDocProperty, CornerCaseQueriesOnRandomTrees) {
+  Rng rng(GetParam());
+  std::function<Forest(int)> gen = [&](int depth) -> Forest {
+    Forest f;
+    int width = static_cast<int>(rng.Below(4));
+    for (int i = 0; i < width; ++i) {
+      if (depth > 0 && rng.Chance(3, 5)) {
+        f.push_back(Tree::Element(
+            std::string(1, static_cast<char>('a' + rng.Below(4))),
+            gen(depth - 1)));
+      } else if (f.empty() || f.back().kind != NodeKind::kText) {
+        f.push_back(Tree::Text("t" + std::to_string(rng.Below(5))));
+      }
+    }
+    return f;
+  };
+  Forest doc = gen(5);
+  ExpectAgreement(QueryById("double").text, doc, "double-random");
+  ExpectAgreement(QueryById("fourstar").text, doc, "fourstar-random");
+  ExpectAgreement(QueryById("deepdup").text, doc, "deepdup-random");
+  ExpectAgreement(kSection21Query, doc, "section21-random");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenericDocProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace xqmft

@@ -1,0 +1,217 @@
+// Tests for the XML substrate: forest model, term notation, SAX parser,
+// attribute encoding, sinks, and parse/serialize round-trips (including a
+// randomized property sweep).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+#include "xml/events.h"
+#include "xml/forest.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+namespace {
+
+TEST(ForestTest, SizeAndDepth) {
+  Forest f = std::move(ParseTerm("a(b(c) d) e").ValueOrDie());
+  EXPECT_EQ(ForestSize(f), 5u);
+  EXPECT_EQ(ForestDepth(f), 3u);
+  EXPECT_EQ(ForestSize({}), 0u);
+  EXPECT_EQ(ForestDepth({}), 0u);
+}
+
+TEST(ForestTest, TermRoundTrip) {
+  const std::string term = "a(b(\"x y\") c) \"top\" d";
+  Forest f = std::move(ParseTerm(term).ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), term);
+}
+
+TEST(ForestTest, TermParseErrors) {
+  EXPECT_FALSE(ParseTerm("a(").ok());
+  EXPECT_FALSE(ParseTerm("a)").ok());
+  EXPECT_FALSE(ParseTerm("\"unterminated").ok());
+  EXPECT_FALSE(ParseTerm("a((b)").ok());
+}
+
+TEST(ForestTest, TermQuotedEscapes) {
+  Forest f = std::move(ParseTerm(R"( "a\"b\\c" )").ValueOrDie());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].label, "a\"b\\c");
+  // Round-trips through printing.
+  Forest g = std::move(ParseTerm(ForestToTerm(f)).ValueOrDie());
+  EXPECT_EQ(f, g);
+}
+
+TEST(ForestTest, XmlSerialization) {
+  Forest f = std::move(ParseTerm("book(isbn(\"123\") title(\"A&B\"))").ValueOrDie());
+  EXPECT_EQ(ForestToXml(f),
+            "<book><isbn>123</isbn><title>A&amp;B</title></book>");
+}
+
+TEST(ForestTest, EmptyElementSerializesSelfClosing) {
+  Forest f = std::move(ParseTerm("a(b c(d))").ValueOrDie());
+  EXPECT_EQ(ForestToXml(f), "<a><b/><c><d/></c></a>");
+}
+
+TEST(SaxTest, PaperBookExample) {
+  // The Section 2 example: attributes become leading child elements with a
+  // text child (Figure 1's forest).
+  const char* xml =
+      "<book isbn=\"123\" price=\"$99\"><author>Knuth</author>"
+      "<title>Art of Programming</title></book>";
+  Forest f = std::move(ParseXmlForest(xml).ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f),
+            "book(isbn(\"123\") price(\"$99\") author(\"Knuth\") "
+            "title(\"Art of Programming\"))");
+}
+
+TEST(SaxTest, SelfClosingAndNesting) {
+  Forest f = std::move(
+      ParseXmlForest("<doc><a><b/><b/></a><c/></doc>").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "doc(a(b b) c)");
+}
+
+TEST(SaxTest, EntityDecoding) {
+  Forest f = std::move(ParseXmlForest(
+      "<t>&lt;x&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</t>")
+                           .ValueOrDie());
+  ASSERT_EQ(f.size(), 1u);
+  ASSERT_EQ(f[0].children.size(), 1u);
+  EXPECT_EQ(f[0].children[0].label, "<x> & \"q\" 'a' AB");
+}
+
+TEST(SaxTest, CommentsAndPIsAndDoctypeSkipped) {
+  const char* xml =
+      "<?xml version=\"1.0\"?><!DOCTYPE doc [<!ELEMENT doc ANY>]>"
+      "<!-- a comment --><doc><!-- inner --><a/></doc>";
+  Forest f = std::move(ParseXmlForest(xml).ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "doc(a)");
+}
+
+TEST(SaxTest, CdataBecomesText) {
+  Forest f = std::move(
+      ParseXmlForest("<t><![CDATA[a<b&c]]></t>").ValueOrDie());
+  EXPECT_EQ(f[0].children[0].label, "a<b&c");
+}
+
+TEST(SaxTest, CdataMergesWithAdjacentText) {
+  Forest f = std::move(
+      ParseXmlForest("<t>pre<![CDATA[mid]]>post</t>").ValueOrDie());
+  ASSERT_EQ(f[0].children.size(), 1u);
+  EXPECT_EQ(f[0].children[0].label, "premidpost");
+}
+
+TEST(SaxTest, WhitespaceSkippingByDefault) {
+  Forest f = std::move(
+      ParseXmlForest("<a>\n  <b> x </b>\n</a>").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "a(b(\" x \"))");
+}
+
+TEST(SaxTest, WhitespaceKeptWhenConfigured) {
+  SaxOptions opts;
+  opts.skip_whitespace_text = false;
+  Forest f = std::move(ParseXmlForest("<a> <b/></a>", opts).ValueOrDie());
+  ASSERT_EQ(f[0].children.size(), 2u);
+  EXPECT_EQ(f[0].children[0].kind, NodeKind::kText);
+}
+
+TEST(SaxTest, AttributeExpansionCanBeDisabled) {
+  SaxOptions opts;
+  opts.expand_attributes = false;
+  StringSource src("<a x=\"1\"><b/></a>");
+  SaxParser p(&src, opts);
+  XmlEvent ev;
+  ASSERT_TRUE(p.Next(&ev).ok());
+  EXPECT_EQ(ev.type, XmlEventType::kStartElement);
+  ASSERT_EQ(ev.attrs.size(), 1u);
+  EXPECT_EQ(ev.attrs[0].first, "x");
+  EXPECT_EQ(ev.attrs[0].second, "1");
+}
+
+TEST(SaxTest, ErrorMismatchedTags) {
+  EXPECT_FALSE(ParseXmlForest("<a><b></a></b>").ok());
+  EXPECT_FALSE(ParseXmlForest("<a>").ok());
+  EXPECT_FALSE(ParseXmlForest("</a>").ok());
+}
+
+TEST(SaxTest, ErrorMalformedMarkup) {
+  EXPECT_FALSE(ParseXmlForest("<a b></a>").ok());        // attr without value
+  EXPECT_FALSE(ParseXmlForest("<a b=c></a>").ok());      // unquoted value
+  EXPECT_FALSE(ParseXmlForest("<a>&unknown;</a>").ok()); // unknown entity
+  EXPECT_FALSE(ParseXmlForest("<1a/>").ok());            // bad name start
+}
+
+TEST(SaxTest, MultipleTopLevelTreesFormAForest) {
+  Forest f = std::move(ParseXmlForest("<a/><b/><c>t</c>").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "a b c(\"t\")");
+}
+
+TEST(SaxTest, SingleQuotedAttributes) {
+  Forest f = std::move(ParseXmlForest("<a x='v'/>").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "a(x(\"v\"))");
+}
+
+TEST(SaxTest, EmptyAttributeValueYieldsEmptyElement) {
+  Forest f = std::move(ParseXmlForest("<a x=\"\"/>").ValueOrDie());
+  EXPECT_EQ(ForestToTerm(f), "a(x)");
+}
+
+TEST(SinkTest, StringSinkSerializes) {
+  StringSink sink;
+  sink.StartElement("a");
+  sink.Text("x<y");
+  sink.StartElement("b");
+  sink.EndElement("b");
+  sink.EndElement("a");
+  EXPECT_EQ(sink.str(), "<a>x&lt;y<b></b></a>");
+}
+
+TEST(SinkTest, CountingSinkCounts) {
+  CountingSink sink;
+  sink.StartElement("a");
+  sink.Text("hello");
+  sink.EndElement("a");
+  EXPECT_EQ(sink.elements(), 1u);
+  EXPECT_EQ(sink.texts(), 1u);
+  EXPECT_GT(sink.bytes(), 5u);
+}
+
+// ---- Property sweep: parse(serialize(f)) == f for random forests. ----
+
+Forest RandomForest(Rng* rng, int depth, int max_width) {
+  Forest f;
+  int width = static_cast<int>(rng->Below(static_cast<std::uint64_t>(max_width) + 1));
+  for (int i = 0; i < width; ++i) {
+    if (depth > 0 && rng->Chance(3, 5)) {
+      std::string name(1, static_cast<char>('a' + rng->Below(6)));
+      f.push_back(Tree::Element(name, RandomForest(rng, depth - 1, max_width)));
+    } else {
+      // Text content avoiding pure whitespace and adjacent-merge ambiguity:
+      // never generate two adjacent text nodes.
+      if (!f.empty() && f.back().kind == NodeKind::kText) continue;
+      std::string content = "t" + std::to_string(rng->Below(100));
+      f.push_back(Tree::Text(content));
+    }
+  }
+  return f;
+}
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRoundTripProperty, ParseSerializeIdentity) {
+  Rng rng(GetParam());
+  Forest f = RandomForest(&rng, 4, 4);
+  // Wrap in a root so the XML is a single document.
+  Forest doc;
+  doc.push_back(Tree::Element("root", f));
+  std::string xml = ForestToXml(doc);
+  Forest parsed = std::move(ParseXmlForest(xml).ValueOrDie());
+  EXPECT_EQ(parsed, doc) << "xml: " << xml;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace xqmft

@@ -1,0 +1,245 @@
+// Tests for the XPath fragment: parser, printer, and the naive evaluator
+// (axes, node tests, predicates, document order, dedup).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xml/forest.h"
+#include "xml/sax_parser.h"
+#include "xpath/ast.h"
+#include "xpath/eval.h"
+
+namespace xqmft {
+namespace {
+
+Path MustParsePath(const std::string& s) {
+  Result<Path> r = ParsePath(s);
+  if (!r.ok()) ADD_FAILURE() << "ParsePath(" << s << "): " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+Forest MustParseXml(const std::string& xml) {
+  return std::move(ParseXmlForest(xml).ValueOrDie());
+}
+
+// Evaluates a path (anchored at $input) and renders matched subtrees as a
+// term for compact assertions.
+std::string Matches(const Forest& doc, const std::string& path) {
+  Path p = MustParsePath(path);
+  std::vector<NodeRef> ms = EvalStepsFromRoot(doc, p.steps);
+  std::string out;
+  for (const NodeRef& m : ms) {
+    if (!out.empty()) out += " | ";
+    out += ForestToTerm({m.node()});
+  }
+  return out;
+}
+
+TEST(XPathParserTest, AxesAndAbbreviations) {
+  Path p = MustParsePath("$v/a//b/descendant::c/following-sibling::d");
+  EXPECT_EQ(p.variable, "v");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[2].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[3].axis, Axis::kFollowingSibling);
+  EXPECT_EQ(PathToString(p),
+            "$v/a/descendant::b/descendant::c/following-sibling::d");
+}
+
+TEST(XPathParserTest, NodeTests) {
+  Path p = MustParsePath("$v/*/text()/node()/name");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kAnyElement);
+  EXPECT_EQ(p.steps[1].test.kind, NodeTestKind::kText);
+  EXPECT_EQ(p.steps[2].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[3].test.kind, NodeTestKind::kName);
+  EXPECT_EQ(p.steps[3].test.name, "name");
+}
+
+TEST(XPathParserTest, LeadingSlashBindsInput) {
+  Path p = MustParsePath("/site/people");
+  EXPECT_EQ(p.variable, "input");
+  EXPECT_EQ(p.steps.size(), 2u);
+}
+
+TEST(XPathParserTest, BareVariable) {
+  Path p = MustParsePath("$x");
+  EXPECT_TRUE(p.IsBareVariable());
+}
+
+TEST(XPathParserTest, Predicates) {
+  Path p = MustParsePath(
+      "$v/a[./b][empty(./c)][./d/text()=\"x\"][./e!=\"y\"]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  const auto& preds = p.steps[0].predicates;
+  ASSERT_EQ(preds.size(), 4u);
+  EXPECT_EQ(preds[0].kind, PredicateKind::kExists);
+  EXPECT_EQ(preds[1].kind, PredicateKind::kEmpty);
+  EXPECT_EQ(preds[2].kind, PredicateKind::kEquals);
+  EXPECT_EQ(preds[2].literal, "x");
+  EXPECT_EQ(preds[3].kind, PredicateKind::kNotEquals);
+  // Comparison without trailing text() is normalized to end in text().
+  EXPECT_EQ(preds[3].path.back().test.kind, NodeTestKind::kText);
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  // Q4's shape: a comparison predicate whose path contains a nested
+  // existence predicate and a following-sibling step.
+  Path p = MustParsePath(
+      "$input/open_auction[./bidder[./personref/text()=\"personXX\"]"
+      "/following-sibling::bidder/personref/text()=\"personYY\"]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  const Predicate& outer = p.steps[0].predicates[0];
+  EXPECT_EQ(outer.kind, PredicateKind::kEquals);
+  ASSERT_GE(outer.path.size(), 2u);
+  EXPECT_EQ(outer.path[0].predicates.size(), 1u);
+  EXPECT_EQ(outer.path[1].axis, Axis::kFollowingSibling);
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParsePath("site/a").ok());       // no $var or '/'
+  EXPECT_FALSE(ParsePath("$v/").ok());          // missing node test
+  EXPECT_FALSE(ParsePath("$v/a[").ok());        // unterminated predicate
+  EXPECT_FALSE(ParsePath("$v/foo()").ok());     // unknown () test
+  EXPECT_FALSE(ParsePath("$v/a[./b=\"x]").ok());// unterminated literal
+  EXPECT_FALSE(ParsePath("$v/a extra").ok());   // trailing junk
+}
+
+TEST(XPathEvalTest, ChildAxis) {
+  Forest doc = MustParseXml("<r><a>1</a><b/><a><a>2</a></a></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/a"), "a(\"1\") | a(a(\"2\"))");
+}
+
+TEST(XPathEvalTest, DescendantAxisPreOrderAndDedup) {
+  Forest doc = MustParseXml("<r><a><a><a/></a></a></r>");
+  // //a matches all three a-nodes, each exactly once, outermost first.
+  EXPECT_EQ(Matches(doc, "$input//a"), "a(a(a)) | a(a) | a");
+}
+
+TEST(XPathEvalTest, DescendantThenChild) {
+  Forest doc = MustParseXml(
+      "<doc><a><b><c/></b></a><x><a><b/></a></x></doc>");
+  EXPECT_EQ(Matches(doc, "$input//a/b"), "b(c) | b");
+}
+
+TEST(XPathEvalTest, FollowingSibling) {
+  Forest doc = MustParseXml("<r><b>1</b><a/><b>2</b><c/><b>3</b></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/a/following-sibling::b"),
+            "b(\"2\") | b(\"3\")");
+}
+
+TEST(XPathEvalTest, FollowingSiblingOfMultipleContexts) {
+  Forest doc = MustParseXml("<r><a/><b>1</b><a/><b>2</b></r>");
+  // Both a's contribute; b2 reachable from both but appears once.
+  EXPECT_EQ(Matches(doc, "$input/r/a/following-sibling::b"),
+            "b(\"1\") | b(\"2\")");
+}
+
+TEST(XPathEvalTest, TextAndStarTests) {
+  Forest doc = MustParseXml("<r>t1<a>t2</a></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/text()"), "\"t1\"");
+  EXPECT_EQ(Matches(doc, "$input/r/*"), "a(\"t2\")");
+  EXPECT_EQ(Matches(doc, "$input/r/node()"), "\"t1\" | a(\"t2\")");
+  // * does not match text nodes.
+  EXPECT_EQ(Matches(doc, "$input/r/*/text()"), "\"t2\"");
+}
+
+TEST(XPathEvalTest, FourStarCornerCase) {
+  // The fourstar benchmark's //*//*//*//* selects elements with at least
+  // four element ancestors-or-self on a chain: on a depth-5 chain, d and e.
+  Forest doc = MustParseXml("<a><b><c><d><e/></d></c></b></a>");
+  EXPECT_EQ(Matches(doc, "$input//*//*//*//*"), "d(e) | e");
+  Forest shallow = MustParseXml("<a><b><c/></b></a>");
+  EXPECT_EQ(Matches(shallow, "$input//*//*//*//*"), "");
+}
+
+TEST(XPathEvalTest, ExistencePredicate) {
+  Forest doc = MustParseXml("<r><p><q/></p><p/><p><q/></p></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/p[./q]"), "p(q) | p(q)");
+}
+
+TEST(XPathEvalTest, EmptyPredicate) {
+  Forest doc = MustParseXml("<r><p><h>x</h></p><p/><p><h/></p></r>");
+  // Q17's shape: empty(./h/text()) — true when no h text exists.
+  EXPECT_EQ(Matches(doc, "$input/r/p[empty(./h/text())]"), "p | p(h)");
+}
+
+TEST(XPathEvalTest, EqualsPredicate) {
+  Forest doc = MustParseXml(
+      "<r><p><id>person0</id></p><p><id>person1</id></p></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/p[./id/text()=\"person0\"]"),
+            "p(id(\"person0\"))");
+  // Normalized comparison without explicit text().
+  EXPECT_EQ(Matches(doc, "$input/r/p[./id=\"person0\"]"),
+            "p(id(\"person0\"))");
+}
+
+TEST(XPathEvalTest, NotEqualsIsExistential) {
+  Forest doc = MustParseXml(
+      "<r><p><id>a</id><id>b</id></p><p><id>a</id></p></r>");
+  // p1 has some id text != "a" (namely "b"); p2 does not.
+  EXPECT_EQ(Matches(doc, "$input/r/p[./id/text()!=\"a\"]"),
+            "p(id(\"a\") id(\"b\"))");
+}
+
+TEST(XPathEvalTest, MultiplePredicatesAreConjunctive) {
+  Forest doc = MustParseXml(
+      "<r><p><q/><s/></p><p><q/></p><p><s/></p></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/p[./q][./s]"), "p(q s)");
+}
+
+TEST(XPathEvalTest, NestedPredicateWithFollowingSibling) {
+  // The Q4 pattern. open_auction matches iff some bidder with person "XX"
+  // has a later bidder with person "YY".
+  Forest doc = MustParseXml(
+      "<site>"
+      "<oa><bidder><pr>XX</pr></bidder><bidder><pr>YY</pr></bidder></oa>"
+      "<oa><bidder><pr>YY</pr></bidder><bidder><pr>XX</pr></bidder></oa>"
+      "<oa><bidder><pr>XX</pr></bidder></oa>"
+      "</site>");
+  EXPECT_EQ(
+      Matches(doc,
+              "$input/site/oa[./bidder[./pr/text()=\"XX\"]"
+              "/following-sibling::bidder/pr/text()=\"YY\"]"),
+      "oa(bidder(pr(\"XX\")) bidder(pr(\"YY\")))");
+}
+
+TEST(XPathEvalTest, PredicateOnIntermediateStep) {
+  Forest doc = MustParseXml(
+      "<r><g><flag/><v>1</v></g><g><v>2</v></g></r>");
+  EXPECT_EQ(Matches(doc, "$input/r/g[./flag]/v"), "v(\"1\")");
+}
+
+TEST(XPathEvalTest, EmptyResultOnNoMatch) {
+  Forest doc = MustParseXml("<r><a/></r>");
+  EXPECT_EQ(Matches(doc, "$input/zzz"), "");
+  EXPECT_EQ(Matches(doc, "$input/r/zzz"), "");
+}
+
+TEST(XPathEvalTest, EvalFromNodeRestrictsToSubtree) {
+  Forest doc = MustParseXml("<r><a><b>1</b></a><b>2</b></r>");
+  // Context = the a-node; //b only finds b inside a.
+  Path p = MustParsePath("$v//b");
+  const Forest& r_children = doc[0].children;
+  NodeRef a{&r_children, 0};
+  std::vector<NodeRef> ms = EvalStepsFromNode(doc, a, p.steps);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0].node().children[0].label, "1");
+}
+
+TEST(XPathEvalTest, PredicateDirectEval) {
+  Forest doc = MustParseXml("<r><p><id>x</id></p></r>");
+  Path p = MustParsePath("$v/dummy[./id/text()=\"x\"]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  NodeRef pnode{&doc[0].children, 0};  // the <p> node
+  EXPECT_TRUE(EvalPredicate(doc, pnode, p.steps[0].predicates[0]));
+  Path p2 = MustParsePath("$v/dummy[./id/text()=\"y\"]");
+  EXPECT_FALSE(EvalPredicate(doc, pnode, p2.steps[0].predicates[0]));
+}
+
+}  // namespace
+}  // namespace xqmft

@@ -1,0 +1,228 @@
+// xqmft — command-line interface to the full pipeline.
+//
+//   xqmft run <query.xq|query-string> [input.xml]   stream a document
+//   xqmft compile <query.xq|query-string>           print the optimized MFT
+//   xqmft translate <query.xq|query-string>         print the raw translation
+//   xqmft mft <rules.mft> [input.xml]               run a hand-written MFT
+//   xqmft validate <schema.sch> <input.xml>         one-pass validation
+//   xqmft stats <input.xml>                         document statistics
+//
+// Arguments that name existing files are read from disk; anything else is
+// treated as inline text. `run`/`mft` default to stdin for the document.
+// Flags: --no-opt (skip Section 4.1 passes), --schema <file> (validate
+// while transforming), --dag (report output-DAG compression instead of
+// writing markup), --stats (print engine statistics to stderr).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "mft/mft.h"
+#include "schema/schema.h"
+#include "stream/dag_sink.h"
+#include "stream/engine.h"
+#include "util/strings.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+using namespace xqmft;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xqmft <command> [flags] <args>\n"
+      "  run <query> [input.xml]      compile and stream (input: file or stdin)\n"
+      "  compile <query>              print the optimized transducer\n"
+      "  translate <query>            print the unoptimized translation\n"
+      "  mft <rules> [input.xml]      run a hand-written MFT\n"
+      "  validate <schema> <input>    one-pass schema validation\n"
+      "  stats <input.xml>            document size/depth statistics\n"
+      "flags: --no-opt --schema <file> --dag --stats\n");
+  return 2;
+}
+
+bool IsFile(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+// Reads the argument as a file if one exists, else returns it verbatim.
+Result<std::string> FileOrInline(const std::string& arg) {
+  if (!IsFile(arg)) return arg;
+  std::FILE* f = std::fopen(arg.c_str(), "rb");
+  if (f == nullptr) return Status::InvalidArgument("cannot open " + arg);
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// stdin as a ByteSource.
+class StdinSource : public ByteSource {
+ public:
+  std::size_t Read(char* buf, std::size_t n) override {
+    return std::fread(buf, 1, n, stdin);
+  }
+};
+
+struct Flags {
+  bool no_opt = false;
+  bool dag = false;
+  bool stats = false;
+  std::string schema_path;
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int StreamWith(const Mft& mft, const std::string& input_arg,
+               const Flags& flags) {
+  StreamOptions options;
+  std::shared_ptr<const Schema> schema;
+  std::unique_ptr<SchemaValidator> validator;
+  if (!flags.schema_path.empty()) {
+    Result<std::string> text = FileOrInline(flags.schema_path);
+    if (!text.ok()) return Fail(text.status());
+    Result<std::shared_ptr<const Schema>> s = Schema::Parse(text.value());
+    if (!s.ok()) return Fail(s.status());
+    schema = s.value();
+    validator = std::make_unique<SchemaValidator>(schema);
+    options.validator = validator.get();
+  }
+
+  std::unique_ptr<ByteSource> source;
+  if (input_arg.empty()) {
+    source = std::make_unique<StdinSource>();
+  } else {
+    Result<std::unique_ptr<FileSource>> f = FileSource::Open(input_arg);
+    if (!f.ok()) return Fail(f.status());
+    source = std::move(f).value();
+  }
+
+  StreamStats stats;
+  Status st;
+  if (flags.dag) {
+    DagSink sink;
+    st = StreamTransform(mft, source.get(), &sink, options, &stats);
+    if (!st.ok()) return Fail(st);
+    std::printf("output nodes:   %llu\n",
+                static_cast<unsigned long long>(sink.total_nodes()));
+    std::printf("grammar rules:  %zu\n", sink.unique_nodes());
+    std::printf("compression:    %.2fx\n", sink.CompressionRatio());
+  } else {
+    FileSink sink(stdout);
+    st = StreamTransform(mft, source.get(), &sink, options, &stats);
+    sink.Flush();
+    std::printf("\n");
+    if (!st.ok()) return Fail(st);
+  }
+  if (flags.stats) {
+    std::fprintf(stderr,
+                 "bytes in: %zu, output events: %zu, peak memory: %s, "
+                 "rule applications: %llu\n",
+                 stats.bytes_in, stats.output_events,
+                 HumanBytes(stats.peak_bytes).c_str(),
+                 static_cast<unsigned long long>(stats.rule_applications));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  Flags flags;
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--no-opt") {
+      flags.no_opt = true;
+    } else if (a == "--dag") {
+      flags.dag = true;
+    } else if (a == "--stats") {
+      flags.stats = true;
+    } else if (a == "--schema" && i + 1 < argc) {
+      flags.schema_path = argv[++i];
+    } else {
+      args.push_back(std::move(a));
+    }
+  }
+
+  if (cmd == "run" || cmd == "compile" || cmd == "translate") {
+    if (args.empty()) return Usage();
+    Result<std::string> query_text = FileOrInline(args[0]);
+    if (!query_text.ok()) return Fail(query_text.status());
+    PipelineOptions po;
+    po.optimize = !flags.no_opt;
+    Result<std::unique_ptr<CompiledQuery>> cq =
+        CompiledQuery::Compile(query_text.value(), po);
+    if (!cq.ok()) return Fail(cq.status());
+    if (cmd == "compile") {
+      std::printf("%s", cq.value()->mft().ToString().c_str());
+      std::fprintf(stderr, "%s\n",
+                   cq.value()->optimize_report().ToString().c_str());
+      return 0;
+    }
+    if (cmd == "translate") {
+      std::printf("%s", cq.value()->unoptimized_mft().ToString().c_str());
+      return 0;
+    }
+    return StreamWith(cq.value()->mft(), args.size() > 1 ? args[1] : "",
+                      flags);
+  }
+
+  if (cmd == "mft") {
+    if (args.empty()) return Usage();
+    Result<std::string> rules = FileOrInline(args[0]);
+    if (!rules.ok()) return Fail(rules.status());
+    Result<Mft> mft = ParseMft(rules.value());
+    if (!mft.ok()) return Fail(mft.status());
+    return StreamWith(mft.value(), args.size() > 1 ? args[1] : "", flags);
+  }
+
+  if (cmd == "validate") {
+    if (args.size() < 2) return Usage();
+    Result<std::string> schema_text = FileOrInline(args[0]);
+    if (!schema_text.ok()) return Fail(schema_text.status());
+    Result<std::shared_ptr<const Schema>> schema =
+        Schema::Parse(schema_text.value());
+    if (!schema.ok()) return Fail(schema.status());
+    Result<std::unique_ptr<FileSource>> src = FileSource::Open(args[1]);
+    if (!src.ok()) return Fail(src.status());
+    SaxParser parser(src.value().get());
+    SchemaValidator v(schema.value());
+    XmlEvent ev;
+    do {
+      Status st = parser.Next(&ev);
+      if (!st.ok()) return Fail(st);
+      Status vs = v.Feed(ev);
+      if (!vs.ok()) return Fail(vs);
+    } while (ev.type != XmlEventType::kEndOfDocument);
+    std::printf("valid\n");
+    return 0;
+  }
+
+  if (cmd == "stats") {
+    if (args.empty()) return Usage();
+    Result<DatasetStats> stats = ScanDatasetFile(args[0]);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("bytes: %zu\nelements: %zu\ntexts: %zu\ndepth: %zu\n",
+                stats.value().bytes, stats.value().elements,
+                stats.value().texts, stats.value().depth);
+    return 0;
+  }
+
+  return Usage();
+}

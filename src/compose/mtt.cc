@@ -232,43 +232,61 @@ namespace {
 class MttInterp {
  public:
   MttInterp(const Mtt& mtt, MttInterpOptions options)
-      : mtt_(mtt), steps_left_(options.max_steps) {}
+      : mtt_(mtt),
+        steps_left_(options.max_steps),
+        stay_limit_(mtt.num_states()) {}
 
   Result<BTreePtr> Run(const BTreePtr& input) {
-    return Apply(mtt_.initial_state(), input, {});
+    return Apply(mtt_.initial_state(), input, {}, 0);
   }
 
  private:
+  // As in the MFT interpreter: rule choice and control flow depend only on
+  // (state, input node), so a chain of more than num_states() consecutive
+  // stay moves has revisited a state with no input progress and diverges.
+  // Failing here keeps a stay loop from overflowing the C++ stack, which
+  // the step budget alone cannot prevent.
   Result<BTreePtr> Apply(StateId q, const BTreePtr& t,
-                         const std::vector<BTreePtr>& params) {
+                         const std::vector<BTreePtr>& params, int stay_chain) {
     if (steps_left_ == 0) {
       return Status::ResourceExhausted("MTT interpreter step budget exceeded");
     }
     --steps_left_;
+    if (stay_chain > stay_limit_) {
+      return Status::ResourceExhausted(
+          "MTT interpreter detected a non-terminating stay-move loop "
+          "(a state recurred with no input progress)");
+    }
     const BExpr* rhs = t == nullptr ? mtt_.LookupEpsilonRule(q)
                                     : mtt_.LookupRule(q, t->label);
     if (rhs == nullptr) {
       return Status::Internal("no applicable rule for MTT state " +
                               mtt_.state_name(q));
     }
-    return Eval(*rhs, t, params);
+    return Eval(*rhs, t, params, stay_chain);
   }
 
   Result<BTreePtr> Eval(const BExpr& e, const BTreePtr& t,
-                        const std::vector<BTreePtr>& params) {
+                        const std::vector<BTreePtr>& params, int stay_chain) {
     switch (e.kind) {
       case BKind::kEps:
         return BTreePtr(nullptr);
       case BKind::kLabel: {
-        XQMFT_ASSIGN_OR_RETURN(BTreePtr l, Eval(e.children[0], t, params));
-        XQMFT_ASSIGN_OR_RETURN(BTreePtr r, Eval(e.children[1], t, params));
+        XQMFT_ASSIGN_OR_RETURN(BTreePtr l,
+                               Eval(e.children[0], t, params, stay_chain));
+        XQMFT_ASSIGN_OR_RETURN(BTreePtr r,
+                               Eval(e.children[1], t, params, stay_chain));
         Symbol sym = e.current_label ? t->label : e.symbol;
         return MakeBNode(std::move(sym), std::move(l), std::move(r));
       }
       case BKind::kCall: {
         BTreePtr target;
+        int next_stay = 0;
         switch (e.input) {
-          case InputVar::kX0: target = t; break;
+          case InputVar::kX0:
+            target = t;
+            next_stay = stay_chain + 1;
+            break;
           case InputVar::kX1:
             XQMFT_CHECK(t != nullptr);
             target = t->left;
@@ -281,10 +299,10 @@ class MttInterp {
         std::vector<BTreePtr> args;
         args.reserve(e.children.size());
         for (const BExpr& a : e.children) {
-          XQMFT_ASSIGN_OR_RETURN(BTreePtr v, Eval(a, t, params));
+          XQMFT_ASSIGN_OR_RETURN(BTreePtr v, Eval(a, t, params, stay_chain));
           args.push_back(std::move(v));
         }
-        return Apply(e.state, target, args);
+        return Apply(e.state, target, args, next_stay);
       }
       case BKind::kParam:
         return params[static_cast<std::size_t>(e.param) - 1];
@@ -294,6 +312,7 @@ class MttInterp {
 
   const Mtt& mtt_;
   std::uint64_t steps_left_;
+  const int stay_limit_;
 };
 
 }  // namespace

@@ -254,9 +254,11 @@ class SlotRun {
     active_stack_.push_back({0});
   }
 
-  // Feeds events; appends binding results via `deliver`.
-  template <typename Deliver>
-  Status OnStart(const std::string& name, const Deliver& deliver) {
+  // Feeds a start-element event. Never delivers: a match only opens the
+  // buffered fragment here; binding results are appended via `deliver` when
+  // the fragment completes, in OnText (immediate text bindings) or OnEnd
+  // (the buffer root closing).
+  Status OnStart(const std::string& name) {
     if (buffering_) {
       ++buffer_depth_;
       ProjectStart(NodeKind::kElement, name);
@@ -588,7 +590,7 @@ Status GcxQuery::Run(ByteSource* source, OutputSink* sink, GcxOptions options,
     for (std::size_t s = 0; s < runs.size(); ++s) {
       switch (ev.type) {
         case XmlEventType::kStartElement:
-          XQMFT_RETURN_NOT_OK(runs[s].OnStart(ev.name, deliver_for(s)));
+          XQMFT_RETURN_NOT_OK(runs[s].OnStart(ev.name));
           break;
         case XmlEventType::kText:
           XQMFT_RETURN_NOT_OK(runs[s].OnText(ev.text, deliver_for(s)));

@@ -22,24 +22,38 @@ struct Pos {
 class Interp {
  public:
   Interp(const Mft& mft, InterpOptions options)
-      : mft_(mft), steps_left_(options.max_steps) {}
+      : mft_(mft),
+        steps_left_(options.max_steps),
+        stay_limit_(mft.num_states()) {}
 
   Result<Forest> Run(const Forest& input) {
     Forest out;
     XQMFT_RETURN_NOT_OK(
-        Apply(mft_.initial_state(), Pos{&input, 0}, {}, &out));
+        Apply(mft_.initial_state(), Pos{&input, 0}, {}, &out, 0));
     return out;
   }
 
  private:
+  // `stay_chain` counts the consecutive stay moves (x0 calls) leading here.
+  // Rule choice and control flow depend only on (state, input node) — never
+  // on parameter values — so a no-progress chain longer than the state count
+  // has revisited some state at the same position and must replay forever.
+  // Detecting that exactly turns a divergent stay loop into a clean error
+  // before it can overflow the C++ stack (the step budget alone cannot: the
+  // stack dies orders of magnitude earlier than any useful budget).
   Status Apply(StateId q, Pos pos, const std::vector<Forest>& params,
-               Forest* out) {
+               Forest* out, int stay_chain) {
     if (steps_left_ == 0) {
       return Status::ResourceExhausted(
           "MFT interpreter exceeded the step budget (non-terminating "
           "stay-move loop?)");
     }
     --steps_left_;
+    if (stay_chain > stay_limit_) {
+      return Status::ResourceExhausted(
+          "MFT interpreter detected a non-terminating stay-move loop "
+          "(a state recurred with no input progress)");
+    }
     const Rhs* rhs;
     const Tree* node = nullptr;
     if (pos.AtEnd()) {
@@ -52,11 +66,12 @@ class Interp {
       return Status::Internal("no applicable rule for state " +
                               mft_.state_name(q));
     }
-    return EvalRhs(*rhs, pos, node, params, out);
+    return EvalRhs(*rhs, pos, node, params, out, stay_chain);
   }
 
   Status EvalRhs(const Rhs& rhs, Pos pos, const Tree* node,
-                 const std::vector<Forest>& params, Forest* out) {
+                 const std::vector<Forest>& params, Forest* out,
+                 int stay_chain) {
     for (const RhsNode& item : rhs) {
       switch (item.kind) {
         case RhsKind::kLabel: {
@@ -69,16 +84,18 @@ class Interp {
             t.kind = item.symbol.kind;
             t.label = item.symbol.name;
           }
-          XQMFT_RETURN_NOT_OK(
-              EvalRhs(item.children, pos, node, params, &t.children));
+          XQMFT_RETURN_NOT_OK(EvalRhs(item.children, pos, node, params,
+                                      &t.children, stay_chain));
           out->push_back(std::move(t));
           break;
         }
         case RhsKind::kCall: {
           Pos target = pos;
+          int next_stay = 0;
           switch (item.input) {
             case InputVar::kX0:
               target = pos;
+              next_stay = stay_chain + 1;
               break;
             case InputVar::kX1:
               XQMFT_CHECK(node != nullptr);
@@ -93,10 +110,12 @@ class Interp {
           arg_values.reserve(item.args.size());
           for (const Rhs& arg : item.args) {
             Forest v;
-            XQMFT_RETURN_NOT_OK(EvalRhs(arg, pos, node, params, &v));
+            XQMFT_RETURN_NOT_OK(
+                EvalRhs(arg, pos, node, params, &v, stay_chain));
             arg_values.push_back(std::move(v));
           }
-          XQMFT_RETURN_NOT_OK(Apply(item.state, target, arg_values, out));
+          XQMFT_RETURN_NOT_OK(
+              Apply(item.state, target, arg_values, out, next_stay));
           break;
         }
         case RhsKind::kParam: {
@@ -111,6 +130,7 @@ class Interp {
 
   const Mft& mft_;
   std::uint64_t steps_left_;
+  const int stay_limit_;
 };
 
 }  // namespace

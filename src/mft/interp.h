@@ -19,8 +19,13 @@ namespace xqmft {
 
 struct InterpOptions {
   /// Maximum number of rule applications before the run is aborted with
-  /// ResourceExhausted. Guards against non-terminating stay-move loops in
-  /// hand-written transducers (the paper only deals with terminating MFTs).
+  /// ResourceExhausted. Guards against runaway (but input-consuming)
+  /// transducers; the paper only deals with terminating MFTs.
+  ///
+  /// Divergent stay-move loops need no budget: the interpreter detects a
+  /// chain of stay moves longer than the state count — which must revisit a
+  /// state with no input progress and therefore replays forever — and fails
+  /// with ResourceExhausted before the recursion can overflow the C++ stack.
   std::uint64_t max_steps = 50'000'000;
 };
 

@@ -29,7 +29,7 @@ class Parser {
     if (pos_ != s_.size()) {
       return Err("trailing characters after query");
     }
-    return std::move(q);
+    return q;
   }
 
  private:

@@ -1,0 +1,96 @@
+#!/bin/sh
+# Smoke tests for the xqmft CLI, registered under ctest (see CMakeLists.txt).
+#
+#   cli_smoke_test.sh <path-to-xqmft> <case>
+#
+# Each case drives one subcommand end to end against small inline documents
+# and checks the observable output, not just the exit code.
+set -u
+
+XQMFT=$1
+CASE=$2
+
+TMPDIR_SMOKE=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMPDIR_SMOKE"' EXIT
+
+QUERY='<out>{ for $x in $input/doc/item return <hit>{$x/text()}</hit> }</out>'
+DOC='<doc><item>a</item><item>b</item></doc>'
+WANT='<out><hit>a</hit><hit>b</hit></out>'
+
+XML="$TMPDIR_SMOKE/doc.xml"
+printf '%s' "$DOC" > "$XML"
+SCHEMA="$TMPDIR_SMOKE/doc.sch"
+printf 'doc -> item*\nitem -> text\n' > "$SCHEMA"
+
+fail() {
+  echo "FAIL($CASE): $1" >&2
+  exit 1
+}
+
+expect_contains() {
+  case "$1" in
+    *"$2"*) ;;
+    *) fail "expected output containing '$2', got: $1" ;;
+  esac
+}
+
+case "$CASE" in
+  run)
+    OUT=$("$XQMFT" run "$QUERY" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    ;;
+  run_stdin)
+    OUT=$("$XQMFT" run "$QUERY" < "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    ;;
+  run_no_opt)
+    OUT=$("$XQMFT" run --no-opt "$QUERY" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    ;;
+  run_dag)
+    OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "output nodes:"
+    expect_contains "$OUT" "compression:"
+    ;;
+  compile)
+    OUT=$("$XQMFT" compile "$QUERY" 2>"$TMPDIR_SMOKE/report") || fail "exit $?"
+    expect_contains "$OUT" "q0("
+    expect_contains "$(cat "$TMPDIR_SMOKE/report")" "after:"
+    ;;
+  compile_no_opt)
+    OUT=$("$XQMFT" compile --no-opt "$QUERY" 2>/dev/null) || fail "exit $?"
+    expect_contains "$OUT" "q0("
+    ;;
+  translate)
+    OUT=$("$XQMFT" translate "$QUERY") || fail "exit $?"
+    # The raw translation keeps the parameter-passing helper states that the
+    # Section 4.1 passes remove.
+    expect_contains "$OUT" "q0("
+    expect_contains "$OUT" "y1"
+    ;;
+  validate)
+    OUT=$("$XQMFT" validate "$SCHEMA" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "valid"
+    ;;
+  validate_invalid)
+    printf '<doc><bogus/></doc>' > "$TMPDIR_SMOKE/bad.xml"
+    OUT=$("$XQMFT" validate "$SCHEMA" "$TMPDIR_SMOKE/bad.xml" 2>&1)
+    test $? -eq 0 && fail "expected nonzero exit for invalid document"
+    expect_contains "$OUT" "schema violation"
+    ;;
+  stats)
+    OUT=$("$XQMFT" stats "$XML") || fail "exit $?"
+    expect_contains "$OUT" "elements: 3"
+    expect_contains "$OUT" "depth: 3"
+    ;;
+  bad_query)
+    OUT=$("$XQMFT" run '<<<' "$XML" 2>&1)
+    test $? -eq 0 && fail "expected nonzero exit for a malformed query"
+    expect_contains "$OUT" "MinXQuery error"
+    ;;
+  *)
+    fail "unknown case"
+    ;;
+esac
+
+exit 0

@@ -103,6 +103,20 @@ TEST(MttTest, IdentityOnRandomTrees) {
   }
 }
 
+TEST(MttTest, StayLoopDetectedBeforeStackOverflow) {
+  // A q(x0) stay loop: with the default step budget the recursion would
+  // overflow the C++ stack long before the budget fires, so the stay-chain
+  // detector must fail the run cleanly (mirroring the MFT interpreter).
+  Mtt m;
+  StateId q = m.AddState("loop", 0);
+  m.set_initial_state(q);
+  m.SetDefaultRule(q, BExpr::Call(q, InputVar::kX0));
+  m.SetEpsilonRule(q, BExpr::Call(q, InputVar::kX0));
+  Result<BTreePtr> out = RunMtt(m, nullptr);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
 TEST(MttTest, ValidateCatchesArityAndParams) {
   Mtt m;
   StateId q0 = m.AddState("q0", 0);

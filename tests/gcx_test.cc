@@ -228,6 +228,38 @@ TEST(GcxEngineTest, StatsArePopulated) {
   EXPECT_GT(stats.bytes_in, 0u);
 }
 
+// Regression for the slot runtime's delivery timing: a start-element event
+// never delivers a binding — it only opens (or extends) the projection
+// buffer. Element bindings reach the sink when their fragment closes, and
+// text-node bindings complete immediately. If a start event ever delivered,
+// the nested match below would be emitted twice (once half-built) and the
+// binding count would drift from the number of completed fragments.
+TEST(GcxEngineTest, DeliveryOnlyOnBindingCompletion) {
+  // Descendant slot: <a> matches at depth 1 and again nested inside the
+  // buffered fragment, so both the streaming path (OnEnd) and the buffered
+  // re-scan contribute deliveries.
+  auto q = MustParse("<out>{for $v in $input//a return <m>{$v/t/text()}</m>}</out>");
+  GcxStats stats;
+  StringSink sink;
+  ASSERT_TRUE(GcxTransformString(*q,
+                                 "<r><a><t>1</t><a><t>2</t></a></a>"
+                                 "<a><t>3</t></a></r>",
+                                 &sink, {}, &stats)
+                  .ok());
+  EXPECT_EQ(sink.str(), "<out><m>1</m><m>2</m><m>3</m></out>");
+  EXPECT_EQ(stats.bindings, 3u);
+
+  // Text-node bindings deliver from OnText, with no fragment open at all.
+  auto qt = MustParse("<out>{for $v in $input/r/t/text() return <m>{$v}</m>}</out>");
+  GcxStats tstats;
+  StringSink tsink;
+  ASSERT_TRUE(GcxTransformString(*qt, "<r><t>x</t><t>y</t></r>", &tsink, {},
+                                 &tstats)
+                  .ok());
+  EXPECT_EQ(tsink.str(), "<out><m>x</m><m>y</m></out>");
+  EXPECT_EQ(tstats.bindings, 2u);
+}
+
 // Randomized equivalence sweep on the supported corpus.
 Forest RandomSite(Rng* rng) {
   Forest f;

@@ -292,6 +292,33 @@ TEST(MftInterpTest, StepBudgetCatchesDivergence) {
   EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(MftInterpTest, StayLoopDetectedBeforeStackOverflow) {
+  // Same stay loop with the default 50M step budget: the recursive
+  // interpreter would blow the C++ stack long before 50M applications, so
+  // the stay-chain detector must fail the run cleanly instead.
+  Mft m = MustParseMft(
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> q(x0)\n");
+  Result<Forest> out = RunMft(m, {});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MftInterpTest, StayLoopGuardAllowsWideInputs) {
+  // The guard must only count no-progress moves: sibling (x2) recursion is
+  // input progress, so a flat forest of thousands of elements — depth far
+  // beyond any fixed recursion cap — still evaluates.
+  Mft id = MustParseMft(
+      "q(%t(x1)x2) -> %t(q(x1)) q(x2)\n"
+      "q(%ttext(x1)x2) -> %t(eps) q(x2)\n"
+      "q(eps) -> eps\n");
+  Forest wide;
+  for (int i = 0; i < 3000; ++i) wide.push_back(Tree::Element("e"));
+  Result<Forest> out = RunMft(id, wide);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().size(), 3000u);
+}
+
 TEST(MftInterpTest, ExponentialDoublingTransducer) {
   // Section 4.2: q(a(x1,x2)) -> q(x2)q(x2); translates n a-nodes into 2^n
   // a-leaves. Forest version.

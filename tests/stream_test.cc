@@ -28,10 +28,6 @@ Mft MustParseMft(const std::string& text) {
   return std::move(r).ValueOrDie();
 }
 
-Forest MustParseXml(const std::string& xml) {
-  return std::move(ParseXmlForest(xml).ValueOrDie());
-}
-
 std::string StreamToMarkup(const Mft& mft, const std::string& xml,
                            StreamStats* stats = nullptr) {
   StringSink sink;

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Runs the paper's benchmark set and aggregates one baseline JSON artifact.
+
+Executes the Figure 4(a)-(i) binaries and the Table 1 dataset bench with
+``--benchmark_out_format=json`` and merges the per-binary reports into a
+single file (default ``BENCH_baseline.json``) that downstream PRs can diff
+against.
+
+Typical use, after building:
+
+    python3 tools/bench_runner.py --bin-dir build/bench --out BENCH_baseline.json
+
+Input sizes default to a quick sweep (1 and 4 MB XMark scale); pass
+``--sizes-mb`` for the larger points of the paper's figures. The fig4
+binaries honour the XQMFT_BENCH_* environment knobs documented in
+src/bench_common/fig4.h; this driver only sets the ones given on the
+command line.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+FIG4_BENCHES = [
+    "bench_fig4a_q1",
+    "bench_fig4b_q2",
+    "bench_fig4c_q4",
+    "bench_fig4d_q13",
+    "bench_fig4e_q16",
+    "bench_fig4f_q17",
+    "bench_fig4g_double",
+    "bench_fig4h_fourstar",
+    "bench_fig4i_deepdup",
+]
+TABLE1_BENCH = "bench_table1_datasets"
+
+
+def run_one(binary, out_path, min_time, env):
+    cmd = [
+        binary,
+        "--benchmark_out=%s" % out_path,
+        "--benchmark_out_format=json",
+        "--benchmark_min_time=%g" % min_time,
+    ]
+    # Console output (including the Table 1 text dump) goes to the terminal;
+    # only the JSON side channel is parsed.
+    return subprocess.run(cmd, env=env).returncode
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bin-dir", default="build/bench",
+                        help="directory with the built bench binaries")
+    parser.add_argument("--out", default="BENCH_baseline.json",
+                        help="aggregated output file")
+    parser.add_argument("--sizes-mb", default="1,4",
+                        help="comma-separated XMark sizes (XQMFT_BENCH_SIZES_MB)")
+    parser.add_argument("--table1-mb", type=int, default=1,
+                        help="Table 1 corpus scale (XQMFT_BENCH_T1_MB)")
+    parser.add_argument("--min-time", type=float, default=0.01,
+                        help="per-benchmark minimum time in seconds")
+    parser.add_argument("--filter", default=None,
+                        help="only run binaries whose name contains this")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env.setdefault("XQMFT_BENCH_SIZES_MB", args.sizes_mb)
+    env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
+
+    binaries = FIG4_BENCHES + [TABLE1_BENCH]
+    if args.filter:
+        binaries = [b for b in binaries if args.filter in b]
+    if not binaries:
+        print("bench_runner: nothing matches --filter", file=sys.stderr)
+        return 2
+
+    runs = []
+    context = None
+    failed = []
+    for name in binaries:
+        binary = os.path.join(args.bin_dir, name)
+        if not os.path.exists(binary):
+            print("bench_runner: missing %s (build the bench targets first)"
+                  % binary, file=sys.stderr)
+            return 2
+        print("== %s ==" % name, flush=True)
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            tmp_path = tmp.name
+        try:
+            rc = run_one(binary, tmp_path, args.min_time, env)
+            if rc != 0:
+                failed.append(name)
+                continue
+            with open(tmp_path) as f:
+                report = json.load(f)
+        finally:
+            os.unlink(tmp_path)
+        if context is None:
+            context = report.get("context", {})
+        runs.append({"binary": name,
+                     "benchmarks": report.get("benchmarks", [])})
+
+    aggregate = {
+        "schema": "xqmft-bench-baseline-v1",
+        "sizes_mb": env["XQMFT_BENCH_SIZES_MB"],
+        "table1_mb": env["XQMFT_BENCH_T1_MB"],
+        "context": context or {},
+        "runs": runs,
+    }
+    with open(args.out, "w") as f:
+        json.dump(aggregate, f, indent=2)
+        f.write("\n")
+
+    total = sum(len(r["benchmarks"]) for r in runs)
+    print("bench_runner: wrote %d benchmarks from %d binaries to %s"
+          % (total, len(runs), args.out))
+    if failed:
+        print("bench_runner: FAILED: %s" % ", ".join(failed), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

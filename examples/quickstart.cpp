@@ -57,9 +57,11 @@ int main(int argc, char** argv) {
   std::printf("output:\n  %s\n\n", sink.str().c_str());
   std::printf(
       "stats: %zu bytes in, %zu output events, peak memory %s, "
-      "%llu rule applications\n",
+      "%llu rule applications, %llu cells + %llu exprs created\n",
       stats.bytes_in, stats.output_events,
       HumanBytes(stats.peak_bytes).c_str(),
-      static_cast<unsigned long long>(stats.rule_applications));
+      static_cast<unsigned long long>(stats.rule_applications),
+      static_cast<unsigned long long>(stats.cells_created),
+      static_cast<unsigned long long>(stats.exprs_created));
   return 0;
 }

@@ -76,6 +76,10 @@ void BenchMft(benchmark::State& state, const BenchQuery& bq,
   state.counters["peak_mem_B"] = static_cast<double>(stats.peak_bytes);
   state.counters["out_events"] = static_cast<double>(out_events);
   state.counters["bytes_in"] = static_cast<double>(stats.bytes_in);
+  // Allocation-rate counters: slab reuse shows up here as flat node churn
+  // per input byte, independently of wall-time noise.
+  state.counters["exprs_created"] = static_cast<double>(stats.exprs_created);
+  state.counters["cells_created"] = static_cast<double>(stats.cells_created);
   state.SetBytesProcessed(
       static_cast<int64_t>(stats.bytes_in * state.iterations()));
 }

@@ -497,15 +497,15 @@ class SlotRun {
 class CountingForwardSink : public OutputSink {
  public:
   explicit CountingForwardSink(OutputSink* inner) : inner_(inner) {}
-  void StartElement(const std::string& name) override {
+  void StartElement(std::string_view name) override {
     inner_->StartElement(name);
     ++events_;
   }
-  void EndElement(const std::string& name) override {
+  void EndElement(std::string_view name) override {
     inner_->EndElement(name);
     ++events_;
   }
-  void Text(const std::string& content) override {
+  void Text(std::string_view content) override {
     inner_->Text(content);
     ++events_;
   }

@@ -1,0 +1,89 @@
+// Dense, alphabet-indexed rule dispatch (the compiled form of an Mft's rule
+// selection).
+//
+// The paper's engine must do O(1) work per input event; the seed
+// implementation instead re-hashed the node's label on every rule
+// application (Mft::LookupRule built a Symbol and probed an unordered_map).
+// RuleDispatch precompiles, per state, a flat table indexed by SymbolId:
+//
+//   slots[q][id]  =  exact symbol rule for id, if the state has one,
+//                    else the kind-appropriate fallback (text rule for text
+//                    symbols, default rule otherwise)
+//
+// so selection on the streaming hot path is two loads and a bounds check.
+// Ids not in any rule's alphabet — input names first seen at runtime get ids
+// >= width() — resolve through the per-state fallback slots without looking
+// at the name. Text nodes carry content, not ids: they dispatch through
+// ForText, which only falls back to a (content-keyed) hash probe for the
+// rare states that actually test text literals.
+//
+// Compilation also resolves every RHS output label to its id
+// (RhsNode::symbol_id), so rule instantiation copies ids instead of strings.
+#ifndef XQMFT_MFT_DISPATCH_H_
+#define XQMFT_MFT_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "mft/mft.h"
+#include "xml/symbol_table.h"
+
+namespace xqmft {
+
+/// \brief Per-state flat rule tables over a SymbolTable's dense ids.
+///
+/// Pointers reference the Mft's rule storage: the Mft must outlive the
+/// dispatch and its rules must not change (Mft::dispatch() enforces this by
+/// rebuilding after any mutation).
+class RuleDispatch {
+ public:
+  /// Interns all rule symbols of `mft` into `table` and builds the tables.
+  RuleDispatch(const Mft& mft, SymbolTable* table);
+
+  /// Rule for state `q` on an element node with interned name `id`.
+  /// Never null on a validated transducer.
+  const Rhs* ForElement(StateId q, SymbolId id) const {
+    const Row& row = rows_[static_cast<std::size_t>(q)];
+    if (id < width_) return row.slots[id];
+    return row.element_fallback;
+  }
+
+  /// Rule for state `q` on a text node with the given content.
+  const Rhs* ForText(StateId q, const std::string& content) const {
+    const Row& row = rows_[static_cast<std::size_t>(q)];
+    if (row.has_text_symbols) {
+      // The state tests text literals: a content-keyed probe is inherent
+      // (content is unbounded input data, never interned).
+      return mft_->LookupRule(q, NodeKind::kText, content);
+    }
+    return row.text_fallback;
+  }
+
+  /// Epsilon rule of `q`. Never null on a validated transducer.
+  const Rhs* Epsilon(StateId q) const {
+    return rows_[static_cast<std::size_t>(q)].epsilon;
+  }
+
+  /// Number of ids the dense slots cover (the table size at compile time);
+  /// ids >= width() take the fallback path.
+  SymbolId width() const { return width_; }
+
+ private:
+  struct Row {
+    // Indexed by SymbolId, size width_. Filled for element-kind ids only
+    // (ForElement is the sole reader); text-kind ids hold nullptr.
+    std::vector<const Rhs*> slots;
+    const Rhs* element_fallback = nullptr;  // default rule
+    const Rhs* text_fallback = nullptr;     // text rule, else default rule
+    const Rhs* epsilon = nullptr;
+    bool has_text_symbols = false;  // state has Symbol(kText, ...) rules
+  };
+
+  const Mft* mft_;
+  SymbolId width_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_MFT_DISPATCH_H_

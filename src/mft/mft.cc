@@ -2,9 +2,56 @@
 
 #include <algorithm>
 
+#include "mft/dispatch.h"
 #include "util/strings.h"
 
 namespace xqmft {
+
+// Out of line: RuleDispatch is incomplete in the header. Copies and moves
+// never carry the dispatch cache — it holds pointers into the donor's rule
+// storage.
+Mft::Mft() = default;
+Mft::~Mft() = default;
+void Mft::InvalidateDispatch() { dispatch_.reset(); }
+Mft::Mft(const Mft& o)
+    : states_(o.states_), rules_(o.rules_), initial_(o.initial_) {}
+Mft::Mft(Mft&& o) noexcept
+    : states_(std::move(o.states_)),
+      rules_(std::move(o.rules_)),
+      initial_(o.initial_) {
+  o.InvalidateDispatch();
+}
+Mft& Mft::operator=(const Mft& o) {
+  if (this != &o) {
+    states_ = o.states_;
+    rules_ = o.rules_;
+    initial_ = o.initial_;
+    InvalidateDispatch();
+  }
+  return *this;
+}
+Mft& Mft::operator=(Mft&& o) noexcept {
+  if (this != &o) {
+    states_ = std::move(o.states_);
+    rules_ = std::move(o.rules_);
+    initial_ = o.initial_;
+    InvalidateDispatch();
+    o.InvalidateDispatch();
+  }
+  return *this;
+}
+
+const RuleDispatch& Mft::dispatch() const {
+  if (!dispatch_) {
+    dispatch_ = std::make_unique<RuleDispatch>(*this, &symbols_);
+  }
+  return *dispatch_;
+}
+
+const SymbolTable& Mft::symbols() const {
+  dispatch();  // ensure compiled
+  return symbols_;
+}
 
 bool RhsNode::operator==(const RhsNode& o) const {
   if (kind != o.kind) return false;
@@ -34,21 +81,26 @@ std::size_t RhsSize(const Rhs& rhs) {
 }
 
 StateId Mft::AddState(std::string name, int num_params) {
+  InvalidateDispatch();
   states_.push_back(StateInfo{std::move(name), num_params});
   rules_.emplace_back();
   return static_cast<StateId>(states_.size()) - 1;
 }
 
 void Mft::SetSymbolRule(StateId q, Symbol s, Rhs rhs) {
+  InvalidateDispatch();
   rules_[q].symbol_rules[std::move(s)] = std::move(rhs);
 }
 void Mft::SetTextRule(StateId q, Rhs rhs) {
+  InvalidateDispatch();
   rules_[q].text_rule = std::move(rhs);
 }
 void Mft::SetDefaultRule(StateId q, Rhs rhs) {
+  InvalidateDispatch();
   rules_[q].default_rule = std::move(rhs);
 }
 void Mft::SetEpsilonRule(StateId q, Rhs rhs) {
+  InvalidateDispatch();
   rules_[q].epsilon_rule = std::move(rhs);
 }
 

@@ -18,6 +18,7 @@
 #ifndef XQMFT_MFT_MFT_H_
 #define XQMFT_MFT_MFT_H_
 
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -27,8 +28,11 @@
 #include "util/status.h"
 #include "xml/forest.h"
 #include "xml/symbol.h"
+#include "xml/symbol_table.h"
 
 namespace xqmft {
+
+class RuleDispatch;
 
 /// Identifier of an MFT state (index into the state table).
 using StateId = int;
@@ -58,6 +62,10 @@ struct RhsNode {
   // kLabel
   bool current_label = false;  ///< true for %t output labels
   Symbol symbol;               ///< valid when !current_label
+  /// Interned id of `symbol` in the owning Mft's table. A memoization cache
+  /// filled when the Mft compiles its dispatch (hence mutable); ignored by
+  /// equality. kInvalidSymbol until then.
+  mutable SymbolId symbol_id = kInvalidSymbol;
   Rhs children;
 
   // kCall
@@ -113,8 +121,25 @@ struct StateRules {
 };
 
 /// \brief A deterministic, total macro forest transducer.
+///
+/// Rules are authored against string-named Symbols; for execution the Mft
+/// lazily compiles a RuleDispatch (mft/dispatch.h): every rule symbol is
+/// interned into the transducer's SymbolTable and per-state flat tables make
+/// rule selection an array index. The compiled form is a cache — any rule
+/// mutation invalidates it and the next dispatch() call recompiles. Interned
+/// ids are never reassigned, so recompilation keeps existing ids stable.
 class Mft {
  public:
+  Mft();
+  // The dispatch cache holds pointers into rules_, so it must not survive a
+  // copy (or the donor's move): copies start with a cold cache. Defined out
+  // of line (RuleDispatch is incomplete here).
+  Mft(const Mft& o);
+  Mft(Mft&& o) noexcept;
+  Mft& operator=(const Mft& o);
+  Mft& operator=(Mft&& o) noexcept;
+  ~Mft();
+
   /// Adds a state with `num_params` accumulating parameters (rank is
   /// num_params + 1). Names are for printing; they need not be unique but
   /// the printer disambiguates duplicates.
@@ -144,7 +169,19 @@ class Mft {
   }
 
   const StateRules& rules(StateId q) const { return rules_[q]; }
-  StateRules& mutable_rules(StateId q) { return rules_[q]; }
+  StateRules& mutable_rules(StateId q) {
+    InvalidateDispatch();  // caller may rewrite rules in place
+    return rules_[q];
+  }
+
+  /// The compiled dense dispatch (built on first use, rebuilt after any rule
+  /// mutation). Single-threaded, like the engines.
+  const RuleDispatch& dispatch() const;
+
+  /// The symbol table the dispatch is compiled against. The streaming engine
+  /// seeds its per-run table from this so input names and rule symbols share
+  /// one id space.
+  const SymbolTable& symbols() const;
 
   /// Selects the rule applicable to a node with the given kind and label:
   /// exact symbol rule, else text rule (for text nodes), else default rule.
@@ -187,9 +224,18 @@ class Mft {
     std::string name;
     int num_params;
   };
+
+  void InvalidateDispatch();  // out of line: RuleDispatch is incomplete
+
   std::vector<StateInfo> states_;
   std::vector<StateRules> rules_;
   StateId initial_ = 0;
+
+  // Compiled-dispatch cache. The table only ever grows (ids stay stable
+  // across recompiles); the dispatch is dropped on any rule mutation.
+  // Mutable: compilation is observable only through dispatch()/symbols().
+  mutable SymbolTable symbols_;
+  mutable std::unique_ptr<RuleDispatch> dispatch_;
 };
 
 /// Parses the textual rule syntax printed by Mft::ToString. One rule per

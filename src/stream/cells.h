@@ -12,6 +12,12 @@
 // release consumed prefixes of the stream: whatever the transducer still
 // references is exactly the buffered part of the input, which is how the
 // no-opt/opt memory difference of Figure 4 arises naturally.
+//
+// An element cell carries only its interned SymbolId — the per-event name
+// copy of the seed representation is gone. Text cells own their content
+// string (content is data, not alphabet). Cells allocate from their arena's
+// slab, so steady-state streaming recycles cell storage instead of hitting
+// the heap per event.
 #ifndef XQMFT_STREAM_CELLS_H_
 #define XQMFT_STREAM_CELLS_H_
 
@@ -20,9 +26,10 @@
 
 #include "util/intrusive_ptr.h"
 #include "util/memory_tracker.h"
+#include "util/slab.h"
 #include "util/status.h"
 #include "xml/events.h"
-#include "xml/symbol.h"
+#include "xml/symbol_table.h"
 
 namespace xqmft {
 
@@ -32,14 +39,26 @@ enum class CellState : unsigned char {
   kNode,
 };
 
+class Cell;
+
+/// \brief Allocation context shared by every cell of one engine run: the
+/// byte accounting plus the slab the cells live in. One pointer per cell
+/// instead of two — cell count is the engine's memory story. Cells must not
+/// outlive their arena.
+struct CellArena {
+  explicit CellArena(MemoryTracker* t) : tracker(t) {}
+  MemoryTracker* tracker;
+  Slab<Cell> slab;
+};
+
 /// \brief One position of the incrementally revealed input forest.
 class Cell : public RefCounted {
  public:
-  explicit Cell(MemoryTracker* tracker) : tracker_(tracker) {
-    tracker_->Charge(sizeof(Cell));
+  explicit Cell(CellArena* arena) : arena_(arena) {
+    arena_->tracker->Charge(sizeof(Cell));
   }
   ~Cell() override {
-    tracker_->Release(sizeof(Cell) + label_.capacity());
+    arena_->tracker->Release(sizeof(Cell) + text_.capacity());
     // Unlink child/sibling chains iteratively: dropping the head of a long
     // fully-owned chain must not recurse once per node (documents are often
     // deeper than the stack is forgiving).
@@ -60,7 +79,10 @@ class Cell : public RefCounted {
 
   CellState state() const { return state_; }
   NodeKind kind() const { return kind_; }
-  const std::string& label() const { return label_; }
+  /// Interned name (element cells; kInvalidSymbol for text cells).
+  SymbolId symbol() const { return symbol_; }
+  /// Character content (text cells; empty for element cells).
+  const std::string& text() const { return text_; }
   const IntrusivePtr<Cell>& child() const { return child_; }
   const IntrusivePtr<Cell>& sibling() const { return sibling_; }
 
@@ -70,23 +92,38 @@ class Cell : public RefCounted {
     state_ = CellState::kEps;
   }
 
-  /// Pending -> Node.
-  void FillNode(NodeKind kind, std::string label, IntrusivePtr<Cell> child,
-                IntrusivePtr<Cell> sibling) {
+  /// Pending -> element Node.
+  void FillElement(SymbolId symbol, IntrusivePtr<Cell> child,
+                   IntrusivePtr<Cell> sibling) {
     XQMFT_CHECK(state_ == CellState::kPending);
     state_ = CellState::kNode;
-    kind_ = kind;
-    label_ = std::move(label);
-    tracker_->Charge(label_.capacity());
+    kind_ = NodeKind::kElement;
+    symbol_ = symbol;
     child_ = std::move(child);
     sibling_ = std::move(sibling);
   }
 
+  /// Pending -> text Node.
+  void FillText(std::string content, IntrusivePtr<Cell> child,
+                IntrusivePtr<Cell> sibling) {
+    XQMFT_CHECK(state_ == CellState::kPending);
+    state_ = CellState::kNode;
+    kind_ = NodeKind::kText;
+    text_ = std::move(content);
+    arena_->tracker->Charge(text_.capacity());
+    child_ = std::move(child);
+    sibling_ = std::move(sibling);
+  }
+
+ protected:
+  void Dispose() override { arena_->slab.Recycle(this); }
+
  private:
-  MemoryTracker* tracker_;
+  CellArena* arena_;
   CellState state_ = CellState::kPending;
   NodeKind kind_ = NodeKind::kElement;
-  std::string label_;
+  SymbolId symbol_ = kInvalidSymbol;
+  std::string text_;
   IntrusivePtr<Cell> child_;
   IntrusivePtr<Cell> sibling_;
 };
@@ -95,11 +132,12 @@ class Cell : public RefCounted {
 /// the open rightmost spine (O(depth)).
 class CellBuilder {
  public:
-  explicit CellBuilder(MemoryTracker* tracker)
-      : tracker_(tracker),
-        root_(MakeIntrusive<Cell>(tracker)),
-        tail_(root_),
-        cells_created_(1) {}
+  /// `symbols` resolves names for events that arrive without an interned id
+  /// (hand-built events in tests; parser events always carry one). The
+  /// arena provides cell storage with free-list reuse and must outlive
+  /// every cell built here.
+  CellBuilder(CellArena* arena, SymbolTable* symbols)
+      : arena_(arena), symbols_(symbols), root_(NewCell()), tail_(root_) {}
 
   /// Hands over the cell for the whole input forest (initially Pending).
   /// The builder must not keep this reference: a Node cell retains its
@@ -114,21 +152,22 @@ class CellBuilder {
   Status Feed(const XmlEvent& event) {
     switch (event.type) {
       case XmlEventType::kStartElement: {
-        IntrusivePtr<Cell> child = MakeIntrusive<Cell>(tracker_);
-        IntrusivePtr<Cell> sibling = MakeIntrusive<Cell>(tracker_);
-        cells_created_ += 2;
-        tail_->FillNode(NodeKind::kElement, event.name, child, sibling);
+        SymbolId symbol =
+            event.symbol != kInvalidSymbol
+                ? event.symbol
+                : symbols_->Intern(NodeKind::kElement, event.name);
+        IntrusivePtr<Cell> child = NewCell();
+        IntrusivePtr<Cell> sibling = NewCell();
+        tail_->FillElement(symbol, child, sibling);
         resume_.push_back(sibling);
         tail_ = std::move(child);
         return Status::OK();
       }
       case XmlEventType::kText: {
-        IntrusivePtr<Cell> child = MakeIntrusive<Cell>(tracker_);
+        IntrusivePtr<Cell> child = NewCell();
         child->FillEps();
-        IntrusivePtr<Cell> sibling = MakeIntrusive<Cell>(tracker_);
-        cells_created_ += 2;
-        tail_->FillNode(NodeKind::kText, event.text, std::move(child),
-                        sibling);
+        IntrusivePtr<Cell> sibling = NewCell();
+        tail_->FillText(event.text, std::move(child), sibling);
         tail_ = std::move(sibling);
         return Status::OK();
       }
@@ -158,11 +197,18 @@ class CellBuilder {
   std::uint64_t cells_created() const { return cells_created_; }
 
  private:
-  MemoryTracker* tracker_;
+  IntrusivePtr<Cell> NewCell() {
+    ++cells_created_;
+    return IntrusivePtr<Cell>(arena_->slab.New(arena_));
+  }
+
+  CellArena* arena_;
+  SymbolTable* symbols_;
+  // Before root_: NewCell() bumps the counter during root_'s initializer.
+  std::uint64_t cells_created_ = 0;
   IntrusivePtr<Cell> root_;
   IntrusivePtr<Cell> tail_;
   std::vector<IntrusivePtr<Cell>> resume_;
-  std::uint64_t cells_created_ = 0;
   bool done_ = false;
 };
 

@@ -24,17 +24,17 @@ std::uint32_t DagSink::Intern(Node node) {
   return id;
 }
 
-void DagSink::StartElement(const std::string& name) {
-  open_names_.push_back(name);
+void DagSink::StartElement(std::string_view name) {
+  open_names_.emplace_back(name);
   stack_.emplace_back();
 }
 
-void DagSink::EndElement(const std::string& name) {
+void DagSink::EndElement(std::string_view name) {
   XQMFT_CHECK(!open_names_.empty() && open_names_.back() == name);
   open_names_.pop_back();
   Node node;
   node.kind = NodeKind::kElement;
-  node.label = name;
+  node.label = std::string(name);
   node.children = std::move(stack_.back());
   stack_.pop_back();
   node.size = 1;
@@ -44,10 +44,10 @@ void DagSink::EndElement(const std::string& name) {
   stack_.back().push_back(id);
 }
 
-void DagSink::Text(const std::string& content) {
+void DagSink::Text(std::string_view content) {
   Node node;
   node.kind = NodeKind::kText;
-  node.label = content;
+  node.label = std::string(content);
   node.size = 1;
   total_nodes_ += 1;
   std::uint32_t id = Intern(std::move(node));

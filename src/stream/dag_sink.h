@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -27,9 +28,9 @@ class DagSink : public OutputSink {
  public:
   DagSink();
 
-  void StartElement(const std::string& name) override;
-  void EndElement(const std::string& name) override;
-  void Text(const std::string& content) override;
+  void StartElement(std::string_view name) override;
+  void EndElement(std::string_view name) override;
+  void Text(std::string_view content) override;
 
   /// Nodes of the unfolded output tree.
   std::uint64_t total_nodes() const { return total_nodes_; }

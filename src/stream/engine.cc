@@ -2,9 +2,11 @@
 
 #include <vector>
 
+#include "mft/dispatch.h"
 #include "schema/schema.h"
 #include "stream/cells.h"
 #include "util/intrusive_ptr.h"
+#include "util/slab.h"
 
 namespace xqmft {
 
@@ -18,14 +20,28 @@ enum class ExprKind : unsigned char {
   kInd,   ///< indirection to the reduced form
 };
 
+class Expr;
+
+// Allocation context shared by every thunk of one engine run (one pointer
+// per node instead of tracker + slab). Exprs must not outlive their arena.
+struct ExprArena {
+  explicit ExprArena(MemoryTracker* t) : tracker(t) {}
+  MemoryTracker* tracker;
+  Slab<Expr> slab;
+};
+
+// Output labels are interned ids resolved only at the sink boundary; the
+// one string an Expr can own is dynamic text content copied from the input
+// by a %t rule (symbol_ == kInvalidSymbol then). Storage comes from the
+// engine's slab, so steady-state thunk turnover is allocation-free.
 class Expr : public RefCounted {
  public:
-  explicit Expr(MemoryTracker* tracker) : tracker_(tracker) {
-    tracker_->Charge(sizeof(Expr));
+  explicit Expr(ExprArena* arena) : arena_(arena) {
+    arena_->tracker->Charge(sizeof(Expr));
   }
   ~Expr() override {
-    tracker_->Release(sizeof(Expr) + label_.capacity() +
-                      args_.capacity() * sizeof(IntrusivePtr<Expr>));
+    arena_->tracker->Release(sizeof(Expr) + text_.capacity() +
+                             args_.capacity() * sizeof(IntrusivePtr<Expr>));
     // Flatten the destruction of fully-owned expression chains (Ind/Cons
     // spines can be as long as the output stream).
     std::vector<IntrusivePtr<Expr>> work;
@@ -49,6 +65,7 @@ class Expr : public RefCounted {
 
   // kCons
   NodeKind node_kind = NodeKind::kElement;
+  SymbolId symbol = kInvalidSymbol;  ///< interned label; invalid => text_
   IntrusivePtr<Expr> child;  // also: kCat left, kInd target
   IntrusivePtr<Expr> next;   // also: kCat right
 
@@ -56,18 +73,25 @@ class Expr : public RefCounted {
   StateId state = -1;
   IntrusivePtr<Cell> cell;
 
-  const std::string& label() const { return label_; }
-  void set_label(std::string l) {
-    tracker_->Release(label_.capacity());
-    label_ = std::move(l);
-    tracker_->Charge(label_.capacity());
+  const std::string& text() const { return text_; }
+  void set_text(const std::string& t) {
+    arena_->tracker->Release(text_.capacity());
+    text_ = t;
+    arena_->tracker->Charge(text_.capacity());
+  }
+  void clear_text() {
+    if (!text_.empty()) {
+      arena_->tracker->Release(text_.capacity());
+      text_.clear();
+      text_.shrink_to_fit();
+    }
   }
 
   const std::vector<IntrusivePtr<Expr>>& args() const { return args_; }
   void set_args(std::vector<IntrusivePtr<Expr>> a) {
-    tracker_->Release(args_.capacity() * sizeof(IntrusivePtr<Expr>));
+    arena_->tracker->Release(args_.capacity() * sizeof(IntrusivePtr<Expr>));
     args_ = std::move(a);
-    tracker_->Charge(args_.capacity() * sizeof(IntrusivePtr<Expr>));
+    arena_->tracker->Charge(args_.capacity() * sizeof(IntrusivePtr<Expr>));
   }
 
   // Collapses this expression into an indirection (after reduction) or a
@@ -78,27 +102,31 @@ class Expr : public RefCounted {
     next.reset();
     cell.reset();
     set_args({});
-    set_label({});
+    symbol = kInvalidSymbol;
+    clear_text();
   }
 
- private:
-  MemoryTracker* tracker_;
-  std::string label_;
-  std::vector<IntrusivePtr<Expr>> args_;
-};
+ protected:
+  void Dispose() override { arena_->slab.Recycle(this); }
 
-enum class PumpResult {
-  kDone,
-  kNeedInput,
+ private:
+  ExprArena* arena_;
+  std::string text_;
+  std::vector<IntrusivePtr<Expr>> args_;
 };
 
 class Engine {
  public:
   Engine(const Mft& mft, OutputSink* sink, const StreamOptions& options)
-      : mft_(mft), sink_(sink), options_(options), builder_(&tracker_) {}
+      : mft_(mft),
+        dispatch_(&mft.dispatch()),
+        symbols_(mft.symbols()),  // run-local copy; grows with input names
+        sink_(sink),
+        options_(options),
+        builder_(&cell_arena_, &symbols_) {}
 
   Status Run(ByteSource* source, StreamStats* stats) {
-    SaxParser parser(source, options_.sax);
+    SaxParser parser(source, options_.sax, &symbols_);
 
     // Root thunk: q0 applied to the whole (pending) input forest.
     IntrusivePtr<Expr> root = NewExpr();
@@ -109,11 +137,10 @@ class Engine {
     // The emitter stack: (expression to emit, element to close afterwards).
     struct Frame {
       IntrusivePtr<Expr> expr;
-      std::string close_label;
-      bool has_close = false;
+      SymbolId close_symbol = kInvalidSymbol;
     };
     std::vector<Frame> stack;
-    stack.push_back(Frame{root, "", false});
+    stack.push_back(Frame{root, kInvalidSymbol});
     root.reset();
 
     XmlEvent event;
@@ -147,8 +174,8 @@ class Engine {
       e = Deref(e);
       top.expr = e;
       if (e->kind == ExprKind::kNil) {
-        if (top.has_close) {
-          sink_->EndElement(top.close_label);
+        if (top.close_symbol != kInvalidSymbol) {
+          sink_->EndElement(symbols_.name(top.close_symbol));
           ++output_events_;
         }
         stack.pop_back();
@@ -160,16 +187,18 @@ class Engine {
         bytes_at_first_output = parser.bytes_consumed();
       }
       if (e->node_kind == NodeKind::kText) {
-        sink_->Text(e->label());
+        // Static text (a rule literal) resolves through the table; dynamic
+        // text (%t over an input text node) is owned by the Expr.
+        sink_->Text(e->symbol != kInvalidSymbol ? symbols_.name(e->symbol)
+                                                : std::string_view(e->text()));
         ++output_events_;
         top.expr = e->next;
       } else {
-        sink_->StartElement(e->label());
+        sink_->StartElement(symbols_.name(e->symbol));
         ++output_events_;
         Frame child_frame;
         child_frame.expr = e->child;
-        child_frame.close_label = e->label();
-        child_frame.has_close = true;
+        child_frame.close_symbol = e->symbol;
         top.expr = e->next;
         stack.push_back(std::move(child_frame));
       }
@@ -191,7 +220,7 @@ class Engine {
  private:
   IntrusivePtr<Expr> NewExpr() {
     ++exprs_created_;
-    return MakeIntrusive<Expr>(&tracker_);
+    return IntrusivePtr<Expr>(expr_arena_.slab.New(&expr_arena_));
   }
 
   static IntrusivePtr<Expr> Deref(IntrusivePtr<Expr> e) {
@@ -238,7 +267,12 @@ class Engine {
           tail->next = cat->next;
           cat->kind = ExprKind::kCons;
           cat->node_kind = lt->node_kind;
-          cat->set_label(lt->label());
+          cat->symbol = lt->symbol;
+          if (lt->text().empty()) {
+            cat->clear_text();
+          } else {
+            cat->set_text(lt->text());
+          }
           cat->child = lt->child;
           cat->next = tail;
           cat->cell.reset();
@@ -277,11 +311,15 @@ class Engine {
                 "streaming engine exceeded the step budget");
           }
           ++steps_;
+          // Dense dispatch: rule selection is an array index on the interned
+          // symbol — no hashing, no label strings on the element path.
           const Rhs* rhs;
           if (cell->state() == CellState::kEps) {
-            rhs = mft_.LookupEpsilonRule(e->state);
+            rhs = dispatch_->Epsilon(e->state);
+          } else if (cell->kind() == NodeKind::kText) {
+            rhs = dispatch_->ForText(e->state, cell->text());
           } else {
-            rhs = mft_.LookupRule(e->state, cell->kind(), cell->label());
+            rhs = dispatch_->ForElement(e->state, cell->symbol());
           }
           if (rhs == nullptr) {
             return Status::Internal("no applicable rule for state " +
@@ -289,8 +327,7 @@ class Engine {
           }
           IntrusivePtr<Cell> cell_ref = e->cell;
           std::vector<IntrusivePtr<Expr>> args = e->args();
-          IntrusivePtr<Expr> inst =
-              Instantiate(*rhs, cell_ref.get(), args, nullptr);
+          IntrusivePtr<Expr> inst = Instantiate(*rhs, cell_ref, args, nullptr);
           e->BecomeInd(inst);
           e = Deref(inst).get();
           continue;
@@ -301,7 +338,8 @@ class Engine {
 
   // Builds the expression graph for an RHS forest. `tail` (may be null) is
   // appended after the instantiated forest.
-  IntrusivePtr<Expr> Instantiate(const Rhs& rhs, const Cell* cell,
+  IntrusivePtr<Expr> Instantiate(const Rhs& rhs,
+                                 const IntrusivePtr<Cell>& cell,
                                  const std::vector<IntrusivePtr<Expr>>& args,
                                  IntrusivePtr<Expr> tail) {
     IntrusivePtr<Expr> acc = std::move(tail);
@@ -313,10 +351,14 @@ class Engine {
           node->kind = ExprKind::kCons;
           if (item.current_label) {
             node->node_kind = cell->kind();
-            node->set_label(cell->label());
+            if (cell->kind() == NodeKind::kText) {
+              node->set_text(cell->text());
+            } else {
+              node->symbol = cell->symbol();
+            }
           } else {
             node->node_kind = item.symbol.kind;
-            node->set_label(item.symbol.name);
+            node->symbol = item.symbol_id;
           }
           node->child = Instantiate(item.children, cell, args, nullptr);
           node->next = acc ? std::move(acc) : NilExpr();
@@ -343,7 +385,7 @@ class Engine {
           call->state = item.state;
           switch (item.input) {
             case InputVar::kX0:
-              call->cell = IntrusivePtr<Cell>(const_cast<Cell*>(cell));
+              call->cell = cell;
               break;
             case InputVar::kX1:
               call->cell = cell->child();
@@ -385,9 +427,20 @@ class Engine {
   }
 
   const Mft& mft_;
+  const RuleDispatch* dispatch_;
+  // Arenas precede every member that can hold cells or exprs (builder_,
+  // nil_): members destruct in reverse order, and all nodes must be
+  // recycled before their slab frees its blocks.
+  MemoryTracker tracker_;
+  ExprArena expr_arena_{&tracker_};
+  CellArena cell_arena_{&tracker_};
+  // Deliberately outside the tracked metric: the table is bounded by the
+  // number of *distinct* names (alphabet-sized, like the transducer itself,
+  // which is not tracked either), while tracker_ measures what Figure 4
+  // measures — retention proportional to the streamed input.
+  SymbolTable symbols_;
   OutputSink* sink_;
   StreamOptions options_;
-  MemoryTracker tracker_;
   CellBuilder builder_;
   IntrusivePtr<Expr> nil_;
   std::vector<Expr*> cat_stack_;

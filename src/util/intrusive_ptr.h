@@ -26,9 +26,14 @@ class RefCounted {
 
   void Ref() const { ++refs_; }
   void Unref() const {
-    if (--refs_ == 0) delete this;
+    if (--refs_ == 0) const_cast<RefCounted*>(this)->Dispose();
   }
   std::uint32_t ref_count() const { return refs_; }
+
+ protected:
+  /// Called when the count reaches zero. Slab-allocated subclasses override
+  /// this to return their storage to a free list instead of the heap.
+  virtual void Dispose() { delete this; }
 
  private:
   mutable std::uint32_t refs_;

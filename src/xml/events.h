@@ -3,15 +3,25 @@
 // The streaming pipeline is event-based end to end: the SAX parser produces
 // events, the streaming MFT engine consumes them and pushes output events
 // into an OutputSink.
+//
+// Element names travel as interned SymbolIds (xml/symbol_table.h): the parser
+// interns each start-tag name once and every downstream layer — cells, rule
+// dispatch, output thunks — works with the dense id. The `name` string is
+// still populated for the non-hot-path consumers (DOM building, schema
+// validation, the GCX comparator, error messages); the streaming engine never
+// reads it. Text *content* stays a string: it is unbounded data, not part of
+// the transducer alphabet.
 #ifndef XQMFT_XML_EVENTS_H_
 #define XQMFT_XML_EVENTS_H_
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/strings.h"
+#include "xml/symbol_table.h"
 
 namespace xqmft {
 
@@ -27,34 +37,39 @@ enum class XmlEventType {
 /// elements (the representation used throughout this system).
 struct XmlEvent {
   XmlEventType type = XmlEventType::kEndOfDocument;
+  /// Interned element name (start/end); kInvalidSymbol for hand-built events
+  /// that only set `name` (CellBuilder interns those lazily).
+  SymbolId symbol = kInvalidSymbol;
   std::string name;  ///< element name (start/end)
   std::string text;  ///< character data (kText)
   std::vector<std::pair<std::string, std::string>> attrs;
 };
 
-/// \brief Receiver of output XML events.
+/// \brief Receiver of output XML events. Names and content arrive as views;
+/// the emitting engine resolves interned ids to views exactly once, here at
+/// the boundary. Views are valid only for the duration of the call.
 class OutputSink {
  public:
   virtual ~OutputSink() = default;
-  virtual void StartElement(const std::string& name) = 0;
-  virtual void EndElement(const std::string& name) = 0;
-  virtual void Text(const std::string& content) = 0;
+  virtual void StartElement(std::string_view name) = 0;
+  virtual void EndElement(std::string_view name) = 0;
+  virtual void Text(std::string_view content) = 0;
 };
 
 /// Accumulates serialized markup into a string (tests, examples).
 class StringSink : public OutputSink {
  public:
-  void StartElement(const std::string& name) override {
+  void StartElement(std::string_view name) override {
     out_ += '<';
     out_ += name;
     out_ += '>';
   }
-  void EndElement(const std::string& name) override {
+  void EndElement(std::string_view name) override {
     out_ += "</";
     out_ += name;
     out_ += '>';
   }
-  void Text(const std::string& content) override { out_ += XmlEscape(content); }
+  void Text(std::string_view content) override { out_ += XmlEscape(content); }
 
   const std::string& str() const { return out_; }
 
@@ -65,12 +80,12 @@ class StringSink : public OutputSink {
 /// Counts events and output bytes without buffering anything (benchmarks).
 class CountingSink : public OutputSink {
  public:
-  void StartElement(const std::string& name) override {
+  void StartElement(std::string_view name) override {
     ++elements_;
     bytes_ += name.size() * 2 + 5;
   }
-  void EndElement(const std::string&) override {}
-  void Text(const std::string& content) override {
+  void EndElement(std::string_view) override {}
+  void Text(std::string_view content) override {
     ++texts_;
     bytes_ += content.size();
   }
@@ -91,19 +106,19 @@ class FileSink : public OutputSink {
   explicit FileSink(std::FILE* f) : f_(f) { buf_.reserve(kFlushAt * 2); }
   ~FileSink() override { Flush(); }
 
-  void StartElement(const std::string& name) override {
+  void StartElement(std::string_view name) override {
     buf_ += '<';
     buf_ += name;
     buf_ += '>';
     MaybeFlush();
   }
-  void EndElement(const std::string& name) override {
+  void EndElement(std::string_view name) override {
     buf_ += "</";
     buf_ += name;
     buf_ += '>';
     MaybeFlush();
   }
-  void Text(const std::string& content) override {
+  void Text(std::string_view content) override {
     buf_ += XmlEscape(content);
     MaybeFlush();
   }

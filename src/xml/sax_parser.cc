@@ -44,8 +44,11 @@ std::size_t FileSource::Read(char* buf, std::size_t n) {
   return std::fread(buf, 1, n, f_);
 }
 
-SaxParser::SaxParser(ByteSource* source, SaxOptions options)
-    : source_(source), options_(options) {
+SaxParser::SaxParser(ByteSource* source, SaxOptions options,
+                     SymbolTable* symbols)
+    : source_(source),
+      options_(options),
+      symbols_(symbols != nullptr ? symbols : &owned_symbols_) {
   buf_.resize(kBufSize);
 }
 
@@ -63,7 +66,12 @@ bool SaxParser::Refill() {
 int SaxParser::GetChar() {
   if (buf_pos_ >= buf_len_ && !Refill()) return -1;
   ++bytes_consumed_;
-  return static_cast<unsigned char>(buf_[buf_pos_++]);
+  int c = static_cast<unsigned char>(buf_[buf_pos_++]);
+  if (c == '\n') {
+    ++line_;
+    line_start_ = bytes_consumed_;
+  }
+  return c;
 }
 
 int SaxParser::PeekChar() {
@@ -73,7 +81,8 @@ int SaxParser::PeekChar() {
 
 Status SaxParser::Fail(const std::string& msg) const {
   return Status::InvalidArgument(
-      StrFormat("XML parse error at byte %zu: %s", bytes_consumed_, msg.c_str()));
+      StrFormat("XML parse error at line %zu, column %zu (byte %zu): %s",
+                line_, column(), bytes_consumed_, msg.c_str()));
 }
 
 Status SaxParser::Next(XmlEvent* event) {
@@ -90,7 +99,8 @@ Status SaxParser::Next(XmlEvent* event) {
     int c = PeekChar();
     if (c < 0) {
       if (!open_.empty()) {
-        return Fail("unexpected end of input; unclosed <" + open_.back() + ">");
+        return Fail("unexpected end of input; unclosed <" +
+                    std::string(symbols_->name(open_.back())) + ">");
       }
       done_ = true;
       event->type = XmlEventType::kEndOfDocument;
@@ -128,6 +138,7 @@ Status SaxParser::LexText(XmlEvent* event) {
   }
   if (!open_.empty() || !all_ws) {
     event->type = XmlEventType::kText;
+    event->symbol = kInvalidSymbol;
     event->text = std::move(text);
     event->name.clear();
     event->attrs.clear();
@@ -153,6 +164,7 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
       std::string text;
       XQMFT_RETURN_NOT_OK(ReadCdata(&text));
       event->type = XmlEventType::kText;
+      event->symbol = kInvalidSymbol;
       event->text = std::move(text);
       event->name.clear();
       event->attrs.clear();
@@ -169,35 +181,37 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
   }
   if (c == '/') {
     GetChar();
-    std::string name;
-    XQMFT_RETURN_NOT_OK(ReadName(&name));
+    // The end tag's id comes off the open-element stack: matching the name
+    // against the stack top needs a compare, not a (re-)intern.
+    XQMFT_RETURN_NOT_OK(ReadName(&event->name));
     while (IsWs(PeekChar())) GetChar();
     if (GetChar() != '>') return Fail("expected '>' in end tag");
-    if (open_.empty()) return Fail("end tag </" + name + "> with no open element");
-    if (open_.back() != name) {
-      return Fail("mismatched end tag </" + name + ">, expected </" +
-                  open_.back() + ">");
+    if (open_.empty()) {
+      return Fail("end tag </" + event->name + "> with no open element");
     }
-    open_.pop_back();
+    if (symbols_->name(open_.back()) != event->name) {
+      return Fail("mismatched end tag </" + event->name + ">, expected </" +
+                  std::string(symbols_->name(open_.back())) + ">");
+    }
     event->type = XmlEventType::kEndElement;
-    event->name = std::move(name);
+    event->symbol = open_.back();
     event->attrs.clear();
+    open_.pop_back();
     return Status::OK();
   }
   // Start tag.
-  std::string name;
-  XQMFT_RETURN_NOT_OK(ReadName(&name));
+  XQMFT_RETURN_NOT_OK(ReadName(&event->name));
   event->type = XmlEventType::kStartElement;
-  event->name = name;
+  event->symbol = symbols_->Intern(NodeKind::kElement, event->name);
   event->attrs.clear();
   bool self_closing = false;
   while (true) {
     while (IsWs(PeekChar())) GetChar();
     c = PeekChar();
-    if (c < 0) return Fail("truncated start tag <" + name);
+    if (c < 0) return Fail("truncated start tag <" + event->name);
     if (c == '>') {
       GetChar();
-      open_.push_back(name);
+      open_.push_back(event->symbol);
       break;
     }
     if (c == '/') {
@@ -222,7 +236,8 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
     // Queue the matching end event behind any attribute-encoding events.
     XmlEvent end;
     end.type = XmlEventType::kEndElement;
-    end.name = name;
+    end.symbol = event->symbol;
+    end.name = event->name;
     pending_.push_back(std::move(end));
   }
   return Status::OK();
@@ -232,8 +247,10 @@ void SaxParser::ExpandAttributes(XmlEvent* start_event) {
   // Encode <e a="v"> as <e><a>v</a>... : attribute nodes become the first
   // children, each with a single text child (paper Section 2 / Figure 1).
   for (auto& [aname, avalue] : start_event->attrs) {
+    SymbolId aid = symbols_->Intern(NodeKind::kElement, aname);
     XmlEvent s;
     s.type = XmlEventType::kStartElement;
+    s.symbol = aid;
     s.name = aname;
     pending_.push_back(std::move(s));
     if (!avalue.empty()) {
@@ -244,6 +261,7 @@ void SaxParser::ExpandAttributes(XmlEvent* start_event) {
     }
     XmlEvent e;
     e.type = XmlEventType::kEndElement;
+    e.symbol = aid;
     e.name = aname;
     pending_.push_back(std::move(e));
   }

@@ -18,6 +18,7 @@
 #include "util/status.h"
 #include "xml/events.h"
 #include "xml/forest.h"
+#include "xml/symbol_table.h"
 
 namespace xqmft {
 
@@ -68,13 +69,25 @@ struct SaxOptions {
 /// InvalidArgument status.
 class SaxParser {
  public:
-  SaxParser(ByteSource* source, SaxOptions options = {});
+  /// If `symbols` is null the parser owns a private table; pass a shared one
+  /// to keep ids consistent with a consumer (the streaming engine passes the
+  /// table its rule dispatch was compiled against).
+  SaxParser(ByteSource* source, SaxOptions options = {},
+            SymbolTable* symbols = nullptr);
 
   /// Produces the next event. After kEndOfDocument, keeps returning it.
   Status Next(XmlEvent* event);
 
   /// Number of bytes consumed so far.
   std::size_t bytes_consumed() const { return bytes_consumed_; }
+
+  /// 1-based line of the next unread byte.
+  std::size_t line() const { return line_; }
+  /// 1-based column (byte offset within the line) of the next unread byte.
+  std::size_t column() const { return bytes_consumed_ - line_start_ + 1; }
+
+  /// The table element names are interned into.
+  const SymbolTable& symbols() const { return *symbols_; }
 
  private:
   int GetChar();
@@ -95,14 +108,18 @@ class SaxParser {
 
   ByteSource* source_;
   SaxOptions options_;
+  SymbolTable owned_symbols_;     // used when no shared table is supplied
+  SymbolTable* symbols_;
   std::vector<char> buf_;
   std::size_t buf_pos_ = 0;
   std::size_t buf_len_ = 0;
   std::size_t bytes_consumed_ = 0;
+  std::size_t line_ = 1;          // 1-based line of the next unread byte
+  std::size_t line_start_ = 0;    // bytes_consumed_ at the start of line_
   bool eof_ = false;
   bool done_ = false;
-  std::vector<std::string> open_;     // element stack for well-formedness
-  std::deque<XmlEvent> pending_;      // synthetic events (attribute encoding)
+  std::vector<SymbolId> open_;    // element stack for well-formedness
+  std::deque<XmlEvent> pending_;  // synthetic events (attribute encoding)
 };
 
 /// Parses a whole document (or forest of documents) into a DOM Forest.

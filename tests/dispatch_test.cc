@@ -1,0 +1,155 @@
+// Tests for the dense, SymbolId-indexed rule dispatch: agreement with the
+// string-keyed Mft::LookupRule over the Figure 3 query corpus, the
+// default/epsilon/text fallback slots, unknown-symbol behaviour, RHS label
+// id resolution, and cache invalidation on rule mutation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "bench_common/queries.h"
+#include "mft/dispatch.h"
+#include "mft/mft.h"
+#include "mft/optimize.h"
+#include "translate/translate.h"
+#include "xml/symbol_table.h"
+#include "xquery/ast.h"
+
+namespace xqmft {
+namespace {
+
+Mft MustParseMft(const std::string& text) {
+  Result<Mft> r = ParseMft(text);
+  if (!r.ok()) ADD_FAILURE() << "ParseMft: " << r.status().ToString();
+  return std::move(r).ValueOrDie();
+}
+
+// Checks that for every state and every probe symbol, the dense tables pick
+// exactly the rule the string-keyed lookup picks.
+void ExpectDispatchAgrees(const Mft& mft, const std::set<Symbol>& probes) {
+  const RuleDispatch& d = mft.dispatch();
+  const SymbolTable& t = mft.symbols();
+  for (StateId q = 0; q < mft.num_states(); ++q) {
+    for (const Symbol& s : probes) {
+      const Rhs* expected = mft.LookupRule(q, s.kind, s.name);
+      const Rhs* got;
+      if (s.kind == NodeKind::kText) {
+        got = d.ForText(q, s.name);
+      } else {
+        SymbolId id = t.Find(NodeKind::kElement, s.name);
+        // Names outside the rule alphabet behave like a fresh runtime
+        // intern: any id >= width() takes the fallback slot.
+        got = d.ForElement(q, id != kInvalidSymbol ? id : d.width());
+      }
+      EXPECT_EQ(got, expected)
+          << "state " << mft.state_name(q) << " on " << s.ToString();
+    }
+    EXPECT_EQ(d.Epsilon(q), mft.LookupEpsilonRule(q))
+        << "epsilon of " << mft.state_name(q);
+  }
+}
+
+TEST(RuleDispatchTest, AgreesWithStringLookupOnFigure3Corpus) {
+  for (const BenchQuery& bq : Figure3Queries()) {
+    auto query = std::move(ParseQuery(bq.text).ValueOrDie());
+    Mft raw = std::move(TranslateQuery(*query).ValueOrDie());
+    Mft opt = OptimizeMft(raw);
+    for (const Mft* m : {&raw, &opt}) {
+      std::set<Symbol> probes = m->CollectAlphabet();
+      // Out-of-alphabet probes: unknown element, unknown text literal.
+      probes.insert(Symbol::Element("never_in_any_rule"));
+      probes.insert(Symbol::Text("never_in_any_rule"));
+      probes.insert(Symbol::Text(""));
+      ExpectDispatchAgrees(*m, probes);
+    }
+  }
+}
+
+TEST(RuleDispatchTest, DefaultEpsilonAndTextSlots) {
+  Mft m = MustParseMft(R"(
+q(a(x1)x2) -> A
+q("lit"(x1)x2) -> L
+q(%ttext(x1)x2) -> T
+q(%t(x1)x2) -> D
+q(eps) -> E
+)");
+  const RuleDispatch& d = m.dispatch();
+  const SymbolTable& t = m.symbols();
+  StateId q = 0;
+  // Exact element symbol.
+  SymbolId a = t.Find(NodeKind::kElement, "a");
+  ASSERT_NE(a, kInvalidSymbol);
+  EXPECT_EQ((*d.ForElement(q, a))[0].symbol.name, "A");
+  // Unknown element symbol (id beyond the compiled width) -> default rule.
+  EXPECT_EQ((*d.ForElement(q, d.width()))[0].symbol.name, "D");
+  EXPECT_EQ((*d.ForElement(q, d.width() + 1000))[0].symbol.name, "D");
+  // Text content: exact literal, then the %ttext rule.
+  EXPECT_EQ((*d.ForText(q, "lit"))[0].symbol.name, "L");
+  EXPECT_EQ((*d.ForText(q, "other"))[0].symbol.name, "T");
+  // Epsilon slot.
+  EXPECT_EQ((*d.Epsilon(q))[0].symbol.name, "E");
+}
+
+TEST(RuleDispatchTest, TextFallsBackToDefaultWithoutTextRule) {
+  Mft m = MustParseMft(
+      "q(a(x1)x2) -> A\n"
+      "q(%t(x1)x2) -> D\n"
+      "q(eps) -> E\n");
+  const RuleDispatch& d = m.dispatch();
+  // No %ttext rule and no text literals: every text node takes the default.
+  EXPECT_EQ((*d.ForText(0, "anything"))[0].symbol.name, "D");
+  EXPECT_EQ((*d.ForText(0, "a"))[0].symbol.name, "D");  // element ns only
+  const SymbolTable& t = m.symbols();
+  SymbolId a_el = t.Find(NodeKind::kElement, "a");
+  EXPECT_EQ((*d.ForElement(0, a_el))[0].symbol.name, "A");
+}
+
+TEST(RuleDispatchTest, CompilationResolvesRhsLabelIds) {
+  Mft m = MustParseMft(
+      "q(%t(x1)x2) -> out(\"txt\" q(x1))\n"
+      "q(eps) -> eps\n");
+  const SymbolTable& t = m.symbols();  // forces compilation
+  const Rhs& rhs = *m.LookupRule(0, NodeKind::kElement, "whatever");
+  ASSERT_EQ(rhs[0].kind, RhsKind::kLabel);
+  EXPECT_EQ(rhs[0].symbol_id, t.Find(NodeKind::kElement, "out"));
+  const Rhs& children = rhs[0].children;
+  ASSERT_EQ(children[0].kind, RhsKind::kLabel);
+  EXPECT_EQ(children[0].symbol_id, t.Find(NodeKind::kText, "txt"));
+}
+
+TEST(RuleDispatchTest, MutationInvalidatesAndRecompiles) {
+  Mft m = MustParseMft(
+      "q(%t(x1)x2) -> D\n"
+      "q(eps) -> eps\n");
+  SymbolId width_before = m.dispatch().width();
+  SymbolId d_before = m.symbols().Find(NodeKind::kElement, "D");
+  ASSERT_NE(d_before, kInvalidSymbol);
+  // Adding a rule must drop the cache; the next dispatch() sees the rule.
+  m.SetSymbolRule(0, Symbol::Element("fresh"), Rhs{RhsNode::Label(
+                         Symbol::Element("F"))});
+  const RuleDispatch& after = m.dispatch();
+  const SymbolTable& t = m.symbols();
+  SymbolId fresh = t.Find(NodeKind::kElement, "fresh");
+  ASSERT_NE(fresh, kInvalidSymbol);
+  EXPECT_EQ((*after.ForElement(0, fresh))[0].symbol.name, "F");
+  EXPECT_GT(after.width(), width_before);
+  // Ids interned by the first compilation are stable across the rebuild.
+  EXPECT_EQ(t.Find(NodeKind::kElement, "D"), d_before);
+}
+
+TEST(RuleDispatchTest, CopiedMftCompilesItsOwnDispatch) {
+  Mft m = MustParseMft(
+      "q(a(x1)x2) -> A q(x2)\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n");
+  const RuleDispatch& d0 = m.dispatch();
+  Mft copy = m;
+  const RuleDispatch& d1 = copy.dispatch();
+  EXPECT_NE(&d0, &d1);  // the cache never crosses a copy
+  SymbolId a = copy.symbols().Find(NodeKind::kElement, "a");
+  EXPECT_EQ((*d1.ForElement(0, a))[0].symbol.name, "A");
+}
+
+}  // namespace
+}  // namespace xqmft

@@ -45,16 +45,19 @@ std::string StreamToMarkup(const Mft& mft, const std::string& xml,
 
 TEST(CellTest, BuilderRevealsForestIncrementally) {
   MemoryTracker tracker;
-  CellBuilder builder(&tracker);
+  CellArena arena(&tracker);
+  SymbolTable symbols;
+  CellBuilder builder(&arena, &symbols);
   IntrusivePtr<Cell> root = builder.TakeRoot();
   EXPECT_EQ(root->state(), CellState::kPending);
 
   XmlEvent ev;
   ev.type = XmlEventType::kStartElement;
-  ev.name = "a";
+  ev.name = "a";  // no interned id: the builder interns via its table
   ASSERT_TRUE(builder.Feed(ev).ok());
   EXPECT_EQ(root->state(), CellState::kNode);
-  EXPECT_EQ(root->label(), "a");
+  EXPECT_EQ(symbols.name(root->symbol()), "a");
+  EXPECT_EQ(symbols.kind(root->symbol()), NodeKind::kElement);
   EXPECT_EQ(root->child()->state(), CellState::kPending);
   EXPECT_EQ(root->sibling()->state(), CellState::kPending);
 
@@ -63,6 +66,8 @@ TEST(CellTest, BuilderRevealsForestIncrementally) {
   ASSERT_TRUE(builder.Feed(ev).ok());
   EXPECT_EQ(root->child()->state(), CellState::kNode);
   EXPECT_EQ(root->child()->kind(), NodeKind::kText);
+  EXPECT_EQ(root->child()->text(), "hi");
+  EXPECT_EQ(root->child()->symbol(), kInvalidSymbol);
   EXPECT_EQ(root->child()->child()->state(), CellState::kEps);
 
   ev.type = XmlEventType::kEndElement;
@@ -79,7 +84,9 @@ TEST(CellTest, BuilderRevealsForestIncrementally) {
 
 TEST(CellTest, RefcountsFreeDroppedPrefix) {
   MemoryTracker tracker;
-  auto builder = std::make_unique<CellBuilder>(&tracker);
+  CellArena arena(&tracker);
+  SymbolTable symbols;
+  auto builder = std::make_unique<CellBuilder>(&arena, &symbols);
   XmlEvent ev;
   ev.type = XmlEventType::kStartElement;
   ev.name = "a";
@@ -96,7 +103,9 @@ TEST(CellTest, RefcountsFreeDroppedPrefix) {
 
 TEST(CellTest, UnbalancedEventsRejected) {
   MemoryTracker tracker;
-  CellBuilder builder(&tracker);
+  CellArena arena(&tracker);
+  SymbolTable symbols;
+  CellBuilder builder(&arena, &symbols);
   XmlEvent ev;
   ev.type = XmlEventType::kEndElement;
   EXPECT_FALSE(builder.Feed(ev).ok());

@@ -142,6 +142,38 @@ TEST(SaxTest, ErrorMalformedMarkup) {
   EXPECT_FALSE(ParseXmlForest("<1a/>").ok());            // bad name start
 }
 
+TEST(SaxTest, ErrorsReportLineAndColumn) {
+  // The mismatched end tag starts on line 3. Its "</b>" begins at column 4
+  // ("  x" precedes it); the parser reports the position after reading the
+  // tag, column 8 — the regression this guards is the offset being lost
+  // entirely, so the assertion pins the exact line and column.
+  Status st = ParseXmlForest("<a>\n<c></c>\n  x</b>\n</a>").status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3, column 8"), std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("byte 19"), std::string::npos) << st.message();
+
+  // Errors on the first line: column counts from 1.
+  Status first = ParseXmlForest("<1a/>").status();
+  ASSERT_FALSE(first.ok());
+  EXPECT_NE(first.message().find("line 1, column 2"), std::string::npos)
+      << first.message();
+}
+
+TEST(SaxTest, ParserTracksPosition) {
+  StringSource src("<a>\nhi</a>");
+  SaxParser p(&src);
+  EXPECT_EQ(p.line(), 1u);
+  EXPECT_EQ(p.column(), 1u);
+  XmlEvent ev;
+  ASSERT_TRUE(p.Next(&ev).ok());  // <a>
+  EXPECT_EQ(p.line(), 1u);
+  EXPECT_EQ(p.column(), 4u);
+  ASSERT_TRUE(p.Next(&ev).ok());  // text "hi" (reads up to '<')
+  EXPECT_EQ(p.line(), 2u);
+  EXPECT_EQ(p.column(), 3u);
+}
+
 TEST(SaxTest, MultipleTopLevelTreesFormAForest) {
   Forest f = std::move(ParseXmlForest("<a/><b/><c>t</c>").ValueOrDie());
   EXPECT_EQ(ForestToTerm(f), "a b c(\"t\")");

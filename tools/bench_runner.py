@@ -10,6 +10,14 @@ Typical use, after building:
 
     python3 tools/bench_runner.py --bin-dir build/bench --out BENCH_baseline.json
 
+Regression gating: ``--compare BASELINE.json`` diffs the fresh run against a
+previously committed aggregate, prints a per-benchmark wall-time and
+peak-tracked-memory delta table, and exits nonzero when any benchmark
+regresses by more than the tolerance (``--time-tol`` / ``--mem-tol``, both
+10% by default). Peak tracked memory is deterministic; wall time is only
+meaningful against a baseline captured on comparable hardware — CI uses a
+loose ``--time-tol`` for that reason.
+
 Input sizes default to a quick sweep (1 and 4 MB XMark scale); pass
 ``--sizes-mb`` for the larger points of the paper's figures. The fig4
 binaries honour the XQMFT_BENCH_* environment knobs documented in
@@ -50,6 +58,80 @@ def run_one(binary, out_path, min_time, env):
     return subprocess.run(cmd, env=env).returncode
 
 
+def index_benchmarks(aggregate):
+    """Maps (binary, benchmark name) -> benchmark record, skipping errors."""
+    out = {}
+    for run in aggregate.get("runs", []):
+        for bench in run.get("benchmarks", []):
+            if bench.get("error_occurred"):
+                continue  # skipped point (N/A engine, capped size)
+            out[(run.get("binary"), bench.get("name"))] = bench
+    return out
+
+
+def fmt_delta(pct):
+    if pct is None:
+        return "     n/a"
+    return "%+7.1f%%" % pct
+
+
+def pct_change(base, new):
+    if base is None or new is None or base == 0:
+        return None
+    return (new - base) / base * 100.0
+
+
+def compare_aggregates(baseline, fresh, time_tol, mem_tol):
+    """Prints the delta table; returns the list of regression descriptions."""
+    base_ix = index_benchmarks(baseline)
+    fresh_ix = index_benchmarks(fresh)
+    regressions = []
+    name_w = max([len(n) for _, n in fresh_ix] + [9])
+    print("%-*s %12s %12s %9s %12s %12s %9s"
+          % (name_w, "benchmark", "base_ms", "new_ms", "time",
+             "base_mem_B", "new_mem_B", "mem"))
+    for key in sorted(fresh_ix):
+        bench = fresh_ix[key]
+        base = base_ix.get(key)
+        new_ms = bench.get("real_time")
+        new_mem = bench.get("peak_mem_B")
+        if base is None:
+            print("%-*s %12s %12.2f %9s %12s %12s %9s"
+                  % (name_w, key[1], "-", new_ms, "new",
+                     "-", "-" if new_mem is None else "%d" % new_mem, "new"))
+            continue
+        base_ms = base.get("real_time")
+        base_mem = base.get("peak_mem_B")
+        dt = pct_change(base_ms, new_ms)
+        dm = pct_change(base_mem, new_mem)
+        print("%-*s %12.2f %12.2f %s %12s %12s %s"
+              % (name_w, key[1], base_ms, new_ms, fmt_delta(dt),
+                 "-" if base_mem is None else "%d" % base_mem,
+                 "-" if new_mem is None else "%d" % new_mem, fmt_delta(dm)))
+        if dt is not None and dt > time_tol:
+            regressions.append("%s: time %+0.1f%% (tolerance %g%%)"
+                               % (key[1], dt, time_tol))
+        if dm is not None and dm > mem_tol:
+            regressions.append("%s: peak memory %+0.1f%% (tolerance %g%%)"
+                               % (key[1], dm, mem_tol))
+    # A baseline benchmark whose binary DID run but which produced no clean
+    # result (error/skip) is a regression — the engine broke outright, which
+    # must not pass the gate. Binaries absent from the fresh aggregate were
+    # merely --filter'ed out.
+    fresh_binaries = {r.get("binary") for r in fresh.get("runs", [])}
+    dropped = sorted(set(base_ix) - set(fresh_ix))
+    filtered = [k for k in dropped if k[0] not in fresh_binaries]
+    broken = [k for k in dropped if k[0] in fresh_binaries]
+    if filtered:
+        print("bench_runner: %d baseline benchmarks filtered out of this "
+              "run: %s" % (len(filtered),
+                           ", ".join(n for _, n in filtered[:8])))
+    for key in broken:
+        regressions.append("%s: present in baseline but errored/skipped in "
+                           "this run" % key[1])
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--bin-dir", default="build/bench",
@@ -64,6 +146,13 @@ def main():
                         help="per-benchmark minimum time in seconds")
     parser.add_argument("--filter", default=None,
                         help="only run binaries whose name contains this")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="diff this run against a committed aggregate and "
+                             "exit nonzero on regression")
+    parser.add_argument("--time-tol", type=float, default=10.0,
+                        help="allowed wall-time regression in percent")
+    parser.add_argument("--mem-tol", type=float, default=10.0,
+                        help="allowed peak-tracked-memory regression in percent")
     args = parser.parse_args()
 
     env = dict(os.environ)
@@ -120,6 +209,25 @@ def main():
     if failed:
         print("bench_runner: FAILED: %s" % ", ".join(failed), file=sys.stderr)
         return 1
+
+    if args.compare:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except (OSError, ValueError) as e:
+            print("bench_runner: cannot read baseline %s: %s"
+                  % (args.compare, e), file=sys.stderr)
+            return 2
+        print("\n== compare against %s (time tol %g%%, mem tol %g%%) =="
+              % (args.compare, args.time_tol, args.mem_tol))
+        regressions = compare_aggregates(baseline, aggregate,
+                                         args.time_tol, args.mem_tol)
+        if regressions:
+            print("bench_runner: REGRESSIONS:", file=sys.stderr)
+            for r in regressions:
+                print("  " + r, file=sys.stderr)
+            return 3
+        print("bench_runner: no regressions beyond tolerance")
     return 0
 
 

@@ -130,10 +130,13 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
   if (flags.stats) {
     std::fprintf(stderr,
                  "bytes in: %zu, output events: %zu, peak memory: %s, "
-                 "rule applications: %llu\n",
+                 "rule applications: %llu, cells created: %llu, "
+                 "exprs created: %llu\n",
                  stats.bytes_in, stats.output_events,
                  HumanBytes(stats.peak_bytes).c_str(),
-                 static_cast<unsigned long long>(stats.rule_applications));
+                 static_cast<unsigned long long>(stats.rule_applications),
+                 static_cast<unsigned long long>(stats.cells_created),
+                 static_cast<unsigned long long>(stats.exprs_created));
   }
   return 0;
 }

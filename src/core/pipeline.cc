@@ -30,9 +30,16 @@ Status CompiledQuery::Stream(ByteSource* source, OutputSink* sink,
 
 Status CompiledQuery::StreamFile(const std::string& path, OutputSink* sink,
                                  StreamStats* stats) const {
-  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> src,
-                         FileSource::Open(path));
+  // mmap when available: the parser scans the mapping in place and file
+  // input pays no stdio copy.
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
+                         MmapSource::Open(path));
   return Stream(src.get(), sink, stats);
+}
+
+Status CompiledQuery::StreamEvents(EventSource* events, OutputSink* sink,
+                                   StreamStats* stats) const {
+  return StreamTransformEvents(mft_, events, sink, options_.stream, stats);
 }
 
 Status CompiledQuery::StreamString(const std::string& xml, OutputSink* sink,

@@ -56,6 +56,9 @@ class CompiledQuery {
                     StreamStats* stats = nullptr) const;
   Status StreamString(const std::string& xml, OutputSink* sink,
                       StreamStats* stats = nullptr) const;
+  /// Streams an already-tokenized event stream (e.g. a pretok cache).
+  Status StreamEvents(EventSource* events, OutputSink* sink,
+                      StreamStats* stats = nullptr) const;
 
   /// Non-streaming reference evaluation (whole document in memory); used
   /// for differential testing and debugging.

@@ -445,8 +445,8 @@ Result<std::string> GenerateDatasetString(DatasetKind kind,
 }
 
 Result<DatasetStats> ScanDatasetFile(const std::string& path) {
-  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> src,
-                         FileSource::Open(path));
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
+                         MmapSource::Open(path));
   SaxParser parser(src.get());
   DatasetStats stats;
   std::size_t depth = 0;

@@ -15,7 +15,7 @@ namespace {
 
 // Rough per-node footprint of a buffered Tree (for the buffer accounting and
 // the max_buffer_bytes cap).
-std::size_t NodeBytes(const std::string& label) {
+std::size_t NodeBytes(std::string_view label) {
   return sizeof(Tree) + label.size();
 }
 
@@ -88,6 +88,17 @@ struct GcxQuery::Impl {
   };
   std::vector<Token> skeleton;
 
+  // One step of the projection automaton with its node test interned: the
+  // streaming match loop compares SymbolIds against the parser's event ids
+  // instead of label strings — the same id space the MFT engine matches in,
+  // keeping the Figure 4 comparison honest.
+  struct CompiledStep {
+    Axis axis;
+    NodeTestKind kind;
+    SymbolId id;  // interned test name (kName only)
+  };
+  using CompiledPath = std::vector<CompiledStep>;
+
   struct Slot {
     const QueryExpr* clause;          // kFor or kPath
     const RelPath* steps;             // $input-rooted steps
@@ -96,8 +107,14 @@ struct GcxQuery::Impl {
     std::vector<const Predicate*> final_preds;  // slot path's final-step preds
     std::vector<ProjPath> projection;
     bool project_all = false;
+    CompiledPath steps_c;                  // interned form of *steps
+    std::vector<CompiledPath> projection_c;  // interned projection paths
   };
   std::vector<Slot> slots;
+
+  /// Query-lifetime table the path tests are interned into; each Run() takes
+  /// a copy so parser-discovered input names never leak between runs.
+  SymbolTable symbols;
 
   Status Build(const QueryExpr& q);
   Status BuildSkeleton(const QueryExpr& q);
@@ -105,12 +122,39 @@ struct GcxQuery::Impl {
   void CollectBodyProjection(const QueryExpr& e, const std::string& var,
                              const RelPath& prefix, Slot* slot);
   void AddProjectionPath(const RelPath& steps, Slot* slot);
+  CompiledPath CompilePath(const RelPath& steps);
 };
 
 Status GcxQuery::Impl::Build(const QueryExpr& q) {
   query = &q;
   XQMFT_RETURN_NOT_OK(CheckQueryPaths(q));
-  return BuildSkeleton(q);
+  XQMFT_RETURN_NOT_OK(BuildSkeleton(q));
+  // Intern every path test now that all slots exist (projection paths are
+  // collected incrementally during skeleton construction).
+  for (Slot& slot : slots) {
+    slot.steps_c = CompilePath(*slot.steps);
+    slot.projection_c.reserve(slot.projection.size());
+    for (const ProjPath& p : slot.projection) {
+      slot.projection_c.push_back(CompilePath(p.steps));
+    }
+  }
+  return Status::OK();
+}
+
+GcxQuery::Impl::CompiledPath GcxQuery::Impl::CompilePath(
+    const RelPath& steps) {
+  CompiledPath out;
+  out.reserve(steps.size());
+  for (const PathStep& s : steps) {
+    CompiledStep c;
+    c.axis = s.axis;
+    c.kind = s.test.kind;
+    c.id = s.test.kind == NodeTestKind::kName
+               ? symbols.Intern(NodeKind::kElement, s.test.name)
+               : kInvalidSymbol;
+    out.push_back(c);
+  }
+  return out;
 }
 
 Status GcxQuery::Impl::BuildSkeleton(const QueryExpr& q) {
@@ -246,6 +290,26 @@ void GcxQuery::Impl::CollectBodyProjection(const QueryExpr& e,
 
 namespace {
 
+// Does an interned projection step match an element event with id `sym`?
+// One integer compare on the hot path — no label strings.
+inline bool StepMatchesElement(const GcxQuery::Impl::CompiledStep& s,
+                               SymbolId sym) {
+  switch (s.kind) {
+    case NodeTestKind::kName:
+      return s.id == sym;
+    case NodeTestKind::kAnyElement:
+    case NodeTestKind::kAnyNode:
+      return true;
+    case NodeTestKind::kText:
+      return false;
+  }
+  return false;
+}
+
+inline bool StepMatchesText(const GcxQuery::Impl::CompiledStep& s) {
+  return s.kind == NodeTestKind::kText || s.kind == NodeTestKind::kAnyNode;
+}
+
 // Per-slot streaming state.
 class SlotRun {
  public:
@@ -257,22 +321,23 @@ class SlotRun {
   // Feeds a start-element event. Never delivers: a match only opens the
   // buffered fragment here; binding results are appended via `deliver` when
   // the fragment completes, in OnText (immediate text bindings) or OnEnd
-  // (the buffer root closing).
-  Status OnStart(const std::string& name) {
+  // (the buffer root closing). `sym` is the event's interned id in the run's
+  // table; `name` is only read when a node enters a buffer.
+  Status OnStart(SymbolId sym, std::string_view name) {
     if (buffering_) {
       ++buffer_depth_;
-      ProjectStart(NodeKind::kElement, name);
+      ProjectStart(sym, name);
       return Status::OK();
     }
-    const RelPath& steps = *slot_.steps;
+    const GcxQuery::Impl::CompiledPath& steps = slot_.steps_c;
     const int n = static_cast<int>(steps.size());
     const std::vector<int>& top = active_stack_.back();
     std::set<int> next_set;
     bool matched = false;
     for (int i : top) {
-      const PathStep& s = steps[static_cast<std::size_t>(i)];
+      const auto& s = steps[static_cast<std::size_t>(i)];
       if (s.axis == Axis::kDescendant) next_set.insert(i);
-      if (s.test.Matches(NodeKind::kElement, name)) {
+      if (StepMatchesElement(s, sym)) {
         if (i + 1 == n) {
           matched = true;
         } else {
@@ -287,18 +352,18 @@ class SlotRun {
   }
 
   template <typename Deliver>
-  Status OnText(const std::string& text, const Deliver& deliver) {
+  Status OnText(std::string_view text, const Deliver& deliver) {
     if (buffering_) {
       ProjectText(text);
       return Status::OK();
     }
-    const RelPath& steps = *slot_.steps;
+    const GcxQuery::Impl::CompiledPath& steps = slot_.steps_c;
     const int n = static_cast<int>(steps.size());
     for (int i : active_stack_.back()) {
-      const PathStep& s = steps[static_cast<std::size_t>(i)];
-      if (i + 1 == n && s.test.Matches(NodeKind::kText, text)) {
+      const auto& s = steps[static_cast<std::size_t>(i)];
+      if (i + 1 == n && StepMatchesText(s)) {
         // A text-node binding completes immediately.
-        Forest buffer{Tree::Text(text)};
+        Forest buffer{Tree::Text(std::string(text))};
         return FinishBinding(std::move(buffer), {}, deliver);
       }
     }
@@ -336,13 +401,13 @@ class SlotRun {
     std::vector<std::pair<int, int>> positions;  // (projection path, step)
   };
 
-  void StartBuffer(NodeKind kind, const std::string& name,
+  void StartBuffer(NodeKind kind, std::string_view name,
                    const std::vector<int>& cont) {
     buffering_ = true;
     buffer_depth_ = 0;
     cont_ = cont;
     buffer_.clear();
-    buffer_.push_back(Tree(kind, name));
+    buffer_.push_back(Tree(kind, std::string(name)));
     Charge(name);
     Frame root;
     root.attach = &buffer_[0].children;
@@ -356,16 +421,17 @@ class SlotRun {
     frames_.push_back(std::move(root));
   }
 
-  void ProjectStart(NodeKind kind, const std::string& name) {
+  void ProjectStart(SymbolId sym, std::string_view name) {
     const Frame& parent = frames_.back();
     Frame f;
     f.keep_all = parent.keep_all;
     bool advanced = false;
     for (const auto& [p, i] : parent.positions) {
-      const RelPath& steps = slot_.projection[static_cast<std::size_t>(p)].steps;
-      const PathStep& s = steps[static_cast<std::size_t>(i)];
+      const GcxQuery::Impl::CompiledPath& steps =
+          slot_.projection_c[static_cast<std::size_t>(p)];
+      const auto& s = steps[static_cast<std::size_t>(i)];
       if (s.axis == Axis::kDescendant) f.positions.emplace_back(p, i);
-      if (s.test.Matches(kind, name)) {
+      if (StepMatchesElement(s, sym)) {
         if (i + 1 == static_cast<int>(steps.size())) {
           f.keep_all = true;  // path target: keep the whole subtree
           advanced = true;
@@ -378,7 +444,8 @@ class SlotRun {
     f.kept = parent.keep_all || advanced;
     if (f.kept) {
       parent_attach_check();
-      frames_.back().attach->push_back(Tree(kind, name));
+      frames_.back().attach->push_back(
+          Tree(NodeKind::kElement, std::string(name)));
       f.attach = &frames_.back().attach->back().children;
       Charge(name);
     } else {
@@ -389,16 +456,16 @@ class SlotRun {
     frames_.push_back(std::move(f));
   }
 
-  void ProjectText(const std::string& text) {
+  void ProjectText(std::string_view text) {
     const Frame& parent = frames_.back();
     bool keep = parent.keep_all;
     for (const auto& [p, i] : parent.positions) {
-      const RelPath& steps = slot_.projection[static_cast<std::size_t>(p)].steps;
-      const PathStep& s = steps[static_cast<std::size_t>(i)];
-      if (s.test.Matches(NodeKind::kText, text)) keep = true;
+      const GcxQuery::Impl::CompiledPath& steps =
+          slot_.projection_c[static_cast<std::size_t>(p)];
+      if (StepMatchesText(steps[static_cast<std::size_t>(i)])) keep = true;
     }
     if (keep) {
-      parent.attach->push_back(Tree::Text(text));
+      parent.attach->push_back(Tree::Text(std::string(text)));
       Charge(text);
     }
   }
@@ -407,7 +474,7 @@ class SlotRun {
 
   void parent_attach_check() { XQMFT_CHECK(frames_.back().attach != nullptr); }
 
-  void Charge(const std::string& label) {
+  void Charge(std::string_view label) {
     std::size_t b = NodeBytes(label);
     buffer_bytes_ += b;
     tracker_->Charge(b);
@@ -582,7 +649,10 @@ Status GcxQuery::Run(ByteSource* source, OutputSink* sink, GcxOptions options,
     };
   };
 
-  SaxParser parser(source, options.sax);
+  // Run-local table copy: path-test ids stay aligned with the compiled
+  // steps, input names discovered by the parser grow only this copy.
+  SymbolTable symbols = impl.symbols;
+  SaxParser parser(source, options.sax, &symbols);
   XmlEvent ev;
   while (true) {
     XQMFT_RETURN_NOT_OK(parser.Next(&ev));
@@ -590,7 +660,7 @@ Status GcxQuery::Run(ByteSource* source, OutputSink* sink, GcxOptions options,
     for (std::size_t s = 0; s < runs.size(); ++s) {
       switch (ev.type) {
         case XmlEventType::kStartElement:
-          XQMFT_RETURN_NOT_OK(runs[s].OnStart(ev.name));
+          XQMFT_RETURN_NOT_OK(runs[s].OnStart(ev.symbol, ev.name));
           break;
         case XmlEventType::kText:
           XQMFT_RETURN_NOT_OK(runs[s].OnText(ev.text, deliver_for(s)));

@@ -24,6 +24,27 @@ void ResolveRhsSymbols(const Rhs& rhs, SymbolTable* table) {
   }
 }
 
+// Does any RHS node (recursively) copy the current input label? Over a text
+// node %t copies the content, so this makes the transducer text-capturing.
+bool RhsUsesCurrentLabel(const Rhs& rhs) {
+  for (const RhsNode& node : rhs) {
+    switch (node.kind) {
+      case RhsKind::kLabel:
+        if (node.current_label) return true;
+        if (RhsUsesCurrentLabel(node.children)) return true;
+        break;
+      case RhsKind::kCall:
+        for (const Rhs& arg : node.args) {
+          if (RhsUsesCurrentLabel(arg)) return true;
+        }
+        break;
+      case RhsKind::kParam:
+        break;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 RuleDispatch::RuleDispatch(const Mft& mft, SymbolTable* table) : mft_(&mft) {
@@ -34,9 +55,24 @@ RuleDispatch::RuleDispatch(const Mft& mft, SymbolTable* table) : mft_(&mft) {
     for (const auto& [sym, rhs] : r.symbol_rules) {
       table->Intern(sym.kind, sym.name);
       ResolveRhsSymbols(rhs, table);
+      // Only rules that can fire over a *text* node observe content: a
+      // text-pattern LHS matches by content, and %label over a text node
+      // copies it. Element-keyed rules fire on element events alone, where
+      // %label resolves from the SymbolId — they never need content.
+      if (sym.kind == NodeKind::kText) captures_text_ = true;
     }
-    if (r.text_rule) ResolveRhsSymbols(*r.text_rule, table);
-    if (r.default_rule) ResolveRhsSymbols(*r.default_rule, table);
+    if (r.text_rule) {
+      ResolveRhsSymbols(*r.text_rule, table);
+      if (RhsUsesCurrentLabel(*r.text_rule)) captures_text_ = true;
+    }
+    if (r.default_rule) {
+      ResolveRhsSymbols(*r.default_rule, table);
+      // default_rule reaches text nodes only when no text_rule shadows it
+      // (row.text_fallback prefers text_rule).
+      if (!r.text_rule && RhsUsesCurrentLabel(*r.default_rule)) {
+        captures_text_ = true;
+      }
+    }
     if (r.epsilon_rule) ResolveRhsSymbols(*r.epsilon_rule, table);
   }
   width_ = static_cast<SymbolId>(table->size());

@@ -49,12 +49,13 @@ class RuleDispatch {
   }
 
   /// Rule for state `q` on a text node with the given content.
-  const Rhs* ForText(StateId q, const std::string& content) const {
+  const Rhs* ForText(StateId q, std::string_view content) const {
     const Row& row = rows_[static_cast<std::size_t>(q)];
     if (row.has_text_symbols) {
       // The state tests text literals: a content-keyed probe is inherent
-      // (content is unbounded input data, never interned).
-      return mft_->LookupRule(q, NodeKind::kText, content);
+      // (content is unbounded input data, never interned). The key copy
+      // only happens for these rare literal-testing states.
+      return mft_->LookupRule(q, NodeKind::kText, std::string(content));
     }
     return row.text_fallback;
   }
@@ -67,6 +68,12 @@ class RuleDispatch {
   /// Number of ids the dense slots cover (the table size at compile time);
   /// ids >= width() take the fallback path.
   SymbolId width() const { return width_; }
+
+  /// True when some rule can read text *content*: a state tests text
+  /// literals, or an RHS copies the current label (%t, which over a text
+  /// node copies its content). When false the engine need not buffer text
+  /// at all — input text can never reach the output or steer a rule.
+  bool captures_text() const { return captures_text_; }
 
  private:
   struct Row {
@@ -81,6 +88,7 @@ class RuleDispatch {
 
   const Mft* mft_;
   SymbolId width_ = 0;
+  bool captures_text_ = false;
   std::vector<Row> rows_;
 };
 

@@ -16,7 +16,7 @@ struct Atom {
   enum Kind { kName, kText, kAny } kind = kName;
   std::string name;
 
-  bool Matches(NodeKind node_kind, const std::string& label) const {
+  bool Matches(NodeKind node_kind, std::string_view label) const {
     switch (kind) {
       case kName:
         return node_kind == NodeKind::kElement && label == name;
@@ -122,7 +122,7 @@ struct ContentModel {
   std::set<int> Start() const { return EpsClosure({nfa.start}); }
 
   std::set<int> Step(const std::set<int>& in, NodeKind kind,
-                     const std::string& label) const {
+                     std::string_view label) const {
     std::set<int> next;
     for (int s : in) {
       for (const Nfa::Edge& e : nfa.states[static_cast<std::size_t>(s)]) {
@@ -260,8 +260,10 @@ struct Schema::Impl {
   std::unordered_map<std::string, ContentModel> models;
   bool strict = false;
 
-  const ContentModel* Find(const std::string& name) const {
-    auto it = models.find(name);
+  const ContentModel* Find(std::string_view name) const {
+    // unordered_map<string> has no heterogeneous lookup in C++17; the
+    // temporary key is the only per-start-element allocation left here.
+    auto it = models.find(std::string(name));
     return it == models.end() ? nullptr : &it->second;
   }
 };
@@ -333,20 +335,22 @@ Status SchemaValidator::Feed(const XmlEvent& event) {
             parent.model->Step(parent.states, NodeKind::kElement, event.name);
         if (parent.states.empty()) {
           return Status::InvalidArgument(
-              StrFormat("schema violation: <%s> not allowed here inside <%s>",
-                        event.name.c_str(), parent.name.c_str()));
+              StrFormat("schema violation: <%.*s> not allowed here inside "
+                        "<%s>",
+                        static_cast<int>(event.name.size()), event.name.data(),
+                        parent.name.c_str()));
         }
       }
       const ContentModel* model = schema_->impl().Find(event.name);
       if (model == nullptr && schema_->strict()) {
         return Status::InvalidArgument(
-            "schema violation: no rule for element <" + event.name +
-            "> (strict mode)");
+            "schema violation: no rule for element <" +
+            std::string(event.name) + "> (strict mode)");
       }
       State::Frame frame;
       frame.model = model;
       if (model != nullptr) frame.states = model->Start();
-      frame.name = event.name;
+      frame.name = std::string(event.name);
       stack.push_back(std::move(frame));
       return Status::OK();
     }

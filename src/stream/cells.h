@@ -14,18 +14,22 @@
 // no-opt/opt memory difference of Figure 4 arises naturally.
 //
 // An element cell carries only its interned SymbolId — the per-event name
-// copy of the seed representation is gone. Text cells own their content
-// string (content is data, not alphabet). Cells allocate from their arena's
-// slab, so steady-state streaming recycles cell storage instead of hitting
-// the heap per event.
+// copy of the seed representation is gone. Text cells hold their content as
+// a RefString (content is data, not alphabet): the bytes are copied out of
+// the transient event view exactly once, and output thunks that emit the
+// text share the buffer instead of re-copying it. Cells allocate from their
+// arena's slab, so steady-state streaming recycles cell storage instead of
+// hitting the heap per event.
 #ifndef XQMFT_STREAM_CELLS_H_
 #define XQMFT_STREAM_CELLS_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/intrusive_ptr.h"
 #include "util/memory_tracker.h"
+#include "util/ref_string.h"
 #include "util/slab.h"
 #include "util/status.h"
 #include "xml/events.h"
@@ -58,7 +62,7 @@ class Cell : public RefCounted {
     arena_->tracker->Charge(sizeof(Cell));
   }
   ~Cell() override {
-    arena_->tracker->Release(sizeof(Cell) + text_.capacity());
+    arena_->tracker->Release(sizeof(Cell));
     // Unlink child/sibling chains iteratively: dropping the head of a long
     // fully-owned chain must not recurse once per node (documents are often
     // deeper than the stack is forgiving).
@@ -82,7 +86,9 @@ class Cell : public RefCounted {
   /// Interned name (element cells; kInvalidSymbol for text cells).
   SymbolId symbol() const { return symbol_; }
   /// Character content (text cells; empty for element cells).
-  const std::string& text() const { return text_; }
+  std::string_view text() const { return text_.view(); }
+  /// The shared content buffer (thunks copy the reference, not the bytes).
+  const RefString& text_ref() const { return text_; }
   const IntrusivePtr<Cell>& child() const { return child_; }
   const IntrusivePtr<Cell>& sibling() const { return sibling_; }
 
@@ -103,14 +109,13 @@ class Cell : public RefCounted {
     sibling_ = std::move(sibling);
   }
 
-  /// Pending -> text Node.
-  void FillText(std::string content, IntrusivePtr<Cell> child,
+  /// Pending -> text Node. The buffer self-charges the tracker.
+  void FillText(RefString content, IntrusivePtr<Cell> child,
                 IntrusivePtr<Cell> sibling) {
     XQMFT_CHECK(state_ == CellState::kPending);
     state_ = CellState::kNode;
     kind_ = NodeKind::kText;
     text_ = std::move(content);
-    arena_->tracker->Charge(text_.capacity());
     child_ = std::move(child);
     sibling_ = std::move(sibling);
   }
@@ -123,7 +128,7 @@ class Cell : public RefCounted {
   CellState state_ = CellState::kPending;
   NodeKind kind_ = NodeKind::kElement;
   SymbolId symbol_ = kInvalidSymbol;
-  std::string text_;
+  RefString text_;
   IntrusivePtr<Cell> child_;
   IntrusivePtr<Cell> sibling_;
 };
@@ -148,6 +153,11 @@ class CellBuilder {
     return std::move(root_);
   }
 
+  /// When false, text cells are built without content: the engine sets this
+  /// from RuleDispatch::captures_text() for transducers whose rules provably
+  /// never read text, skipping the event-to-cell copy entirely.
+  void set_capture_text(bool capture) { capture_text_ = capture; }
+
   /// Feeds one event. kEndOfDocument closes the top-level chain.
   Status Feed(const XmlEvent& event) {
     switch (event.type) {
@@ -167,7 +177,13 @@ class CellBuilder {
         IntrusivePtr<Cell> child = NewCell();
         child->FillEps();
         IntrusivePtr<Cell> sibling = NewCell();
-        tail_->FillText(event.text, std::move(child), sibling);
+        // The one copy on the text path: the event's view dies at the next
+        // parser pull, the cell may be consumed much later. Thunks that
+        // output the text share this buffer.
+        tail_->FillText(capture_text_
+                            ? RefString::Copy(event.text, arena_->tracker)
+                            : RefString(),
+                        std::move(child), sibling);
         tail_ = std::move(sibling);
         return Status::OK();
       }
@@ -209,6 +225,7 @@ class CellBuilder {
   IntrusivePtr<Cell> root_;
   IntrusivePtr<Cell> tail_;
   std::vector<IntrusivePtr<Cell>> resume_;
+  bool capture_text_ = true;
   bool done_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include "schema/schema.h"
 #include "stream/cells.h"
 #include "util/intrusive_ptr.h"
+#include "util/ref_string.h"
 #include "util/slab.h"
 
 namespace xqmft {
@@ -31,16 +32,18 @@ struct ExprArena {
 };
 
 // Output labels are interned ids resolved only at the sink boundary; the
-// one string an Expr can own is dynamic text content copied from the input
-// by a %t rule (symbol_ == kInvalidSymbol then). Storage comes from the
-// engine's slab, so steady-state thunk turnover is allocation-free.
+// one content an Expr can hold is dynamic text referenced from the input by
+// a %t rule (symbol_ == kInvalidSymbol then) — a RefString sharing the
+// cell's buffer, so instantiating and rewriting text thunks never copies
+// bytes. Storage comes from the engine's slab, so steady-state thunk
+// turnover is allocation-free.
 class Expr : public RefCounted {
  public:
   explicit Expr(ExprArena* arena) : arena_(arena) {
     arena_->tracker->Charge(sizeof(Expr));
   }
   ~Expr() override {
-    arena_->tracker->Release(sizeof(Expr) + text_.capacity() +
+    arena_->tracker->Release(sizeof(Expr) +
                              args_.capacity() * sizeof(IntrusivePtr<Expr>));
     // Flatten the destruction of fully-owned expression chains (Ind/Cons
     // spines can be as long as the output stream).
@@ -73,19 +76,12 @@ class Expr : public RefCounted {
   StateId state = -1;
   IntrusivePtr<Cell> cell;
 
-  const std::string& text() const { return text_; }
-  void set_text(const std::string& t) {
-    arena_->tracker->Release(text_.capacity());
-    text_ = t;
-    arena_->tracker->Charge(text_.capacity());
-  }
-  void clear_text() {
-    if (!text_.empty()) {
-      arena_->tracker->Release(text_.capacity());
-      text_.clear();
-      text_.shrink_to_fit();
-    }
-  }
+  std::string_view text() const { return text_.view(); }
+  const RefString& text_ref() const { return text_; }
+  // Shares the buffer (the RefString self-charges the tracker for its
+  // payload, once, however many thunks reference it).
+  void set_text(const RefString& t) { text_ = t; }
+  void clear_text() { text_.reset(); }
 
   const std::vector<IntrusivePtr<Expr>>& args() const { return args_; }
   void set_args(std::vector<IntrusivePtr<Expr>> a) {
@@ -111,7 +107,7 @@ class Expr : public RefCounted {
 
  private:
   ExprArena* arena_;
-  std::string text_;
+  RefString text_;
   std::vector<IntrusivePtr<Expr>> args_;
 };
 
@@ -123,10 +119,14 @@ class Engine {
         symbols_(mft.symbols()),  // run-local copy; grows with input names
         sink_(sink),
         options_(options),
-        builder_(&cell_arena_, &symbols_) {}
+        builder_(&cell_arena_, &symbols_) {
+    // Transducers that provably never read text content skip the
+    // event-to-cell text copy altogether.
+    builder_.set_capture_text(dispatch_->captures_text());
+  }
 
-  Status Run(ByteSource* source, StreamStats* stats) {
-    SaxParser parser(source, options_.sax, &symbols_);
+  Status Run(EventSource* events, StreamStats* stats) {
+    events->BindSymbols(&symbols_);
 
     // Root thunk: q0 applied to the whole (pending) input forest.
     IntrusivePtr<Expr> root = NewExpr();
@@ -163,7 +163,7 @@ class Engine {
           return Status::Internal(
               "streaming engine blocked after end of input");
         }
-        XQMFT_RETURN_NOT_OK(parser.Next(&event));
+        XQMFT_RETURN_NOT_OK(events->Next(&event));
         if (options_.validator != nullptr) {
           XQMFT_RETURN_NOT_OK(options_.validator->Feed(event));
         }
@@ -184,13 +184,13 @@ class Engine {
       XQMFT_CHECK(e->kind == ExprKind::kCons);
       if (!saw_output) {
         saw_output = true;
-        bytes_at_first_output = parser.bytes_consumed();
+        bytes_at_first_output = events->bytes_consumed();
       }
       if (e->node_kind == NodeKind::kText) {
         // Static text (a rule literal) resolves through the table; dynamic
         // text (%t over an input text node) is owned by the Expr.
         sink_->Text(e->symbol != kInvalidSymbol ? symbols_.name(e->symbol)
-                                                : std::string_view(e->text()));
+                                                : e->text());
         ++output_events_;
         top.expr = e->next;
       } else {
@@ -210,7 +210,7 @@ class Engine {
       stats->rule_applications = steps_;
       stats->cells_created = builder_.cells_created();
       stats->exprs_created = exprs_created_;
-      stats->bytes_in = parser.bytes_consumed();
+      stats->bytes_in = events->bytes_consumed();
       stats->output_events = output_events_;
       stats->bytes_in_at_first_output = bytes_at_first_output;
     }
@@ -268,11 +268,7 @@ class Engine {
           cat->kind = ExprKind::kCons;
           cat->node_kind = lt->node_kind;
           cat->symbol = lt->symbol;
-          if (lt->text().empty()) {
-            cat->clear_text();
-          } else {
-            cat->set_text(lt->text());
-          }
+          cat->set_text(lt->text_ref());
           cat->child = lt->child;
           cat->next = tail;
           cat->cell.reset();
@@ -352,7 +348,7 @@ class Engine {
           if (item.current_label) {
             node->node_kind = cell->kind();
             if (cell->kind() == NodeKind::kText) {
-              node->set_text(cell->text());
+              node->set_text(cell->text_ref());
             } else {
               node->symbol = cell->symbol();
             }
@@ -456,7 +452,15 @@ class Engine {
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
                        StreamOptions options, StreamStats* stats) {
   Engine engine(mft, sink, options);
-  return engine.Run(source, stats);
+  SaxParser parser(source, options.sax);
+  return engine.Run(&parser, stats);
+}
+
+Status StreamTransformEvents(const Mft& mft, EventSource* events,
+                             OutputSink* sink, StreamOptions options,
+                             StreamStats* stats) {
+  Engine engine(mft, sink, options);
+  return engine.Run(events, stats);
 }
 
 Status StreamTransformString(const Mft& mft, const std::string& xml,

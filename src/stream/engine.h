@@ -23,6 +23,7 @@
 #include "mft/mft.h"
 #include "util/memory_tracker.h"
 #include "util/status.h"
+#include "xml/event_source.h"
 #include "xml/events.h"
 #include "xml/sax_parser.h"
 
@@ -60,6 +61,14 @@ struct StreamStats {
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
                        StreamOptions options = {},
                        StreamStats* stats = nullptr);
+
+/// Streams an already-tokenized event stream (e.g. a PretokSource) through
+/// `mft`. The engine binds the source to its run-local symbol table before
+/// pulling, so event ids and rule ids share one id space; options.sax is
+/// ignored (tokenization happened when the events were produced).
+Status StreamTransformEvents(const Mft& mft, EventSource* events,
+                             OutputSink* sink, StreamOptions options = {},
+                             StreamStats* stats = nullptr);
 
 /// Convenience wrapper over an in-memory document.
 Status StreamTransformString(const Mft& mft, const std::string& xml,

@@ -1,0 +1,95 @@
+// Refcounted immutable character buffer for streamed text content.
+//
+// Text enters the engine once (copied out of the parser's transient event
+// view into a cell) but can be referenced many times: a copy query
+// instantiates one output thunk per emission, and Cat rewrites move text
+// between thunks. With std::string fields each of those was a heap copy;
+// a RefString makes them a refcount bump — the content is copied exactly
+// once per input text node, however often the transducer outputs it.
+//
+// Single-threaded by design, like the engine run that owns it (runs share
+// nothing; see stream/engine.cc). The buffer self-charges an optional
+// MemoryTracker for its payload, so shared text is accounted exactly once
+// and exactly as long as any referent lives — cells and thunks charge only
+// their own struct sizes.
+#ifndef XQMFT_UTIL_REF_STRING_H_
+#define XQMFT_UTIL_REF_STRING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+#include <utility>
+
+#include "util/memory_tracker.h"
+#include "util/status.h"
+
+namespace xqmft {
+
+class RefString {
+ public:
+  RefString() = default;
+
+  /// Copies `s` into a fresh buffer; charges `tracker` (may be null) until
+  /// the last RefString referencing the buffer is gone. A single text run
+  /// must fit the 32-bit length field (the header stays 16 bytes for the
+  /// common tiny strings); a >=4 GiB run aborts loudly rather than
+  /// truncating silently.
+  static RefString Copy(std::string_view s, MemoryTracker* tracker) {
+    RefString out;
+    if (s.empty()) return out;
+    XQMFT_CHECK(s.size() < (std::uint64_t{1} << 32));
+    void* mem = ::operator new(sizeof(Rep) + s.size());
+    Rep* rep = new (mem) Rep{tracker, 1, static_cast<std::uint32_t>(s.size())};
+    std::memcpy(rep + 1, s.data(), s.size());
+    if (tracker != nullptr) tracker->Charge(sizeof(Rep) + s.size());
+    out.rep_ = rep;
+    return out;
+  }
+
+  RefString(const RefString& o) : rep_(o.rep_) {
+    if (rep_ != nullptr) ++rep_->refs;
+  }
+  RefString(RefString&& o) noexcept : rep_(o.rep_) { o.rep_ = nullptr; }
+  RefString& operator=(RefString o) noexcept {
+    std::swap(rep_, o.rep_);
+    return *this;
+  }
+  ~RefString() { Release(); }
+
+  std::string_view view() const {
+    return rep_ == nullptr
+               ? std::string_view()
+               : std::string_view(reinterpret_cast<const char*>(rep_ + 1),
+                                  rep_->len);
+  }
+  bool empty() const { return rep_ == nullptr; }
+  void reset() {
+    Release();
+    rep_ = nullptr;
+  }
+
+ private:
+  struct Rep {
+    MemoryTracker* tracker;
+    std::uint32_t refs;
+    std::uint32_t len;
+    // len content bytes follow.
+  };
+
+  void Release() {
+    if (rep_ != nullptr && --rep_->refs == 0) {
+      if (rep_->tracker != nullptr) {
+        rep_->tracker->Release(sizeof(Rep) + rep_->len);
+      }
+      rep_->~Rep();
+      ::operator delete(rep_);
+    }
+  }
+
+  Rep* rep_ = nullptr;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_REF_STRING_H_

@@ -39,6 +39,19 @@ std::string XmlEscape(std::string_view s) {
   return out;
 }
 
+std::size_t XmlEscapedSize(std::string_view s) {
+  std::size_t n = s.size();
+  for (char c : s) {
+    switch (c) {
+      case '&': n += 4; break;  // &amp;
+      case '<': n += 3; break;  // &lt;
+      case '>': n += 3; break;  // &gt;
+      default: break;
+    }
+  }
+  return n;
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list ap;
   va_start(ap, fmt);

@@ -22,6 +22,10 @@ inline bool StartsWith(std::string_view s, std::string_view prefix) {
 /// XML-escapes text content: & < > (quotes left alone outside attributes).
 std::string XmlEscape(std::string_view s);
 
+/// Size of XmlEscape(s) without building the string (byte accounting in
+/// sinks that never materialize output).
+std::size_t XmlEscapedSize(std::string_view s);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

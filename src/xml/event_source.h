@@ -1,0 +1,39 @@
+// Abstract producer of XML stream events.
+//
+// The streaming engine consumes events, not bytes: anything that can produce
+// the kStartElement/kText/kEndElement/kEndOfDocument sequence can drive it.
+// Implementations: SaxParser (text XML, xml/sax_parser.h) and PretokSource
+// (the pre-tokenized binary event format, xml/pretok.h).
+#ifndef XQMFT_XML_EVENT_SOURCE_H_
+#define XQMFT_XML_EVENT_SOURCE_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+#include "xml/events.h"
+#include "xml/symbol_table.h"
+
+namespace xqmft {
+
+/// \brief Pull interface over an event stream.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Produces the next event. After kEndOfDocument, keeps returning it.
+  /// Views in `*event` are valid until the next call (events.h contract).
+  virtual Status Next(XmlEvent* event) = 0;
+
+  /// Bytes of underlying input consumed so far (text XML bytes for the
+  /// parser, pretok file bytes for a pre-tokenized source).
+  virtual std::size_t bytes_consumed() const = 0;
+
+  /// Re-points the source at the consumer's symbol table so event ids share
+  /// its id space (the engine binds its per-run table copy before pulling).
+  /// Must be called before the first Next().
+  virtual void BindSymbols(SymbolTable* symbols) = 0;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_XML_EVENT_SOURCE_H_

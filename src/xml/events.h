@@ -1,16 +1,21 @@
 // XML stream events and output sinks.
 //
-// The streaming pipeline is event-based end to end: the SAX parser produces
-// events, the streaming MFT engine consumes them and pushes output events
-// into an OutputSink.
+// The streaming pipeline is event-based end to end: an event source (the SAX
+// parser, or a pre-tokenized reader) produces events, the streaming MFT
+// engine consumes them and pushes output events into an OutputSink.
 //
 // Element names travel as interned SymbolIds (xml/symbol_table.h): the parser
 // interns each start-tag name once and every downstream layer — cells, rule
-// dispatch, output thunks — works with the dense id. The `name` string is
-// still populated for the non-hot-path consumers (DOM building, schema
-// validation, the GCX comparator, error messages); the streaming engine never
-// reads it. Text *content* stays a string: it is unbounded data, not part of
-// the transducer alphabet.
+// dispatch, output thunks — works with the dense id.
+//
+// Events are zero-copy: `name` and `text` are std::string_view fields that
+// alias storage owned by the producer — the symbol table for names (stable
+// for the table's lifetime) and the parse buffer or the producer's spill
+// arena for text. The views are valid only until the producer's next Next()
+// call; a consumer that buffers an event beyond that point must copy the
+// bytes it needs (CellBuilder copies text into cells, the DOM builder copies
+// labels into Trees). Text *content* is never interned: it is unbounded
+// data, not part of the transducer alphabet.
 #ifndef XQMFT_XML_EVENTS_H_
 #define XQMFT_XML_EVENTS_H_
 
@@ -18,7 +23,6 @@
 #include <string>
 #include <string_view>
 #include <utility>
-#include <vector>
 
 #include "util/strings.h"
 #include "xml/symbol_table.h"
@@ -32,17 +36,26 @@ enum class XmlEventType {
   kEndOfDocument,
 };
 
-/// \brief One parsing event. For kStartElement, `attrs` holds the attribute
-/// list unless the parser was configured to expand attributes into child
-/// elements (the representation used throughout this system).
+/// One attribute of a start tag (only populated when attribute expansion is
+/// disabled). Views follow the event lifetime contract.
+struct XmlAttr {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// \brief One parsing event. All views are valid until the producer's next
+/// Next() call (see the header comment for the lifetime contract).
 struct XmlEvent {
   XmlEventType type = XmlEventType::kEndOfDocument;
   /// Interned element name (start/end); kInvalidSymbol for hand-built events
   /// that only set `name` (CellBuilder interns those lazily).
   SymbolId symbol = kInvalidSymbol;
-  std::string name;  ///< element name (start/end)
-  std::string text;  ///< character data (kText)
-  std::vector<std::pair<std::string, std::string>> attrs;
+  std::string_view name;  ///< element name (start/end)
+  std::string_view text;  ///< character data (kText)
+  /// Attribute span, reused between events: non-null only for kStartElement
+  /// when the parser was configured with expand_attributes = false.
+  const XmlAttr* attrs = nullptr;
+  std::size_t attr_count = 0;
 };
 
 /// \brief Receiver of output XML events. Names and content arrive as views;
@@ -78,16 +91,19 @@ class StringSink : public OutputSink {
 };
 
 /// Counts events and output bytes without buffering anything (benchmarks).
+/// Byte accounting matches what StringSink/FileSink would serialize: both
+/// tags of an element are charged at StartElement, and text is charged at
+/// its escaped size, so on balanced streams bytes() == StringSink size.
 class CountingSink : public OutputSink {
  public:
   void StartElement(std::string_view name) override {
     ++elements_;
-    bytes_ += name.size() * 2 + 5;
+    bytes_ += name.size() * 2 + 5;  // <name> plus </name>
   }
   void EndElement(std::string_view) override {}
   void Text(std::string_view content) override {
     ++texts_;
-    bytes_ += content.size();
+    bytes_ += XmlEscapedSize(content);
   }
 
   std::size_t elements() const { return elements_; }

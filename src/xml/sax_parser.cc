@@ -1,23 +1,59 @@
 #include "xml/sax_parser.h"
 
-#include <cctype>
 #include <cstring>
 
 #include "util/strings.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define XQMFT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace xqmft {
 
 namespace {
 constexpr std::size_t kBufSize = 1 << 16;
 
-bool IsNameStart(int c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
-         c == ':';
+// 256-entry character class table: one load classifies a byte for all three
+// bulk-scan states (text runs use memchr directly; names and whitespace use
+// the class bits).
+enum : unsigned char {
+  kClsNameStart = 1,  // [A-Za-z_:]
+  kClsNameChar = 2,   // name start plus [0-9.-]
+  kClsWs = 4,         // space \t \n \r
+};
+
+struct CharClassTable {
+  unsigned char cls[256] = {};
+  constexpr CharClassTable() {
+    for (int c = 'a'; c <= 'z'; ++c) cls[c] = kClsNameStart | kClsNameChar;
+    for (int c = 'A'; c <= 'Z'; ++c) cls[c] = kClsNameStart | kClsNameChar;
+    cls[static_cast<unsigned char>('_')] = kClsNameStart | kClsNameChar;
+    cls[static_cast<unsigned char>(':')] = kClsNameStart | kClsNameChar;
+    for (int c = '0'; c <= '9'; ++c) cls[c] = kClsNameChar;
+    cls[static_cast<unsigned char>('-')] = kClsNameChar;
+    cls[static_cast<unsigned char>('.')] = kClsNameChar;
+    cls[static_cast<unsigned char>(' ')] = kClsWs;
+    cls[static_cast<unsigned char>('\t')] = kClsWs;
+    cls[static_cast<unsigned char>('\n')] = kClsWs;
+    cls[static_cast<unsigned char>('\r')] = kClsWs;
+  }
+};
+constexpr CharClassTable kTable;
+
+inline unsigned char ClassOf(char c) {
+  return kTable.cls[static_cast<unsigned char>(c)];
 }
-bool IsNameChar(int c) {
-  return IsNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+
+inline bool IsAllWs(const char* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(ClassOf(p[i]) & kClsWs)) return false;
+  }
+  return true;
 }
-bool IsWs(int c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
 }  // namespace
 
 std::size_t StringSource::Read(char* buf, std::size_t n) {
@@ -44,19 +80,73 @@ std::size_t FileSource::Read(char* buf, std::size_t n) {
   return std::fread(buf, 1, n, f_);
 }
 
+Result<std::unique_ptr<ByteSource>> MmapSource::Open(const std::string& path) {
+#if XQMFT_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct ::stat st;
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+      void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+        ::madvise(map, static_cast<std::size_t>(st.st_size), MADV_SEQUENTIAL);
+#endif
+        return std::unique_ptr<ByteSource>(
+            new MmapSource(map, static_cast<std::size_t>(st.st_size)));
+      }
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  // No mmap (non-regular file, empty file, platform without it): stdio.
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> f,
+                         FileSource::Open(path));
+  return std::unique_ptr<ByteSource>(std::move(f));
+}
+
+MmapSource::~MmapSource() {
+#if XQMFT_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+}
+
+std::size_t MmapSource::Read(char* buf, std::size_t n) {
+  std::size_t avail = size_ - pos_;
+  std::size_t take = n < avail ? n : avail;
+  std::memcpy(buf, static_cast<const char*>(map_) + pos_, take);
+  pos_ += take;
+  return take;
+}
+
 SaxParser::SaxParser(ByteSource* source, SaxOptions options,
                      SymbolTable* symbols)
     : source_(source),
       options_(options),
       symbols_(symbols != nullptr ? symbols : &owned_symbols_) {
-  buf_.resize(kBufSize);
+  std::string_view all;
+  if (source_->Contents(&all)) {
+    data_ = all.data();
+    len_ = all.size();
+    mapped_ = true;
+  } else {
+    buf_.resize(kBufSize);
+    data_ = buf_.data();
+  }
 }
 
 bool SaxParser::Refill() {
   if (eof_) return false;
-  buf_len_ = source_->Read(buf_.data(), buf_.size());
-  buf_pos_ = 0;
-  if (buf_len_ == 0) {
+  if (mapped_) {
+    eof_ = true;
+    return false;
+  }
+  len_ = source_->Read(buf_.data(), buf_.size());
+  data_ = buf_.data();
+  pos_ = 0;
+  if (len_ == 0) {
     eof_ = true;
     return false;
   }
@@ -64,9 +154,9 @@ bool SaxParser::Refill() {
 }
 
 int SaxParser::GetChar() {
-  if (buf_pos_ >= buf_len_ && !Refill()) return -1;
+  if (pos_ >= len_ && !Refill()) return -1;
   ++bytes_consumed_;
-  int c = static_cast<unsigned char>(buf_[buf_pos_++]);
+  int c = static_cast<unsigned char>(data_[pos_++]);
   if (c == '\n') {
     ++line_;
     line_start_ = bytes_consumed_;
@@ -75,8 +165,32 @@ int SaxParser::GetChar() {
 }
 
 int SaxParser::PeekChar() {
-  if (buf_pos_ >= buf_len_ && !Refill()) return -1;
-  return static_cast<unsigned char>(buf_[buf_pos_]);
+  if (pos_ >= len_ && !Refill()) return -1;
+  return static_cast<unsigned char>(data_[pos_]);
+}
+
+void SaxParser::Advance(std::size_t n) {
+  const char* base = data_ + pos_;
+  std::size_t searched = 0;
+  while (searched < n) {
+    const void* nl = std::memchr(base + searched, '\n', n - searched);
+    if (nl == nullptr) break;
+    searched =
+        static_cast<std::size_t>(static_cast<const char*>(nl) - base) + 1;
+    ++line_;
+    line_start_ = bytes_consumed_ + searched;
+  }
+  bytes_consumed_ += n;
+  pos_ += n;
+}
+
+void SaxParser::SkipWs() {
+  while (true) {
+    std::size_t p = pos_;
+    while (p < len_ && (ClassOf(data_[p]) & kClsWs)) ++p;
+    Advance(p - pos_);
+    if (pos_ < len_ || !Refill()) return;
+  }
 }
 
 Status SaxParser::Fail(const std::string& msg) const {
@@ -86,13 +200,23 @@ Status SaxParser::Fail(const std::string& msg) const {
 }
 
 Status SaxParser::Next(XmlEvent* event) {
-  if (!pending_.empty()) {
-    *event = std::move(pending_.front());
-    pending_.pop_front();
+  if (pending_head_ < pending_.size()) {
+    const PendingEvent& p = pending_[pending_head_++];
+    event->type = p.type;
+    event->symbol = p.symbol;
+    event->attrs = nullptr;
+    event->attr_count = 0;
+    if (p.type == XmlEventType::kText) {
+      event->name = {};
+      event->text = std::string_view(tag_spill_).substr(p.text_off, p.text_len);
+    } else {
+      event->name = symbols_->name(p.symbol);
+      event->text = {};
+    }
     return Status::OK();
   }
   if (done_) {
-    event->type = XmlEventType::kEndOfDocument;
+    *event = XmlEvent{};
     return Status::OK();
   }
   while (true) {
@@ -103,7 +227,7 @@ Status SaxParser::Next(XmlEvent* event) {
                     std::string(symbols_->name(open_.back())) + ">");
       }
       done_ = true;
-      event->type = XmlEventType::kEndOfDocument;
+      *event = XmlEvent{};
       return Status::OK();
     }
     if (c == '<') {
@@ -118,20 +242,50 @@ Status SaxParser::Next(XmlEvent* event) {
 }
 
 Status SaxParser::LexText(XmlEvent* event) {
-  std::string text;
+  // Fast path: the whole run sits inside the current window with no entity —
+  // the event views the window directly and nothing is copied. Any refill or
+  // '&' switches to the spill arena for the rest of the run.
   bool all_ws = true;
+  bool spilled = false;
+  std::size_t run_start = pos_;
+  text_spill_.clear();
   while (true) {
-    int c = PeekChar();
-    if (c < 0 || c == '<') break;
-    GetChar();
-    if (c == '&') {
-      XQMFT_RETURN_NOT_OK(DecodeEntity(&text));
+    if (pos_ >= len_) {
+      if (!spilled) {
+        text_spill_.append(data_ + run_start, pos_ - run_start);
+        spilled = true;
+      }
+      if (!Refill()) break;  // end of input ends the run
+      run_start = pos_;
+      continue;
+    }
+    const char* base = data_ + pos_;
+    std::size_t n = len_ - pos_;
+    const char* lt = static_cast<const char*>(std::memchr(base, '<', n));
+    std::size_t limit = lt != nullptr ? static_cast<std::size_t>(lt - base) : n;
+    const char* amp = static_cast<const char*>(std::memchr(base, '&', limit));
+    std::size_t take =
+        amp != nullptr ? static_cast<std::size_t>(amp - base) : limit;
+    if (take > 0) {
+      if (all_ws) all_ws = IsAllWs(base, take);
+      Advance(take);
+      if (spilled) text_spill_.append(base, take);
+    }
+    if (amp != nullptr) {
+      if (!spilled) {
+        text_spill_.append(data_ + run_start, pos_ - run_start);
+        spilled = true;
+      }
+      GetChar();  // '&'
+      XQMFT_RETURN_NOT_OK(DecodeEntity(&text_spill_));
       all_ws = false;
       continue;
     }
-    if (!IsWs(c)) all_ws = false;
-    text += static_cast<char>(c);
+    if (lt != nullptr) break;  // markup ends the run
   }
+  std::string_view text =
+      spilled ? std::string_view(text_spill_)
+              : std::string_view(data_ + run_start, pos_ - run_start);
   if (all_ws && options_.skip_whitespace_text) {
     event->type = XmlEventType::kEndOfDocument;  // sentinel: nothing produced
     return Status::OK();
@@ -139,9 +293,10 @@ Status SaxParser::LexText(XmlEvent* event) {
   if (!open_.empty() || !all_ws) {
     event->type = XmlEventType::kText;
     event->symbol = kInvalidSymbol;
-    event->text = std::move(text);
-    event->name.clear();
-    event->attrs.clear();
+    event->text = text;
+    event->name = {};
+    event->attrs = nullptr;
+    event->attr_count = 0;
     return Status::OK();
   }
   event->type = XmlEventType::kEndOfDocument;  // top-level whitespace
@@ -161,13 +316,14 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
       return Status::OK();
     }
     if (c == '[') {
-      std::string text;
-      XQMFT_RETURN_NOT_OK(ReadCdata(&text));
+      std::string_view text;
+      XQMFT_RETURN_NOT_OK(LexCdata(&text));
       event->type = XmlEventType::kText;
       event->symbol = kInvalidSymbol;
-      event->text = std::move(text);
-      event->name.clear();
-      event->attrs.clear();
+      event->text = text;
+      event->name = {};
+      event->attrs = nullptr;
+      event->attr_count = 0;
       return Status::OK();
     }
     XQMFT_RETURN_NOT_OK(SkipDoctype());
@@ -182,36 +338,54 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
   if (c == '/') {
     GetChar();
     // The end tag's id comes off the open-element stack: matching the name
-    // against the stack top needs a compare, not a (re-)intern.
-    XQMFT_RETURN_NOT_OK(ReadName(&event->name));
-    while (IsWs(PeekChar())) GetChar();
+    // against the stack top needs a compare, not a (re-)intern. The compare
+    // runs before SkipWs — the name view may alias the window, and a refill
+    // would invalidate it; error *reporting* stays after the '>' so failure
+    // positions match the seed parser exactly.
+    std::string_view name;
+    XQMFT_RETURN_NOT_OK(LexName(&name));
+    bool have_open = !open_.empty();
+    bool match = have_open && symbols_->name(open_.back()) == name;
+    std::string name_copy;
+    if (!match) name_copy.assign(name);
+    SkipWs();
     if (GetChar() != '>') return Fail("expected '>' in end tag");
-    if (open_.empty()) {
-      return Fail("end tag </" + event->name + "> with no open element");
+    if (!have_open) {
+      return Fail("end tag </" + name_copy + "> with no open element");
     }
-    if (symbols_->name(open_.back()) != event->name) {
-      return Fail("mismatched end tag </" + event->name + ">, expected </" +
+    if (!match) {
+      return Fail("mismatched end tag </" + name_copy + ">, expected </" +
                   std::string(symbols_->name(open_.back())) + ">");
     }
     event->type = XmlEventType::kEndElement;
     event->symbol = open_.back();
-    event->attrs.clear();
+    event->name = symbols_->name(event->symbol);
+    event->text = {};
+    event->attrs = nullptr;
+    event->attr_count = 0;
     open_.pop_back();
     return Status::OK();
   }
-  // Start tag.
-  XQMFT_RETURN_NOT_OK(ReadName(&event->name));
-  event->type = XmlEventType::kStartElement;
-  event->symbol = symbols_->Intern(NodeKind::kElement, event->name);
-  event->attrs.clear();
+  // Start tag. The pending queue is always drained before lexing resumes,
+  // so the per-tag arenas can be reset here.
+  std::string_view name;
+  XQMFT_RETURN_NOT_OK(LexName(&name));
+  SymbolId sym = symbols_->Intern(NodeKind::kElement, name);
+  pending_.clear();
+  pending_head_ = 0;
+  tag_spill_.clear();
+  attrs_scratch_.clear();
   bool self_closing = false;
   while (true) {
-    while (IsWs(PeekChar())) GetChar();
+    SkipWs();
     c = PeekChar();
-    if (c < 0) return Fail("truncated start tag <" + event->name);
+    if (c < 0) {
+      return Fail("truncated start tag <" +
+                  std::string(symbols_->name(sym)));
+    }
     if (c == '>') {
       GetChar();
-      open_.push_back(event->symbol);
+      open_.push_back(sym);
       break;
     }
     if (c == '/') {
@@ -220,78 +394,117 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
       self_closing = true;
       break;
     }
-    std::string attr_name;
-    XQMFT_RETURN_NOT_OK(ReadName(&attr_name));
-    while (IsWs(PeekChar())) GetChar();
+    std::string_view attr_name;
+    XQMFT_RETURN_NOT_OK(LexName(&attr_name));
+    // Attribute names intern like element names: the expanded encoding turns
+    // them into elements anyway, and interning gives the event a stable view.
+    SymbolId attr_sym = symbols_->Intern(NodeKind::kElement, attr_name);
+    SkipWs();
     if (GetChar() != '=') return Fail("expected '=' after attribute name");
-    while (IsWs(PeekChar())) GetChar();
-    std::string value;
-    XQMFT_RETURN_NOT_OK(ReadAttrValue(&value));
-    event->attrs.emplace_back(std::move(attr_name), std::move(value));
+    SkipWs();
+    AttrRecord rec;
+    rec.symbol = attr_sym;
+    XQMFT_RETURN_NOT_OK(LexAttrValue(&rec.value_off, &rec.value_len));
+    attrs_scratch_.push_back(rec);
   }
-  if (options_.expand_attributes && !event->attrs.empty()) {
-    ExpandAttributes(event);
+  event->type = XmlEventType::kStartElement;
+  event->symbol = sym;
+  event->name = symbols_->name(sym);
+  event->text = {};
+  event->attrs = nullptr;
+  event->attr_count = 0;
+  if (options_.expand_attributes) {
+    // Encode <e a="v"> as <e><a>v</a>... : attribute nodes become the first
+    // children, each with a single text child (paper Section 2 / Figure 1).
+    for (const AttrRecord& rec : attrs_scratch_) {
+      pending_.push_back(
+          {XmlEventType::kStartElement, rec.symbol, 0, 0});
+      if (rec.value_len > 0) {
+        pending_.push_back(
+            {XmlEventType::kText, kInvalidSymbol, rec.value_off,
+             rec.value_len});
+      }
+      pending_.push_back({XmlEventType::kEndElement, rec.symbol, 0, 0});
+    }
+  } else if (!attrs_scratch_.empty()) {
+    attrs_view_.clear();
+    for (const AttrRecord& rec : attrs_scratch_) {
+      attrs_view_.push_back(
+          {symbols_->name(rec.symbol),
+           std::string_view(tag_spill_).substr(rec.value_off, rec.value_len)});
+    }
+    event->attrs = attrs_view_.data();
+    event->attr_count = attrs_view_.size();
   }
   if (self_closing) {
     // Queue the matching end event behind any attribute-encoding events.
-    XmlEvent end;
-    end.type = XmlEventType::kEndElement;
-    end.symbol = event->symbol;
-    end.name = event->name;
-    pending_.push_back(std::move(end));
+    pending_.push_back({XmlEventType::kEndElement, sym, 0, 0});
   }
   return Status::OK();
 }
 
-void SaxParser::ExpandAttributes(XmlEvent* start_event) {
-  // Encode <e a="v"> as <e><a>v</a>... : attribute nodes become the first
-  // children, each with a single text child (paper Section 2 / Figure 1).
-  for (auto& [aname, avalue] : start_event->attrs) {
-    SymbolId aid = symbols_->Intern(NodeKind::kElement, aname);
-    XmlEvent s;
-    s.type = XmlEventType::kStartElement;
-    s.symbol = aid;
-    s.name = aname;
-    pending_.push_back(std::move(s));
-    if (!avalue.empty()) {
-      XmlEvent t;
-      t.type = XmlEventType::kText;
-      t.text = avalue;
-      pending_.push_back(std::move(t));
-    }
-    XmlEvent e;
-    e.type = XmlEventType::kEndElement;
-    e.symbol = aid;
-    e.name = aname;
-    pending_.push_back(std::move(e));
+Status SaxParser::LexName(std::string_view* out) {
+  if (pos_ >= len_ && !Refill()) return Fail("expected a name");
+  if (!(ClassOf(data_[pos_]) & kClsNameStart)) return Fail("expected a name");
+  std::size_t p = pos_ + 1;
+  while (p < len_ && (ClassOf(data_[p]) & kClsNameChar)) ++p;
+  if (p < len_) {
+    *out = std::string_view(data_ + pos_, p - pos_);
+    Advance(p - pos_);
+    return Status::OK();
   }
-  start_event->attrs.clear();
-}
-
-Status SaxParser::ReadName(std::string* out) {
-  int c = PeekChar();
-  if (!IsNameStart(c)) return Fail("expected a name");
-  out->clear();
-  while (IsNameChar(PeekChar())) *out += static_cast<char>(GetChar());
+  // The name may continue past the window: spill what we have and keep
+  // scanning across refills.
+  name_spill_.assign(data_ + pos_, p - pos_);
+  Advance(p - pos_);
+  while (pos_ < len_ || Refill()) {
+    std::size_t q = pos_;
+    while (q < len_ && (ClassOf(data_[q]) & kClsNameChar)) ++q;
+    name_spill_.append(data_ + pos_, q - pos_);
+    Advance(q - pos_);
+    if (pos_ < len_) break;  // a non-name byte ended the scan
+  }
+  *out = name_spill_;
   return Status::OK();
 }
 
-Status SaxParser::ReadAttrValue(std::string* out) {
+Status SaxParser::LexAttrValue(std::uint32_t* off, std::uint32_t* len) {
   int quote = GetChar();
   if (quote != '"' && quote != '\'') {
     return Fail("attribute value must be quoted");
   }
-  out->clear();
+  // Values land in tag_spill_ unconditionally: they must stay valid while
+  // the tag's synthetic child events drain, which outlives the window.
+  *off = static_cast<std::uint32_t>(tag_spill_.size());
   while (true) {
-    int c = GetChar();
-    if (c < 0) return Fail("unterminated attribute value");
-    if (c == quote) break;
-    if (c == '&') {
-      XQMFT_RETURN_NOT_OK(DecodeEntity(out));
+    if (pos_ >= len_ && !Refill()) return Fail("unterminated attribute value");
+    const char* base = data_ + pos_;
+    std::size_t n = len_ - pos_;
+    const char* q = static_cast<const char*>(
+        std::memchr(base, quote, n));
+    std::size_t limit = q != nullptr ? static_cast<std::size_t>(q - base) : n;
+    const char* amp = static_cast<const char*>(std::memchr(base, '&', limit));
+    std::size_t take =
+        amp != nullptr ? static_cast<std::size_t>(amp - base) : limit;
+    tag_spill_.append(base, take);
+    Advance(take);
+    if (amp != nullptr) {
+      GetChar();  // '&'
+      XQMFT_RETURN_NOT_OK(DecodeEntity(&tag_spill_));
       continue;
     }
-    *out += static_cast<char>(c);
+    if (q != nullptr) {
+      GetChar();  // closing quote
+      break;
+    }
   }
+  // Offsets/lengths into tag_spill_ are stored as uint32 — a tag whose
+  // attribute values total >= 4 GiB must fail loudly, not wrap silently
+  // (mirrors RefString::Copy's bound).
+  if (tag_spill_.size() >= (std::uint64_t{1} << 32)) {
+    return Fail("attribute values exceed 4 GiB in one tag");
+  }
+  *len = static_cast<std::uint32_t>(tag_spill_.size() - *off);
   return Status::OK();
 }
 
@@ -300,6 +513,17 @@ Status SaxParser::SkipComment() {
   if (GetChar() != '-' || GetChar() != '-') return Fail("malformed comment");
   int dashes = 0;
   while (true) {
+    if (pos_ >= len_ && !Refill()) return Fail("unterminated comment");
+    if (dashes == 0) {
+      // Bulk-skip to the next '-' (comment bodies are dash-free runs).
+      const void* m = std::memchr(data_ + pos_, '-', len_ - pos_);
+      if (m == nullptr) {
+        Advance(len_ - pos_);
+        continue;
+      }
+      Advance(static_cast<std::size_t>(static_cast<const char*>(m) -
+                                       (data_ + pos_)));
+    }
     int c = GetChar();
     if (c < 0) return Fail("unterminated comment");
     if (c == '-') {
@@ -316,6 +540,18 @@ Status SaxParser::SkipProcessingInstruction() {
   GetChar();  // '?'
   bool qmark = false;
   while (true) {
+    if (pos_ >= len_ && !Refill()) {
+      return Fail("unterminated processing instruction");
+    }
+    if (!qmark) {
+      const void* m = std::memchr(data_ + pos_, '?', len_ - pos_);
+      if (m == nullptr) {
+        Advance(len_ - pos_);
+        continue;
+      }
+      Advance(static_cast<std::size_t>(static_cast<const char*>(m) -
+                                       (data_ + pos_)));
+    }
     int c = GetChar();
     if (c < 0) return Fail("unterminated processing instruction");
     if (c == '>' && qmark) return Status::OK();
@@ -325,7 +561,7 @@ Status SaxParser::SkipProcessingInstruction() {
 
 Status SaxParser::SkipDoctype() {
   // Already consumed "<!". Skip until the matching '>', tracking an optional
-  // internal subset in [...].
+  // internal subset in [...]. DOCTYPEs are rare and small: per-char is fine.
   int depth = 0;
   while (true) {
     int c = GetChar();
@@ -336,13 +572,31 @@ Status SaxParser::SkipDoctype() {
   }
 }
 
-Status SaxParser::ReadCdata(std::string* out) {
+Status SaxParser::LexCdata(std::string_view* out) {
   // At "[", already consumed "<!".
   const char* expect = "[CDATA[";
   for (const char* p = expect; *p; ++p) {
     if (GetChar() != *p) return Fail("malformed CDATA section");
   }
-  out->clear();
+  // Fast path: "]]>" terminator inside the current window — view in place.
+  {
+    std::size_t start = pos_;
+    std::size_t q = pos_;
+    while (q + 2 < len_) {
+      const void* m = std::memchr(data_ + q, ']', len_ - q - 2);
+      if (m == nullptr) break;
+      q = static_cast<std::size_t>(static_cast<const char*>(m) - data_);
+      if (data_[q + 1] == ']' && data_[q + 2] == '>') {
+        *out = std::string_view(data_ + start, q - start);
+        Advance(q + 3 - pos_);
+        return Status::OK();
+      }
+      ++q;
+    }
+  }
+  // Slow path (terminator beyond the window): spill with the ]]-lookahead
+  // state machine, leftmost-"]]>" semantics as above.
+  text_spill_.clear();
   int state = 0;  // count of trailing ']'
   while (true) {
     int c = GetChar();
@@ -352,15 +606,18 @@ Status SaxParser::ReadCdata(std::string* out) {
         ++state;
         continue;
       }
-      *out += ']';  // more than two: emit the oldest
+      text_spill_ += ']';  // more than two: emit the oldest
       continue;
     }
-    if (c == '>' && state == 2) return Status::OK();
+    if (c == '>' && state == 2) {
+      *out = text_spill_;
+      return Status::OK();
+    }
     while (state > 0) {
-      *out += ']';
+      text_spill_ += ']';
       --state;
     }
-    *out += static_cast<char>(c);
+    text_spill_ += static_cast<char>(c);
   }
 }
 
@@ -426,7 +683,7 @@ Result<Forest> BuildForest(SaxParser* parser) {
         return roots;
       case XmlEventType::kStartElement: {
         Forest* parent = stack.empty() ? &roots : &stack.back()->children;
-        parent->push_back(Tree::Element(ev.name));
+        parent->push_back(Tree::Element(std::string(ev.name)));
         stack.push_back(&parent->back());
         break;
       }
@@ -440,7 +697,7 @@ Result<Forest> BuildForest(SaxParser* parser) {
         if (!parent->empty() && parent->back().kind == NodeKind::kText) {
           parent->back().label += ev.text;
         } else {
-          parent->push_back(Tree::Text(ev.text));
+          parent->push_back(Tree::Text(std::string(ev.text)));
         }
         break;
       }
@@ -457,8 +714,8 @@ Result<Forest> ParseXmlForest(std::string_view xml, SaxOptions options) {
 }
 
 Result<Forest> ParseXmlFile(const std::string& path, SaxOptions options) {
-  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<FileSource> src,
-                         FileSource::Open(path));
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
+                         MmapSource::Open(path));
   SaxParser parser(src.get(), options);
   return BuildForest(&parser);
 }

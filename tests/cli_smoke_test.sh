@@ -47,6 +47,18 @@ case "$CASE" in
     OUT=$("$XQMFT" run --no-opt "$QUERY" "$XML") || fail "exit $?"
     expect_contains "$OUT" "$WANT"
     ;;
+  run_pretok)
+    CACHE="$TMPDIR_SMOKE/doc.ptk"
+    OUT=$("$XQMFT" run --pretok-cache "$CACHE" "$QUERY" "$XML") \
+      || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    test -s "$CACHE" || fail "pretok cache was not written"
+    # Second run streams the cache (the XML is gone: only the cache serves).
+    rm -f "$XML"
+    OUT=$("$XQMFT" run --pretok-cache "$CACHE" "$QUERY" "$XML" 2>/dev/null) \
+      || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    ;;
   run_dag)
     OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
     expect_contains "$OUT" "output nodes:"

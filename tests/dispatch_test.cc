@@ -105,6 +105,48 @@ TEST(RuleDispatchTest, TextFallsBackToDefaultWithoutTextRule) {
   EXPECT_EQ((*d.ForElement(0, a_el))[0].symbol.name, "A");
 }
 
+TEST(RuleDispatchTest, CapturesTextOnlyWhenARuleCanReadContent) {
+  // Element-keyed rules fire on element events alone; their %t resolves from
+  // the SymbolId, so a pure relabeling transducer never reads content.
+  Mft relabel = MustParseMft(
+      "q(a(x1)x2) -> %t(q(x1)) q(x2)\n"
+      "q(%t(x1)x2) -> q(x1) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_FALSE(relabel.dispatch().captures_text());
+
+  // A text-literal LHS matches by content.
+  Mft literal = MustParseMft(
+      "q(\"lit\"(x1)x2) -> L\n"
+      "q(%t(x1)x2) -> q(x1) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_TRUE(literal.dispatch().captures_text());
+
+  // %t in the text rule copies the node's content.
+  Mft text_copy = MustParseMft(
+      "q(%ttext(x1)x2) -> %t\n"
+      "q(%t(x1)x2) -> q(x1) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_TRUE(text_copy.dispatch().captures_text());
+
+  // A text rule that drops content never reads it.
+  Mft text_drop = MustParseMft(
+      "q(%ttext(x1)x2) -> t\n"
+      "q(%t(x1)x2) -> q(x1) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_FALSE(text_drop.dispatch().captures_text());
+
+  // default_rule's %t reaches text nodes only when no text rule shadows it.
+  Mft default_reads = MustParseMft(
+      "q(%t(x1)x2) -> %t(q(x1)) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_TRUE(default_reads.dispatch().captures_text());
+  Mft default_shadowed = MustParseMft(
+      "q(%ttext(x1)x2) -> t\n"
+      "q(%t(x1)x2) -> %t(q(x1)) q(x2)\n"
+      "q(eps) -> eps\n");
+  EXPECT_FALSE(default_shadowed.dispatch().captures_text());
+}
+
 TEST(RuleDispatchTest, CompilationResolvesRhsLabelIds) {
   Mft m = MustParseMft(
       "q(%t(x1)x2) -> out(\"txt\" q(x1))\n"

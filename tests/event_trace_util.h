@@ -1,0 +1,74 @@
+// Shared event-trace scaffolding for the parser and pretok suites. The
+// differential tests in xml_test.cc and pretok_test.cc must compare the
+// *same* notion of an event trace, so it lives here once: an owned-string
+// event record (independent of view lifetimes), Trace() over any
+// EventSource or raw bytes, and a Read()-only source that forces the
+// refill path.
+
+#ifndef XQMFT_TESTS_EVENT_TRACE_UTIL_H_
+#define XQMFT_TESTS_EVENT_TRACE_UTIL_H_
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/event_source.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+
+// One event with owned strings: the trace a parse produces, independent of
+// view lifetimes.
+struct TracedEvent {
+  XmlEventType type;
+  std::string name;
+  std::string text;
+
+  bool operator==(const TracedEvent& o) const {
+    return type == o.type && name == o.name && text == o.text;
+  }
+};
+
+inline Result<std::vector<TracedEvent>> Trace(EventSource* src) {
+  std::vector<TracedEvent> out;
+  XmlEvent ev;
+  do {
+    XQMFT_RETURN_NOT_OK(src->Next(&ev));
+    out.push_back({ev.type, std::string(ev.name), std::string(ev.text)});
+  } while (ev.type != XmlEventType::kEndOfDocument);
+  return out;
+}
+
+inline Result<std::vector<TracedEvent>> Trace(ByteSource* src,
+                                              SaxOptions opts = {}) {
+  SaxParser parser(src, opts);
+  return Trace(static_cast<EventSource*>(&parser));
+}
+
+// Read()-only source that hands out at most `chunk` bytes per call and never
+// exposes Contents(), so the parser refills — with chunk = 1 every scan
+// state crosses a window boundary.
+class ChunkedSource : public ByteSource {
+ public:
+  ChunkedSource(std::string_view s, std::size_t chunk)
+      : s_(s), chunk_(chunk) {}
+  std::size_t Read(char* buf, std::size_t n) override {
+    std::size_t take = std::min({n, chunk_, s_.size() - pos_});
+    std::memcpy(buf, s_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t chunk_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_TESTS_EVENT_TRACE_UTIL_H_

@@ -101,6 +101,38 @@ TEST(CellTest, RefcountsFreeDroppedPrefix) {
   EXPECT_EQ(tracker.current_bytes(), 0u);
 }
 
+TEST(CellTest, TrackerAccountingIsSymmetricUnderChurn) {
+  // Regression: cell destruction used to release std::string SSO capacity
+  // that was never charged, so node churn drained the tracker while data
+  // stayed retained — churn-heavy runs reported peaks orders of magnitude
+  // below the truly live bytes (the pre-PR3 Figure 4 memory numbers).
+  MemoryTracker tracker;
+  CellArena arena(&tracker);
+  SymbolTable symbols;
+  CellBuilder builder(&arena, &symbols);
+  IntrusivePtr<Cell> root = builder.TakeRoot();
+  XmlEvent ev;
+  ev.type = XmlEventType::kStartElement;
+  ev.name = "r";
+  ASSERT_TRUE(builder.Feed(ev).ok());
+  ev.type = XmlEventType::kText;
+  ev.text = "retained content";
+  ASSERT_TRUE(builder.Feed(ev).ok());
+  const std::size_t base = tracker.current_bytes();
+  ASSERT_GT(base, 0u);
+  // Nodes created and destroyed while the base stays retained must leave
+  // the tracked total exactly where it was — element, text, and eps alike.
+  for (int i = 0; i < 1000; ++i) {
+    IntrusivePtr<Cell> churn_element(arena.slab.New(&arena));
+    churn_element->FillElement(root->symbol(), {}, {});
+    IntrusivePtr<Cell> churn_text(arena.slab.New(&arena));
+    churn_text->FillText(RefString::Copy("spinning", &tracker), {}, {});
+    IntrusivePtr<Cell> churn_eps(arena.slab.New(&arena));
+    churn_eps->FillEps();
+  }
+  EXPECT_EQ(tracker.current_bytes(), base);
+}
+
 TEST(CellTest, UnbalancedEventsRejected) {
   MemoryTracker tracker;
   CellArena arena(&tracker);

@@ -188,6 +188,12 @@ TEST(StringsTest, XmlEscape) {
   EXPECT_EQ(XmlEscape("plain"), "plain");
 }
 
+TEST(StringsTest, XmlEscapedSizeMatchesXmlEscape) {
+  for (const char* s : {"", "plain", "a<b&c>d", "&&&", "<<>>", "x&amp;y"}) {
+    EXPECT_EQ(XmlEscapedSize(s), XmlEscape(s).size()) << s;
+  }
+}
+
 TEST(StringsTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
   EXPECT_EQ(StrFormat("%s", ""), "");

@@ -3,8 +3,12 @@
 // randomized property sweep).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "event_trace_util.h"
 #include "util/rng.h"
 #include "xml/events.h"
 #include "xml/forest.h"
@@ -119,14 +123,21 @@ TEST(SaxTest, WhitespaceKeptWhenConfigured) {
 TEST(SaxTest, AttributeExpansionCanBeDisabled) {
   SaxOptions opts;
   opts.expand_attributes = false;
-  StringSource src("<a x=\"1\"><b/></a>");
+  StringSource src("<a x=\"1\" y='two'><b/></a>");
   SaxParser p(&src, opts);
   XmlEvent ev;
   ASSERT_TRUE(p.Next(&ev).ok());
   EXPECT_EQ(ev.type, XmlEventType::kStartElement);
-  ASSERT_EQ(ev.attrs.size(), 1u);
-  EXPECT_EQ(ev.attrs[0].first, "x");
-  EXPECT_EQ(ev.attrs[0].second, "1");
+  ASSERT_EQ(ev.attr_count, 2u);
+  EXPECT_EQ(ev.attrs[0].name, "x");
+  EXPECT_EQ(ev.attrs[0].value, "1");
+  EXPECT_EQ(ev.attrs[1].name, "y");
+  EXPECT_EQ(ev.attrs[1].value, "two");
+  // Attribute-free events do not carry a span.
+  ASSERT_TRUE(p.Next(&ev).ok());  // <b/>
+  EXPECT_EQ(ev.type, XmlEventType::kStartElement);
+  EXPECT_EQ(ev.attr_count, 0u);
+  EXPECT_EQ(ev.attrs, nullptr);
 }
 
 TEST(SaxTest, ErrorMismatchedTags) {
@@ -189,6 +200,165 @@ TEST(SaxTest, EmptyAttributeValueYieldsEmptyElement) {
   EXPECT_EQ(ForestToTerm(f), "a(x)");
 }
 
+// ---- Chunk-boundary robustness: every construct split at every offset. ----
+
+// TracedEvent / Trace() / ChunkedSource live in event_trace_util.h, shared
+// with the pretok suite so both differential tests compare the same trace.
+
+// The conformance corpus: every lexer state (tags, attributes + expansion,
+// entities in text and attr values, CDATA with ]]-lookahead, comments, PIs,
+// DOCTYPE with internal subset, long names/runs) so the refill sweep splits
+// each of them at every possible byte offset.
+const char* const kConformanceCorpus[] = {
+    "<a><b/><b/></a>",
+    "<book isbn=\"123\" price=\"$99\"><author>Knuth</author></book>",
+    "<t>&lt;x&gt; &amp; &quot;q&quot; &apos;a&apos; &#65;&#x42;</t>",
+    "<t>pre<![CDATA[mid ]] >]]]>post</t>",
+    "<?xml version=\"1.0\"?><!DOCTYPE d [<!ELEMENT d ANY>]><d><!-- c --><a/>"
+    "</d>",
+    "<a x='v &amp; w' y=\"\"/>",
+    "<longer_element_name_than_any_refill_window_is_wide_in_this_sweep>"
+    "text that also runs longer than the smallest windows do"
+    "</longer_element_name_than_any_refill_window_is_wide_in_this_sweep>",
+    "<a>\n  <b> x </b>\n</a>",
+    "<a/><b/><c>t</c>",
+    "<m><!-- dashes -- - ---><p></p><?pi with ? marks ?></m>",
+};
+
+TEST(SaxChunkTest, CorpusIdenticalAtEveryRefillSize) {
+  for (const char* xml : kConformanceCorpus) {
+    StringSource whole(xml);
+    auto expected = std::move(Trace(&whole).ValueOrDie());
+    for (std::size_t chunk = 1; chunk <= 64; ++chunk) {
+      ChunkedSource src(xml, chunk);
+      Result<std::vector<TracedEvent>> got = Trace(&src);
+      ASSERT_TRUE(got.ok()) << xml << " chunk=" << chunk << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got.value(), expected) << xml << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(SaxChunkTest, ErrorsStillDetectedAtEveryRefillSize) {
+  const char* bad[] = {"<a><b></a></b>", "<a>&unknown;</a>", "<a x=1/>",
+                       "<a><![CDATA[never closed", "<a>unclosed"};
+  for (const char* xml : bad) {
+    for (std::size_t chunk : {std::size_t(1), std::size_t(3), std::size_t(7)}) {
+      ChunkedSource src(xml, chunk);
+      SaxParser parser(&src);
+      XmlEvent ev;
+      Status st;
+      do {
+        st = parser.Next(&ev);
+      } while (st.ok() && ev.type != XmlEventType::kEndOfDocument);
+      EXPECT_FALSE(st.ok()) << xml << " chunk=" << chunk;
+    }
+  }
+}
+
+// ---- The zero-copy event contract. ----
+
+bool ViewWithin(std::string_view view, std::string_view region) {
+  return view.data() >= region.data() &&
+         view.data() + view.size() <= region.data() + region.size();
+}
+
+TEST(SaxViewTest, MappedTextIsZeroCopy) {
+  // Over an in-memory (Contents-capable) source, a plain text run must alias
+  // the input bytes — no copy on the fast path.
+  const std::string xml = "<a>hello world</a>";
+  StringSource src(xml);
+  SaxParser p(&src);
+  XmlEvent ev;
+  ASSERT_TRUE(p.Next(&ev).ok());  // <a>
+  ASSERT_TRUE(p.Next(&ev).ok());  // text
+  ASSERT_EQ(ev.type, XmlEventType::kText);
+  EXPECT_EQ(ev.text, "hello world");
+  EXPECT_TRUE(ViewWithin(ev.text, xml)) << "text was copied";
+}
+
+TEST(SaxViewTest, EntityTextSpillsOutOfTheInput) {
+  const std::string xml = "<a>x&amp;y</a>";
+  StringSource src(xml);
+  SaxParser p(&src);
+  XmlEvent ev;
+  ASSERT_TRUE(p.Next(&ev).ok());  // <a>
+  ASSERT_TRUE(p.Next(&ev).ok());  // text
+  ASSERT_EQ(ev.type, XmlEventType::kText);
+  EXPECT_EQ(ev.text, "x&y");
+  EXPECT_FALSE(ViewWithin(ev.text, xml)) << "decoded text cannot alias input";
+}
+
+TEST(SaxViewTest, NamesAliasTheSymbolTable) {
+  // Name views point into the parser's symbol table, so they stay valid for
+  // the parser's lifetime even across refills.
+  ChunkedSource src("<abc><d/></abc>", 2);
+  SaxParser p(&src);
+  XmlEvent ev;
+  ASSERT_TRUE(p.Next(&ev).ok());
+  std::string_view abc = ev.name;
+  EXPECT_EQ(abc, "abc");
+  ASSERT_TRUE(p.Next(&ev).ok());  // <d/> — a refill happened meanwhile
+  EXPECT_EQ(ev.name, "d");
+  EXPECT_EQ(abc, "abc");  // still valid: table-backed
+  EXPECT_EQ(p.symbols().name(p.symbols().Find(NodeKind::kElement, "abc")),
+            abc);
+}
+
+TEST(SaxViewTest, ViewsStableUntilNextAndReplacedAfter) {
+  // The contract: an event's views are valid until the next Next() call.
+  // Copies taken before the next pull must equal the reference trace even
+  // at the smallest window size, where every run spills.
+  const char* xml = "<r><p>one</p><p a=\"v\">two&amp;2</p></r>";
+  StringSource whole(xml);
+  auto expected = std::move(Trace(&whole).ValueOrDie());
+  ChunkedSource src(xml, 1);
+  Result<std::vector<TracedEvent>> got = Trace(&src);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), expected);
+}
+
+TEST(SaxViewTest, AttrValueViewsSurviveUntilDrained) {
+  // Attribute values live in the parser's tag arena: the synthetic
+  // attribute events of one tag must all be readable as they drain, not
+  // just the last one.
+  StringSource src("<a x=\"1\" y=\"22\" z=\"333\"/>");
+  SaxParser p(&src);
+  std::vector<std::string> texts;
+  XmlEvent ev;
+  do {
+    ASSERT_TRUE(p.Next(&ev).ok());
+    if (ev.type == XmlEventType::kText) texts.emplace_back(ev.text);
+  } while (ev.type != XmlEventType::kEndOfDocument);
+  EXPECT_EQ(texts, (std::vector<std::string>{"1", "22", "333"}));
+}
+
+// ---- MmapSource ----
+
+TEST(MmapSourceTest, ParsesLikeInMemory) {
+  const std::string xml = "<doc><a k=\"v\">text</a><b/></doc>";
+  std::string path = ::testing::TempDir() + "/xqmft_mmap_test.xml";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(xml.data(), 1, xml.size(), f);
+  std::fclose(f);
+
+  Forest from_file = std::move(ParseXmlFile(path).ValueOrDie());
+  Forest from_mem = std::move(ParseXmlForest(xml).ValueOrDie());
+  EXPECT_EQ(from_file, from_mem);
+
+  // The source reports a stable whole-input region (the mapping).
+  auto src = std::move(MmapSource::Open(path).ValueOrDie());
+  std::string_view all;
+  ASSERT_TRUE(src->Contents(&all));
+  EXPECT_EQ(all, xml);
+  std::remove(path.c_str());
+}
+
+TEST(MmapSourceTest, MissingFileFails) {
+  EXPECT_FALSE(MmapSource::Open("/nonexistent/xqmft/nope.xml").ok());
+}
+
 TEST(SinkTest, StringSinkSerializes) {
   StringSink sink;
   sink.StartElement("a");
@@ -207,6 +377,25 @@ TEST(SinkTest, CountingSinkCounts) {
   EXPECT_EQ(sink.elements(), 1u);
   EXPECT_EQ(sink.texts(), 1u);
   EXPECT_GT(sink.bytes(), 5u);
+}
+
+TEST(SinkTest, CountingSinkMatchesStringSinkBytes) {
+  // Regression: CountingSink used to charge raw text sizes while
+  // StringSink/FileSink serialize *escaped* text — the two must agree on
+  // every balanced stream, including content that needs escaping.
+  CountingSink counting;
+  StringSink str;
+  for (OutputSink* sink : {static_cast<OutputSink*>(&counting),
+                           static_cast<OutputSink*>(&str)}) {
+    sink->StartElement("r");
+    sink->Text("a & b < c > d");
+    sink->StartElement("item");
+    sink->Text("plain");
+    sink->EndElement("item");
+    sink->Text("&&&");
+    sink->EndElement("r");
+  }
+  EXPECT_EQ(counting.bytes(), str.str().size());
 }
 
 // ---- Property sweep: parse(serialize(f)) == f for random forests. ----

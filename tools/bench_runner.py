@@ -11,12 +11,14 @@ Typical use, after building:
     python3 tools/bench_runner.py --bin-dir build/bench --out BENCH_baseline.json
 
 Regression gating: ``--compare BASELINE.json`` diffs the fresh run against a
-previously committed aggregate, prints a per-benchmark wall-time and
-peak-tracked-memory delta table, and exits nonzero when any benchmark
-regresses by more than the tolerance (``--time-tol`` / ``--mem-tol``, both
-10% by default). Peak tracked memory is deterministic; wall time is only
-meaningful against a baseline captured on comparable hardware — CI uses a
-loose ``--time-tol`` for that reason.
+previously committed aggregate, prints a per-benchmark wall-time,
+peak-tracked-memory, and parser-throughput (MB/s, from bytes_per_second)
+delta table, and exits nonzero when any benchmark regresses by more than the
+tolerance (``--time-tol`` / ``--mem-tol``, both 10% by default; a throughput
+*drop* beyond ``--time-tol`` gates like a time regression). Peak tracked
+memory is deterministic; wall time and throughput are only meaningful
+against a baseline captured on comparable hardware — CI uses a loose
+``--time-tol`` for that reason.
 
 Input sizes default to a quick sweep (1 and 4 MB XMark scale); pass
 ``--sizes-mb`` for the larger points of the paper's figures. The fig4
@@ -44,6 +46,7 @@ FIG4_BENCHES = [
     "bench_fig4i_deepdup",
 ]
 TABLE1_BENCH = "bench_table1_datasets"
+PARSER_BENCH = "bench_parser"
 
 
 def run_one(binary, out_path, min_time, env):
@@ -86,34 +89,59 @@ def compare_aggregates(baseline, fresh, time_tol, mem_tol):
     base_ix = index_benchmarks(baseline)
     fresh_ix = index_benchmarks(fresh)
     regressions = []
+
+    def mbps(bench):
+        bps = bench.get("bytes_per_second")
+        return None if bps is None else bps / (1024.0 * 1024.0)
+
+    def fmt_mbps(v):
+        return "-" if v is None else "%.1f" % v
+
     name_w = max([len(n) for _, n in fresh_ix] + [9])
-    print("%-*s %12s %12s %9s %12s %12s %9s"
+    print("%-*s %12s %12s %9s %12s %12s %9s %9s %9s %9s"
           % (name_w, "benchmark", "base_ms", "new_ms", "time",
-             "base_mem_B", "new_mem_B", "mem"))
+             "base_mem_B", "new_mem_B", "mem",
+             "base_MBps", "new_MBps", "thru"))
     for key in sorted(fresh_ix):
         bench = fresh_ix[key]
         base = base_ix.get(key)
         new_ms = bench.get("real_time")
         new_mem = bench.get("peak_mem_B")
+        new_thru = mbps(bench)
         if base is None:
-            print("%-*s %12s %12.2f %9s %12s %12s %9s"
+            print("%-*s %12s %12.2f %9s %12s %12s %9s %9s %9s %9s"
                   % (name_w, key[1], "-", new_ms, "new",
-                     "-", "-" if new_mem is None else "%d" % new_mem, "new"))
+                     "-", "-" if new_mem is None else "%d" % new_mem, "new",
+                     "-", fmt_mbps(new_thru), "new"))
             continue
         base_ms = base.get("real_time")
         base_mem = base.get("peak_mem_B")
+        base_thru = mbps(base)
         dt = pct_change(base_ms, new_ms)
         dm = pct_change(base_mem, new_mem)
-        print("%-*s %12.2f %12.2f %s %12s %12s %s"
+        dthru = pct_change(base_thru, new_thru)
+        print("%-*s %12.2f %12.2f %s %12s %12s %s %9s %9s %s"
               % (name_w, key[1], base_ms, new_ms, fmt_delta(dt),
                  "-" if base_mem is None else "%d" % base_mem,
-                 "-" if new_mem is None else "%d" % new_mem, fmt_delta(dm)))
+                 "-" if new_mem is None else "%d" % new_mem, fmt_delta(dm),
+                 fmt_mbps(base_thru), fmt_mbps(new_thru), fmt_delta(dthru)))
         if dt is not None and dt > time_tol:
             regressions.append("%s: time %+0.1f%% (tolerance %g%%)"
                                % (key[1], dt, time_tol))
         if dm is not None and dm > mem_tol:
             regressions.append("%s: peak memory %+0.1f%% (tolerance %g%%)"
                                % (key[1], dm, mem_tol))
+        # A throughput drop is a parse-side regression even when absolute
+        # wall time stays inside tolerance (e.g. a smaller input sweep).
+        # Throughput is a ratio metric bounded below by -100%, so the time
+        # tolerance maps through 1/(1+t): a +t% time allowance corresponds
+        # to a -100*t/(100+t)% throughput allowance (10% -> -9.1%,
+        # 400% -> -80%) — using -time_tol directly would make the gate
+        # unsatisfiable for tolerances >= 100%.
+        thru_tol = 100.0 * time_tol / (100.0 + time_tol)
+        if dthru is not None and dthru < -thru_tol:
+            regressions.append("%s: throughput %+0.1f%% (tolerance -%0.1f%%)"
+                               % (key[1], dthru, thru_tol))
     # A baseline benchmark whose binary DID run but which produced no clean
     # result (error/skip) is a regression — the engine broke outright, which
     # must not pass the gate. Binaries absent from the fresh aggregate were
@@ -159,7 +187,7 @@ def main():
     env.setdefault("XQMFT_BENCH_SIZES_MB", args.sizes_mb)
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
-    binaries = FIG4_BENCHES + [TABLE1_BENCH]
+    binaries = FIG4_BENCHES + [PARSER_BENCH, TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:

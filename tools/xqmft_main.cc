@@ -11,7 +11,9 @@
 // treated as inline text. `run`/`mft` default to stdin for the document.
 // Flags: --no-opt (skip Section 4.1 passes), --schema <file> (validate
 // while transforming), --dag (report output-DAG compression instead of
-// writing markup), --stats (print engine statistics to stderr).
+// writing markup), --stats (print engine statistics to stderr),
+// --pretok-cache <file> (tokenize the input once into a binary event cache;
+// later runs stream the cache with zero scanning).
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -28,6 +30,7 @@
 #include "stream/engine.h"
 #include "util/strings.h"
 #include "xml/events.h"
+#include "xml/pretok.h"
 #include "xml/sax_parser.h"
 
 using namespace xqmft;
@@ -44,7 +47,8 @@ int Usage() {
       "  mft <rules> [input.xml]      run a hand-written MFT\n"
       "  validate <schema> <input>    one-pass schema validation\n"
       "  stats <input.xml>            document size/depth statistics\n"
-      "flags: --no-opt --schema <file> --dag --stats\n");
+      "flags: --no-opt --schema <file> --dag --stats "
+      "--pretok-cache <file>\n");
   return 2;
 }
 
@@ -79,6 +83,7 @@ struct Flags {
   bool dag = false;
   bool stats = false;
   std::string schema_path;
+  std::string pretok_cache;
 };
 
 int Fail(const Status& st) {
@@ -101,20 +106,69 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
     options.validator = validator.get();
   }
 
+  // Input: pretok cache (tokenized once, streamed with zero scanning) or
+  // text XML from a file (memory-mapped) / stdin.
+  std::unique_ptr<EventSource> events;
   std::unique_ptr<ByteSource> source;
-  if (input_arg.empty()) {
+  if (!flags.pretok_cache.empty()) {
+    // Re-tokenize when the cache is missing or was not built from the
+    // current bytes of an existing file input (the header records the
+    // source's size + hash). With no comparable input (stdin, or the XML
+    // already deleted) an existing cache serves alone — note the stdin case
+    // on stderr, since any piped document goes unread.
+    bool comparable = !input_arg.empty() && IsFile(input_arg);
+    bool cache_fresh =
+        comparable
+            ? PretokCacheValid(flags.pretok_cache, input_arg, options.sax)
+            : IsFile(flags.pretok_cache);
+    if (!cache_fresh) {
+      Status st;
+      if (input_arg.empty()) {
+        StdinSource stdin_source;
+        std::string bytes;
+        st = PretokenizeXml(&stdin_source, options.sax, &bytes);
+        if (st.ok()) st = WritePretokFile(bytes, flags.pretok_cache);
+      } else {
+        st = PretokenizeXmlFile(input_arg, flags.pretok_cache, options.sax);
+      }
+      if (!st.ok()) return Fail(st);
+    } else if (input_arg.empty()) {
+      std::fprintf(stderr,
+                   "note: streaming existing pretok cache %s; stdin not "
+                   "read\n",
+                   flags.pretok_cache.c_str());
+    }
+    Result<std::unique_ptr<PretokSource>> p =
+        PretokSource::OpenFile(flags.pretok_cache);
+    if (!p.ok()) return Fail(p.status());
+    SaxOptions declared = p.value()->declared_options();
+    if (declared.expand_attributes != options.sax.expand_attributes ||
+        declared.skip_whitespace_text != options.sax.skip_whitespace_text) {
+      return Fail(Status::InvalidArgument(
+          "pretok cache " + flags.pretok_cache +
+          " was tokenized under different SAX options; delete it to "
+          "re-tokenize"));
+    }
+    events = std::move(p).value();
+  } else if (input_arg.empty()) {
     source = std::make_unique<StdinSource>();
   } else {
-    Result<std::unique_ptr<FileSource>> f = FileSource::Open(input_arg);
+    Result<std::unique_ptr<ByteSource>> f = MmapSource::Open(input_arg);
     if (!f.ok()) return Fail(f.status());
     source = std::move(f).value();
   }
+
+  auto stream = [&](OutputSink* sink, StreamStats* stats) {
+    return events != nullptr
+               ? StreamTransformEvents(mft, events.get(), sink, options, stats)
+               : StreamTransform(mft, source.get(), sink, options, stats);
+  };
 
   StreamStats stats;
   Status st;
   if (flags.dag) {
     DagSink sink;
-    st = StreamTransform(mft, source.get(), &sink, options, &stats);
+    st = stream(&sink, &stats);
     if (!st.ok()) return Fail(st);
     std::printf("output nodes:   %llu\n",
                 static_cast<unsigned long long>(sink.total_nodes()));
@@ -122,7 +176,7 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
     std::printf("compression:    %.2fx\n", sink.CompressionRatio());
   } else {
     FileSink sink(stdout);
-    st = StreamTransform(mft, source.get(), &sink, options, &stats);
+    st = stream(&sink, &stats);
     sink.Flush();
     std::printf("\n");
     if (!st.ok()) return Fail(st);
@@ -158,6 +212,8 @@ int main(int argc, char** argv) {
       flags.stats = true;
     } else if (a == "--schema" && i + 1 < argc) {
       flags.schema_path = argv[++i];
+    } else if (a == "--pretok-cache" && i + 1 < argc) {
+      flags.pretok_cache = argv[++i];
     } else {
       args.push_back(std::move(a));
     }
@@ -202,7 +258,7 @@ int main(int argc, char** argv) {
     Result<std::shared_ptr<const Schema>> schema =
         Schema::Parse(schema_text.value());
     if (!schema.ok()) return Fail(schema.status());
-    Result<std::unique_ptr<FileSource>> src = FileSource::Open(args[1]);
+    Result<std::unique_ptr<ByteSource>> src = MmapSource::Open(args[1]);
     if (!src.ok()) return Fail(src.status());
     SaxParser parser(src.value().get());
     SchemaValidator v(schema.value());

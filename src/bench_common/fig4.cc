@@ -26,6 +26,13 @@ std::size_t EnvMb(const char* name, std::size_t def_mb) {
   return static_cast<std::size_t>(std::atoll(v)) * 1024 * 1024;
 }
 
+std::size_t EnvCount(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  long long n = std::atoll(v);
+  return n > 0 ? static_cast<std::size_t>(n) : def;
+}
+
 struct Fig4Dataset {
   DatasetKind kind;
   std::size_t bytes;
@@ -162,6 +169,64 @@ void BenchMftPretok(benchmark::State& state, const BenchQuery& bq,
       static_cast<int64_t>(xml_bytes.value() * state.iterations()));
 }
 
+// The ROADMAP's parallel-sharding series: the cell's document served as a
+// small document set (XQMFT_BENCH_FIG4_PAR_ITEMS copies, default 4) fanned
+// across worker threads (XQMFT_BENCH_FIG4_PAR_THREADS, default 4) — the
+// serving shape the sharding layer exists for. The knobs are deliberately
+// distinct from bench_parallel's XQMFT_BENCH_PAR_* so tuning one binary in
+// a bench_runner sweep cannot silently reshape the other's workload. One
+// measurement covers all items and bytes-processed scales with them, so the
+// throughput column compares aggregate parallel MB/s directly against
+// mft_opt's single-engine MB/s.
+void BenchMftPar(benchmark::State& state, const BenchQuery& bq,
+                 const Fig4Dataset& ds) {
+  Result<std::string> path = EnsureDataset(ds.kind, ds.bytes);
+  if (!path.ok()) {
+    state.SkipWithError(path.status().ToString().c_str());
+    return;
+  }
+  std::size_t items = EnvCount("XQMFT_BENCH_FIG4_PAR_ITEMS", 4);
+  ParallelOptions par;
+  par.threads = EnvCount("XQMFT_BENCH_FIG4_PAR_THREADS", 4);
+  Result<std::unique_ptr<CompiledQuery>> cq = CompiledQuery::Compile(bq.text);
+  if (!cq.ok()) {
+    state.SkipWithError(cq.status().ToString().c_str());
+    return;
+  }
+  std::vector<ParallelInput> inputs(items,
+                                    ParallelInput::XmlFile(path.value()));
+  std::vector<StreamStats> stats;
+  std::size_t bytes_in = 0, out_events = 0, peak = 0;
+  for (auto _ : state) {
+    CountingSink sink;
+    Status st = cq.value()->StreamMany(inputs, &sink, par, &stats);
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    bytes_in = 0;
+    out_events = 0;
+    peak = 0;
+    for (const StreamStats& s : stats) {
+      bytes_in += s.bytes_in;
+      out_events += s.output_events;
+      if (s.peak_bytes > peak) peak = s.peak_bytes;
+    }
+  }
+  // Peak is the max *engine-tracked* peak over the items (per-engine peaks
+  // need not coincide). It deliberately excludes the merge layer's staged
+  // output: completed items park their whole output in EventBuffers until
+  // the in-order flush reaches them, so real residency adds up to the
+  // unflushed items' total output size on top of the engine peaks.
+  state.counters["peak_mem_B"] = static_cast<double>(peak);
+  state.counters["out_events"] = static_cast<double>(out_events);
+  state.counters["bytes_in"] = static_cast<double>(bytes_in);
+  state.counters["threads"] = static_cast<double>(par.threads);
+  state.counters["items"] = static_cast<double>(items);
+  state.SetBytesProcessed(
+      static_cast<int64_t>(bytes_in * state.iterations()));
+}
+
 void BenchGcx(benchmark::State& state, const BenchQuery& bq,
               const Fig4Dataset& ds) {
   Result<std::string> path = EnsureDataset(ds.kind, ds.bytes);
@@ -239,6 +304,11 @@ void RegisterFig4Benchmarks(const std::string& query_id,
     benchmark::RegisterBenchmark(
         StrFormat("%s/mft_pretok/%s", bq.id, ds.display.c_str()).c_str(),
         [bq, ds](benchmark::State& st) { BenchMftPretok(st, bq, ds); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        StrFormat("%s/mft_par/%s", bq.id, ds.display.c_str()).c_str(),
+        [bq, ds](benchmark::State& st) { BenchMftPar(st, bq, ds); })
         ->Unit(benchmark::kMillisecond)
         ->Iterations(1);
     benchmark::RegisterBenchmark(

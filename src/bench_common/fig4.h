@@ -15,6 +15,8 @@
 //   XQMFT_BENCH_GCX_CAP_MB    GCX buffer cap (default 24), the scaled
 //                             analogue of GCX's reported failure on the
 //                             doubling query above 200 MB
+//   XQMFT_BENCH_FIG4_PAR_ITEMS / _THREADS   document-set size and worker
+//                             count of the mft_par series (default 4 / 4)
 #ifndef XQMFT_BENCH_COMMON_FIG4_H_
 #define XQMFT_BENCH_COMMON_FIG4_H_
 

@@ -1,10 +1,31 @@
 #include "core/pipeline.h"
 
+#include <limits>
+
 #include "mft/interp.h"
+#include "parallel/pretok_split.h"
 #include "translate/translate.h"
+#include "xml/pretok.h"
 #include "xml/sax_parser.h"
 
 namespace xqmft {
+
+namespace {
+
+// A pretok stream tokenized under different SAX options replays different
+// events; parallel runs check before handing a source to an engine, like the
+// CLI does for --pretok-cache.
+Status CheckPretokOptions(SaxOptions declared, SaxOptions expected,
+                          const std::string& what) {
+  if (!SameTokenization(declared, expected)) {
+    return Status::InvalidArgument(
+        "pretok stream " + what +
+        " was tokenized under different SAX options than this pipeline");
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
     const std::string& query_text, PipelineOptions options) {
@@ -46,6 +67,141 @@ Status CompiledQuery::StreamString(const std::string& xml, OutputSink* sink,
                                    StreamStats* stats) const {
   StringSource src(xml);
   return Stream(&src, sink, stats);
+}
+
+Status StreamManyTransform(const Mft& mft,
+                           const std::vector<ParallelInput>& inputs,
+                           OutputSink* sink, StreamOptions stream,
+                           const ParallelOptions& par,
+                           std::vector<StreamStats>* stats) {
+  if (stream.validator != nullptr) {
+    return Status::InvalidArgument(
+        "schema validation is per-run stateful and not supported by "
+        "parallel runs; validate inputs individually");
+  }
+  if (stats != nullptr) {
+    stats->assign(inputs.size(), StreamStats{});
+  }
+  // Warm the lazily compiled rule dispatch before fanning out: once built it
+  // is read-only and safe to share across worker engines (mft/mft.h).
+  mft.dispatch();
+  auto item = [&](std::size_t i, OutputSink* item_sink) -> Status {
+    const ParallelInput& input = inputs[i];
+    StreamStats* item_stats = stats != nullptr ? &(*stats)[i] : nullptr;
+    switch (input.kind) {
+      case ParallelInput::Kind::kXmlFile: {
+        XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
+                               MmapSource::Open(input.value));
+        return StreamTransform(mft, src.get(), item_sink, stream, item_stats);
+      }
+      case ParallelInput::Kind::kPretokFile: {
+        XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<PretokSource> src,
+                               PretokSource::OpenFile(input.value));
+        XQMFT_RETURN_NOT_OK(CheckPretokOptions(src->declared_options(),
+                                               stream.sax, input.value));
+        return StreamTransformEvents(mft, src.get(), item_sink, stream,
+                                     item_stats);
+      }
+      case ParallelInput::Kind::kXmlText: {
+        StringSource src(input.value);
+        return StreamTransform(mft, &src, item_sink, stream, item_stats);
+      }
+      case ParallelInput::Kind::kPretokBytes: {
+        PretokSource src(input.value);
+        if (src.header_ok()) {
+          XQMFT_RETURN_NOT_OK(CheckPretokOptions(src.declared_options(),
+                                                 stream.sax, "(in-memory)"));
+        }
+        return StreamTransformEvents(mft, &src, item_sink, stream,
+                                     item_stats);
+      }
+    }
+    return Status::Internal("unknown ParallelInput kind");
+  };
+  return ShardedExecutor::Run(inputs.size(), item, sink, par);
+}
+
+Status StreamShardedPretokTransform(const Mft& mft, std::string_view pretok,
+                                    std::size_t shards, OutputSink* sink,
+                                    StreamOptions stream,
+                                    const ParallelOptions& par,
+                                    std::vector<StreamStats>* stats) {
+  if (stream.validator != nullptr) {
+    return Status::InvalidArgument(
+        "schema validation is per-run stateful and not supported by "
+        "parallel runs; validate inputs individually");
+  }
+  if (shards == 0) {
+    // Default: split at every top-level forest boundary (the splitter
+    // clamps to the tree count). Deliberately NOT the worker count — on a
+    // multi-tree forest the shard decomposition shapes the output (each
+    // shard evaluates as its own document), so deriving it from
+    // hardware_concurrency would make identical commands produce different
+    // output on different machines. Finest-grain splitting is
+    // input-deterministic and gives the scheduler the most parallelism;
+    // threads only affect timing, never bytes.
+    shards = std::numeric_limits<std::size_t>::max();
+  }
+  XQMFT_ASSIGN_OR_RETURN(PretokShardPlan plan,
+                         PlanPretokShards(pretok, shards));
+  XQMFT_RETURN_NOT_OK(
+      CheckPretokOptions(plan.declared, stream.sax, "(sharded)"));
+  if (stats != nullptr) {
+    stats->assign(plan.shards.size(), StreamStats{});
+  }
+  mft.dispatch();  // warm before fan-out (mft/mft.h)
+  auto item = [&](std::size_t i, OutputSink* item_sink) -> Status {
+    PretokShardSource src(&plan, i);
+    return StreamTransformEvents(mft, &src, item_sink, stream,
+                                 stats != nullptr ? &(*stats)[i] : nullptr);
+  };
+  return ShardedExecutor::Run(plan.shards.size(), item, sink, par);
+}
+
+Status StreamShardedPretokFileTransform(const Mft& mft,
+                                        const std::string& path,
+                                        std::size_t shards, OutputSink* sink,
+                                        StreamOptions stream,
+                                        const ParallelOptions& par,
+                                        std::vector<StreamStats>* stats) {
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> backing,
+                         MmapSource::Open(path));
+  std::string_view contents;
+  std::string owned;
+  if (!backing->Contents(&contents)) {
+    // No stable mapping (exotic platform): read the file whole.
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = backing->Read(buf, sizeof buf)) > 0) owned.append(buf, n);
+    contents = owned;
+  }
+  return StreamShardedPretokTransform(mft, contents, shards, sink, stream,
+                                      par, stats);
+}
+
+Status CompiledQuery::StreamMany(const std::vector<ParallelInput>& inputs,
+                                 OutputSink* sink, const ParallelOptions& par,
+                                 std::vector<StreamStats>* stats) const {
+  return StreamManyTransform(mft_, inputs, sink, options_.stream, par, stats);
+}
+
+Status CompiledQuery::StreamShardedPretok(std::string_view pretok,
+                                          std::size_t shards, OutputSink* sink,
+                                          const ParallelOptions& par,
+                                          std::vector<StreamStats>* stats)
+    const {
+  return StreamShardedPretokTransform(mft_, pretok, shards, sink,
+                                      options_.stream, par, stats);
+}
+
+Status CompiledQuery::StreamShardedPretokFile(const std::string& path,
+                                              std::size_t shards,
+                                              OutputSink* sink,
+                                              const ParallelOptions& par,
+                                              std::vector<StreamStats>* stats)
+    const {
+  return StreamShardedPretokFileTransform(mft_, path, shards, sink,
+                                          options_.stream, par, stats);
 }
 
 Result<Forest> CompiledQuery::Evaluate(const Forest& input) const {

@@ -14,9 +14,12 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "mft/mft.h"
 #include "mft/optimize.h"
+#include "parallel/sharded_executor.h"
 #include "stream/engine.h"
 #include "util/status.h"
 #include "xml/forest.h"
@@ -32,6 +35,55 @@ struct PipelineOptions {
   OptimizeOptions optimizer;
   StreamOptions stream;
 };
+
+/// \brief One document of a parallel workload (see CompiledQuery::StreamMany).
+///
+/// The in-memory kinds let tests and embedders shard without touching the
+/// filesystem; `value` is a path for the file kinds and the raw bytes
+/// otherwise.
+struct ParallelInput {
+  enum class Kind {
+    kXmlFile,      ///< text XML file (memory-mapped when possible)
+    kPretokFile,   ///< pretok event cache file
+    kXmlText,      ///< in-memory text XML
+    kPretokBytes,  ///< in-memory pretok event stream
+  };
+
+  Kind kind = Kind::kXmlFile;
+  std::string value;
+
+  static ParallelInput XmlFile(std::string path) {
+    return {Kind::kXmlFile, std::move(path)};
+  }
+  static ParallelInput PretokFile(std::string path) {
+    return {Kind::kPretokFile, std::move(path)};
+  }
+  static ParallelInput XmlText(std::string xml) {
+    return {Kind::kXmlText, std::move(xml)};
+  }
+  static ParallelInput PretokBytes(std::string bytes) {
+    return {Kind::kPretokBytes, std::move(bytes)};
+  }
+};
+
+/// Engine-level parallel streaming (the CompiledQuery methods below
+/// delegate here; the CLI's hand-written-MFT path uses these directly).
+/// Contracts as documented on CompiledQuery::StreamMany /
+/// StreamShardedPretok.
+Status StreamManyTransform(const Mft& mft,
+                           const std::vector<ParallelInput>& inputs,
+                           OutputSink* sink, StreamOptions stream = {},
+                           const ParallelOptions& par = {},
+                           std::vector<StreamStats>* stats = nullptr);
+Status StreamShardedPretokTransform(const Mft& mft, std::string_view pretok,
+                                    std::size_t shards, OutputSink* sink,
+                                    StreamOptions stream = {},
+                                    const ParallelOptions& par = {},
+                                    std::vector<StreamStats>* stats = nullptr);
+Status StreamShardedPretokFileTransform(
+    const Mft& mft, const std::string& path, std::size_t shards,
+    OutputSink* sink, StreamOptions stream = {}, const ParallelOptions& par = {},
+    std::vector<StreamStats>* stats = nullptr);
 
 /// \brief A compiled MinXQuery program, ready to stream documents.
 class CompiledQuery {
@@ -59,6 +111,39 @@ class CompiledQuery {
   /// Streams an already-tokenized event stream (e.g. a pretok cache).
   Status StreamEvents(EventSource* events, OutputSink* sink,
                       StreamStats* stats = nullptr) const;
+
+  /// Document-set sharding: streams every input through its own engine
+  /// (private SymbolTable copy, private arenas) across
+  /// `par.threads` workers, merging outputs into `sink` in input order —
+  /// byte-identical to streaming the inputs serially, for any thread count.
+  /// On failure the run returns the lowest-index failed input's error and
+  /// the sink holds the in-order output of the successful inputs before it.
+  /// Schema validation (options.stream.validator) is per-run stateful and
+  /// rejected here. `stats`, when given, is resized to one entry per input.
+  Status StreamMany(const std::vector<ParallelInput>& inputs, OutputSink* sink,
+                    const ParallelOptions& par = {},
+                    std::vector<StreamStats>* stats = nullptr) const;
+
+  /// Single-document sharding: splits one pretok event stream at top-level
+  /// forest boundaries into at most `shards` byte ranges (0 = one shard
+  /// per top-level tree, so the decomposition — and therefore the output on
+  /// a multi-tree forest — depends only on the input, never on the machine)
+  /// and evaluates each range as its own document, merging outputs in input
+  /// order. For a single-rooted document the split yields
+  /// one shard and the output is byte-identical to StreamEvents over the
+  /// whole stream; for a multi-tree forest each shard's trees evaluate as an
+  /// independent forest (see parallel/pretok_split.h for the contract).
+  /// `pretok` must outlive the call and match this pipeline's SAX options.
+  Status StreamShardedPretok(std::string_view pretok, std::size_t shards,
+                             OutputSink* sink, const ParallelOptions& par = {},
+                             std::vector<StreamStats>* stats = nullptr) const;
+
+  /// StreamShardedPretok over a pretok cache file (memory-mapped).
+  Status StreamShardedPretokFile(const std::string& path, std::size_t shards,
+                                 OutputSink* sink,
+                                 const ParallelOptions& par = {},
+                                 std::vector<StreamStats>* stats
+                                 = nullptr) const;
 
   /// Non-streaming reference evaluation (whole document in memory); used
   /// for differential testing and debugging.

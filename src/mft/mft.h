@@ -175,7 +175,12 @@ class Mft {
   }
 
   /// The compiled dense dispatch (built on first use, rebuilt after any rule
-  /// mutation). Single-threaded, like the engines.
+  /// mutation). Lazy compilation is single-threaded; once compiled, the
+  /// dispatch (and symbols()) are read-only and safe to share across
+  /// concurrent engine runs, provided no rule mutates meanwhile. Parallel
+  /// callers must warm the cache before fanning out — one dispatch() call on
+  /// the coordinating thread, which CompiledQuery's parallel entry points
+  /// issue before spawning workers.
   const RuleDispatch& dispatch() const;
 
   /// The symbol table the dispatch is compiled against. The streaming engine

@@ -1,0 +1,83 @@
+#include "parallel/merge_sink.h"
+
+#include "util/varint.h"
+
+namespace xqmft {
+
+void EventBuffer::Put(Op op, std::string_view payload) {
+  log_.push_back(static_cast<char>(op));
+  PutVarint(&log_, payload.size());
+  log_.append(payload.data(), payload.size());
+}
+
+void EventBuffer::Replay(OutputSink* sink) const {
+  std::size_t pos = 0;
+  while (pos < log_.size()) {
+    char op = log_[pos++];
+    std::uint64_t len = 0;
+    XQMFT_CHECK(ReadVarint(log_, &pos, &len));
+    XQMFT_CHECK(log_.size() - pos >= len);
+    std::string_view payload(log_.data() + pos, len);
+    pos += len;
+    switch (op) {
+      case kStart:
+        sink->StartElement(payload);
+        break;
+      case kEnd:
+        sink->EndElement(payload);
+        break;
+      case kText:
+        sink->Text(payload);
+        break;
+      default:
+        XQMFT_CHECK(false && "corrupt EventBuffer frame");
+    }
+  }
+}
+
+OrderedMerge::OrderedMerge(OutputSink* downstream, std::size_t shard_count)
+    : downstream_(downstream), slots_(shard_count) {}
+
+void OrderedMerge::Commit(std::size_t index, EventBuffer buffer,
+                          Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  XQMFT_CHECK(index < slots_.size());
+  Slot& slot = slots_[index];
+  XQMFT_CHECK(!slot.committed);
+  slot.committed = true;
+  slot.buffer = std::move(buffer);
+  slot.status = std::move(status);
+  if (!slot.status.ok()) error_ = true;
+  // Flush the committed prefix. Stop permanently at the first failed slot:
+  // downstream only ever sees the in-order output of an OK prefix.
+  while (next_ < slots_.size() && slots_[next_].committed &&
+         slots_[next_].status.ok()) {
+    slots_[next_].buffer.Replay(downstream_);
+    slots_[next_].buffer.clear();
+    ++next_;
+  }
+}
+
+bool OrderedMerge::saw_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+Status OrderedMerge::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool any_uncommitted = false;
+  Status first_error = Status::OK();
+  for (const Slot& slot : slots_) {
+    if (!slot.committed) {
+      any_uncommitted = true;
+      continue;
+    }
+    if (!slot.status.ok() && first_error.ok()) first_error = slot.status;
+  }
+  // A hole with no error means a worker vanished without committing — an
+  // executor invariant violation, not a data condition.
+  XQMFT_CHECK(!any_uncommitted || !first_error.ok());
+  return first_error;
+}
+
+}  // namespace xqmft

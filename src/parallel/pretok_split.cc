@@ -1,0 +1,144 @@
+#include "parallel/pretok_split.h"
+
+#include "util/strings.h"
+#include "util/varint.h"
+
+namespace xqmft {
+
+namespace {
+
+Status SplitFail(std::size_t pos, const char* msg) {
+  return Status::InvalidArgument(
+      StrFormat("pretok split error at byte %zu: %s", pos, msg));
+}
+
+}  // namespace
+
+Result<PretokShardPlan> PlanPretokShards(std::string_view data,
+                                         std::size_t max_shards) {
+  if (max_shards == 0) max_shards = 1;
+  XQMFT_ASSIGN_OR_RETURN(PretokHeader header, ParsePretokHeader(data));
+
+  PretokShardPlan plan;
+  plan.data = data;
+  plan.declared = header.sax;
+
+  // Skim pass: walk records tracking depth; cut[i] is the byte offset where
+  // tree i begins a group boundary (cut[0] = first record, cut[i>0] = just
+  // past tree i-1's final record), defs_at[i] the definitions seen before
+  // cut[i]. Defines between two trees land at the front of the following
+  // range, where the shard source interns them inline.
+  std::vector<std::size_t> cut{header.records_begin};
+  std::vector<std::size_t> defs_at{0};
+  std::size_t pos = header.records_begin;
+  std::size_t depth = 0;
+  bool saw_eod = false;
+  while (!saw_eod) {
+    if (pos >= data.size()) {
+      return SplitFail(pos, "truncated stream (missing eod)");
+    }
+    PretokOp op = static_cast<PretokOp>(data[pos++]);
+    std::uint64_t n;
+    switch (op) {
+      case PretokOp::kDefine: {
+        if (!ReadVarint(data, &pos, &n) || data.size() - pos < n) {
+          return SplitFail(pos, "truncated symbol definition");
+        }
+        plan.names.push_back(data.substr(pos, n));
+        pos += n;
+        break;
+      }
+      case PretokOp::kStart:
+        if (!ReadVarint(data, &pos, &n)) {
+          return SplitFail(pos, "truncated start record");
+        }
+        if (n >= plan.names.size()) {
+          return SplitFail(pos, "undefined symbol id");
+        }
+        ++depth;
+        break;
+      case PretokOp::kEnd:
+        if (depth == 0) {
+          return SplitFail(pos, "end record with no open element");
+        }
+        if (--depth == 0) {
+          cut.push_back(pos);
+          defs_at.push_back(plan.names.size());
+          ++plan.total_trees;
+        }
+        break;
+      case PretokOp::kText:
+        if (!ReadVarint(data, &pos, &n) || data.size() - pos < n) {
+          return SplitFail(pos, "truncated text record");
+        }
+        pos += n;
+        if (depth == 0) {
+          // A top-level text node is a tree of its own.
+          cut.push_back(pos);
+          defs_at.push_back(plan.names.size());
+          ++plan.total_trees;
+        }
+        break;
+      case PretokOp::kEod:
+        if (depth != 0) return SplitFail(pos, "eod with unclosed elements");
+        saw_eod = true;
+        break;
+      default:
+        return SplitFail(pos, "unknown opcode");
+    }
+  }
+
+  // Group contiguous trees into shards balanced by record bytes. Each shard
+  // takes whole trees; a greedy walk closes a shard once it reaches the
+  // per-shard byte target while leaving at least one tree per shard behind.
+  std::size_t trees = plan.total_trees;
+  if (trees == 0) {
+    // Empty forest: one empty shard, so one engine still runs (the epsilon
+    // rule of q0 can produce output on empty input).
+    plan.shards.push_back(
+        {header.records_begin, header.records_begin, 0, 0});
+    return plan;
+  }
+  std::size_t shard_count = max_shards < trees ? max_shards : trees;
+  std::size_t record_bytes = cut[trees] - cut[0];
+  std::size_t target = (record_bytes + shard_count - 1) / shard_count;
+  std::size_t first_tree = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    std::size_t remaining_shards = shard_count - s - 1;
+    std::size_t last_tree;
+    if (remaining_shards == 0) {
+      last_tree = trees;  // the final shard takes everything left
+    } else {
+      last_tree = first_tree + 1;  // at least one tree
+      while (trees - last_tree > remaining_shards &&
+             cut[last_tree] - cut[first_tree] < target) {
+        ++last_tree;
+      }
+    }
+    plan.shards.push_back({cut[first_tree], cut[last_tree],
+                           defs_at[first_tree], last_tree - first_tree});
+    first_tree = last_tree;
+  }
+  XQMFT_CHECK(first_tree == trees);
+  return plan;
+}
+
+namespace {
+
+// Library code never throws: an out-of-range shard index is a programmer
+// error, checked here instead of via vector::at.
+const PretokShard& CheckedShard(const PretokShardPlan* plan,
+                                std::size_t shard) {
+  XQMFT_CHECK(plan != nullptr && shard < plan->shards.size());
+  return plan->shards[shard];
+}
+
+}  // namespace
+
+PretokShardSource::PretokShardSource(const PretokShardPlan* plan,
+                                     std::size_t shard)
+    : PretokSource(plan->data, CheckedShard(plan, shard).begin,
+                   CheckedShard(plan, shard).end, &plan->names,
+                   CheckedShard(plan, shard).defs_before) {}
+
+}  // namespace xqmft

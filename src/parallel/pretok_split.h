@@ -1,0 +1,80 @@
+// Single-document sharding: split one pretok event cache at top-level
+// forest boundaries.
+//
+// Pretok records are self-delimiting (opcode + varint payloads), so a
+// splitter finds every depth-0 tree boundary with one skim pass that never
+// re-lexes markup: it walks opcodes, skips payload bytes by their declared
+// length, and tracks element depth. Each resulting shard is a byte range of
+// the record region plus the number of symbol definitions that precede it —
+// define records are written at first use, so a shard starting mid-file
+// needs the prefix dictionary to resolve its ids. A PretokShardSource
+// replays one shard as a complete event stream (definitions seeded from the
+// prefix, kEndOfDocument synthesized at the range end), which is exactly
+// what an engine expects: the shard behaves as an independent forest
+// document.
+//
+// Semantics: evaluating shards independently and concatenating outputs in
+// input order evaluates each top-level tree group as its own document. For
+// a single-rooted document (every XML document in the corpus) the split
+// yields one shard and the result is byte-identical to serial evaluation of
+// the whole stream; for a multi-tree forest the contract is per-shard
+// evaluation in order — pinned against the serial engine run shard-by-shard
+// by the differential suite.
+#ifndef XQMFT_PARALLEL_PRETOK_SPLIT_H_
+#define XQMFT_PARALLEL_PRETOK_SPLIT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/event_source.h"
+#include "xml/events.h"
+#include "xml/pretok.h"
+#include "xml/symbol_table.h"
+
+namespace xqmft {
+
+/// \brief One shard: a contiguous run of whole top-level trees.
+struct PretokShard {
+  std::size_t begin = 0;        ///< first record byte (into the whole file)
+  std::size_t end = 0;          ///< one past the last record byte
+  std::size_t defs_before = 0;  ///< plan names defined before `begin`
+  std::size_t trees = 0;        ///< top-level trees in this shard
+};
+
+/// \brief Split plan over one pretok byte region.
+///
+/// Views alias the planned bytes, which must outlive the plan and every
+/// PretokShardSource built from it.
+struct PretokShardPlan {
+  std::string_view data;                 ///< the whole pretok region
+  SaxOptions declared;                   ///< header tokenization options
+  std::vector<std::string_view> names;   ///< define payloads, file order
+  std::vector<PretokShard> shards;       ///< non-empty; covers every tree
+  std::size_t total_trees = 0;
+};
+
+/// Plans at most `max_shards` shards (0 behaves as 1) of contiguous
+/// top-level trees, balanced by record bytes. A document with fewer trees
+/// than requested shards yields one shard per tree; an empty forest yields
+/// a single empty shard, so replaying a plan always reproduces the serial
+/// event stream. InvalidArgument on a malformed stream (bad header,
+/// truncated record, unbalanced tags).
+Result<PretokShardPlan> PlanPretokShards(std::string_view data,
+                                         std::size_t max_shards);
+
+/// \brief EventSource replaying one shard of a plan (zero-copy reads).
+///
+/// A bounded PretokSource (xml/pretok.h) over the shard's record range,
+/// seeded with the plan's prefix dictionary `names[0..defs_before)` — the
+/// record decoding itself lives in one place, the base class.
+class PretokShardSource : public PretokSource {
+ public:
+  /// `plan` must outlive the source. `shard` indexes plan->shards.
+  PretokShardSource(const PretokShardPlan* plan, std::size_t shard);
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_PARALLEL_PRETOK_SPLIT_H_

@@ -1,0 +1,44 @@
+// Unsigned LEB128 varint coding, shared by every framed byte format in the
+// tree (the pretok event cache and the parallel layer's EventBuffer): one
+// codec, one set of bounds rules, instead of per-file copies that must be
+// changed in lockstep.
+#ifndef XQMFT_UTIL_VARINT_H_
+#define XQMFT_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xqmft {
+
+/// Appends `v` to `*out` as an unsigned LEB128 varint (1-10 bytes).
+inline void PutVarint(std::string* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Reads one varint at `*pos`, advancing it past the encoding. Returns
+/// false (with `*pos` wherever the scan stopped) on truncation or an
+/// encoding longer than 64 bits.
+inline bool ReadVarint(std::string_view data, std::size_t* pos,
+                       std::uint64_t* v) {
+  std::uint64_t out = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift < 64) {
+    unsigned char b = static_cast<unsigned char>(data[(*pos)++]);
+    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_VARINT_H_

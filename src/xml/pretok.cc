@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/varint.h"
+
 namespace xqmft {
 
 namespace {
@@ -21,15 +23,33 @@ std::uint64_t Fnv1a64(std::string_view bytes,
   return h;
 }
 
-enum Op : unsigned char {
-  kOpEod = 0x00,
-  kOpDefine = 0x01,
-  kOpStart = 0x02,
-  kOpEnd = 0x03,
-  kOpText = 0x04,
-};
+constexpr unsigned char kOpEod = static_cast<unsigned char>(PretokOp::kEod);
+constexpr unsigned char kOpDefine =
+    static_cast<unsigned char>(PretokOp::kDefine);
+constexpr unsigned char kOpStart = static_cast<unsigned char>(PretokOp::kStart);
+constexpr unsigned char kOpEnd = static_cast<unsigned char>(PretokOp::kEnd);
+constexpr unsigned char kOpText = static_cast<unsigned char>(PretokOp::kText);
 
 }  // namespace
+
+Result<PretokHeader> ParsePretokHeader(std::string_view data) {
+  if (data.size() < kMagicLen + 1 ||
+      std::memcmp(data.data(), kMagic, kMagicLen) != 0) {
+    return Status::InvalidArgument("bad magic (not a pretok stream)");
+  }
+  PretokHeader header;
+  unsigned char flags = static_cast<unsigned char>(data[kMagicLen]);
+  header.sax.expand_attributes = (flags & 1) != 0;
+  header.sax.skip_whitespace_text = (flags & 2) != 0;
+  std::size_t pos = kMagicLen + 1;
+  if (!ReadVarint(data, &pos, &header.source_size) ||
+      !ReadVarint(data, &pos, &header.source_hash)) {
+    return Status::InvalidArgument(
+        "truncated header (missing source identity)");
+  }
+  header.records_begin = pos;
+  return header;
+}
 
 // --- Writer ------------------------------------------------------------------
 
@@ -45,13 +65,7 @@ PretokWriter::PretokWriter(std::string* out, SaxOptions sax,
   PutVarint(source_hash);
 }
 
-void PretokWriter::PutVarint(std::uint64_t v) {
-  while (v >= 0x80) {
-    out_->push_back(static_cast<char>((v & 0x7F) | 0x80));
-    v >>= 7;
-  }
-  out_->push_back(static_cast<char>(v));
-}
+void PretokWriter::PutVarint(std::uint64_t v) { xqmft::PutVarint(out_, v); }
 
 Status PretokWriter::Feed(const XmlEvent& event) {
   switch (event.type) {
@@ -90,23 +104,33 @@ Status PretokWriter::Feed(const XmlEvent& event) {
 // --- Reader ------------------------------------------------------------------
 
 PretokSource::PretokSource(std::string_view data)
-    : data_(data), symbols_(&owned_symbols_) {
+    : data_(data), end_(data.size()), symbols_(&owned_symbols_) {
   ParseHeader();
 }
 
+PretokSource::PretokSource(std::string_view data, std::size_t begin,
+                           std::size_t end,
+                           const std::vector<std::string_view>* predefined,
+                           std::size_t predefined_count)
+    : data_(data),
+      pos_(begin),
+      end_(end),
+      range_begin_(begin),
+      predefined_(predefined),
+      predefined_count_(predefined_count),
+      bounded_(true),
+      symbols_(&owned_symbols_) {}
+
 void PretokSource::ParseHeader() {
-  if (data_.size() < kMagicLen + 1 ||
-      std::memcmp(data_.data(), kMagic, kMagicLen) != 0) {
-    header_status_ = Fail("bad magic (not a pretok stream)");
+  Result<PretokHeader> header = ParsePretokHeader(data_);
+  if (!header.ok()) {
+    header_status_ = Fail(header.status().message());
     return;
   }
-  unsigned char flags = static_cast<unsigned char>(data_[kMagicLen]);
-  declared_.expand_attributes = (flags & 1) != 0;
-  declared_.skip_whitespace_text = (flags & 2) != 0;
-  pos_ = kMagicLen + 1;
-  if (!GetVarint(&source_size_) || !GetVarint(&source_hash_)) {
-    header_status_ = Fail("truncated header (missing source identity)");
-  }
+  declared_ = header.value().sax;
+  source_size_ = header.value().source_size;
+  source_hash_ = header.value().source_hash;
+  pos_ = header.value().records_begin;
 }
 
 Result<std::unique_ptr<PretokSource>> PretokSource::OpenFile(
@@ -128,6 +152,7 @@ Result<std::unique_ptr<PretokSource>> PretokSource::OpenFile(
   src->owned_ = std::move(owned);
   src->data_ = src->owned_;
   src->pos_ = 0;
+  src->end_ = src->data_.size();
   src->header_status_ = Status::OK();
   src->ParseHeader();  // re-parse: construction saw an empty view
   return src;
@@ -139,18 +164,12 @@ Status PretokSource::Fail(const std::string& msg) const {
 }
 
 bool PretokSource::GetVarint(std::uint64_t* v) {
-  std::uint64_t out = 0;
-  int shift = 0;
-  while (pos_ < data_.size() && shift < 64) {
-    unsigned char b = static_cast<unsigned char>(data_[pos_++]);
-    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
-    if ((b & 0x80) == 0) {
-      *v = out;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;
+  // Clamp to end_, not data_.size(): a bounded range whose cut lands
+  // mid-record (a caller bug the planner never produces) must fail loudly
+  // here rather than read the next range's bytes as this record's payload —
+  // and with pos_ never passing end_, the `end_ - pos_ < len` payload
+  // checks cannot underflow.
+  return ReadVarint(data_.substr(0, end_), &pos_, v);
 }
 
 Status PretokSource::Next(XmlEvent* event) {
@@ -161,15 +180,32 @@ Status PretokSource::Next(XmlEvent* event) {
     *event = XmlEvent{};
     return Status::OK();
   }
+  if (!seeded_ && predefined_ != nullptr) {
+    // Bounded range: intern the prefix dictionary into the bound table so
+    // in-range ids resolve exactly as they would have mid-stream.
+    seeded_ = true;
+    remap_.reserve(predefined_count_);
+    for (std::size_t i = 0; i < predefined_count_; ++i) {
+      remap_.push_back(symbols_->Intern(NodeKind::kElement, (*predefined_)[i]));
+    }
+  }
   event->attrs = nullptr;
   event->attr_count = 0;
   while (true) {
-    if (pos_ >= data_.size()) return Fail("truncated stream (missing eod)");
+    if (pos_ >= end_) {
+      if (!bounded_) return Fail("truncated stream (missing eod)");
+      // Range exhausted: this bounded stream's forest is complete (ranges
+      // only end at depth 0, so an imbalance here is a caller bug).
+      if (!open_.empty()) return Fail("bounded range ended inside an element");
+      done_ = true;
+      *event = XmlEvent{};
+      return Status::OK();
+    }
     unsigned char op = static_cast<unsigned char>(data_[pos_++]);
     switch (op) {
       case kOpDefine: {
         std::uint64_t len;
-        if (!GetVarint(&len) || data_.size() - pos_ < len) {
+        if (!GetVarint(&len) || end_ - pos_ < len) {
           return Fail("truncated symbol definition");
         }
         std::string_view name = data_.substr(pos_, len);
@@ -201,7 +237,7 @@ Status PretokSource::Next(XmlEvent* event) {
       }
       case kOpText: {
         std::uint64_t len;
-        if (!GetVarint(&len) || data_.size() - pos_ < len) {
+        if (!GetVarint(&len) || end_ - pos_ < len) {
           return Fail("truncated text record");
         }
         event->type = XmlEventType::kText;
@@ -212,6 +248,11 @@ Status PretokSource::Next(XmlEvent* event) {
         return Status::OK();
       }
       case kOpEod: {
+        if (bounded_) {
+          // A bounded range ends before the file's eod record by
+          // construction; hitting one means the range is wrong.
+          return Fail("unexpected eod record inside a bounded range");
+        }
         if (!open_.empty()) return Fail("eod with unclosed elements");
         done_ = true;
         event->type = XmlEventType::kEndOfDocument;
@@ -277,6 +318,15 @@ Status PretokenizeXmlFile(const std::string& xml_path,
   return WritePretokFile(out, pretok_path);
 }
 
+bool IsPretokFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[kMagicLen];
+  std::size_t n = std::fread(magic, 1, sizeof magic, f);
+  std::fclose(f);
+  return n == sizeof magic && std::memcmp(magic, kMagic, sizeof magic) == 0;
+}
+
 bool PretokCacheValid(const std::string& cache_path,
                       const std::string& input_path,
                       SaxOptions expected_sax) {
@@ -286,11 +336,7 @@ bool PretokCacheValid(const std::string& cache_path,
       PretokSource::OpenFile(cache_path);
   if (!cache.ok() || !cache.value()->header_ok()) return false;
   const PretokSource& c = *cache.value();
-  SaxOptions declared = c.declared_options();
-  if (declared.expand_attributes != expected_sax.expand_attributes ||
-      declared.skip_whitespace_text != expected_sax.skip_whitespace_text) {
-    return false;
-  }
+  if (!SameTokenization(c.declared_options(), expected_sax)) return false;
   if (c.source_hash() != 0) {
     // Identity declared: the cache is valid iff the input's current bytes
     // are the exact bytes it was tokenized from.

@@ -107,6 +107,15 @@ struct SaxOptions {
   bool skip_whitespace_text = true;
 };
 
+/// True when two configurations tokenize identically — the one definition
+/// every pretok-cache compatibility check uses (CLI, pipeline,
+/// PretokCacheValid), so a new tokenization-affecting option cannot be
+/// forgotten at some call sites and silently replay wrong events.
+inline bool SameTokenization(SaxOptions a, SaxOptions b) {
+  return a.expand_attributes == b.expand_attributes &&
+         a.skip_whitespace_text == b.skip_whitespace_text;
+}
+
 /// \brief Pull parser: call Next() repeatedly until kEndOfDocument.
 ///
 /// The parser validates tag nesting; a mismatched or unclosed tag yields an

@@ -59,6 +59,58 @@ case "$CASE" in
       || fail "exit $?"
     expect_contains "$OUT" "$WANT"
     ;;
+  run_multi)
+    # Several inputs stream through parallel workers; outputs concatenate
+    # in input order regardless of completion order.
+    XML2="$TMPDIR_SMOKE/doc2.xml"
+    printf '<doc><item>c</item></doc>' > "$XML2"
+    OUT=$("$XQMFT" run --threads 2 "$QUERY" "$XML" "$XML2") || fail "exit $?"
+    expect_contains "$OUT" "${WANT}<out><hit>c</hit></out>"
+    # Without --threads, several inputs still run (serially).
+    OUT=$("$XQMFT" run "$QUERY" "$XML" "$XML2") || fail "exit $?"
+    expect_contains "$OUT" "${WANT}<out><hit>c</hit></out>"
+    ;;
+  run_threads_parity)
+    # --threads 1 is the serial fast path: byte-identical to a plain run.
+    SERIAL=$("$XQMFT" run "$QUERY" "$XML") || fail "exit $?"
+    ONE=$("$XQMFT" run --threads 1 "$QUERY" "$XML" 2>/dev/null) \
+      || fail "exit $?"
+    test "$ONE" = "$SERIAL" || fail "--threads 1 output differs: $ONE"
+    FOUR=$("$XQMFT" run --threads 4 "$QUERY" "$XML" 2>/dev/null) \
+      || fail "exit $?"
+    test "$FOUR" = "$SERIAL" || fail "--threads 4 output differs: $FOUR"
+    ;;
+  run_threads_stdin)
+    # stdin cannot be sharded: a --threads run without file inputs must
+    # fail loudly instead of silently reading the pipe serially.
+    OUT=$("$XQMFT" run --threads 2 "$QUERY" < "$XML" 2>&1)
+    test $? -eq 0 && fail "expected nonzero exit for --threads with stdin"
+    expect_contains "$OUT" "stdin cannot be sharded"
+    ;;
+  run_threads_pretok)
+    # One pretok input with --threads: single-document sharding at
+    # top-level forest boundaries (single-rooted => one shard, output
+    # identical to serial).
+    CACHE="$TMPDIR_SMOKE/doc.ptk"
+    OUT=$("$XQMFT" run --threads 2 --pretok-cache "$CACHE" "$QUERY" "$XML") \
+      || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    test -s "$CACHE" || fail "pretok cache was not written"
+    # The cache also serves as a positional input — sniffed by magic on the
+    # parallel AND serial paths (adding/dropping --threads never changes
+    # how an input is read).
+    OUT=$("$XQMFT" run --threads 2 "$QUERY" "$CACHE") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    OUT=$("$XQMFT" run "$QUERY" "$CACHE") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    # Serve-cache-alone parity with the serial path: the XML gone, the
+    # cache still serves under --threads.
+    rm -f "$XML"
+    OUT=$("$XQMFT" run --threads 2 --pretok-cache "$CACHE" "$QUERY" "$XML" \
+          2>/dev/null) || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    printf '%s' "$DOC" > "$XML"
+    ;;
   run_dag)
     OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
     expect_contains "$OUT" "output nodes:"

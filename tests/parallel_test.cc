@@ -1,0 +1,568 @@
+// Tests for the parallel sharding layer: the serial-equivalence
+// differential suite (parallel output byte-identical to the serial
+// engine's, across the Figure 3 corpus, shard counts {1,2,3,4,8}, and both
+// text and pretok input), the top-level forest splitter (a cut at *every*
+// boundary reassembles the original event trace), and ordered-merge stress
+// (out-of-order completion, mid-shard errors).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "bench_common/queries.h"
+#include "core/pipeline.h"
+#include "event_trace_util.h"
+#include "parallel/merge_sink.h"
+#include "parallel/pretok_split.h"
+#include "parallel/sharded_executor.h"
+#include "stream/engine.h"
+#include "util/rng.h"
+#include "xml/events.h"
+#include "xml/forest.h"
+#include "xml/pretok.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 3, 4, 8};
+
+std::string Tokenize(const std::string& xml, SaxOptions sax = {}) {
+  StringSource src(xml);
+  std::string out;
+  Status st = PretokenizeXml(&src, sax, &out);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+Forest RandomForest(Rng* rng, int depth) {
+  Forest f;
+  int width = static_cast<int>(rng->Below(4));
+  for (int i = 0; i < width; ++i) {
+    if (depth > 0 && rng->Chance(3, 5)) {
+      f.push_back(Tree::Element(
+          std::string(1, static_cast<char>('a' + rng->Below(4))),
+          RandomForest(rng, depth - 1)));
+    } else if (f.empty() || f.back().kind != NodeKind::kText) {
+      f.push_back(Tree::Text("t" + std::to_string(rng->Below(5))));
+    }
+  }
+  return f;
+}
+
+// A small document set: single-rooted documents of varying shape, the unit
+// of document-set sharding.
+std::vector<std::string> CorpusDocSet(int seed) {
+  std::vector<std::string> docs;
+  Rng rng(static_cast<std::uint64_t>(seed) * 90017 + 3);
+  for (int d = 0; d < 5; ++d) {
+    Forest doc;
+    doc.push_back(Tree::Element("site", RandomForest(&rng, 4)));
+    docs.push_back(ForestToXml(doc));
+  }
+  return docs;
+}
+
+// ---------------------------------------------------------------------------
+// EventBuffer / OrderedMerge units
+// ---------------------------------------------------------------------------
+
+TEST(EventBufferTest, ReplaysRecordedEventsVerbatim) {
+  EventBuffer buffer;
+  buffer.StartElement("a");
+  buffer.Text("x < y & z");
+  buffer.StartElement("empty");
+  buffer.EndElement("empty");
+  buffer.Text("");
+  buffer.EndElement("a");
+
+  StringSink direct;
+  direct.StartElement("a");
+  direct.Text("x < y & z");
+  direct.StartElement("empty");
+  direct.EndElement("empty");
+  direct.Text("");
+  direct.EndElement("a");
+
+  StringSink replayed;
+  buffer.Replay(&replayed);
+  EXPECT_EQ(replayed.str(), direct.str());
+  EXPECT_FALSE(buffer.empty());
+}
+
+TEST(OrderedMergeTest, OutOfOrderCommitsFlushInInputOrder) {
+  StringSink out;
+  OrderedMerge merge(&out, 3);
+  EventBuffer b2;
+  b2.Text("2");
+  merge.Commit(2, std::move(b2), Status::OK());
+  EXPECT_EQ(out.str(), "");  // slot 0 still open
+  EventBuffer b0;
+  b0.Text("0");
+  merge.Commit(0, std::move(b0), Status::OK());
+  EXPECT_EQ(out.str(), "0");  // slot 1 still gates slot 2
+  EventBuffer b1;
+  b1.Text("1");
+  merge.Commit(1, std::move(b1), Status::OK());
+  EXPECT_EQ(out.str(), "012");
+  EXPECT_TRUE(merge.Finish().ok());
+}
+
+TEST(OrderedMergeTest, ErrorGatesDownstreamAndBecomesRunStatus) {
+  StringSink out;
+  OrderedMerge merge(&out, 3);
+  EventBuffer b1;
+  b1.Text("partial");
+  merge.Commit(1, std::move(b1), Status::Internal("shard 1 died"));
+  EventBuffer b2;
+  b2.Text("2");
+  merge.Commit(2, std::move(b2), Status::OK());
+  EventBuffer b0;
+  b0.Text("0");
+  merge.Commit(0, std::move(b0), Status::OK());
+  // The OK prefix before the failure flushes; nothing at or after it does.
+  EXPECT_EQ(out.str(), "0");
+  EXPECT_TRUE(merge.saw_error());
+  Status st = merge.Finish();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shard 1 died"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedExecutor stress: out-of-order completion, errors, cancellation
+// ---------------------------------------------------------------------------
+
+TEST(ShardedExecutorTest, InjectedDelaysStillEmitInInputOrder) {
+  // Workers finishing out of order (later items sleep less) must not change
+  // the output order.
+  constexpr std::size_t kItems = 16;
+  std::string expected;
+  for (std::size_t i = 0; i < kItems; ++i) {
+    expected += "<item" + std::to_string(i) + "></item" + std::to_string(i) +
+                ">";
+  }
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    StringSink out;
+    ParallelOptions par;
+    par.threads = threads;
+    Status st = ShardedExecutor::Run(
+        kItems,
+        [](std::size_t i, OutputSink* sink) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds((kItems - i) % 5));
+          std::string name = "item" + std::to_string(i);
+          sink->StartElement(name);
+          sink->EndElement(name);
+          return Status::OK();
+        },
+        &out, par);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(out.str(), expected) << "threads=" << threads;
+  }
+}
+
+TEST(ShardedExecutorTest, MidShardErrorSurfacesWithoutDeadlock) {
+  constexpr std::size_t kItems = 16;
+  constexpr std::size_t kFailing = 7;
+  StringSink out;
+  ParallelOptions par;
+  par.threads = 4;
+  Status st = ShardedExecutor::Run(
+      kItems,
+      [](std::size_t i, OutputSink* sink) -> Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(i % 3));
+        sink->Text("i" + std::to_string(i) + ";");
+        if (i == kFailing) {
+          return Status::ResourceExhausted("engine error in item 7");
+        }
+        return Status::OK();
+      },
+      &out, par);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("item 7"), std::string::npos);
+  // Downstream holds an in-order prefix of the successful items before the
+  // failure: "i0;i1;...i{j-1};" for some j <= kFailing.
+  std::string prefix;
+  bool matched = false;
+  for (std::size_t j = 0; j <= kFailing; ++j) {
+    if (out.str() == prefix) {
+      matched = true;
+      break;
+    }
+    prefix += "i" + std::to_string(j) + ";";
+  }
+  EXPECT_TRUE(matched) << "unexpected downstream output: " << out.str();
+}
+
+TEST(ShardedExecutorTest, FirstErrorInInputOrderWins) {
+  // Two failing items: the run's status must be the lower-index one
+  // whenever both committed (with cancellation the higher may be skipped,
+  // but the reported error is never the higher while the lower committed).
+  ParallelOptions par;
+  par.threads = 2;
+  StringSink out;
+  Status st = ShardedExecutor::Run(
+      4,
+      [](std::size_t i, OutputSink*) -> Status {
+        if (i == 1) {
+          // Give the other worker time to reach item 2 first.
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          return Status::Internal("error in item 1");
+        }
+        if (i == 2) return Status::Internal("error in item 2");
+        return Status::OK();
+      },
+      &out, par);
+  ASSERT_FALSE(st.ok());
+  // The run reports exactly one of the two item errors (the lowest-index
+  // committed one; which items committed depends on cancellation timing).
+  bool is1 = st.message().find("error in item 1") != std::string::npos;
+  bool is2 = st.message().find("error in item 2") != std::string::npos;
+  EXPECT_TRUE(is1 != is2) << st.ToString();
+}
+
+TEST(ShardedExecutorTest, SerialPathStagesFailingItemOutput) {
+  // threads = 1 takes the no-thread fast path, but the error contract must
+  // not change: a failing item's partial output never reaches the sink.
+  StringSink out;
+  ParallelOptions par;
+  par.threads = 1;
+  Status st = ShardedExecutor::Run(
+      3,
+      [](std::size_t i, OutputSink* sink) -> Status {
+        sink->Text("i" + std::to_string(i) + ";");
+        if (i == 1) return Status::Internal("item 1 failed mid-output");
+        return Status::OK();
+      },
+      &out, par);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("item 1"), std::string::npos);
+  EXPECT_EQ(out.str(), "i0;");  // item 1's partial "i1;" must not leak
+}
+
+TEST(ShardedExecutorTest, ZeroItemsIsANoOp) {
+  StringSink out;
+  Status st = ShardedExecutor::Run(
+      0, [](std::size_t, OutputSink*) { return Status::OK(); }, &out, {});
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(out.str(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Serial-equivalence differential suite: document-set sharding
+// ---------------------------------------------------------------------------
+
+class ParallelCorpusEquivalence
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelCorpusEquivalence, DocumentSetMatchesSerialTextAndPretok) {
+  const BenchQuery& bq = QueryById(GetParam());
+  auto cq = std::move(CompiledQuery::Compile(bq.text).ValueOrDie());
+  std::vector<std::string> docs = CorpusDocSet(/*seed=*/17);
+
+  // Serial baseline: the documents streamed one after another into one
+  // sink, text input.
+  StringSink serial;
+  std::vector<ParallelInput> text_inputs;
+  std::vector<ParallelInput> pretok_inputs;
+  for (const std::string& xml : docs) {
+    ASSERT_TRUE(cq->StreamString(xml, &serial).ok()) << bq.id;
+    text_inputs.push_back(ParallelInput::XmlText(xml));
+    pretok_inputs.push_back(ParallelInput::PretokBytes(Tokenize(xml)));
+  }
+
+  for (std::size_t threads : kShardCounts) {
+    ParallelOptions par;
+    par.threads = threads;
+    StringSink text_out;
+    Status st = cq->StreamMany(text_inputs, &text_out, par);
+    ASSERT_TRUE(st.ok()) << bq.id << " " << st.ToString();
+    EXPECT_EQ(text_out.str(), serial.str())
+        << bq.id << " text threads=" << threads;
+
+    StringSink pretok_out;
+    std::vector<StreamStats> stats;
+    st = cq->StreamMany(pretok_inputs, &pretok_out, par, &stats);
+    ASSERT_TRUE(st.ok()) << bq.id << " " << st.ToString();
+    EXPECT_EQ(pretok_out.str(), serial.str())
+        << bq.id << " pretok threads=" << threads;
+    ASSERT_EQ(stats.size(), docs.size());
+    for (const StreamStats& s : stats) EXPECT_GT(s.bytes_in, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serial-equivalence differential suite: single-document sharding
+// ---------------------------------------------------------------------------
+
+TEST_P(ParallelCorpusEquivalence, SingleRootedShardingMatchesSerial) {
+  // Every XML *document* is single-rooted: however many shards are
+  // requested, the split finds one top-level tree and the output must be
+  // byte-identical to the serial engine over the whole stream.
+  const BenchQuery& bq = QueryById(GetParam());
+  auto cq = std::move(CompiledQuery::Compile(bq.text).ValueOrDie());
+  Rng rng(4242);
+  Forest doc;
+  doc.push_back(Tree::Element("site", RandomForest(&rng, 4)));
+  std::string bytes = Tokenize(ForestToXml(doc));
+
+  PretokSource serial_src(bytes);
+  StringSink serial;
+  ASSERT_TRUE(cq->StreamEvents(&serial_src, &serial).ok()) << bq.id;
+
+  for (std::size_t shards : kShardCounts) {
+    ParallelOptions par;
+    par.threads = shards;
+    StringSink out;
+    Status st = cq->StreamShardedPretok(bytes, shards, &out, par);
+    ASSERT_TRUE(st.ok()) << bq.id << " " << st.ToString();
+    EXPECT_EQ(out.str(), serial.str()) << bq.id << " shards=" << shards;
+  }
+}
+
+TEST_P(ParallelCorpusEquivalence, MultiTreeShardingMatchesSerialShardRuns) {
+  // A multi-tree forest genuinely splits. The contract: each shard's trees
+  // evaluate as an independent forest document, outputs concatenated in
+  // input order — byte-identical to running the same shards through the
+  // serial engine one by one, for any thread count.
+  const BenchQuery& bq = QueryById(GetParam());
+  auto cq = std::move(CompiledQuery::Compile(bq.text).ValueOrDie());
+  Rng rng(987);
+  Forest forest;
+  for (int t = 0; t < 7; ++t) {
+    forest.push_back(Tree::Element("site", RandomForest(&rng, 3)));
+  }
+  std::string bytes = Tokenize(ForestToXml(forest));
+
+  for (std::size_t shards : kShardCounts) {
+    Result<PretokShardPlan> plan = PlanPretokShards(bytes, shards);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    // Serial oracle: the same shard decomposition, one engine at a time.
+    StringSink serial;
+    for (std::size_t i = 0; i < plan.value().shards.size(); ++i) {
+      PretokShardSource src(&plan.value(), i);
+      ASSERT_TRUE(cq->StreamEvents(&src, &serial).ok()) << bq.id;
+    }
+
+    for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      ParallelOptions par;
+      par.threads = threads;
+      StringSink out;
+      Status st = cq->StreamShardedPretok(bytes, shards, &out, par);
+      ASSERT_TRUE(st.ok()) << bq.id << " " << st.ToString();
+      EXPECT_EQ(out.str(), serial.str())
+          << bq.id << " shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelPipelineTest, DefaultShardCountIsMachineIndependent) {
+  // shards = 0 must split at every top-level boundary, not at the worker
+  // count: on a multi-tree forest the decomposition shapes the output, so
+  // it may depend only on the input. Same bytes, different thread counts
+  // => byte-identical output, equal to an explicit one-shard-per-tree run.
+  auto cq = std::move(
+      CompiledQuery::Compile("<out>{ $input/a }</out>").ValueOrDie());
+  std::string bytes = Tokenize("<a>1</a><a>2</a><a>3</a><a>4</a>");
+
+  StringSink per_tree;
+  ASSERT_TRUE(cq->StreamShardedPretok(bytes, 4, &per_tree).ok());
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}}) {
+    ParallelOptions par;
+    par.threads = threads;
+    StringSink out;
+    ASSERT_TRUE(cq->StreamShardedPretok(bytes, /*shards=*/0, &out, par).ok());
+    EXPECT_EQ(out.str(), per_tree.str()) << "threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ParallelCorpusEquivalence,
+                         ::testing::Values("q01", "q02", "q04", "q13", "q16",
+                                           "q17", "double", "fourstar",
+                                           "deepdup"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+// ---------------------------------------------------------------------------
+// Splitter unit suite
+// ---------------------------------------------------------------------------
+
+std::vector<TracedEvent> TraceSource(EventSource* src) {
+  Result<std::vector<TracedEvent>> out = Trace(src);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  return out.ok() ? std::move(out.value()) : std::vector<TracedEvent>{};
+}
+
+// Forest with repeated names across trees (so later shards need the prefix
+// dictionary) and top-level text trees between elements.
+std::string SplitterForestXml() {
+  return "<a><x>one</x></a>"
+         "top"
+         "<b><x>two</x><y/></b>"
+         "<a>three</a>"
+         "mid"
+         "<c><z><x>four</x></z></c>"
+         "<b/>";
+}
+
+TEST(PretokSplitTest, CutAtEveryTopLevelBoundaryReassemblesTheTrace) {
+  std::string bytes = Tokenize(SplitterForestXml());
+
+  PretokSource whole(bytes);
+  std::vector<TracedEvent> full = TraceSource(&whole);
+
+  // max_shards far beyond the tree count: one shard per top-level tree.
+  Result<PretokShardPlan> plan = PlanPretokShards(bytes, 64);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().total_trees, 7u);
+  ASSERT_EQ(plan.value().shards.size(), 7u);
+
+  std::vector<TracedEvent> reassembled;
+  for (std::size_t i = 0; i < plan.value().shards.size(); ++i) {
+    EXPECT_EQ(plan.value().shards[i].trees, 1u);
+    PretokShardSource src(&plan.value(), i);
+    std::vector<TracedEvent> shard_trace = TraceSource(&src);
+    ASSERT_FALSE(shard_trace.empty());
+    EXPECT_EQ(shard_trace.back().type, XmlEventType::kEndOfDocument);
+    shard_trace.pop_back();  // per-shard eod is synthetic
+    reassembled.insert(reassembled.end(), shard_trace.begin(),
+                       shard_trace.end());
+  }
+  reassembled.push_back({XmlEventType::kEndOfDocument, "", ""});
+  EXPECT_EQ(reassembled, full);
+}
+
+TEST(PretokSplitTest, EveryShardCountReassemblesTheTrace) {
+  std::string bytes = Tokenize(SplitterForestXml());
+  PretokSource whole(bytes);
+  std::vector<TracedEvent> full = TraceSource(&whole);
+
+  for (std::size_t shards = 1; shards <= 9; ++shards) {
+    Result<PretokShardPlan> plan = PlanPretokShards(bytes, shards);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    const PretokShardPlan& p = plan.value();
+    EXPECT_EQ(p.shards.size(), shards < 7 ? shards : 7u);
+
+    // Shards tile the record region contiguously and cover every tree.
+    std::size_t trees = 0;
+    for (std::size_t i = 0; i < p.shards.size(); ++i) {
+      trees += p.shards[i].trees;
+      if (i > 0) {
+        EXPECT_EQ(p.shards[i].begin, p.shards[i - 1].end);
+        EXPECT_GE(p.shards[i].defs_before, p.shards[i - 1].defs_before);
+      }
+    }
+    EXPECT_EQ(trees, p.total_trees);
+
+    std::vector<TracedEvent> reassembled;
+    for (std::size_t i = 0; i < p.shards.size(); ++i) {
+      PretokShardSource src(&p, i);
+      std::vector<TracedEvent> shard_trace = TraceSource(&src);
+      shard_trace.pop_back();
+      reassembled.insert(reassembled.end(), shard_trace.begin(),
+                         shard_trace.end());
+    }
+    reassembled.push_back({XmlEventType::kEndOfDocument, "", ""});
+    EXPECT_EQ(reassembled, full) << "shards=" << shards;
+  }
+}
+
+TEST(PretokSplitTest, ShardsResolvePrefixDefinitionsIntoConsumerTable) {
+  std::string bytes = Tokenize(SplitterForestXml());
+  Result<PretokShardPlan> plan = PlanPretokShards(bytes, 64);
+  ASSERT_TRUE(plan.ok());
+  const PretokShardPlan& p = plan.value();
+  // Tree 3 (<a>three</a>) starts after a/x/b/y were defined; its shard must
+  // resolve "a" through the prefix dictionary, into the *bound* table.
+  const PretokShard& s3 = p.shards[3];
+  EXPECT_GT(s3.defs_before, 0u);
+  SymbolTable table;
+  SymbolId zebra = table.Intern(NodeKind::kElement, "zebra");
+  PretokShardSource src(&p, 3);
+  src.BindSymbols(&table);
+  XmlEvent ev;
+  ASSERT_TRUE(src.Next(&ev).ok());
+  EXPECT_EQ(ev.type, XmlEventType::kStartElement);
+  EXPECT_EQ(ev.name, "a");
+  EXPECT_EQ(ev.symbol, table.Find(NodeKind::kElement, "a"));
+  EXPECT_NE(ev.symbol, zebra);
+}
+
+TEST(PretokSplitTest, EmptyForestYieldsOneEmptyShard) {
+  // An empty event stream (header + eod): one engine must still run — the
+  // initial state's epsilon rule can produce output on empty input.
+  std::string bytes;
+  PretokWriter writer(&bytes);
+  XmlEvent eod;
+  eod.type = XmlEventType::kEndOfDocument;
+  ASSERT_TRUE(writer.Feed(eod).ok());
+
+  Result<PretokShardPlan> plan = PlanPretokShards(bytes, 4);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan.value().shards.size(), 1u);
+  EXPECT_EQ(plan.value().total_trees, 0u);
+
+  PretokShardSource src(&plan.value(), 0);
+  XmlEvent ev;
+  ASSERT_TRUE(src.Next(&ev).ok());
+  EXPECT_EQ(ev.type, XmlEventType::kEndOfDocument);
+
+  // The constant query still emits its constant output once.
+  auto cq = std::move(
+      CompiledQuery::Compile("<out>{ $input/none }</out>").ValueOrDie());
+  StringSink out;
+  ASSERT_TRUE(cq->StreamShardedPretok(bytes, 4, &out).ok());
+  EXPECT_EQ(out.str(), "<out></out>");
+}
+
+TEST(PretokSplitTest, RejectsMalformedStreams) {
+  EXPECT_FALSE(PlanPretokShards("garbage", 2).ok());
+  std::string bytes = Tokenize("<a><b>t</b></a>");
+  std::string truncated = bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(PlanPretokShards(truncated, 2).ok());
+  EXPECT_TRUE(PlanPretokShards(bytes, 2).ok());
+}
+
+// ---------------------------------------------------------------------------
+// StreamMany error handling end to end
+// ---------------------------------------------------------------------------
+
+TEST(StreamManyTest, MissingInputSurfacesAsRunError) {
+  auto cq = std::move(
+      CompiledQuery::Compile("<out>{ $input/a }</out>").ValueOrDie());
+  std::vector<ParallelInput> inputs;
+  inputs.push_back(ParallelInput::XmlText("<a>1</a>"));
+  inputs.push_back(ParallelInput::XmlFile("/nonexistent/xqmft.xml"));
+  inputs.push_back(ParallelInput::XmlText("<a>3</a>"));
+  ParallelOptions par;
+  par.threads = 2;
+  StringSink out;
+  Status st = cq->StreamMany(inputs, &out, par);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("/nonexistent/xqmft.xml"), std::string::npos);
+}
+
+TEST(StreamManyTest, MalformedDocumentAmongManySurfacesItsError) {
+  auto cq = std::move(
+      CompiledQuery::Compile("<out>{ $input/a }</out>").ValueOrDie());
+  std::vector<ParallelInput> inputs;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(ParallelInput::XmlText("<a>ok</a>"));
+  }
+  inputs.push_back(ParallelInput::XmlText("<a><unclosed></a>"));
+  ParallelOptions par;
+  par.threads = 4;
+  StringSink out;
+  Status st = cq->StreamMany(inputs, &out, par);
+  ASSERT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace xqmft

@@ -241,6 +241,33 @@ TEST(PretokTest, CacheValidityTracksSourceIdentity) {
   std::remove(ptk.c_str());
 }
 
+TEST(PretokTest, BoundedRangeCutMidRecordFailsLoudly) {
+  // A bounded source whose range cuts inside a record (a caller bug the
+  // shard planner never produces) must error, not silently hand out the
+  // next range's bytes as payload.
+  std::string bytes = Tokenize("<a>hello world</a>");
+  std::size_t records_begin = PretokSource(bytes).bytes_consumed();
+  std::vector<std::string_view> no_prefix;
+  for (std::size_t end = records_begin + 1; end < bytes.size(); ++end) {
+    PretokSource src(bytes, records_begin, end, &no_prefix, 0);
+    XmlEvent ev;
+    Status st;
+    do {
+      st = src.Next(&ev);
+      // Any payload handed out must lie inside the bounded range.
+      if (st.ok() && ev.type == XmlEventType::kText) {
+        EXPECT_LE(ev.text.data() + ev.text.size(), bytes.data() + end);
+      }
+    } while (st.ok() && ev.type != XmlEventType::kEndOfDocument);
+    // Cuts at record boundaries with balanced tags may succeed; cuts that
+    // strand an open element or split a record must fail. Either way: no
+    // out-of-range bytes (checked above), no hang, no crash.
+    if (!st.ok()) {
+      EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
 TEST(PretokTest, RepeatedEndOfDocumentClearsViews) {
   std::string bytes = Tokenize("<a>hello</a>");
   PretokSource src(bytes);

@@ -9,10 +9,14 @@
 //   3. the optimized MFT, interpreted         (+ mft/optimize)
 //   4. the optimized MFT, streamed            (+ stream/engine)
 //   5. the GCX baseline (when in fragment)    (gcx/gcx_engine)
+//   6. the optimized MFT, sharded in parallel (+ parallel/, random shard
+//      and thread counts, single-document and document-set shapes)
 //
-// All five must produce identical serialized output. This is Theorem 1 and
-// the engine-equivalence claims exercised over a much wider query space
-// than the Figure 3 corpus.
+// All of these must produce identical serialized output (for the sharded
+// paths: identical to the matching serial evaluation — see the in-line
+// comments for the multi-tree forest contract). This is Theorem 1 and the
+// engine-equivalence claims exercised over a much wider query space than
+// the Figure 3 corpus.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -20,14 +24,18 @@
 #include <memory>
 #include <string>
 
+#include "core/pipeline.h"
 #include "gcx/gcx_engine.h"
 #include "mft/interp.h"
 #include "mft/optimize.h"
+#include "parallel/sharded_executor.h"
 #include "stream/engine.h"
 #include "translate/translate.h"
 #include "util/rng.h"
 #include "xml/events.h"
 #include "xml/forest.h"
+#include "xml/pretok.h"
+#include "xml/sax_parser.h"
 #include "xquery/ast.h"
 #include "xquery/evaluator.h"
 
@@ -208,6 +216,11 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
   ASSERT_TRUE(raw.ok()) << text << "\n" << raw.status().ToString();
   Mft opt = OptimizeMft(raw.value());
 
+  // Document set for the parallel cross-check (path 6b): every random doc
+  // plus its serial streamed output.
+  std::vector<ParallelInput> doc_set;
+  std::string doc_set_serial;
+
   for (int d = 0; d < 3; ++d) {
     Forest doc = RandomDoc(&rng, 4);
     std::string xml = ForestToXml(doc);
@@ -249,6 +262,57 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
       ASSERT_EQ(gcx_sink.str(), want.str())
           << "GCX vs reference\nquery: " << text << "\ndoc: " << xml;
     }
+
+    // 6a. Single-document sharding at top-level forest boundaries, random
+    // shard and thread counts. Parallel must match serial sharded
+    // evaluation (threads = 1, same shard plan) exactly; a document with at
+    // most one top-level tree cannot split, so there the sharded output
+    // must equal the plain streamed output too.
+    {
+      StringSource doc_src(xml);
+      std::string pretok;
+      Status tst = PretokenizeXml(&doc_src, {}, &pretok);
+      ASSERT_TRUE(tst.ok()) << tst.ToString();
+      std::size_t shard_count = 1 + rng.Below(4);
+      ParallelOptions serial_par;
+      serial_par.threads = 1;
+      StringSink sharded_serial;
+      Status ss = StreamShardedPretokTransform(opt, pretok, shard_count,
+                                               &sharded_serial, {},
+                                               serial_par);
+      ASSERT_TRUE(ss.ok()) << text << "\n" << ss.ToString();
+      ParallelOptions par;
+      par.threads = 2 + rng.Below(3);
+      StringSink sharded_par;
+      Status sp = StreamShardedPretokTransform(opt, pretok, shard_count,
+                                               &sharded_par, {}, par);
+      ASSERT_TRUE(sp.ok()) << text << "\n" << sp.ToString();
+      ASSERT_EQ(sharded_par.str(), sharded_serial.str())
+          << "parallel vs serial sharded\nquery: " << text << "\ndoc: "
+          << xml << "\nshards: " << shard_count;
+      if (doc.size() <= 1) {
+        ASSERT_EQ(sharded_par.str(), want.str())
+            << "sharded vs reference (single tree)\nquery: " << text
+            << "\ndoc: " << xml;
+      }
+    }
+
+    doc_set.push_back(ParallelInput::XmlText(xml));
+    doc_set_serial += stream_sink.str();
+  }
+
+  // 6b. Document-set sharding: the three random docs streamed through
+  // parallel workers must concatenate to the serial per-doc outputs, in
+  // input order.
+  {
+    ParallelOptions par;
+    par.threads = 1 + rng.Below(4);
+    StringSink many;
+    Status st = StreamManyTransform(opt, doc_set, &many, {}, par);
+    ASSERT_TRUE(st.ok()) << text << "\n" << st.ToString();
+    ASSERT_EQ(many.str(), doc_set_serial)
+        << "document-set parallel vs serial\nquery: " << text
+        << "\nthreads: " << par.threads;
   }
 }
 

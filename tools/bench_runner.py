@@ -47,6 +47,7 @@ FIG4_BENCHES = [
 ]
 TABLE1_BENCH = "bench_table1_datasets"
 PARSER_BENCH = "bench_parser"
+PARALLEL_BENCH = "bench_parallel"
 
 
 def run_one(binary, out_path, min_time, env):
@@ -187,7 +188,7 @@ def main():
     env.setdefault("XQMFT_BENCH_SIZES_MB", args.sizes_mb)
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
-    binaries = FIG4_BENCHES + [PARSER_BENCH, TABLE1_BENCH]
+    binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:

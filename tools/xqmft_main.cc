@@ -1,20 +1,26 @@
 // xqmft — command-line interface to the full pipeline.
 //
-//   xqmft run <query.xq|query-string> [input.xml]   stream a document
+//   xqmft run <query.xq|query-string> [input ...]   stream document(s)
 //   xqmft compile <query.xq|query-string>           print the optimized MFT
 //   xqmft translate <query.xq|query-string>         print the raw translation
-//   xqmft mft <rules.mft> [input.xml]               run a hand-written MFT
+//   xqmft mft <rules.mft> [input ...]               run a hand-written MFT
 //   xqmft validate <schema.sch> <input.xml>         one-pass validation
 //   xqmft stats <input.xml>                         document statistics
 //
 // Arguments that name existing files are read from disk; anything else is
-// treated as inline text. `run`/`mft` default to stdin for the document.
+// treated as inline text. `run`/`mft` default to stdin for the document;
+// with several inputs (XML or pretok caches, sniffed by magic) each is
+// streamed through its own engine and outputs concatenate in input order.
 // Flags: --no-opt (skip Section 4.1 passes), --schema <file> (validate
 // while transforming), --dag (report output-DAG compression instead of
 // writing markup), --stats (print engine statistics to stderr),
 // --pretok-cache <file> (tokenize the input once into a binary event cache;
-// later runs stream the cache with zero scanning).
+// later runs stream the cache with zero scanning), --threads <N> (parallel
+// sharded streaming: a document set fans out across N workers; a single
+// pretok input splits at top-level forest boundaries; 0 = one worker per
+// hardware thread).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -41,14 +47,14 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: xqmft <command> [flags] <args>\n"
-      "  run <query> [input.xml]      compile and stream (input: file or stdin)\n"
+      "  run <query> [input ...]      compile and stream (files or stdin)\n"
       "  compile <query>              print the optimized transducer\n"
       "  translate <query>            print the unoptimized translation\n"
-      "  mft <rules> [input.xml]      run a hand-written MFT\n"
+      "  mft <rules> [input ...]      run a hand-written MFT\n"
       "  validate <schema> <input>    one-pass schema validation\n"
       "  stats <input.xml>            document size/depth statistics\n"
       "flags: --no-opt --schema <file> --dag --stats "
-      "--pretok-cache <file>\n");
+      "--pretok-cache <file> --threads <N>\n");
   return 2;
 }
 
@@ -82,6 +88,8 @@ struct Flags {
   bool no_opt = false;
   bool dag = false;
   bool stats = false;
+  bool threads_set = false;
+  long threads = 0;  ///< 0 = one worker per hardware thread
   std::string schema_path;
   std::string pretok_cache;
 };
@@ -91,7 +99,41 @@ int Fail(const Status& st) {
   return 1;
 }
 
-int StreamWith(const Mft& mft, const std::string& input_arg,
+// Opens a pretok file as the run's event source, rejecting a stream whose
+// tokenization options differ from the run's (it would replay different
+// events).
+Result<std::unique_ptr<PretokSource>> OpenPretokEvents(const std::string& path,
+                                                       SaxOptions sax) {
+  XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<PretokSource> p,
+                         PretokSource::OpenFile(path));
+  if (!SameTokenization(p->declared_options(), sax)) {
+    return Status::InvalidArgument(
+        "pretok cache " + path +
+        " was tokenized under different SAX options; delete it to "
+        "re-tokenize");
+  }
+  return p;
+}
+
+// Sums per-item statistics of a parallel run into one printable record.
+// Peak memory is the max *engine-tracked* peak across items (per-engine
+// peaks need not coincide in time); output staged in the ordered merge is
+// not tracked and comes on top.
+StreamStats AggregateStats(const std::vector<StreamStats>& per_item) {
+  StreamStats out;
+  for (const StreamStats& s : per_item) {
+    if (s.peak_bytes > out.peak_bytes) out.peak_bytes = s.peak_bytes;
+    out.final_bytes += s.final_bytes;
+    out.rule_applications += s.rule_applications;
+    out.cells_created += s.cells_created;
+    out.exprs_created += s.exprs_created;
+    out.bytes_in += s.bytes_in;
+    out.output_events += s.output_events;
+  }
+  return out;
+}
+
+int StreamWith(const Mft& mft, const std::vector<std::string>& inputs,
                const Flags& flags) {
   StreamOptions options;
   std::shared_ptr<const Schema> schema;
@@ -106,11 +148,67 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
     options.validator = validator.get();
   }
 
-  // Input: pretok cache (tokenized once, streamed with zero scanning) or
-  // text XML from a file (memory-mapped) / stdin.
+  const bool parallel = flags.threads_set || inputs.size() > 1;
+  const std::string input_arg = inputs.empty() ? "" : inputs[0];
+
+  // Parallel run state (document-set fan-out, or single-document sharding
+  // of a pretok cache at top-level forest boundaries).
+  std::vector<ParallelInput> par_inputs;
+  std::string sharded_pretok;  // single-document sharding when non-empty
+  ParallelOptions par;
+  std::vector<StreamStats> par_stats;
+
+  // Serial run state.
   std::unique_ptr<EventSource> events;
   std::unique_ptr<ByteSource> source;
-  if (!flags.pretok_cache.empty()) {
+
+  if (parallel) {
+    if (inputs.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--threads requires named input files; stdin cannot be sharded"));
+    }
+    // Threads are an explicit opt-in: several inputs without --threads run
+    // serially, in order (only the staging/merge machinery is shared).
+    par.threads =
+        flags.threads_set ? static_cast<std::size_t>(flags.threads) : 1;
+    if (!flags.pretok_cache.empty()) {
+      if (inputs.size() > 1) {
+        return Fail(Status::InvalidArgument(
+            "--pretok-cache expects a single input; give each document its "
+            "own cache"));
+      }
+      // Same freshness rule as the serial path: with no comparable input
+      // (the XML deleted since the cache was built) an existing cache
+      // serves alone instead of failing on the missing file.
+      bool cache_fresh =
+          IsFile(input_arg)
+              ? PretokCacheValid(flags.pretok_cache, input_arg, options.sax)
+              : IsFile(flags.pretok_cache);
+      if (!cache_fresh) {
+        Status st =
+            PretokenizeXmlFile(input_arg, flags.pretok_cache, options.sax);
+        if (!st.ok()) return Fail(st);
+      }
+      sharded_pretok = flags.pretok_cache;
+    } else if (inputs.size() == 1 && IsPretokFile(inputs[0])) {
+      sharded_pretok = inputs[0];
+    } else {
+      for (const std::string& path : inputs) {
+        if (!IsFile(path)) {
+          return Fail(Status::InvalidArgument("cannot open " + path));
+        }
+        par_inputs.push_back(IsPretokFile(path)
+                                 ? ParallelInput::PretokFile(path)
+                                 : ParallelInput::XmlFile(path));
+      }
+      if (par_inputs.size() == 1) {
+        std::fprintf(stderr,
+                     "note: one text-XML input cannot be split; give a "
+                     "pretok cache (--pretok-cache) to shard a single "
+                     "document\n");
+      }
+    }
+  } else if (!flags.pretok_cache.empty()) {
     // Re-tokenize when the cache is missing or was not built from the
     // current bytes of an existing file input (the header records the
     // source's size + hash). With no comparable input (stdin, or the XML
@@ -139,19 +237,19 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
                    flags.pretok_cache.c_str());
     }
     Result<std::unique_ptr<PretokSource>> p =
-        PretokSource::OpenFile(flags.pretok_cache);
+        OpenPretokEvents(flags.pretok_cache, options.sax);
     if (!p.ok()) return Fail(p.status());
-    SaxOptions declared = p.value()->declared_options();
-    if (declared.expand_attributes != options.sax.expand_attributes ||
-        declared.skip_whitespace_text != options.sax.skip_whitespace_text) {
-      return Fail(Status::InvalidArgument(
-          "pretok cache " + flags.pretok_cache +
-          " was tokenized under different SAX options; delete it to "
-          "re-tokenize"));
-    }
     events = std::move(p).value();
   } else if (input_arg.empty()) {
     source = std::make_unique<StdinSource>();
+  } else if (IsPretokFile(input_arg)) {
+    // A pretok cache as the positional input streams as events on the
+    // serial path too — the same sniff the parallel path does, so adding
+    // or dropping --threads never changes how an input is interpreted.
+    Result<std::unique_ptr<PretokSource>> p =
+        OpenPretokEvents(input_arg, options.sax);
+    if (!p.ok()) return Fail(p.status());
+    events = std::move(p).value();
   } else {
     Result<std::unique_ptr<ByteSource>> f = MmapSource::Open(input_arg);
     if (!f.ok()) return Fail(f.status());
@@ -159,6 +257,17 @@ int StreamWith(const Mft& mft, const std::string& input_arg,
   }
 
   auto stream = [&](OutputSink* sink, StreamStats* stats) {
+    if (parallel) {
+      Status st =
+          !sharded_pretok.empty()
+              ? StreamShardedPretokFileTransform(mft, sharded_pretok,
+                                                 /*shards=*/0, sink, options,
+                                                 par, &par_stats)
+              : StreamManyTransform(mft, par_inputs, sink, options, par,
+                                    &par_stats);
+      if (stats != nullptr) *stats = AggregateStats(par_stats);
+      return st;
+    }
     return events != nullptr
                ? StreamTransformEvents(mft, events.get(), sink, options, stats)
                : StreamTransform(mft, source.get(), sink, options, stats);
@@ -214,6 +323,14 @@ int main(int argc, char** argv) {
       flags.schema_path = argv[++i];
     } else if (a == "--pretok-cache" && i + 1 < argc) {
       flags.pretok_cache = argv[++i];
+    } else if (a == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      flags.threads = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || flags.threads < 0) {
+        std::fprintf(stderr, "error: --threads expects a count >= 0\n");
+        return 2;
+      }
+      flags.threads_set = true;
     } else {
       args.push_back(std::move(a));
     }
@@ -238,8 +355,9 @@ int main(int argc, char** argv) {
       std::printf("%s", cq.value()->unoptimized_mft().ToString().c_str());
       return 0;
     }
-    return StreamWith(cq.value()->mft(), args.size() > 1 ? args[1] : "",
-                      flags);
+    return StreamWith(
+        cq.value()->mft(),
+        std::vector<std::string>(args.begin() + 1, args.end()), flags);
   }
 
   if (cmd == "mft") {
@@ -248,7 +366,9 @@ int main(int argc, char** argv) {
     if (!rules.ok()) return Fail(rules.status());
     Result<Mft> mft = ParseMft(rules.value());
     if (!mft.ok()) return Fail(mft.status());
-    return StreamWith(mft.value(), args.size() > 1 ? args[1] : "", flags);
+    return StreamWith(mft.value(),
+                      std::vector<std::string>(args.begin() + 1, args.end()),
+                      flags);
   }
 
   if (cmd == "validate") {

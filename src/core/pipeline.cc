@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "mft/dispatch.h"
 #include "mft/interp.h"
 #include "parallel/pretok_split.h"
 #include "translate/translate.h"
@@ -25,66 +26,111 @@ Status CheckPretokOptions(SaxOptions declared, SaxOptions expected,
   return Status::OK();
 }
 
+// Shared tail of both builders: reject per-run state in the immutable
+// artifact and force every lazily-compiled piece of the Mft (dispatch
+// tables, RHS symbol ids, the base symbol table) before the plan escapes —
+// from here on the plan is read-only by construction.
+Status FinishPlan(const Mft& mft, const PipelineOptions& options) {
+  if (options.stream.validator != nullptr) {
+    return Status::InvalidArgument(
+        "a schema validator is per-run mutable state and cannot be baked "
+        "into an immutable CompiledPlan; stream with per-run options via "
+        "StreamTransform instead");
+  }
+  XQMFT_RETURN_NOT_OK(mft.Validate());
+  mft.dispatch();  // compile-once: warm before the plan is shareable
+  return Status::OK();
+}
+
 }  // namespace
 
-Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::Compile(
     const std::string& query_text, PipelineOptions options) {
-  std::unique_ptr<CompiledQuery> cq(new CompiledQuery());
-  cq->options_ = options;
-  XQMFT_ASSIGN_OR_RETURN(cq->query_, ParseQuery(query_text));
-  XQMFT_RETURN_NOT_OK(ValidateQuery(*cq->query_));
-  XQMFT_ASSIGN_OR_RETURN(cq->raw_mft_, TranslateQuery(*cq->query_));
+  std::shared_ptr<CompiledPlan> plan(new CompiledPlan());
+  plan->options_ = options;
+  XQMFT_ASSIGN_OR_RETURN(plan->query_, ParseQuery(query_text));
+  XQMFT_RETURN_NOT_OK(ValidateQuery(*plan->query_));
+  XQMFT_ASSIGN_OR_RETURN(plan->raw_mft_, TranslateQuery(*plan->query_));
   if (options.optimize) {
-    cq->mft_ = OptimizeMft(cq->raw_mft_, options.optimizer, &cq->report_);
+    plan->mft_ = OptimizeMft(plan->raw_mft_, options.optimizer,
+                             &plan->report_);
   } else {
-    cq->mft_ = cq->raw_mft_;
-    cq->report_.before = ComputeStats(cq->raw_mft_);
-    cq->report_.after = cq->report_.before;
+    plan->mft_ = plan->raw_mft_;
+    plan->report_.before = ComputeStats(plan->raw_mft_);
+    plan->report_.after = plan->report_.before;
   }
-  return cq;
+  XQMFT_RETURN_NOT_OK(FinishPlan(plan->mft_, options));
+  return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
 
-Status CompiledQuery::Stream(ByteSource* source, OutputSink* sink,
-                             StreamStats* stats) const {
-  return StreamTransform(mft_, source, sink, options_.stream, stats);
+Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::FromMft(
+    Mft mft, PipelineOptions options) {
+  std::shared_ptr<CompiledPlan> plan(new CompiledPlan());
+  plan->options_ = options;
+  plan->mft_ = std::move(mft);
+  XQMFT_RETURN_NOT_OK(FinishPlan(plan->mft_, options));
+  return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
 
-Status CompiledQuery::StreamFile(const std::string& path, OutputSink* sink,
-                                 StreamStats* stats) const {
+std::size_t CompiledPlan::ApproxBytes() const {
+  // Rule storage dominated by RhsNodes; dispatch rows are width pointers per
+  // state; symbols cost their entry plus name bytes. An estimate for cache
+  // accounting, not an allocator measurement.
+  const RuleDispatch& dispatch = mft_.dispatch();
+  const SymbolTable& symbols = mft_.symbols();
+  std::size_t bytes = sizeof(CompiledPlan);
+  bytes += mft_.Size() * sizeof(RhsNode);
+  if (has_query()) bytes += raw_mft_.Size() * sizeof(RhsNode);
+  bytes += static_cast<std::size_t>(mft_.num_states()) *
+           static_cast<std::size_t>(dispatch.width()) * sizeof(void*);
+  for (std::size_t id = 0; id < symbols.size(); ++id) {
+    bytes += sizeof(SymbolId) + 2 * sizeof(void*) +
+             symbols.name(static_cast<SymbolId>(id)).size();
+  }
+  return bytes;
+}
+
+Status CompiledPlan::Stream(ByteSource* source, OutputSink* sink,
+                            StreamStats* stats, StreamScratch* scratch) const {
+  return StreamTransform(mft_, source, sink, options_.stream, stats, scratch);
+}
+
+Status CompiledPlan::StreamFile(const std::string& path, OutputSink* sink,
+                                StreamStats* stats,
+                                StreamScratch* scratch) const {
   // mmap when available: the parser scans the mapping in place and file
   // input pays no stdio copy.
   XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
                          MmapSource::Open(path));
-  return Stream(src.get(), sink, stats);
+  return Stream(src.get(), sink, stats, scratch);
 }
 
-Status CompiledQuery::StreamEvents(EventSource* events, OutputSink* sink,
-                                   StreamStats* stats) const {
-  return StreamTransformEvents(mft_, events, sink, options_.stream, stats);
+Status CompiledPlan::StreamEvents(EventSource* events, OutputSink* sink,
+                                  StreamStats* stats,
+                                  StreamScratch* scratch) const {
+  return StreamTransformEvents(mft_, events, sink, options_.stream, stats,
+                               scratch);
 }
 
-Status CompiledQuery::StreamString(const std::string& xml, OutputSink* sink,
-                                   StreamStats* stats) const {
+Status CompiledPlan::StreamString(const std::string& xml, OutputSink* sink,
+                                  StreamStats* stats,
+                                  StreamScratch* scratch) const {
   StringSource src(xml);
-  return Stream(&src, sink, stats);
+  return Stream(&src, sink, stats, scratch);
 }
 
-Status StreamManyTransform(const Mft& mft,
+Status StreamManyTransform(const CompiledPlan& plan,
                            const std::vector<ParallelInput>& inputs,
-                           OutputSink* sink, StreamOptions stream,
-                           const ParallelOptions& par,
+                           OutputSink* sink, const ParallelOptions& par,
                            std::vector<StreamStats>* stats) {
-  if (stream.validator != nullptr) {
-    return Status::InvalidArgument(
-        "schema validation is per-run stateful and not supported by "
-        "parallel runs; validate inputs individually");
-  }
+  const Mft& mft = plan.mft();
+  const StreamOptions& stream = plan.options().stream;
   if (stats != nullptr) {
     stats->assign(inputs.size(), StreamStats{});
   }
-  // Warm the lazily compiled rule dispatch before fanning out: once built it
-  // is read-only and safe to share across worker engines (mft/mft.h).
-  mft.dispatch();
+  // No warm-up call needed here: a CompiledPlan's dispatch was compiled
+  // before the plan could be shared, so worker engines below can only ever
+  // read it.
   auto item = [&](std::size_t i, OutputSink* item_sink) -> Status {
     const ParallelInput& input = inputs[i];
     StreamStats* item_stats = stats != nullptr ? &(*stats)[i] : nullptr;
@@ -121,16 +167,13 @@ Status StreamManyTransform(const Mft& mft,
   return ShardedExecutor::Run(inputs.size(), item, sink, par);
 }
 
-Status StreamShardedPretokTransform(const Mft& mft, std::string_view pretok,
+Status StreamShardedPretokTransform(const CompiledPlan& plan,
+                                    std::string_view pretok,
                                     std::size_t shards, OutputSink* sink,
-                                    StreamOptions stream,
                                     const ParallelOptions& par,
                                     std::vector<StreamStats>* stats) {
-  if (stream.validator != nullptr) {
-    return Status::InvalidArgument(
-        "schema validation is per-run stateful and not supported by "
-        "parallel runs; validate inputs individually");
-  }
+  const Mft& mft = plan.mft();
+  const StreamOptions& stream = plan.options().stream;
   if (shards == 0) {
     // Default: split at every top-level forest boundary (the splitter
     // clamps to the tree count). Deliberately NOT the worker count — on a
@@ -142,26 +185,24 @@ Status StreamShardedPretokTransform(const Mft& mft, std::string_view pretok,
     // threads only affect timing, never bytes.
     shards = std::numeric_limits<std::size_t>::max();
   }
-  XQMFT_ASSIGN_OR_RETURN(PretokShardPlan plan,
+  XQMFT_ASSIGN_OR_RETURN(PretokShardPlan shard_plan,
                          PlanPretokShards(pretok, shards));
   XQMFT_RETURN_NOT_OK(
-      CheckPretokOptions(plan.declared, stream.sax, "(sharded)"));
+      CheckPretokOptions(shard_plan.declared, stream.sax, "(sharded)"));
   if (stats != nullptr) {
-    stats->assign(plan.shards.size(), StreamStats{});
+    stats->assign(shard_plan.shards.size(), StreamStats{});
   }
-  mft.dispatch();  // warm before fan-out (mft/mft.h)
   auto item = [&](std::size_t i, OutputSink* item_sink) -> Status {
-    PretokShardSource src(&plan, i);
+    PretokShardSource src(&shard_plan, i);
     return StreamTransformEvents(mft, &src, item_sink, stream,
                                  stats != nullptr ? &(*stats)[i] : nullptr);
   };
-  return ShardedExecutor::Run(plan.shards.size(), item, sink, par);
+  return ShardedExecutor::Run(shard_plan.shards.size(), item, sink, par);
 }
 
-Status StreamShardedPretokFileTransform(const Mft& mft,
+Status StreamShardedPretokFileTransform(const CompiledPlan& plan,
                                         const std::string& path,
                                         std::size_t shards, OutputSink* sink,
-                                        StreamOptions stream,
                                         const ParallelOptions& par,
                                         std::vector<StreamStats>* stats) {
   XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> backing,
@@ -175,37 +216,68 @@ Status StreamShardedPretokFileTransform(const Mft& mft,
     while ((n = backing->Read(buf, sizeof buf)) > 0) owned.append(buf, n);
     contents = owned;
   }
-  return StreamShardedPretokTransform(mft, contents, shards, sink, stream,
-                                      par, stats);
+  return StreamShardedPretokTransform(plan, contents, shards, sink, par,
+                                      stats);
 }
 
-Status CompiledQuery::StreamMany(const std::vector<ParallelInput>& inputs,
-                                 OutputSink* sink, const ParallelOptions& par,
-                                 std::vector<StreamStats>* stats) const {
-  return StreamManyTransform(mft_, inputs, sink, options_.stream, par, stats);
+Status CompiledPlan::StreamMany(const std::vector<ParallelInput>& inputs,
+                                OutputSink* sink, const ParallelOptions& par,
+                                std::vector<StreamStats>* stats) const {
+  return StreamManyTransform(*this, inputs, sink, par, stats);
 }
 
-Status CompiledQuery::StreamShardedPretok(std::string_view pretok,
-                                          std::size_t shards, OutputSink* sink,
-                                          const ParallelOptions& par,
-                                          std::vector<StreamStats>* stats)
+Status CompiledPlan::StreamShardedPretok(std::string_view pretok,
+                                         std::size_t shards, OutputSink* sink,
+                                         const ParallelOptions& par,
+                                         std::vector<StreamStats>* stats)
     const {
-  return StreamShardedPretokTransform(mft_, pretok, shards, sink,
-                                      options_.stream, par, stats);
+  return StreamShardedPretokTransform(*this, pretok, shards, sink, par,
+                                      stats);
 }
 
-Status CompiledQuery::StreamShardedPretokFile(const std::string& path,
-                                              std::size_t shards,
-                                              OutputSink* sink,
-                                              const ParallelOptions& par,
-                                              std::vector<StreamStats>* stats)
+Status CompiledPlan::StreamShardedPretokFile(const std::string& path,
+                                             std::size_t shards,
+                                             OutputSink* sink,
+                                             const ParallelOptions& par,
+                                             std::vector<StreamStats>* stats)
     const {
-  return StreamShardedPretokFileTransform(mft_, path, shards, sink,
-                                          options_.stream, par, stats);
+  return StreamShardedPretokFileTransform(*this, path, shards, sink, par,
+                                          stats);
 }
 
-Result<Forest> CompiledQuery::Evaluate(const Forest& input) const {
+Result<Forest> CompiledPlan::Evaluate(const Forest& input) const {
   return RunMft(mft_, input);
+}
+
+QueryRun::QueryRun(std::shared_ptr<const CompiledPlan> plan)
+    : plan_(std::move(plan)), scratch_(plan_->mft()) {}
+
+Status QueryRun::Stream(ByteSource* source, OutputSink* sink,
+                        StreamStats* stats) {
+  return plan_->Stream(source, sink, stats, &scratch_);
+}
+
+Status QueryRun::StreamFile(const std::string& path, OutputSink* sink,
+                            StreamStats* stats) {
+  return plan_->StreamFile(path, sink, stats, &scratch_);
+}
+
+Status QueryRun::StreamString(const std::string& xml, OutputSink* sink,
+                              StreamStats* stats) {
+  return plan_->StreamString(xml, sink, stats, &scratch_);
+}
+
+Status QueryRun::StreamEvents(EventSource* events, OutputSink* sink,
+                              StreamStats* stats) {
+  return plan_->StreamEvents(events, sink, stats, &scratch_);
+}
+
+Result<std::unique_ptr<CompiledQuery>> CompiledQuery::Compile(
+    const std::string& query_text, PipelineOptions options) {
+  std::unique_ptr<CompiledQuery> cq(new CompiledQuery());
+  XQMFT_ASSIGN_OR_RETURN(cq->plan_,
+                         CompiledPlan::Compile(query_text, options));
+  return cq;
 }
 
 }  // namespace xqmft

@@ -4,6 +4,22 @@
 //                  --optimize (Section 4.1)--> streaming-friendly MFT
 //                  --streaming engine [30]--> XML-to-XML stream processor
 //
+// The compiled artifact is split along the serving boundary the paper's
+// pitch implies (translate once, stream arbitrarily many documents):
+//
+//   CompiledPlan  — immutable and shareable: the parsed query, the
+//                   translated and optimized MFT with its rule dispatch
+//                   fully compiled and its base SymbolTable interned at
+//                   build time. Safe to share read-only across any number
+//                   of concurrent runs and threads; what a query cache
+//                   hands out.
+//   QueryRun      — cheap mutable per-run state bound to one plan: the
+//                   run-local symbol-table snapshot and the slab arenas,
+//                   reusable across consecutive documents of a serving
+//                   loop. Single-threaded; make one per worker.
+//   CompiledQuery — thin convenience wrapper owning a shared plan; the
+//                   one-query one-caller API the examples and the CLI use.
+//
 // Typical use:
 //
 //   auto cq = CompiledQuery::Compile("<out>{$input//a}</out>");
@@ -33,10 +49,14 @@ struct PipelineOptions {
   /// curves); disable only for measurement.
   bool optimize = true;
   OptimizeOptions optimizer;
+  /// Streaming defaults baked into the plan. stream.validator must be null:
+  /// a schema validator is per-run stateful and would be mutable state
+  /// reachable from every concurrent run of a shared plan — validated runs
+  /// go through the free StreamTransform with per-run options instead.
   StreamOptions stream;
 };
 
-/// \brief One document of a parallel workload (see CompiledQuery::StreamMany).
+/// \brief One document of a parallel workload (see CompiledPlan::StreamMany).
 ///
 /// The in-memory kinds let tests and embedders shard without touching the
 /// filesystem; `value` is a path for the file kinds and the raw bytes
@@ -66,51 +86,68 @@ struct ParallelInput {
   }
 };
 
-/// Engine-level parallel streaming (the CompiledQuery methods below
-/// delegate here; the CLI's hand-written-MFT path uses these directly).
-/// Contracts as documented on CompiledQuery::StreamMany /
-/// StreamShardedPretok.
-Status StreamManyTransform(const Mft& mft,
-                           const std::vector<ParallelInput>& inputs,
-                           OutputSink* sink, StreamOptions stream = {},
-                           const ParallelOptions& par = {},
-                           std::vector<StreamStats>* stats = nullptr);
-Status StreamShardedPretokTransform(const Mft& mft, std::string_view pretok,
-                                    std::size_t shards, OutputSink* sink,
-                                    StreamOptions stream = {},
-                                    const ParallelOptions& par = {},
-                                    std::vector<StreamStats>* stats = nullptr);
-Status StreamShardedPretokFileTransform(
-    const Mft& mft, const std::string& path, std::size_t shards,
-    OutputSink* sink, StreamOptions stream = {}, const ParallelOptions& par = {},
-    std::vector<StreamStats>* stats = nullptr);
-
-/// \brief A compiled MinXQuery program, ready to stream documents.
-class CompiledQuery {
+/// \brief An immutable, shareable compiled query: parse + translate +
+/// optimize happen exactly once, the rule dispatch and base symbol table
+/// are compiled eagerly at build time, and nothing is mutated afterwards.
+///
+/// Immutability is structural, not conventional: every accessor is const,
+/// the lazily-cached pieces of the Mft (dispatch tables, interned rule ids)
+/// are forced before the constructor returns, and a plan with a schema
+/// validator (per-run mutable state) is rejected at build time. A
+/// `shared_ptr<const CompiledPlan>` can therefore be handed to any number
+/// of concurrent runs, worker threads, or cache entries without
+/// synchronization — the PR-4 "warm the dispatch before fanning out"
+/// documentation rule is now enforced by this type, and the parallel entry
+/// points take a plan instead of a bare transducer for exactly that reason.
+class CompiledPlan {
  public:
-  /// Parses, validates, translates, and (by default) optimizes.
-  static Result<std::unique_ptr<CompiledQuery>> Compile(
+  /// Parses, validates, translates, optimizes (by default), and compiles
+  /// the rule dispatch.
+  static Result<std::shared_ptr<const CompiledPlan>> Compile(
       const std::string& query_text, PipelineOptions options = {});
 
-  /// The executable transducer (optimized if so configured).
+  /// Wraps a hand-written transducer (e.g. the CLI's `mft` command) in the
+  /// same immutable serving artifact: validates, compiles the dispatch,
+  /// shares like any other plan. No query or optimize report is attached.
+  static Result<std::shared_ptr<const CompiledPlan>> FromMft(
+      Mft mft, PipelineOptions options = {});
+
+  /// The executable transducer (optimized if so configured). Its dispatch
+  /// and base symbol table are compiled; treat as read-only.
   const Mft& mft() const { return mft_; }
-  /// The transducer as produced by the Section 3 translation.
+  /// The transducer as produced by the Section 3 translation (empty for
+  /// FromMft-built plans).
   const Mft& unoptimized_mft() const { return raw_mft_; }
   /// What the optimizer did.
   const OptimizeReport& optimize_report() const { return report_; }
+  /// True when this plan was compiled from query text (Compile, not
+  /// FromMft); query() may only be called then.
+  bool has_query() const { return query_ != nullptr; }
   /// The parsed query.
   const QueryExpr& query() const { return *query_; }
+  const PipelineOptions& options() const { return options_; }
 
-  /// Streams a document through the transducer.
+  /// Approximate resident bytes of the compiled artifact (states, rules,
+  /// dispatch tables, interned symbols) — the accounting a query cache
+  /// reports; an estimate, not an allocator measurement.
+  std::size_t ApproxBytes() const;
+
+  /// Streams a document through the transducer. Thread-safe: concurrent
+  /// calls on one plan each build (or borrow via `scratch`) their own run
+  /// state.
   Status Stream(ByteSource* source, OutputSink* sink,
-                StreamStats* stats = nullptr) const;
+                StreamStats* stats = nullptr,
+                StreamScratch* scratch = nullptr) const;
   Status StreamFile(const std::string& path, OutputSink* sink,
-                    StreamStats* stats = nullptr) const;
+                    StreamStats* stats = nullptr,
+                    StreamScratch* scratch = nullptr) const;
   Status StreamString(const std::string& xml, OutputSink* sink,
-                      StreamStats* stats = nullptr) const;
+                      StreamStats* stats = nullptr,
+                      StreamScratch* scratch = nullptr) const;
   /// Streams an already-tokenized event stream (e.g. a pretok cache).
   Status StreamEvents(EventSource* events, OutputSink* sink,
-                      StreamStats* stats = nullptr) const;
+                      StreamStats* stats = nullptr,
+                      StreamScratch* scratch = nullptr) const;
 
   /// Document-set sharding: streams every input through its own engine
   /// (private SymbolTable copy, private arenas) across
@@ -118,8 +155,7 @@ class CompiledQuery {
   /// byte-identical to streaming the inputs serially, for any thread count.
   /// On failure the run returns the lowest-index failed input's error and
   /// the sink holds the in-order output of the successful inputs before it.
-  /// Schema validation (options.stream.validator) is per-run stateful and
-  /// rejected here. `stats`, when given, is resized to one entry per input.
+  /// `stats`, when given, is resized to one entry per input.
   Status StreamMany(const std::vector<ParallelInput>& inputs, OutputSink* sink,
                     const ParallelOptions& par = {},
                     std::vector<StreamStats>* stats = nullptr) const;
@@ -133,7 +169,7 @@ class CompiledQuery {
   /// one shard and the output is byte-identical to StreamEvents over the
   /// whole stream; for a multi-tree forest each shard's trees evaluate as an
   /// independent forest (see parallel/pretok_split.h for the contract).
-  /// `pretok` must outlive the call and match this pipeline's SAX options.
+  /// `pretok` must outlive the call and match this plan's SAX options.
   Status StreamShardedPretok(std::string_view pretok, std::size_t shards,
                              OutputSink* sink, const ParallelOptions& par = {},
                              std::vector<StreamStats>* stats = nullptr) const;
@@ -150,13 +186,123 @@ class CompiledQuery {
   Result<Forest> Evaluate(const Forest& input) const;
 
  private:
-  CompiledQuery() = default;
+  CompiledPlan() = default;
 
   std::unique_ptr<QueryExpr> query_;
   Mft raw_mft_;
   Mft mft_;
   OptimizeReport report_;
   PipelineOptions options_;
+};
+
+/// Engine-level parallel streaming (the CompiledPlan methods above delegate
+/// here). Taking a CompiledPlan — not a bare Mft — is what makes the
+/// warm-before-fanout contract structural: a plan's dispatch was compiled
+/// before the plan existed, so worker engines can only ever share it
+/// read-only. Contracts as documented on CompiledPlan::StreamMany /
+/// StreamShardedPretok.
+Status StreamManyTransform(const CompiledPlan& plan,
+                           const std::vector<ParallelInput>& inputs,
+                           OutputSink* sink, const ParallelOptions& par = {},
+                           std::vector<StreamStats>* stats = nullptr);
+Status StreamShardedPretokTransform(const CompiledPlan& plan,
+                                    std::string_view pretok,
+                                    std::size_t shards, OutputSink* sink,
+                                    const ParallelOptions& par = {},
+                                    std::vector<StreamStats>* stats = nullptr);
+Status StreamShardedPretokFileTransform(
+    const CompiledPlan& plan, const std::string& path, std::size_t shards,
+    OutputSink* sink, const ParallelOptions& par = {},
+    std::vector<StreamStats>* stats = nullptr);
+
+/// \brief Cheap per-run execution handle over a shared immutable plan: owns
+/// the mutable state one streaming run needs (run-local symbol-table
+/// snapshot, cell/expr slab arenas) and keeps it warm across documents, so
+/// a serving loop pays table copy and block allocation once per worker, not
+/// once per document. Single-threaded; create one per worker. Holds a
+/// shared reference to the plan, so a cached plan stays alive while any
+/// run over it is in flight.
+class QueryRun {
+ public:
+  explicit QueryRun(std::shared_ptr<const CompiledPlan> plan);
+
+  const CompiledPlan& plan() const { return *plan_; }
+
+  Status Stream(ByteSource* source, OutputSink* sink,
+                StreamStats* stats = nullptr);
+  Status StreamFile(const std::string& path, OutputSink* sink,
+                    StreamStats* stats = nullptr);
+  Status StreamString(const std::string& xml, OutputSink* sink,
+                      StreamStats* stats = nullptr);
+  Status StreamEvents(EventSource* events, OutputSink* sink,
+                      StreamStats* stats = nullptr);
+
+ private:
+  std::shared_ptr<const CompiledPlan> plan_;
+  StreamScratch scratch_;
+};
+
+/// \brief A compiled MinXQuery program, ready to stream documents: a thin
+/// owner of a shared CompiledPlan, kept as the single-query convenience API
+/// (examples, CLI, benches). Serving layers share plan() directly.
+class CompiledQuery {
+ public:
+  /// Parses, validates, translates, and (by default) optimizes.
+  static Result<std::unique_ptr<CompiledQuery>> Compile(
+      const std::string& query_text, PipelineOptions options = {});
+
+  /// The shared immutable plan (never null).
+  const std::shared_ptr<const CompiledPlan>& plan() const { return plan_; }
+
+  const Mft& mft() const { return plan_->mft(); }
+  const Mft& unoptimized_mft() const { return plan_->unoptimized_mft(); }
+  const OptimizeReport& optimize_report() const {
+    return plan_->optimize_report();
+  }
+  const QueryExpr& query() const { return plan_->query(); }
+
+  Status Stream(ByteSource* source, OutputSink* sink,
+                StreamStats* stats = nullptr) const {
+    return plan_->Stream(source, sink, stats);
+  }
+  Status StreamFile(const std::string& path, OutputSink* sink,
+                    StreamStats* stats = nullptr) const {
+    return plan_->StreamFile(path, sink, stats);
+  }
+  Status StreamString(const std::string& xml, OutputSink* sink,
+                      StreamStats* stats = nullptr) const {
+    return plan_->StreamString(xml, sink, stats);
+  }
+  Status StreamEvents(EventSource* events, OutputSink* sink,
+                      StreamStats* stats = nullptr) const {
+    return plan_->StreamEvents(events, sink, stats);
+  }
+  Status StreamMany(const std::vector<ParallelInput>& inputs, OutputSink* sink,
+                    const ParallelOptions& par = {},
+                    std::vector<StreamStats>* stats = nullptr) const {
+    return plan_->StreamMany(inputs, sink, par, stats);
+  }
+  Status StreamShardedPretok(std::string_view pretok, std::size_t shards,
+                             OutputSink* sink, const ParallelOptions& par = {},
+                             std::vector<StreamStats>* stats
+                             = nullptr) const {
+    return plan_->StreamShardedPretok(pretok, shards, sink, par, stats);
+  }
+  Status StreamShardedPretokFile(const std::string& path, std::size_t shards,
+                                 OutputSink* sink,
+                                 const ParallelOptions& par = {},
+                                 std::vector<StreamStats>* stats
+                                 = nullptr) const {
+    return plan_->StreamShardedPretokFile(path, shards, sink, par, stats);
+  }
+  Result<Forest> Evaluate(const Forest& input) const {
+    return plan_->Evaluate(input);
+  }
+
+ private:
+  CompiledQuery() = default;
+
+  std::shared_ptr<const CompiledPlan> plan_;
 };
 
 }  // namespace xqmft

@@ -177,10 +177,12 @@ class Mft {
   /// The compiled dense dispatch (built on first use, rebuilt after any rule
   /// mutation). Lazy compilation is single-threaded; once compiled, the
   /// dispatch (and symbols()) are read-only and safe to share across
-  /// concurrent engine runs, provided no rule mutates meanwhile. Parallel
-  /// callers must warm the cache before fanning out — one dispatch() call on
-  /// the coordinating thread, which CompiledQuery's parallel entry points
-  /// issue before spawning workers.
+  /// concurrent engine runs, provided no rule mutates meanwhile. For the
+  /// pipeline this contract is structural: the parallel entry points take a
+  /// CompiledPlan (core/pipeline.h), whose builder compiled the dispatch
+  /// before the plan could be shared. Only hand-rolled parallel callers over
+  /// a bare Mft still need the manual rule — one dispatch() call on the
+  /// coordinating thread before fanning out.
   const RuleDispatch& dispatch() const;
 
   /// The symbol table the dispatch is compiled against. The streaming engine

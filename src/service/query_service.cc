@@ -1,0 +1,56 @@
+#include "service/query_service.h"
+
+#include <chrono>
+
+namespace xqmft {
+
+StreamStats AggregateStreamStats(const std::vector<StreamStats>& per_input) {
+  StreamStats out;
+  for (const StreamStats& s : per_input) {
+    if (s.peak_bytes > out.peak_bytes) out.peak_bytes = s.peak_bytes;
+    out.final_bytes += s.final_bytes;
+    out.rule_applications += s.rule_applications;
+    out.cells_created += s.cells_created;
+    out.exprs_created += s.exprs_created;
+    out.bytes_in += s.bytes_in;
+    out.output_events += s.output_events;
+  }
+  return out;
+}
+
+QueryService::QueryService(QueryCacheOptions cache_options,
+                           PipelineOptions base_options)
+    : base_options_(base_options), cache_(cache_options) {}
+
+Status QueryService::Execute(const ServiceRequest& request, OutputSink* sink,
+                             ServiceRequestStats* stats) {
+  if (request.inputs.empty()) {
+    return Status::InvalidArgument("request has no inputs");
+  }
+  PipelineOptions options = base_options_;
+  // no_opt can only turn optimization off: a service configured with
+  // optimize=false (e.g. `serve --no-opt`) stays unoptimized for every
+  // request.
+  if (request.no_opt) options.optimize = false;
+  XQMFT_ASSIGN_OR_RETURN(QueryCacheLookup lookup,
+                         cache_.Lookup(request.query, options));
+
+  ParallelOptions par;
+  par.threads = request.threads;
+  std::vector<StreamStats> per_input;
+  auto t0 = std::chrono::steady_clock::now();
+  Status st = lookup.plan->StreamMany(request.inputs, sink, par, &per_input);
+  double stream_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  if (stats != nullptr) {
+    stats->cache_hit = lookup.hit;
+    stats->compile_ms = lookup.compile_ms;
+    stats->stream_ms = stream_ms;
+    stats->total = AggregateStreamStats(per_input);
+    stats->per_input = std::move(per_input);
+  }
+  return st;
+}
+
+}  // namespace xqmft

@@ -1,0 +1,74 @@
+// Multi-query serving: (cached plan × input batch) execution.
+//
+// A QueryService owns the process-wide QueryCache and executes requests of
+// the shape "this query over these documents with this many workers"
+// through the existing streaming paths: one input streams through a single
+// engine; a batch fans out through CompiledPlan::StreamMany (document-set
+// sharding with ordered merge, PR 4), so responses are byte-identical to
+// streaming the batch serially whatever the thread count. Compile cost is
+// paid at most once per distinct query and reported separately from stream
+// cost in the per-request stats — the compile-amortization story
+// bench_service measures.
+#ifndef XQMFT_SERVICE_QUERY_SERVICE_H_
+#define XQMFT_SERVICE_QUERY_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "service/query_cache.h"
+#include "util/status.h"
+
+namespace xqmft {
+
+/// \brief One serving request: a query over a batch of documents.
+struct ServiceRequest {
+  std::string query;
+  /// Documents to stream, in output order.
+  std::vector<ParallelInput> inputs;
+  /// Worker threads for the batch (0 = one per hardware thread; 1 = serial).
+  std::size_t threads = 1;
+  /// Skip the Section 4.1 optimizations (measurement requests).
+  bool no_opt = false;
+};
+
+/// \brief What one request cost, compile and stream separated.
+struct ServiceRequestStats {
+  bool cache_hit = false;
+  double compile_ms = 0.0;  ///< 0 when the plan was cached
+  double stream_ms = 0.0;
+  std::vector<StreamStats> per_input;
+  StreamStats total;  ///< summed; peak_bytes is the max across inputs
+};
+
+/// Sums per-input statistics into one record. Peak memory is the max
+/// engine-tracked peak across inputs (per-engine peaks need not coincide in
+/// time); output staged in the ordered merge is not tracked and comes on
+/// top.
+StreamStats AggregateStreamStats(const std::vector<StreamStats>& per_input);
+
+/// \brief Executes requests against a shared compile-once cache.
+/// Thread-safe: concurrent Execute calls share plans through the cache and
+/// run independent engines.
+class QueryService {
+ public:
+  explicit QueryService(QueryCacheOptions cache_options = {},
+                        PipelineOptions base_options = {});
+
+  /// Streams the request's batch into `sink` (outputs concatenate in input
+  /// order). The plan comes from the cache — compiled now only if this is
+  /// the first sighting of the query.
+  Status Execute(const ServiceRequest& request, OutputSink* sink,
+                 ServiceRequestStats* stats = nullptr);
+
+  QueryCache* cache() { return &cache_; }
+  const QueryCache& cache() const { return cache_; }
+
+ private:
+  PipelineOptions base_options_;
+  QueryCache cache_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,259 @@
+#include "service/serve.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "service/json.h"
+#include "util/strings.h"
+#include "xml/events.h"
+#include "xml/pretok.h"
+
+namespace xqmft {
+
+namespace {
+
+// Reads one newline-terminated line (without the newline); false on EOF
+// with nothing read.
+bool ReadLine(std::FILE* in, std::string* line) {
+  line->clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') return true;
+    line->push_back(static_cast<char>(c));
+  }
+  return !line->empty();
+}
+
+// Serializes a scalar-or-structured JsonValue back out (the request id is
+// echoed verbatim whatever its shape).
+void AppendJsonValue(std::string* out, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      // Integers (the common id shape) print without an exponent.
+      if (v.number == std::floor(v.number) && std::fabs(v.number) < 1e15) {
+        *out += StrFormat("%lld", static_cast<long long>(v.number));
+      } else {
+        *out += StrFormat("%g", v.number);
+      }
+      return;
+    }
+    case JsonValue::Kind::kString:
+      AppendJsonString(out, v.string);
+      return;
+    case JsonValue::Kind::kArray:
+      out->push_back('[');
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        AppendJsonValue(out, v.items[i]);
+      }
+      out->push_back(']');
+      return;
+    case JsonValue::Kind::kObject:
+      out->push_back('{');
+      for (std::size_t i = 0; i < v.fields.size(); ++i) {
+        if (i != 0) out->push_back(',');
+        AppendJsonString(out, v.fields[i].first);
+        out->push_back(':');
+        AppendJsonValue(out, v.fields[i].second);
+      }
+      out->push_back('}');
+      return;
+  }
+}
+
+struct ResponseWriter {
+  explicit ResponseWriter(const JsonValue* id) {
+    line = "{";
+    if (id != nullptr) {
+      line += "\"id\":";
+      AppendJsonValue(&line, *id);
+      line += ",";
+    }
+  }
+  void Field(std::string_view key, std::string_view string_value) {
+    AppendJsonString(&line, key);
+    line += ":";
+    AppendJsonString(&line, string_value);
+    line += ",";
+  }
+  void Raw(std::string_view key, std::string_view raw) {
+    AppendJsonString(&line, key);
+    line += ":";
+    line += raw;
+    line += ",";
+  }
+  // One JSON line, closing brace swapped in for the trailing comma.
+  std::string Finish() {
+    if (line.back() == ',') line.back() = '}';
+    else line += "}";
+    return line;
+  }
+  std::string line;
+};
+
+Status WriteAll(std::FILE* out, std::string_view bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size() ||
+      std::fflush(out) != 0) {
+    return Status::Internal("cannot write response");
+  }
+  return Status::OK();
+}
+
+Status WriteError(std::FILE* out, const JsonValue* id,
+                  const std::string& message) {
+  ResponseWriter w(id);
+  w.Raw("ok", "false");
+  w.Field("error", message);
+  return WriteAll(out, w.Finish() + "\n");
+}
+
+Status WriteStats(std::FILE* out, const JsonValue* id,
+                  const QueryCacheStats& stats) {
+  ResponseWriter w(id);
+  w.Raw("ok", "true");
+  w.Raw("stats",
+        StrFormat("{\"hits\":%llu,\"misses\":%llu,\"compiles\":%llu,"
+                  "\"failures\":%llu,\"evictions\":%llu,\"entries\":%zu,"
+                  "\"bytes\":%zu,\"compile_ms_total\":%.3f}",
+                  static_cast<unsigned long long>(stats.hits),
+                  static_cast<unsigned long long>(stats.misses),
+                  static_cast<unsigned long long>(stats.compiles),
+                  static_cast<unsigned long long>(stats.failures),
+                  static_cast<unsigned long long>(stats.evictions),
+                  stats.entries, stats.bytes, stats.compile_ms_total));
+  return WriteAll(out, w.Finish() + "\n");
+}
+
+// Builds the request from its parsed JSON; error strings are user-facing.
+Result<ServiceRequest> BuildRequest(const JsonValue& json,
+                                    std::size_t default_threads) {
+  ServiceRequest req;
+  req.threads = default_threads;
+  const JsonValue* query = json.Find("query");
+  if (query == nullptr || !query->is_string()) {
+    return Status::InvalidArgument("request needs a string \"query\" field");
+  }
+  req.query = query->string;
+  if (const JsonValue* inputs = json.Find("inputs")) {
+    if (!inputs->is_array()) {
+      return Status::InvalidArgument("\"inputs\" must be an array of paths");
+    }
+    for (const JsonValue& item : inputs->items) {
+      if (!item.is_string()) {
+        return Status::InvalidArgument("\"inputs\" must be an array of paths");
+      }
+      // Same sniff as the CLI's positional inputs: a pretok cache replays
+      // as events, anything else parses as text XML.
+      req.inputs.push_back(IsPretokFile(item.string)
+                               ? ParallelInput::PretokFile(item.string)
+                               : ParallelInput::XmlFile(item.string));
+    }
+  }
+  if (const JsonValue* xml = json.Find("xml")) {
+    if (!xml->is_array()) {
+      return Status::InvalidArgument(
+          "\"xml\" must be an array of inline documents");
+    }
+    for (const JsonValue& item : xml->items) {
+      if (!item.is_string()) {
+        return Status::InvalidArgument(
+            "\"xml\" must be an array of inline documents");
+      }
+      req.inputs.push_back(ParallelInput::XmlText(item.string));
+    }
+  }
+  if (const JsonValue* threads = json.Find("threads")) {
+    if (!threads->is_number() || threads->number < 0 ||
+        threads->number != std::floor(threads->number)) {
+      return Status::InvalidArgument("\"threads\" must be a count >= 0");
+    }
+    req.threads = static_cast<std::size_t>(threads->number);
+  }
+  if (const JsonValue* no_opt = json.Find("no_opt")) {
+    if (!no_opt->is_bool()) {
+      return Status::InvalidArgument("\"no_opt\" must be a boolean");
+    }
+    req.no_opt = no_opt->boolean;
+  }
+  if (req.inputs.empty()) {
+    return Status::InvalidArgument(
+        "request has no documents (give \"inputs\" paths or inline \"xml\")");
+  }
+  return req;
+}
+
+}  // namespace
+
+Status ServeLoop(std::FILE* in, std::FILE* out, const ServeOptions& options) {
+  QueryService service(options.cache, options.pipeline);
+  std::string line;
+  while (ReadLine(in, &line)) {
+    // Blank lines keep the loop responsive under sloppy drivers.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    Result<JsonValue> parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      XQMFT_RETURN_NOT_OK(
+          WriteError(out, nullptr, parsed.status().ToString()));
+      continue;
+    }
+    const JsonValue& json = parsed.value();
+    if (!json.is_object()) {
+      XQMFT_RETURN_NOT_OK(
+          WriteError(out, nullptr, "request must be a JSON object"));
+      continue;
+    }
+    const JsonValue* id = json.Find("id");
+
+    if (const JsonValue* cmd = json.Find("cmd")) {
+      if (cmd->is_string() && cmd->string == "stats") {
+        XQMFT_RETURN_NOT_OK(WriteStats(out, id, service.cache()->stats()));
+      } else {
+        XQMFT_RETURN_NOT_OK(WriteError(out, id, "unknown \"cmd\""));
+      }
+      continue;
+    }
+
+    Result<ServiceRequest> request =
+        BuildRequest(json, options.default_threads);
+    if (!request.ok()) {
+      XQMFT_RETURN_NOT_OK(WriteError(out, id, request.status().ToString()));
+      continue;
+    }
+
+    StringSink sink;
+    ServiceRequestStats stats;
+    Status st = service.Execute(request.value(), &sink, &stats);
+    if (!st.ok()) {
+      XQMFT_RETURN_NOT_OK(WriteError(out, id, st.ToString()));
+      continue;
+    }
+
+    QueryCacheStats cache = service.cache()->stats();
+    ResponseWriter w(id);
+    w.Raw("ok", "true");
+    w.Raw("bytes", std::to_string(sink.str().size()));
+    w.Field("cache", stats.cache_hit ? "hit" : "miss");
+    w.Raw("compile_ms", StrFormat("%.3f", stats.compile_ms));
+    w.Raw("stream_ms", StrFormat("%.3f", stats.stream_ms));
+    w.Raw("bytes_in", std::to_string(stats.total.bytes_in));
+    w.Raw("output_events", std::to_string(stats.total.output_events));
+    w.Raw("peak_mem_bytes", std::to_string(stats.total.peak_bytes));
+    w.Raw("cache_hits", std::to_string(cache.hits));
+    w.Raw("cache_misses", std::to_string(cache.misses));
+    w.Raw("cache_entries", std::to_string(cache.entries));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, w.Finish() + "\n"));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, sink.str()));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, "\n"));
+  }
+  return Status::OK();
+}
+
+}  // namespace xqmft

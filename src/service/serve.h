@@ -1,0 +1,51 @@
+// The multi-query serving loop behind the CLI's `serve` mode.
+//
+// Protocol: newline-delimited JSON requests on `in`, framed responses on
+// `out`. One request per line:
+//
+//   {"query": "<out>{$input//a}</out>",   // required
+//    "inputs": ["doc.xml", "cache.ptk"],  // file paths (format sniffed)
+//    "xml": ["<doc><a/></doc>"],          // inline documents (after inputs)
+//    "threads": 2,                        // optional, default serial
+//    "no_opt": false,                     // optional
+//    "id": 7}                             // optional, echoed verbatim
+//
+//   {"cmd": "stats"}                      // cache statistics snapshot
+//
+// Each response is one JSON header line; successful query responses are
+// followed by exactly `bytes` bytes of serialized output and a trailing
+// newline:
+//
+//   {"id":7,"ok":true,"bytes":27,"cache":"hit","compile_ms":0.0, ...}
+//   <out>...</out>
+//
+// A malformed or failing request produces {"ok":false,"error":"..."} and
+// the loop continues — one bad request never kills the session. EOF on
+// `in` ends the loop.
+#ifndef XQMFT_SERVICE_SERVE_H_
+#define XQMFT_SERVICE_SERVE_H_
+
+#include <cstdio>
+
+#include "service/query_service.h"
+#include "util/status.h"
+
+namespace xqmft {
+
+struct ServeOptions {
+  QueryCacheOptions cache;
+  /// Base compile options for every request (per-request no_opt overrides
+  /// optimize).
+  PipelineOptions pipeline;
+  /// Worker threads when a request does not say (0 = hardware, 1 = serial).
+  std::size_t default_threads = 1;
+};
+
+/// Runs the request/response loop until EOF on `in`. Per-request failures
+/// become error responses; the returned Status is non-OK only for loop-level
+/// failures (e.g. an unwritable `out`).
+Status ServeLoop(std::FILE* in, std::FILE* out, const ServeOptions& options);
+
+}  // namespace xqmft
+
+#endif  // XQMFT_SERVICE_SERVE_H_

@@ -11,7 +11,10 @@
 
 namespace xqmft {
 
-namespace {
+// TU-local, but in a named namespace (not anonymous) so StreamScratch::Impl
+// — an external-linkage class — can hold the Expr arena without tripping
+// -Wsubobject-linkage.
+namespace engine_detail {
 
 enum class ExprKind : unsigned char {
   kNil,
@@ -111,22 +114,51 @@ class Expr : public RefCounted {
   std::vector<IntrusivePtr<Expr>> args_;
 };
 
+}  // namespace engine_detail
+
+// The mutable per-run state a serving loop keeps alive between documents:
+// byte accounting, both slab arenas, and the run-local symbol table with its
+// snapshot boundary (the base table's size at seeding time). Defined here so
+// the Expr slab can live outside any single engine run.
+struct StreamScratch::Impl {
+  explicit Impl(const Mft& mft)
+      : symbols(mft.symbols()), base_symbols(symbols.size()) {}
+  MemoryTracker tracker;
+  engine_detail::ExprArena expr_arena{&tracker};
+  CellArena cell_arena{&tracker};
+  SymbolTable symbols;       // run table; grows with input names per run
+  std::size_t base_symbols;  // snapshot boundary: the plan's base alphabet
+};
+
+StreamScratch::StreamScratch(const Mft& mft)
+    : impl_(std::make_unique<Impl>(mft)) {}
+StreamScratch::~StreamScratch() = default;
+
+namespace {
+
+using engine_detail::Expr;
+using engine_detail::ExprKind;
+
 class Engine {
  public:
-  Engine(const Mft& mft, OutputSink* sink, const StreamOptions& options)
+  Engine(const Mft& mft, OutputSink* sink, const StreamOptions& options,
+         StreamScratch::Impl* scratch)
       : mft_(mft),
         dispatch_(&mft.dispatch()),
-        symbols_(mft.symbols()),  // run-local copy; grows with input names
+        owned_(scratch == nullptr ? std::make_unique<StreamScratch::Impl>(mft)
+                                  : nullptr),
+        ctx_(Prepare(scratch != nullptr ? scratch : owned_.get(),
+                     /*reused=*/scratch != nullptr)),
         sink_(sink),
         options_(options),
-        builder_(&cell_arena_, &symbols_) {
+        builder_(&ctx_->cell_arena, &ctx_->symbols) {
     // Transducers that provably never read text content skip the
     // event-to-cell text copy altogether.
     builder_.set_capture_text(dispatch_->captures_text());
   }
 
   Status Run(EventSource* events, StreamStats* stats) {
-    events->BindSymbols(&symbols_);
+    events->BindSymbols(&ctx_->symbols);
 
     // Root thunk: q0 applied to the whole (pending) input forest.
     IntrusivePtr<Expr> root = NewExpr();
@@ -175,7 +207,7 @@ class Engine {
       top.expr = e;
       if (e->kind == ExprKind::kNil) {
         if (top.close_symbol != kInvalidSymbol) {
-          sink_->EndElement(symbols_.name(top.close_symbol));
+          sink_->EndElement(ctx_->symbols.name(top.close_symbol));
           ++output_events_;
         }
         stack.pop_back();
@@ -189,12 +221,13 @@ class Engine {
       if (e->node_kind == NodeKind::kText) {
         // Static text (a rule literal) resolves through the table; dynamic
         // text (%t over an input text node) is owned by the Expr.
-        sink_->Text(e->symbol != kInvalidSymbol ? symbols_.name(e->symbol)
-                                                : e->text());
+        sink_->Text(e->symbol != kInvalidSymbol
+                        ? ctx_->symbols.name(e->symbol)
+                        : e->text());
         ++output_events_;
         top.expr = e->next;
       } else {
-        sink_->StartElement(symbols_.name(e->symbol));
+        sink_->StartElement(ctx_->symbols.name(e->symbol));
         ++output_events_;
         Frame child_frame;
         child_frame.expr = e->child;
@@ -205,8 +238,8 @@ class Engine {
     }
 
     if (stats != nullptr) {
-      stats->peak_bytes = tracker_.peak_bytes();
-      stats->final_bytes = tracker_.current_bytes();
+      stats->peak_bytes = ctx_->tracker.peak_bytes();
+      stats->final_bytes = ctx_->tracker.current_bytes();
       stats->rule_applications = steps_;
       stats->cells_created = builder_.cells_created();
       stats->exprs_created = exprs_created_;
@@ -220,7 +253,8 @@ class Engine {
  private:
   IntrusivePtr<Expr> NewExpr() {
     ++exprs_created_;
-    return IntrusivePtr<Expr>(expr_arena_.slab.New(&expr_arena_));
+    return IntrusivePtr<Expr>(
+        ctx_->expr_arena.slab.New(&ctx_->expr_arena));
   }
 
   static IntrusivePtr<Expr> Deref(IntrusivePtr<Expr> e) {
@@ -422,19 +456,31 @@ class Engine {
     return nil_;
   }
 
+  // Re-entry of a serving loop: snapshot the run table back to the plan's
+  // base alphabet (input names interned by earlier documents are forgotten,
+  // keeping the table alphabet-sized instead of growing with the union of
+  // all inputs ever served) and restart peak accounting for this run.
+  static StreamScratch::Impl* Prepare(StreamScratch::Impl* ctx, bool reused) {
+    if (reused) {
+      ctx->symbols.TruncateToSnapshot(ctx->base_symbols);
+      ctx->tracker.ResetPeak();
+    }
+    return ctx;
+  }
+
   const Mft& mft_;
   const RuleDispatch* dispatch_;
-  // Arenas precede every member that can hold cells or exprs (builder_,
-  // nil_): members destruct in reverse order, and all nodes must be
-  // recycled before their slab frees its blocks.
-  MemoryTracker tracker_;
-  ExprArena expr_arena_{&tracker_};
-  CellArena cell_arena_{&tracker_};
-  // Deliberately outside the tracked metric: the table is bounded by the
-  // number of *distinct* names (alphabet-sized, like the transducer itself,
-  // which is not tracked either), while tracker_ measures what Figure 4
-  // measures — retention proportional to the streamed input.
-  SymbolTable symbols_;
+  // The run context (tracker, arenas, run-local symbol table — the table is
+  // deliberately outside the tracked metric: it is bounded by the number of
+  // *distinct* names, alphabet-sized like the transducer, while the tracker
+  // measures what Figure 4 measures, retention proportional to the streamed
+  // input). Owned per run, or borrowed from a StreamScratch that persists
+  // it across the runs of a serving loop. owned_ precedes every member that
+  // can hold cells or exprs (builder_, nil_): members destruct in reverse
+  // order, and all nodes must be recycled before their slab frees its
+  // blocks.
+  std::unique_ptr<StreamScratch::Impl> owned_;
+  StreamScratch::Impl* ctx_;
   OutputSink* sink_;
   StreamOptions options_;
   CellBuilder builder_;
@@ -450,16 +496,19 @@ class Engine {
 }  // namespace
 
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
-                       StreamOptions options, StreamStats* stats) {
-  Engine engine(mft, sink, options);
+                       StreamOptions options, StreamStats* stats,
+                       StreamScratch* scratch) {
+  Engine engine(mft, sink, options,
+                scratch != nullptr ? scratch->impl() : nullptr);
   SaxParser parser(source, options.sax);
   return engine.Run(&parser, stats);
 }
 
 Status StreamTransformEvents(const Mft& mft, EventSource* events,
                              OutputSink* sink, StreamOptions options,
-                             StreamStats* stats) {
-  Engine engine(mft, sink, options);
+                             StreamStats* stats, StreamScratch* scratch) {
+  Engine engine(mft, sink, options,
+                scratch != nullptr ? scratch->impl() : nullptr);
   return engine.Run(events, stats);
 }
 

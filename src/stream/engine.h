@@ -18,6 +18,7 @@
 #define XQMFT_STREAM_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "mft/mft.h"
@@ -56,11 +57,44 @@ struct StreamStats {
   std::size_t bytes_in_at_first_output = 0;
 };
 
+/// \brief Reusable mutable run state for streaming one transducer through
+/// many documents: the run-local SymbolTable (seeded once from the
+/// transducer's immutable base table, snapshot back between documents) and
+/// the cell/expr slab arenas, whose free lists and blocks persist across
+/// runs — the second document of a serving loop allocates no blocks and
+/// copies no table.
+///
+/// A scratch is bound to one transducer and single-threaded: at most one
+/// streaming run may use it at a time, and every run through it must pass
+/// the same Mft it was built from. Without a scratch the streaming entry
+/// points build this state per run (copying the base table and growing
+/// fresh slabs), which is correct but pays the per-run setup a serving loop
+/// exists to amortize. QueryRun (core/pipeline.h) is the plan-level wrapper.
+class StreamScratch {
+ public:
+  /// Seeds the run table from `mft`'s base table. The dispatch must already
+  /// be compiled (structural for CompiledPlan-built transducers; bare-Mft
+  /// callers get it compiled here as a side effect of symbols()).
+  explicit StreamScratch(const Mft& mft);
+  ~StreamScratch();
+  StreamScratch(const StreamScratch&) = delete;
+  StreamScratch& operator=(const StreamScratch&) = delete;
+
+  struct Impl;  // private to engine.cc
+  Impl* impl() const { return impl_.get(); }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Streams `source` through `mft` into `sink`. The transducer must
-/// Validate() beforehand.
+/// Validate() beforehand. `scratch`, when given, supplies the run's symbol
+/// table and arenas (see StreamScratch); it must have been built from this
+/// same `mft`.
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
                        StreamOptions options = {},
-                       StreamStats* stats = nullptr);
+                       StreamStats* stats = nullptr,
+                       StreamScratch* scratch = nullptr);
 
 /// Streams an already-tokenized event stream (e.g. a PretokSource) through
 /// `mft`. The engine binds the source to its run-local symbol table before
@@ -68,7 +102,8 @@ Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
 /// ignored (tokenization happened when the events were produced).
 Status StreamTransformEvents(const Mft& mft, EventSource* events,
                              OutputSink* sink, StreamOptions options = {},
-                             StreamStats* stats = nullptr);
+                             StreamStats* stats = nullptr,
+                             StreamScratch* scratch = nullptr);
 
 /// Convenience wrapper over an in-memory document.
 Status StreamTransformString(const Mft& mft, const std::string& xml,

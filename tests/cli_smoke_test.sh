@@ -116,6 +116,52 @@ case "$CASE" in
     expect_contains "$OUT" "output nodes:"
     expect_contains "$OUT" "compression:"
     ;;
+  serve)
+    # A multi-request session: the first request compiles (cache miss), the
+    # second request for the same query — different whitespace, several
+    # documents, threads — hits the cached plan. Responses are framed as a
+    # JSON stats header plus the serialized output.
+    XML2="$TMPDIR_SMOKE/doc2.xml"
+    printf '<doc><item>c</item></doc>' > "$XML2"
+    OUT=$(printf '%s\n' \
+      "{\"id\":1,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\"]}" \
+      "{\"id\":2,\"query\":\"<out>{  for \$x in \$input/doc/item   return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\",\"$XML2\"],\"threads\":2}" \
+      | "$XQMFT" serve) || fail "exit $?"
+    expect_contains "$OUT" '"id":1,"ok":true'
+    expect_contains "$OUT" '"cache":"miss"'
+    expect_contains "$OUT" "$WANT"
+    expect_contains "$OUT" '"id":2,"ok":true'
+    expect_contains "$OUT" '"cache":"hit"'
+    expect_contains "$OUT" "${WANT}<out><hit>c</hit></out>"
+    ;;
+  serve_error)
+    # A malformed request line and a failing request (missing file) must
+    # produce error responses without killing the loop: the valid request
+    # after them still serves.
+    OUT=$(printf '%s\n' \
+      'this is not json' \
+      '{"id":5,"query":"<out>{$input/doc}</out>"}' \
+      "{\"id\":6,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\"]}" \
+      | "$XQMFT" serve) || fail "exit $?"
+    expect_contains "$OUT" '"ok":false,"error":'
+    expect_contains "$OUT" '"id":5,"ok":false'
+    expect_contains "$OUT" "no documents"
+    expect_contains "$OUT" '"id":6,"ok":true'
+    expect_contains "$OUT" "$WANT"
+    ;;
+  serve_cache)
+    # Cache statistics are observable in-band: per-response cumulative
+    # hit/miss counters plus the stats command; --cache-capacity 1 makes
+    # alternating queries thrash (evictions visible).
+    Q1='{"query":"<out>{ $input/doc/item }</out>","xml":["<doc><item>a</item></doc>"]}'
+    Q2='{"query":"<out>{ $input/doc }</out>","xml":["<doc><item>a</item></doc>"]}'
+    OUT=$(printf '%s\n' "$Q1" "$Q2" "$Q1" '{"cmd":"stats"}' \
+      | "$XQMFT" serve --cache-capacity 1) || fail "exit $?"
+    expect_contains "$OUT" '"cache_entries":1'
+    expect_contains "$OUT" '"compiles":3'
+    expect_contains "$OUT" '"evictions":2'
+    expect_contains "$OUT" '"hits":0'
+    ;;
   compile)
     OUT=$("$XQMFT" compile "$QUERY" 2>"$TMPDIR_SMOKE/report") || fail "exit $?"
     expect_contains "$OUT" "q0("

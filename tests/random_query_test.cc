@@ -11,6 +11,9 @@
 //   5. the GCX baseline (when in fragment)    (gcx/gcx_engine)
 //   6. the optimized MFT, sharded in parallel (+ parallel/, random shard
 //      and thread counts, single-document and document-set shapes)
+//   7. the optimized MFT through the QueryCache (service/query_cache):
+//      cold lookup compiles, warm lookup hits — both byte-identical to the
+//      direct CompiledQuery/streaming output
 //
 // All of these must produce identical serialized output (for the sharded
 // paths: identical to the matching serial evaluation — see the in-line
@@ -26,6 +29,7 @@
 
 #include "core/pipeline.h"
 #include "gcx/gcx_engine.h"
+#include "service/query_cache.h"
 #include "mft/interp.h"
 #include "mft/optimize.h"
 #include "parallel/sharded_executor.h"
@@ -215,6 +219,12 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
   auto raw = TranslateQuery(query);
   ASSERT_TRUE(raw.ok()) << text << "\n" << raw.status().ToString();
   Mft opt = OptimizeMft(raw.value());
+  // The parallel paths take the immutable plan artifact (warm dispatch is
+  // structural there, not a call-site convention).
+  auto plan_result = CompiledPlan::FromMft(opt);
+  ASSERT_TRUE(plan_result.ok()) << text << "\n"
+                                << plan_result.status().ToString();
+  const CompiledPlan& plan = *plan_result.value();
 
   // Document set for the parallel cross-check (path 6b): every random doc
   // plus its serial streamed output.
@@ -277,15 +287,14 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
       ParallelOptions serial_par;
       serial_par.threads = 1;
       StringSink sharded_serial;
-      Status ss = StreamShardedPretokTransform(opt, pretok, shard_count,
-                                               &sharded_serial, {},
-                                               serial_par);
+      Status ss = StreamShardedPretokTransform(plan, pretok, shard_count,
+                                               &sharded_serial, serial_par);
       ASSERT_TRUE(ss.ok()) << text << "\n" << ss.ToString();
       ParallelOptions par;
       par.threads = 2 + rng.Below(3);
       StringSink sharded_par;
-      Status sp = StreamShardedPretokTransform(opt, pretok, shard_count,
-                                               &sharded_par, {}, par);
+      Status sp = StreamShardedPretokTransform(plan, pretok, shard_count,
+                                               &sharded_par, par);
       ASSERT_TRUE(sp.ok()) << text << "\n" << sp.ToString();
       ASSERT_EQ(sharded_par.str(), sharded_serial.str())
           << "parallel vs serial sharded\nquery: " << text << "\ndoc: "
@@ -308,11 +317,39 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
     ParallelOptions par;
     par.threads = 1 + rng.Below(4);
     StringSink many;
-    Status st = StreamManyTransform(opt, doc_set, &many, {}, par);
+    Status st = StreamManyTransform(plan, doc_set, &many, par);
     ASSERT_TRUE(st.ok()) << text << "\n" << st.ToString();
     ASSERT_EQ(many.str(), doc_set_serial)
         << "document-set parallel vs serial\nquery: " << text
         << "\nthreads: " << par.threads;
+  }
+
+  // 7. Compile-once cache: a cold QueryCache lookup compiles a plan whose
+  // output over the document set is byte-identical to the direct
+  // CompiledQuery/streaming path; the warm lookup hits the same shared plan
+  // (exactly one compile) and streams identically.
+  {
+    QueryCache cache;
+    auto cold = cache.Lookup(text);
+    ASSERT_TRUE(cold.ok()) << text << "\n" << cold.status().ToString();
+    EXPECT_FALSE(cold.value().hit);
+    StringSink cold_sink;
+    Status cs = cold.value().plan->StreamMany(doc_set, &cold_sink);
+    ASSERT_TRUE(cs.ok()) << text << "\n" << cs.ToString();
+    ASSERT_EQ(cold_sink.str(), doc_set_serial)
+        << "cached plan (cold) vs direct\nquery: " << text;
+
+    auto warm = cache.Lookup(text);
+    ASSERT_TRUE(warm.ok()) << text;
+    EXPECT_TRUE(warm.value().hit);
+    EXPECT_EQ(warm.value().plan.get(), cold.value().plan.get())
+        << "warm lookup must share the cold lookup's plan";
+    StringSink warm_sink;
+    Status ws = warm.value().plan->StreamMany(doc_set, &warm_sink);
+    ASSERT_TRUE(ws.ok()) << text << "\n" << ws.ToString();
+    ASSERT_EQ(warm_sink.str(), doc_set_serial)
+        << "cached plan (warm) vs direct\nquery: " << text;
+    EXPECT_EQ(cache.stats().compiles, 1u) << text;
   }
 }
 

@@ -12,13 +12,17 @@ Typical use, after building:
 
 Regression gating: ``--compare BASELINE.json`` diffs the fresh run against a
 previously committed aggregate, prints a per-benchmark wall-time,
-peak-tracked-memory, and parser-throughput (MB/s, from bytes_per_second)
-delta table, and exits nonzero when any benchmark regresses by more than the
-tolerance (``--time-tol`` / ``--mem-tol``, both 10% by default; a throughput
-*drop* beyond ``--time-tol`` gates like a time regression). Peak tracked
-memory is deterministic; wall time and throughput are only meaningful
-against a baseline captured on comparable hardware — CI uses a loose
-``--time-tol`` for that reason.
+peak-tracked-memory, parser-throughput (MB/s, from bytes_per_second), and
+compile-time (the ``compile_ms`` counter reported by bench_service and the
+service series) delta table, and exits nonzero when any benchmark regresses
+by more than the tolerance (``--time-tol`` / ``--mem-tol``, both 10% by
+default; a throughput *drop* beyond ``--time-tol`` gates like a time
+regression; compile time gates separately under ``--compile-tol`` with a
+50us absolute floor, so stream-time noise cannot hide a compiler
+regression and micro-jitter cannot fail the gate). Peak tracked memory is
+deterministic; wall time, throughput, and compile time are only meaningful
+against a baseline captured on comparable hardware — CI uses loose time
+tolerances for that reason.
 
 Input sizes default to a quick sweep (1 and 4 MB XMark scale); pass
 ``--sizes-mb`` for the larger points of the paper's figures. The fig4
@@ -48,6 +52,11 @@ FIG4_BENCHES = [
 TABLE1_BENCH = "bench_table1_datasets"
 PARSER_BENCH = "bench_parser"
 PARALLEL_BENCH = "bench_parallel"
+SERVICE_BENCH = "bench_service"
+
+# Compile-time deltas below this many milliseconds are timer jitter, not a
+# compiler regression; the compile_ms gate ignores them.
+COMPILE_MS_FLOOR = 0.05
 
 
 def run_one(binary, out_path, min_time, env):
@@ -85,7 +94,7 @@ def pct_change(base, new):
     return (new - base) / base * 100.0
 
 
-def compare_aggregates(baseline, fresh, time_tol, mem_tol):
+def compare_aggregates(baseline, fresh, time_tol, mem_tol, compile_tol):
     """Prints the delta table; returns the list of regression descriptions."""
     base_ix = index_benchmarks(baseline)
     fresh_ix = index_benchmarks(fresh)
@@ -98,40 +107,61 @@ def compare_aggregates(baseline, fresh, time_tol, mem_tol):
     def fmt_mbps(v):
         return "-" if v is None else "%.1f" % v
 
+    def cms(bench):
+        return bench.get("compile_ms")
+
+    def fmt_cms(v):
+        return "-" if v is None else "%.3f" % v
+
     name_w = max([len(n) for _, n in fresh_ix] + [9])
-    print("%-*s %12s %12s %9s %12s %12s %9s %9s %9s %9s"
+    print("%-*s %12s %12s %9s %12s %12s %9s %9s %9s %9s %9s %9s %9s"
           % (name_w, "benchmark", "base_ms", "new_ms", "time",
              "base_mem_B", "new_mem_B", "mem",
-             "base_MBps", "new_MBps", "thru"))
+             "base_MBps", "new_MBps", "thru",
+             "base_cms", "new_cms", "compile"))
     for key in sorted(fresh_ix):
         bench = fresh_ix[key]
         base = base_ix.get(key)
         new_ms = bench.get("real_time")
         new_mem = bench.get("peak_mem_B")
         new_thru = mbps(bench)
+        new_cms = cms(bench)
         if base is None:
-            print("%-*s %12s %12.2f %9s %12s %12s %9s %9s %9s %9s"
+            print("%-*s %12s %12.2f %9s %12s %12s %9s %9s %9s %9s %9s %9s %9s"
                   % (name_w, key[1], "-", new_ms, "new",
                      "-", "-" if new_mem is None else "%d" % new_mem, "new",
-                     "-", fmt_mbps(new_thru), "new"))
+                     "-", fmt_mbps(new_thru), "new",
+                     "-", fmt_cms(new_cms), "new"))
             continue
         base_ms = base.get("real_time")
         base_mem = base.get("peak_mem_B")
         base_thru = mbps(base)
+        base_cms = cms(base)
         dt = pct_change(base_ms, new_ms)
         dm = pct_change(base_mem, new_mem)
         dthru = pct_change(base_thru, new_thru)
-        print("%-*s %12.2f %12.2f %s %12s %12s %s %9s %9s %s"
+        dcms = pct_change(base_cms, new_cms)
+        print("%-*s %12.2f %12.2f %s %12s %12s %s %9s %9s %s %9s %9s %s"
               % (name_w, key[1], base_ms, new_ms, fmt_delta(dt),
                  "-" if base_mem is None else "%d" % base_mem,
                  "-" if new_mem is None else "%d" % new_mem, fmt_delta(dm),
-                 fmt_mbps(base_thru), fmt_mbps(new_thru), fmt_delta(dthru)))
+                 fmt_mbps(base_thru), fmt_mbps(new_thru), fmt_delta(dthru),
+                 fmt_cms(base_cms), fmt_cms(new_cms), fmt_delta(dcms)))
         if dt is not None and dt > time_tol:
             regressions.append("%s: time %+0.1f%% (tolerance %g%%)"
                                % (key[1], dt, time_tol))
         if dm is not None and dm > mem_tol:
             regressions.append("%s: peak memory %+0.1f%% (tolerance %g%%)"
                                % (key[1], dm, mem_tol))
+        # Compile time gates on its own tolerance, independent of stream
+        # time: amortization means a compile regression barely moves the
+        # end-to-end number of a warm series, so it must be caught in its
+        # own column. The absolute floor keeps microsecond jitter out.
+        if (dcms is not None and dcms > compile_tol
+                and new_cms - base_cms > COMPILE_MS_FLOOR):
+            regressions.append(
+                "%s: compile time %+0.1f%% (tolerance %g%%)"
+                % (key[1], dcms, compile_tol))
         # A throughput drop is a parse-side regression even when absolute
         # wall time stays inside tolerance (e.g. a smaller input sweep).
         # Throughput is a ratio metric bounded below by -100%, so the time
@@ -182,13 +212,18 @@ def main():
                         help="allowed wall-time regression in percent")
     parser.add_argument("--mem-tol", type=float, default=10.0,
                         help="allowed peak-tracked-memory regression in percent")
+    parser.add_argument("--compile-tol", type=float, default=25.0,
+                        help="allowed compile_ms regression in percent "
+                             "(gated separately from stream time; deltas "
+                             "under %gms are ignored)" % COMPILE_MS_FLOOR)
     args = parser.parse_args()
 
     env = dict(os.environ)
     env.setdefault("XQMFT_BENCH_SIZES_MB", args.sizes_mb)
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
-    binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, TABLE1_BENCH]
+    binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, SERVICE_BENCH,
+                               TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:
@@ -250,7 +285,8 @@ def main():
         print("\n== compare against %s (time tol %g%%, mem tol %g%%) =="
               % (args.compare, args.time_tol, args.mem_tol))
         regressions = compare_aggregates(baseline, aggregate,
-                                         args.time_tol, args.mem_tol)
+                                         args.time_tol, args.mem_tol,
+                                         args.compile_tol)
         if regressions:
             print("bench_runner: REGRESSIONS:", file=sys.stderr)
             for r in regressions:

@@ -19,6 +19,13 @@
 // sharded streaming: a document set fans out across N workers; a single
 // pretok input splits at top-level forest boundaries; 0 = one worker per
 // hardware thread).
+//
+// `serve` reads newline-delimited JSON requests from stdin and writes framed
+// responses with per-request statistics (see service/serve.h for the
+// protocol). Queries compile once into a process-wide cache and every later
+// request for the same query streams against the cached immutable plan;
+// --cache-capacity / --cache-bytes bound the cache, --threads sets the
+// default per-request worker count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +37,8 @@
 
 #include "core/pipeline.h"
 #include "data/generators.h"
+#include "service/query_service.h"
+#include "service/serve.h"
 #include "mft/mft.h"
 #include "schema/schema.h"
 #include "stream/dag_sink.h"
@@ -53,8 +62,10 @@ int Usage() {
       "  mft <rules> [input ...]      run a hand-written MFT\n"
       "  validate <schema> <input>    one-pass schema validation\n"
       "  stats <input.xml>            document size/depth statistics\n"
+      "  serve                        JSON request loop on stdin/stdout\n"
       "flags: --no-opt --schema <file> --dag --stats "
-      "--pretok-cache <file> --threads <N>\n");
+      "--pretok-cache <file> --threads <N>\n"
+      "       --cache-capacity <N> --cache-bytes <N>  (serve)\n");
   return 2;
 }
 
@@ -90,6 +101,8 @@ struct Flags {
   bool stats = false;
   bool threads_set = false;
   long threads = 0;  ///< 0 = one worker per hardware thread
+  long cache_capacity = -1;  ///< serve: max resident plans (-1 = default)
+  long cache_bytes = -1;     ///< serve: plan byte budget (-1 = unbounded)
   std::string schema_path;
   std::string pretok_cache;
 };
@@ -115,27 +128,11 @@ Result<std::unique_ptr<PretokSource>> OpenPretokEvents(const std::string& path,
   return p;
 }
 
-// Sums per-item statistics of a parallel run into one printable record.
-// Peak memory is the max *engine-tracked* peak across items (per-engine
-// peaks need not coincide in time); output staged in the ordered merge is
-// not tracked and comes on top.
-StreamStats AggregateStats(const std::vector<StreamStats>& per_item) {
-  StreamStats out;
-  for (const StreamStats& s : per_item) {
-    if (s.peak_bytes > out.peak_bytes) out.peak_bytes = s.peak_bytes;
-    out.final_bytes += s.final_bytes;
-    out.rule_applications += s.rule_applications;
-    out.cells_created += s.cells_created;
-    out.exprs_created += s.exprs_created;
-    out.bytes_in += s.bytes_in;
-    out.output_events += s.output_events;
-  }
-  return out;
-}
-
-int StreamWith(const Mft& mft, const std::vector<std::string>& inputs,
-               const Flags& flags) {
-  StreamOptions options;
+int StreamWith(const CompiledPlan& plan,
+               const std::vector<std::string>& inputs, const Flags& flags) {
+  // Serial runs may carry per-run state (the schema validator) on top of
+  // the plan's baked-in stream options; parallel runs may not.
+  StreamOptions options = plan.options().stream;
   std::shared_ptr<const Schema> schema;
   std::unique_ptr<SchemaValidator> validator;
   if (!flags.schema_path.empty()) {
@@ -149,6 +146,11 @@ int StreamWith(const Mft& mft, const std::vector<std::string>& inputs,
   }
 
   const bool parallel = flags.threads_set || inputs.size() > 1;
+  if (parallel && options.validator != nullptr) {
+    return Fail(Status::InvalidArgument(
+        "schema validation is per-run stateful and not supported by "
+        "parallel runs; validate inputs individually"));
+  }
   const std::string input_arg = inputs.empty() ? "" : inputs[0];
 
   // Parallel run state (document-set fan-out, or single-document sharding
@@ -260,17 +262,18 @@ int StreamWith(const Mft& mft, const std::vector<std::string>& inputs,
     if (parallel) {
       Status st =
           !sharded_pretok.empty()
-              ? StreamShardedPretokFileTransform(mft, sharded_pretok,
-                                                 /*shards=*/0, sink, options,
-                                                 par, &par_stats)
-              : StreamManyTransform(mft, par_inputs, sink, options, par,
-                                    &par_stats);
-      if (stats != nullptr) *stats = AggregateStats(par_stats);
+              ? StreamShardedPretokFileTransform(plan, sharded_pretok,
+                                                 /*shards=*/0, sink, par,
+                                                 &par_stats)
+              : StreamManyTransform(plan, par_inputs, sink, par, &par_stats);
+      if (stats != nullptr) *stats = AggregateStreamStats(par_stats);
       return st;
     }
     return events != nullptr
-               ? StreamTransformEvents(mft, events.get(), sink, options, stats)
-               : StreamTransform(mft, source.get(), sink, options, stats);
+               ? StreamTransformEvents(plan.mft(), events.get(), sink,
+                                       options, stats)
+               : StreamTransform(plan.mft(), source.get(), sink, options,
+                                 stats);
   };
 
   StreamStats stats;
@@ -331,6 +334,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       flags.threads_set = true;
+    } else if (a == "--cache-capacity" && i + 1 < argc) {
+      char* end = nullptr;
+      flags.cache_capacity = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || flags.cache_capacity < 1) {
+        std::fprintf(stderr,
+                     "error: --cache-capacity expects a count >= 1\n");
+        return 2;
+      }
+    } else if (a == "--cache-bytes" && i + 1 < argc) {
+      char* end = nullptr;
+      flags.cache_bytes = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || flags.cache_bytes < 1) {
+        std::fprintf(stderr, "error: --cache-bytes expects a size >= 1\n");
+        return 2;
+      }
     } else {
       args.push_back(std::move(a));
     }
@@ -356,7 +374,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     return StreamWith(
-        cq.value()->mft(),
+        *cq.value()->plan(),
         std::vector<std::string>(args.begin() + 1, args.end()), flags);
   }
 
@@ -366,7 +384,12 @@ int main(int argc, char** argv) {
     if (!rules.ok()) return Fail(rules.status());
     Result<Mft> mft = ParseMft(rules.value());
     if (!mft.ok()) return Fail(mft.status());
-    return StreamWith(mft.value(),
+    // Hand-written rules serve through the same immutable plan artifact as
+    // compiled queries (validated + dispatch warmed before any fan-out).
+    Result<std::shared_ptr<const CompiledPlan>> plan =
+        CompiledPlan::FromMft(std::move(mft).value());
+    if (!plan.ok()) return Fail(plan.status());
+    return StreamWith(*plan.value(),
                       std::vector<std::string>(args.begin() + 1, args.end()),
                       flags);
   }
@@ -390,6 +413,27 @@ int main(int argc, char** argv) {
       if (!vs.ok()) return Fail(vs);
     } while (ev.type != XmlEventType::kEndOfDocument);
     std::printf("valid\n");
+    return 0;
+  }
+
+  if (cmd == "serve") {
+    if (!args.empty()) {
+      std::fprintf(stderr, "error: serve reads requests from stdin\n");
+      return 2;
+    }
+    ServeOptions so;
+    if (flags.cache_capacity > 0) {
+      so.cache.capacity = static_cast<std::size_t>(flags.cache_capacity);
+    }
+    if (flags.cache_bytes > 0) {
+      so.cache.max_bytes = static_cast<std::size_t>(flags.cache_bytes);
+    }
+    so.pipeline.optimize = !flags.no_opt;
+    if (flags.threads_set) {
+      so.default_threads = static_cast<std::size_t>(flags.threads);
+    }
+    Status st = ServeLoop(stdin, stdout, so);
+    if (!st.ok()) return Fail(st);
     return 0;
   }
 

@@ -59,6 +59,7 @@ Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::Compile(
     plan->report_.before = ComputeStats(plan->raw_mft_);
     plan->report_.after = plan->report_.before;
   }
+  plan->projection_ = DeriveProjection(plan->query_.get());
   XQMFT_RETURN_NOT_OK(FinishPlan(plan->mft_, options));
   return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
@@ -68,6 +69,7 @@ Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::FromMft(
   std::shared_ptr<CompiledPlan> plan(new CompiledPlan());
   plan->options_ = options;
   plan->mft_ = std::move(mft);
+  plan->projection_ = DeriveProjection(nullptr);
   XQMFT_RETURN_NOT_OK(FinishPlan(plan->mft_, options));
   return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
@@ -218,6 +220,128 @@ Status StreamShardedPretokFileTransform(const CompiledPlan& plan,
   }
   return StreamShardedPretokTransform(plan, contents, shards, sink, par,
                                       stats);
+}
+
+namespace {
+
+Status BuildMultiSpecs(const std::vector<const CompiledPlan*>& plans,
+                       const std::vector<OutputSink*>& sinks,
+                       std::vector<MultiPlanSpec>* specs) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("multi-query run needs at least one plan");
+  }
+  if (plans.size() != sinks.size()) {
+    return Status::InvalidArgument(
+        "multi-query run needs exactly one sink per plan");
+  }
+  specs->reserve(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i] == nullptr || sinks[i] == nullptr) {
+      return Status::InvalidArgument("multi-query plan or sink is null");
+    }
+    MultiPlanSpec spec;
+    spec.mft = &plans[i]->mft();
+    spec.projection = &plans[i]->projection();
+    spec.options = plans[i]->options().stream;
+    spec.sink = sinks[i];
+    specs->push_back(spec);
+  }
+  return Status::OK();
+}
+
+// Shared tail: copy out per-plan results / run stats and fold plan failures
+// into the returned Status per the contract documented in pipeline.h.
+Status FinishMultiRun(const MultiQueryRun& run, Status run_status,
+                      std::vector<MultiPlanResult>* results,
+                      MultiQueryStats* run_stats) {
+  if (run_stats != nullptr) *run_stats = run.stats();
+  if (results != nullptr) *results = run.results();
+  if (!run_status.ok()) return run_status;
+  Status first_failure;
+  std::size_t failed = 0;
+  for (const MultiPlanResult& r : run.results()) {
+    if (!r.status.ok()) {
+      if (first_failure.ok()) first_failure = r.status;
+      ++failed;
+    }
+  }
+  if (!first_failure.ok() &&
+      (results == nullptr || failed == run.results().size())) {
+    return first_failure;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status StreamAllTransform(const std::vector<const CompiledPlan*>& plans,
+                          ByteSource* source,
+                          const std::vector<OutputSink*>& sinks,
+                          const MultiQueryOptions& options,
+                          std::vector<MultiPlanResult>* results,
+                          MultiQueryStats* run_stats) {
+  std::vector<MultiPlanSpec> specs;
+  XQMFT_RETURN_NOT_OK(BuildMultiSpecs(plans, sinks, &specs));
+  const SaxOptions sax = plans.front()->options().stream.sax;
+  MultiQueryRun run(std::move(specs), options);
+  Status st = run.RunSource(source, sax);
+  return FinishMultiRun(run, st, results, run_stats);
+}
+
+Status StreamAllTransformEvents(const std::vector<const CompiledPlan*>& plans,
+                                EventSource* events,
+                                const std::vector<OutputSink*>& sinks,
+                                const MultiQueryOptions& options,
+                                std::vector<MultiPlanResult>* results,
+                                MultiQueryStats* run_stats) {
+  std::vector<MultiPlanSpec> specs;
+  XQMFT_RETURN_NOT_OK(BuildMultiSpecs(plans, sinks, &specs));
+  MultiQueryRun run(std::move(specs), options);
+  Status st = run.Run(events);
+  return FinishMultiRun(run, st, results, run_stats);
+}
+
+Status StreamAllTransformInput(const std::vector<const CompiledPlan*>& plans,
+                               const ParallelInput& input,
+                               const std::vector<OutputSink*>& sinks,
+                               const MultiQueryOptions& options,
+                               std::vector<MultiPlanResult>* results,
+                               MultiQueryStats* run_stats) {
+  if (plans.empty() || plans.front() == nullptr) {
+    return Status::InvalidArgument("multi-query run needs at least one plan");
+  }
+  const SaxOptions sax = plans.front()->options().stream.sax;
+  switch (input.kind) {
+    case ParallelInput::Kind::kXmlFile: {
+      XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<ByteSource> src,
+                             MmapSource::Open(input.value));
+      return StreamAllTransform(plans, src.get(), sinks, options, results,
+                                run_stats);
+    }
+    case ParallelInput::Kind::kPretokFile: {
+      XQMFT_ASSIGN_OR_RETURN(std::unique_ptr<PretokSource> src,
+                             PretokSource::OpenFile(input.value));
+      XQMFT_RETURN_NOT_OK(
+          CheckPretokOptions(src->declared_options(), sax, input.value));
+      return StreamAllTransformEvents(plans, src.get(), sinks, options,
+                                      results, run_stats);
+    }
+    case ParallelInput::Kind::kXmlText: {
+      StringSource src(input.value);
+      return StreamAllTransform(plans, &src, sinks, options, results,
+                                run_stats);
+    }
+    case ParallelInput::Kind::kPretokBytes: {
+      PretokSource src(input.value);
+      if (src.header_ok()) {
+        XQMFT_RETURN_NOT_OK(
+            CheckPretokOptions(src.declared_options(), sax, "(in-memory)"));
+      }
+      return StreamAllTransformEvents(plans, &src, sinks, options, results,
+                                      run_stats);
+    }
+  }
+  return Status::Internal("unknown ParallelInput kind");
 }
 
 Status CompiledPlan::StreamMany(const std::vector<ParallelInput>& inputs,

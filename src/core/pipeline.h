@@ -35,6 +35,7 @@
 
 #include "mft/mft.h"
 #include "mft/optimize.h"
+#include "multiquery/multi_run.h"
 #include "parallel/sharded_executor.h"
 #include "stream/engine.h"
 #include "util/status.h"
@@ -127,6 +128,13 @@ class CompiledPlan {
   const QueryExpr& query() const { return *query_; }
   const PipelineOptions& options() const { return options_; }
 
+  /// The plan's source projection (multiquery/projection.h), derived once at
+  /// compile time: the absolute paths whose matches the query can observe,
+  /// or whole_document when nothing can be skipped (FromMft plans, queries
+  /// outside the projectable fragment). Part of the immutable artifact so
+  /// multi-query runs union projections without re-walking query ASTs.
+  const QueryProjection& projection() const { return projection_; }
+
   /// Approximate resident bytes of the compiled artifact (states, rules,
   /// dispatch tables, interned symbols) — the accounting a query cache
   /// reports; an estimate, not an allocator measurement.
@@ -193,7 +201,48 @@ class CompiledPlan {
   Mft mft_;
   OptimizeReport report_;
   PipelineOptions options_;
+  QueryProjection projection_;
 };
+
+/// Single-pass multi-query streaming: one tokenization of `source` feeds
+/// every plan's engine at once (multiquery/multi_run.h), with the union of
+/// the plans' projections skipping unmatchable subtrees at the source. One
+/// sink per plan, in plan order; each plan streams under its own baked
+/// options (step budget etc.), and the plans' SAX options must tokenize
+/// identically.
+///
+/// Per-plan engine failures are isolated: siblings finish normally and the
+/// failure lands in `results`. The returned Status covers setup and
+/// source-level (XML) errors — plus, so failures cannot go unobserved, the
+/// lowest-index plan failure when `results` is not requested or when every
+/// plan failed.
+Status StreamAllTransform(const std::vector<const CompiledPlan*>& plans,
+                          ByteSource* source,
+                          const std::vector<OutputSink*>& sinks,
+                          const MultiQueryOptions& options = {},
+                          std::vector<MultiPlanResult>* results = nullptr,
+                          MultiQueryStats* run_stats = nullptr);
+
+/// StreamAllTransform over an already-tokenized event stream (e.g. a pretok
+/// cache); the caller is responsible for tokenization compatibility, as
+/// with StreamTransformEvents.
+Status StreamAllTransformEvents(const std::vector<const CompiledPlan*>& plans,
+                                EventSource* events,
+                                const std::vector<OutputSink*>& sinks,
+                                const MultiQueryOptions& options = {},
+                                std::vector<MultiPlanResult>* results = nullptr,
+                                MultiQueryStats* run_stats = nullptr);
+
+/// StreamAllTransform over any ParallelInput kind (text or pretok, file or
+/// in-memory) — the one-document multi-plan counterpart of
+/// StreamManyTransform's per-input dispatch, shared by the service batch
+/// path and the CLI.
+Status StreamAllTransformInput(const std::vector<const CompiledPlan*>& plans,
+                               const ParallelInput& input,
+                               const std::vector<OutputSink*>& sinks,
+                               const MultiQueryOptions& options = {},
+                               std::vector<MultiPlanResult>* results = nullptr,
+                               MultiQueryStats* run_stats = nullptr);
 
 /// Engine-level parallel streaming (the CompiledPlan methods above delegate
 /// here). Taking a CompiledPlan — not a bare Mft — is what makes the

@@ -12,6 +12,8 @@
 #ifndef XQMFT_SERVICE_QUERY_SERVICE_H_
 #define XQMFT_SERVICE_QUERY_SERVICE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,9 +38,39 @@ struct ServiceRequest {
 struct ServiceRequestStats {
   bool cache_hit = false;
   double compile_ms = 0.0;  ///< 0 when the plan was cached
-  double stream_ms = 0.0;
+  double stream_ms = 0.0;   ///< batch mode: the group's shared-pass wall time
   std::vector<StreamStats> per_input;
   StreamStats total;  ///< summed; peak_bytes is the max across inputs
+  // --- batch-mode (ExecuteBatch) fields; untouched by Execute ---
+  /// Per-request outcome: batch execution isolates failures, so a bad query
+  /// or a mid-stream engine error lands here instead of failing the batch.
+  Status status = Status::OK();
+  /// True when another request in the batch resolved to the same plan over
+  /// the same documents: this request's output is a replay of the sibling's
+  /// engine run, not a second streaming pass.
+  bool deduped = false;
+  std::uint64_t events_fed = 0;  ///< events this request's engine consumed
+  /// Events the union projection dropped at the shared source for this
+  /// request's group (identical for every request in the group).
+  std::uint64_t events_skipped = 0;
+};
+
+/// \brief Cost of one ExecuteBatch call, with shared work attributed once.
+///
+/// The headline counter is `parsed_bytes`: bytes tokenized across the batch
+/// counted once per distinct document, however many requests read that
+/// document — the single-parse property the multi-query engine exists for.
+/// `per_request[i].total.bytes_in` still reports the conventional per-request
+/// view (every byte its plans observed), so
+/// sum(per_request[].total.bytes_in) >= parsed_bytes, with equality only
+/// when no two requests share a document.
+struct ServiceBatchStats {
+  std::size_t documents = 0;         ///< documents streamed (each once)
+  std::uint64_t parsed_bytes = 0;    ///< bytes tokenized, once per document
+  std::size_t unique_plans = 0;      ///< distinct compiled plans streamed
+  std::size_t deduped_requests = 0;  ///< requests replayed from a sibling
+  double stream_ms = 0.0;            ///< wall time summed over group passes
+  std::vector<ServiceRequestStats> per_request;
 };
 
 /// Sums per-input statistics into one record. Peak memory is the max
@@ -60,6 +92,26 @@ class QueryService {
   /// the first sighting of the query.
   Status Execute(const ServiceRequest& request, OutputSink* sink,
                  ServiceRequestStats* stats = nullptr);
+
+  /// Executes a batch of requests with shared work done once: requests over
+  /// an identical document list form a group, each group's distinct plans
+  /// (deduplicated through the cache, so two spellings of one query share an
+  /// engine) stream every document in a single pass under the union
+  /// projection automaton, and each request's sink receives a replay of its
+  /// plan's recorded output. Responses are byte-identical to issuing the
+  /// requests serially through Execute.
+  ///
+  /// `sinks` parallels `requests`. `request.threads` is ignored: the shared
+  /// pass is serial per document (combining multi-query execution with
+  /// document-set sharding is future work). Per-request failures (compile
+  /// errors, engine errors) are isolated in `stats->per_request[i].status`;
+  /// the returned Status is non-OK for batch-level problems (empty batch,
+  /// size mismatch), when `stats` is null (first failing request, lowest
+  /// index), or when every request failed.
+  Status ExecuteBatch(const std::vector<ServiceRequest>& requests,
+                      const std::vector<OutputSink*>& sinks,
+                      ServiceBatchStats* stats = nullptr,
+                      const MultiQueryOptions& multi_options = {});
 
   QueryCache* cache() { return &cache_; }
   const QueryCache& cache() const { return cache_; }

@@ -131,16 +131,9 @@ Status WriteStats(std::FILE* out, const JsonValue* id,
   return WriteAll(out, w.Finish() + "\n");
 }
 
-// Builds the request from its parsed JSON; error strings are user-facing.
-Result<ServiceRequest> BuildRequest(const JsonValue& json,
-                                    std::size_t default_threads) {
-  ServiceRequest req;
-  req.threads = default_threads;
-  const JsonValue* query = json.Find("query");
-  if (query == nullptr || !query->is_string()) {
-    return Status::InvalidArgument("request needs a string \"query\" field");
-  }
-  req.query = query->string;
+// Parses the shared "inputs" (file paths) and "xml" (inline documents)
+// fields into ParallelInputs; used by single and batch requests alike.
+Status ParseInputs(const JsonValue& json, std::vector<ParallelInput>* out) {
   if (const JsonValue* inputs = json.Find("inputs")) {
     if (!inputs->is_array()) {
       return Status::InvalidArgument("\"inputs\" must be an array of paths");
@@ -151,9 +144,9 @@ Result<ServiceRequest> BuildRequest(const JsonValue& json,
       }
       // Same sniff as the CLI's positional inputs: a pretok cache replays
       // as events, anything else parses as text XML.
-      req.inputs.push_back(IsPretokFile(item.string)
-                               ? ParallelInput::PretokFile(item.string)
-                               : ParallelInput::XmlFile(item.string));
+      out->push_back(IsPretokFile(item.string)
+                         ? ParallelInput::PretokFile(item.string)
+                         : ParallelInput::XmlFile(item.string));
     }
   }
   if (const JsonValue* xml = json.Find("xml")) {
@@ -166,9 +159,23 @@ Result<ServiceRequest> BuildRequest(const JsonValue& json,
         return Status::InvalidArgument(
             "\"xml\" must be an array of inline documents");
       }
-      req.inputs.push_back(ParallelInput::XmlText(item.string));
+      out->push_back(ParallelInput::XmlText(item.string));
     }
   }
+  return Status::OK();
+}
+
+// Builds the request from its parsed JSON; error strings are user-facing.
+Result<ServiceRequest> BuildRequest(const JsonValue& json,
+                                    std::size_t default_threads) {
+  ServiceRequest req;
+  req.threads = default_threads;
+  const JsonValue* query = json.Find("query");
+  if (query == nullptr || !query->is_string()) {
+    return Status::InvalidArgument("request needs a string \"query\" field");
+  }
+  req.query = query->string;
+  XQMFT_RETURN_NOT_OK(ParseInputs(json, &req.inputs));
   if (const JsonValue* threads = json.Find("threads")) {
     if (!threads->is_number() || threads->number < 0 ||
         threads->number != std::floor(threads->number)) {
@@ -187,6 +194,100 @@ Result<ServiceRequest> BuildRequest(const JsonValue& json,
         "request has no documents (give \"inputs\" paths or inline \"xml\")");
   }
   return req;
+}
+
+// Handles a {"queries":[...]} batch: one ExecuteBatch over the shared
+// document list, then per-query framed responses written strictly in
+// request order (the service fills per_request[] by batch index, so the
+// order the engines finish in never reorders the wire) followed by one
+// batch summary line carrying the shared-parse attribution.
+Status ServeBatch(std::FILE* out, QueryService* service, const JsonValue& json,
+                  const JsonValue* id) {
+  const JsonValue* queries = json.Find("queries");
+  if (!queries->is_array() || queries->items.empty()) {
+    return WriteError(out, id, "\"queries\" must be a non-empty array");
+  }
+  std::vector<ParallelInput> inputs;
+  Status in_st = ParseInputs(json, &inputs);
+  if (!in_st.ok()) return WriteError(out, id, in_st.ToString());
+  if (inputs.empty()) {
+    return WriteError(
+        out, id,
+        "batch has no documents (give \"inputs\" paths or inline \"xml\")");
+  }
+  MultiQueryOptions multi;
+  if (const JsonValue* up = json.Find("union_projection")) {
+    if (!up->is_bool()) {
+      return WriteError(out, id, "\"union_projection\" must be a boolean");
+    }
+    multi.union_projection = up->boolean;
+  }
+
+  std::vector<ServiceRequest> requests;
+  std::vector<const JsonValue*> ids;
+  for (const JsonValue& item : queries->items) {
+    const JsonValue* query = item.is_object() ? item.Find("query") : nullptr;
+    if (query == nullptr || !query->is_string()) {
+      return WriteError(
+          out, id,
+          "every \"queries\" entry needs an object with a string \"query\"");
+    }
+    ServiceRequest req;
+    req.query = query->string;
+    req.inputs = inputs;
+    if (const JsonValue* no_opt = item.Find("no_opt")) {
+      if (!no_opt->is_bool()) {
+        return WriteError(out, id, "\"no_opt\" must be a boolean");
+      }
+      req.no_opt = no_opt->boolean;
+    }
+    ids.push_back(item.Find("id"));
+    requests.push_back(std::move(req));
+  }
+
+  std::vector<StringSink> sinks(requests.size());
+  std::vector<OutputSink*> sink_ptrs;
+  sink_ptrs.reserve(sinks.size());
+  for (StringSink& sink : sinks) sink_ptrs.push_back(&sink);
+  ServiceBatchStats stats;
+  Status st = service->ExecuteBatch(requests, sink_ptrs, &stats, multi);
+  if (stats.per_request.size() != requests.size()) {
+    // Batch-level rejection: nothing ran, one error response.
+    return WriteError(out, id, st.ToString());
+  }
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ServiceRequestStats& rs = stats.per_request[i];
+    if (!rs.status.ok()) {
+      XQMFT_RETURN_NOT_OK(WriteError(out, ids[i], rs.status.ToString()));
+      continue;
+    }
+    ResponseWriter w(ids[i]);
+    w.Raw("ok", "true");
+    w.Raw("bytes", std::to_string(sinks[i].str().size()));
+    w.Field("cache", rs.cache_hit ? "hit" : "miss");
+    w.Raw("compile_ms", StrFormat("%.3f", rs.compile_ms));
+    w.Raw("stream_ms", StrFormat("%.3f", rs.stream_ms));
+    w.Raw("deduped", rs.deduped ? "true" : "false");
+    w.Raw("events_fed", std::to_string(rs.events_fed));
+    w.Raw("events_skipped", std::to_string(rs.events_skipped));
+    w.Raw("output_events", std::to_string(rs.total.output_events));
+    w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, w.Finish() + "\n"));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, sinks[i].str()));
+    XQMFT_RETURN_NOT_OK(WriteAll(out, "\n"));
+  }
+
+  ResponseWriter w(id);
+  w.Raw("ok", st.ok() ? "true" : "false");
+  w.Raw("batch", "true");
+  w.Raw("requests", std::to_string(requests.size()));
+  w.Raw("documents", std::to_string(stats.documents));
+  w.Raw("parsed_bytes", std::to_string(stats.parsed_bytes));
+  w.Raw("unique_plans", std::to_string(stats.unique_plans));
+  w.Raw("deduped_requests", std::to_string(stats.deduped_requests));
+  w.Raw("stream_ms", StrFormat("%.3f", stats.stream_ms));
+  return WriteAll(out, w.Finish() + "\n");
 }
 
 }  // namespace
@@ -218,6 +319,11 @@ Status ServeLoop(std::FILE* in, std::FILE* out, const ServeOptions& options) {
       } else {
         XQMFT_RETURN_NOT_OK(WriteError(out, id, "unknown \"cmd\""));
       }
+      continue;
+    }
+
+    if (json.Find("queries") != nullptr) {
+      XQMFT_RETURN_NOT_OK(ServeBatch(out, &service, json, id));
       continue;
     }
 

@@ -12,6 +12,26 @@
 //
 //   {"cmd": "stats"}                      // cache statistics snapshot
 //
+// Multi-query batch: a "queries" array replaces "query" — every listed
+// query streams over the shared document list in ONE pass per document
+// (one tokenization, duplicate queries deduplicated onto one engine, a
+// union projection automaton skipping subtrees no query can match):
+//
+//   {"queries": [{"query": "...", "id": 1},
+//                {"query": "...", "id": 2, "no_opt": true}],
+//    "inputs": [...], "xml": [...],       // shared by every query
+//    "union_projection": true,            // optional, default true
+//    "id": "batch-7"}                     // optional, echoed on the summary
+//
+// The response is one framed per-query response per entry — emitted in
+// REQUEST ORDER with each entry's "id" echoed, whatever order the engines
+// finish in — followed by a single batch summary line:
+//
+//   {"id":1,"ok":true,"bytes":12,...}     + 12 bytes + newline
+//   {"id":2,"ok":false,"error":"..."}     (failures are isolated per query)
+//   {"id":"batch-7","ok":true,"batch":true,"requests":2,"documents":1,
+//    "parsed_bytes":512,"unique_plans":2,"deduped_requests":0,...}
+//
 // Each response is one JSON header line; successful query responses are
 // followed by exactly `bytes` bytes of serialized output and a trailing
 // newline:

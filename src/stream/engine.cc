@@ -134,15 +134,18 @@ StreamScratch::StreamScratch(const Mft& mft)
     : impl_(std::make_unique<Impl>(mft)) {}
 StreamScratch::~StreamScratch() = default;
 
-namespace {
-
 using engine_detail::Expr;
 using engine_detail::ExprKind;
 
-class Engine {
- public:
-  Engine(const Mft& mft, OutputSink* sink, const StreamOptions& options,
-         StreamScratch::Impl* scratch)
+// The push-mode engine core. The former pull loop is split at its input
+// boundary: Pump() emits everything determined and *returns* when it needs
+// input (instead of calling events->Next), Feed() supplies one event and
+// re-pumps, Finish() closes the input and verifies completion. The pump
+// order — reduce, emit, block, fill cell, resume — is exactly the old
+// loop's, so output bytes, step counts and error positions are unchanged.
+struct Engine::Impl {
+  Impl(const Mft& mft, OutputSink* sink, const StreamOptions& options,
+       StreamScratch::Impl* scratch)
       : mft_(mft),
         dispatch_(&mft.dispatch()),
         owned_(scratch == nullptr ? std::make_unique<StreamScratch::Impl>(mft)
@@ -157,50 +160,90 @@ class Engine {
     builder_.set_capture_text(dispatch_->captures_text());
   }
 
-  Status Run(EventSource* events, StreamStats* stats) {
-    events->BindSymbols(&ctx_->symbols);
+  // The emitter stack: (expression to emit, element to close afterwards).
+  struct Frame {
+    IntrusivePtr<Expr> expr;
+    SymbolId close_symbol = kInvalidSymbol;
+  };
 
+  bool done() const { return started_ && stack_.empty(); }
+
+  // Records the first failure; everything after returns it unchanged.
+  Status Sticky(Status s) {
+    if (!s.ok() && status_.ok()) status_ = s;
+    return status_.ok() ? s : status_;
+  }
+
+  Status Prime() {
+    if (!status_.ok()) return status_;
+    if (started_) return Status::OK();
+    started_ = true;
     // Root thunk: q0 applied to the whole (pending) input forest.
     IntrusivePtr<Expr> root = NewExpr();
     root->kind = ExprKind::kCall;
     root->state = mft_.initial_state();
     root->cell = builder_.TakeRoot();
+    stack_.push_back(Frame{std::move(root), kInvalidSymbol});
+    return Sticky(Pump());
+  }
 
-    // The emitter stack: (expression to emit, element to close afterwards).
-    struct Frame {
-      IntrusivePtr<Expr> expr;
-      SymbolId close_symbol = kInvalidSymbol;
-    };
-    std::vector<Frame> stack;
-    stack.push_back(Frame{root, kInvalidSymbol});
-    root.reset();
+  Status Feed(const XmlEvent& event) {
+    if (!status_.ok()) return status_;
+    if (!started_) XQMFT_RETURN_NOT_OK(Prime());
+    if (stack_.empty()) return Status::OK();  // output complete; ignore
+    if (options_.validator != nullptr) {
+      XQMFT_RETURN_NOT_OK(Sticky(options_.validator->Feed(event)));
+    }
+    XQMFT_RETURN_NOT_OK(Sticky(builder_.Feed(event)));
+    return Sticky(Pump());
+  }
 
-    XmlEvent event;
-    std::size_t bytes_at_first_output = 0;
-    bool saw_output = false;
+  Status Finish(StreamStats* stats) {
+    if (status_.ok()) {
+      if (!started_) Prime();  // Sticky() inside records any failure
+      if (status_.ok() && !stack_.empty() && !builder_.done()) {
+        XmlEvent end;
+        end.type = XmlEventType::kEndOfDocument;
+        Feed(end);
+      }
+      if (status_.ok() && !stack_.empty()) {
+        // Unreachable via the public API (Pump reports blocked-after-end
+        // itself), kept as a guard for direct Impl misuse.
+        Sticky(Status::Internal(
+            "streaming engine finished with output pending"));
+      }
+    }
+    if (stats != nullptr) {
+      stats->peak_bytes = ctx_->tracker.peak_bytes();
+      stats->final_bytes = ctx_->tracker.current_bytes();
+      stats->rule_applications = steps_;
+      stats->cells_created = builder_.cells_created();
+      stats->exprs_created = exprs_created_;
+      stats->output_events = output_events_;
+    }
+    return status_;
+  }
 
-    while (!stack.empty()) {
-      // Pump: emit as much as is determined.
-      Frame& top = stack.back();
+  // Emits as much output as the input revealed so far determines. Returns
+  // with a non-empty stack when the reduction blocked on a pending cell
+  // (feed more events); an empty stack means the output is complete.
+  Status Pump() {
+    while (!stack_.empty()) {
+      Frame& top = stack_.back();
       IntrusivePtr<Expr> e = Deref(top.expr);
       top.expr = e;
 
       bool blocked = false;
       XQMFT_RETURN_NOT_OK(Whnf(e.get(), resume_valid_, &blocked));
       if (blocked) {
-        // Need more input. Consecutive blocked pumps resume the suspended
-        // reduction (nothing else mutates the graph in between).
+        // Consecutive blocked pumps resume the suspended reduction (nothing
+        // else mutates the graph between Feeds).
         resume_valid_ = true;
         if (builder_.done()) {
           return Status::Internal(
               "streaming engine blocked after end of input");
         }
-        XQMFT_RETURN_NOT_OK(events->Next(&event));
-        if (options_.validator != nullptr) {
-          XQMFT_RETURN_NOT_OK(options_.validator->Feed(event));
-        }
-        XQMFT_RETURN_NOT_OK(builder_.Feed(event));
-        continue;
+        return Status::OK();  // suspended: needs another Feed
       }
       resume_valid_ = false;
       e = Deref(e);
@@ -210,14 +253,10 @@ class Engine {
           sink_->EndElement(ctx_->symbols.name(top.close_symbol));
           ++output_events_;
         }
-        stack.pop_back();
+        stack_.pop_back();
         continue;
       }
       XQMFT_CHECK(e->kind == ExprKind::kCons);
-      if (!saw_output) {
-        saw_output = true;
-        bytes_at_first_output = events->bytes_consumed();
-      }
       if (e->node_kind == NodeKind::kText) {
         // Static text (a rule literal) resolves through the table; dynamic
         // text (%t over an input text node) is owned by the Expr.
@@ -233,24 +272,12 @@ class Engine {
         child_frame.expr = e->child;
         child_frame.close_symbol = e->symbol;
         top.expr = e->next;
-        stack.push_back(std::move(child_frame));
+        stack_.push_back(std::move(child_frame));
       }
-    }
-
-    if (stats != nullptr) {
-      stats->peak_bytes = ctx_->tracker.peak_bytes();
-      stats->final_bytes = ctx_->tracker.current_bytes();
-      stats->rule_applications = steps_;
-      stats->cells_created = builder_.cells_created();
-      stats->exprs_created = exprs_created_;
-      stats->bytes_in = events->bytes_consumed();
-      stats->output_events = output_events_;
-      stats->bytes_in_at_first_output = bytes_at_first_output;
     }
     return Status::OK();
   }
 
- private:
   IntrusivePtr<Expr> NewExpr() {
     ++exprs_created_;
     return IntrusivePtr<Expr>(
@@ -485,31 +512,79 @@ class Engine {
   StreamOptions options_;
   CellBuilder builder_;
   IntrusivePtr<Expr> nil_;
+  std::vector<Frame> stack_;
   std::vector<Expr*> cat_stack_;
   Expr* whnf_resume_ = nullptr;  // blocked call to resume from
   bool resume_valid_ = false;    // last pump blocked; spine still valid
+  bool started_ = false;         // root thunk built, prefix pumped
+  Status status_ = Status::OK();  // sticky: first failure of the run
   std::uint64_t steps_ = 0;
   std::uint64_t exprs_created_ = 0;
   std::size_t output_events_ = 0;
 };
+
+Engine::Engine(const Mft& mft, OutputSink* sink, StreamOptions options,
+               StreamScratch* scratch)
+    : impl_(std::make_unique<Impl>(
+          mft, sink, options, scratch != nullptr ? scratch->impl() : nullptr)) {}
+Engine::~Engine() = default;
+
+SymbolTable* Engine::symbols() { return &impl_->ctx_->symbols; }
+Status Engine::Prime() { return impl_->Prime(); }
+Status Engine::Feed(const XmlEvent& event) { return impl_->Feed(event); }
+Status Engine::Finish(StreamStats* stats) { return impl_->Finish(stats); }
+bool Engine::done() const { return impl_->done(); }
+std::size_t Engine::output_events() const { return impl_->output_events_; }
+
+namespace {
+
+// The single-query pull pump: prime, pull events until the engine's output
+// is complete or the document ends, finish. Byte accounting (bytes_in,
+// bytes_in_at_first_output) lives here because only the driver sees the
+// byte source; pumps never consume input, so reading bytes_consumed() after
+// the Feed that triggered the first output matches the old in-loop capture.
+Status PumpEvents(Engine* engine, EventSource* events, StreamStats* stats) {
+  events->BindSymbols(engine->symbols());
+  std::size_t bytes_at_first_output = 0;
+  bool saw_output = false;
+  auto note_output = [&]() {
+    if (!saw_output && engine->output_events() > 0) {
+      saw_output = true;
+      bytes_at_first_output = events->bytes_consumed();
+    }
+  };
+  XQMFT_RETURN_NOT_OK(engine->Prime());
+  note_output();
+  XmlEvent event;
+  while (!engine->done()) {
+    XQMFT_RETURN_NOT_OK(events->Next(&event));
+    XQMFT_RETURN_NOT_OK(engine->Feed(event));
+    note_output();
+    if (event.type == XmlEventType::kEndOfDocument) break;
+  }
+  XQMFT_RETURN_NOT_OK(engine->Finish(stats));
+  if (stats != nullptr) {
+    stats->bytes_in = events->bytes_consumed();
+    stats->bytes_in_at_first_output = bytes_at_first_output;
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
                        StreamOptions options, StreamStats* stats,
                        StreamScratch* scratch) {
-  Engine engine(mft, sink, options,
-                scratch != nullptr ? scratch->impl() : nullptr);
+  Engine engine(mft, sink, options, scratch);
   SaxParser parser(source, options.sax);
-  return engine.Run(&parser, stats);
+  return PumpEvents(&engine, &parser, stats);
 }
 
 Status StreamTransformEvents(const Mft& mft, EventSource* events,
                              OutputSink* sink, StreamOptions options,
                              StreamStats* stats, StreamScratch* scratch) {
-  Engine engine(mft, sink, options,
-                scratch != nullptr ? scratch->impl() : nullptr);
-  return engine.Run(events, stats);
+  Engine engine(mft, sink, options, scratch);
+  return PumpEvents(&engine, events, stats);
 }
 
 Status StreamTransformString(const Mft& mft, const std::string& xml,

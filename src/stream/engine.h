@@ -87,10 +87,88 @@ class StreamScratch {
   std::unique_ptr<Impl> impl_;
 };
 
+/// \brief Push-mode streaming engine core: a passive consumer of XML events.
+///
+/// The engine does not own an input loop. A driver constructs it over a
+/// transducer and a sink, feeds it one event at a time, and finishes it when
+/// the input ends:
+///
+///   Engine engine(mft, &sink, options);
+///   source->BindSymbols(engine.symbols());   // share one id space
+///   engine.Prime();                          // constant output prefix
+///   while (!engine.done()) { source->Next(&ev); engine.Feed(ev); }
+///   engine.Finish(&stats);
+///
+/// Output is emitted into the sink *during* Feed, as soon as its head is
+/// determined — which is why the sink binds at construction rather than at
+/// Finish. Feed pumps the thunk graph until it either blocks on pending
+/// input (feed more) or completes (done() becomes true; later events are
+/// ignored, matching the pull loop's early stop when the output is complete
+/// before the input ends). Finish feeds a synthetic end-of-document if the
+/// driver has not, pumps the remainder, and fills `stats`; the stats fields
+/// derived from the byte source (`bytes_in`, `bytes_in_at_first_output`)
+/// are the driver's to set — the engine only sees events.
+///
+/// Errors are sticky: after a failed Feed (rule miss, step budget, schema
+/// violation) every later Feed/Finish returns the same status, and sibling
+/// engines of a multi-query run are unaffected. Finish fills `stats` with
+/// whatever was accumulated even when it returns an error.
+///
+/// Drivers: StreamTransform / StreamTransformEvents below (the single-query
+/// pull pumps) and MultiQueryRun (multiquery/multi_run.h), which fans one
+/// event stream into many engines.
+class Engine {
+ public:
+  /// `scratch`, when given, must have been built from this same `mft` (see
+  /// StreamScratch); null means the engine owns its run state.
+  Engine(const Mft& mft, OutputSink* sink, StreamOptions options = {},
+         StreamScratch* scratch = nullptr);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The engine's run-local symbol table: bind the event source to it (or
+  /// intern remapped event symbols through it) so event ids and rule ids
+  /// share one id space. Events whose `symbol` is kInvalidSymbol are
+  /// interned lazily by name, so feeding foreign-id-free events also works.
+  SymbolTable* symbols();
+
+  /// Pumps the constant output prefix (output derivable before any input
+  /// event, e.g. literal markup around the root call). Optional: the first
+  /// Feed primes implicitly. Drivers that account bytes-at-first-output call
+  /// it explicitly so a constant prefix is attributed to byte offset 0.
+  Status Prime();
+
+  /// Feeds one event and emits everything it determines. After done(),
+  /// events are ignored (Status::OK). kEndOfDocument may be fed at most
+  /// once; Finish supplies it implicitly otherwise.
+  Status Feed(const XmlEvent& event);
+
+  /// Declares the input complete: feeds end-of-document if pending, pumps
+  /// the rest of the output, verifies the run completed, and fills `stats`
+  /// (event-side fields; byte accounting is the driver's). Fills stats even
+  /// on error. Idempotent.
+  Status Finish(StreamStats* stats = nullptr);
+
+  /// True once the output is fully emitted: no further event can change it,
+  /// so drivers may stop feeding (and a shared-source driver may stop
+  /// duplicating events to this engine).
+  bool done() const;
+
+  /// Output events emitted so far (monotonic; drivers use the first
+  /// transition to non-zero for bytes_in_at_first_output accounting).
+  std::size_t output_events() const;
+
+  struct Impl;  // private to engine.cc
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Streams `source` through `mft` into `sink`. The transducer must
 /// Validate() beforehand. `scratch`, when given, supplies the run's symbol
 /// table and arenas (see StreamScratch); it must have been built from this
-/// same `mft`.
+/// same `mft`. A thin pull pump over the push-mode Engine.
 Status StreamTransform(const Mft& mft, ByteSource* source, OutputSink* sink,
                        StreamOptions options = {},
                        StreamStats* stats = nullptr,

@@ -111,6 +111,58 @@ case "$CASE" in
     expect_contains "$OUT" "$WANT"
     printf '%s' "$DOC" > "$XML"
     ;;
+  run_queries)
+    # Multi-query run: every -q query streams over ONE input in a single
+    # pass; outputs print in query order, each on its own line.
+    Q2='<out>{ for $x in $input/doc/item return <up>{$x/text()}</up> }</out>'
+    OUT=$("$XQMFT" run -q "$QUERY" -q "$Q2" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    expect_contains "$OUT" "<out><up>a</up><up>b</up></out>"
+    # Query order, not completion order: WANT (query 1) precedes Q2's out.
+    case "$OUT" in
+      *"$WANT"*"<up>a</up>"*) ;;
+      *) fail "outputs not in query order: $OUT" ;;
+    esac
+    # stdin works as the single input; --query-file adds one query per line.
+    QFILE="$TMPDIR_SMOKE/queries.txt"
+    printf '%s\n\n%s\n' "$QUERY" "$Q2" > "$QFILE"
+    OUT=$("$XQMFT" run --query-file "$QFILE" < "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    expect_contains "$OUT" "<out><up>a</up><up>b</up></out>"
+    ;;
+  run_queries_threads)
+    # Multi-query execution is serial; --threads must be rejected loudly.
+    OUT=$("$XQMFT" run -q "$QUERY" --threads 2 "$XML" 2>&1)
+    test $? -eq 0 && fail "expected nonzero exit for -q with --threads"
+    expect_contains "$OUT" "cannot combine"
+    ;;
+  serve_batch)
+    # The "queries" batch form: one shared parse, per-query framed responses
+    # echoed strictly in REQUEST order (ids 9 then 1 — descending, so any
+    # completion-order or id-order reordering would flip them), duplicate
+    # queries deduplicated onto one engine, then a batch summary line.
+    REQ="{\"id\":\"b\",\"queries\":[{\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"id\":9},{\"query\":\"<out>{ for \$x in \$input/doc/item return <up>{\$x/text()}</up> }</out>\",\"id\":1},{\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"id\":4}],\"inputs\":[\"$XML\"]}"
+    OUT=$(printf '%s\n' "$REQ" | "$XQMFT" serve) || fail "exit $?"
+    expect_contains "$OUT" '"id":9,"ok":true'
+    expect_contains "$OUT" '"id":1,"ok":true'
+    expect_contains "$OUT" '"id":4,"ok":true'
+    expect_contains "$OUT" '"deduped":true'
+    expect_contains "$OUT" "$WANT"
+    expect_contains "$OUT" '"batch":true'
+    expect_contains "$OUT" '"documents":1'
+    expect_contains "$OUT" '"unique_plans":2'
+    expect_contains "$OUT" '"deduped_requests":1'
+    case "$OUT" in
+      *'"id":9'*'"id":1'*'"id":4'*) ;;
+      *) fail "batch responses not in request order: $OUT" ;;
+    esac
+    # A failing query is isolated: its siblings still answer.
+    REQ2="{\"queries\":[{\"query\":\"<<<\",\"id\":7},{\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"id\":8}],\"inputs\":[\"$XML\"]}"
+    OUT=$(printf '%s\n' "$REQ2" | "$XQMFT" serve) || fail "exit $?"
+    expect_contains "$OUT" '"id":7,"ok":false'
+    expect_contains "$OUT" '"id":8,"ok":true'
+    expect_contains "$OUT" "$WANT"
+    ;;
   run_dag)
     OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
     expect_contains "$OUT" "output nodes:"

@@ -351,6 +351,42 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
         << "cached plan (warm) vs direct\nquery: " << text;
     EXPECT_EQ(cache.stats().compiles, 1u) << text;
   }
+
+  // 8. Multi-query single pass: the random query paired with a second,
+  // independently generated random query, both streaming each document in
+  // ONE pass (shared tokenization, union projection automaton derived from
+  // the query texts). Every engine's output must be byte-identical to its
+  // own serial run — the projection may only skip what no query can see.
+  {
+    QueryGen gen2(&rng);
+    std::string text2 = gen2.Generate();
+    if (debug) std::fprintf(stderr, "query2: %s\n", text2.c_str());
+    auto plan_a = CompiledPlan::Compile(text);
+    ASSERT_TRUE(plan_a.ok()) << text << "\n" << plan_a.status().ToString();
+    auto plan_b = CompiledPlan::Compile(text2);
+    ASSERT_TRUE(plan_b.ok()) << text2 << "\n" << plan_b.status().ToString();
+    std::vector<const CompiledPlan*> pair{plan_a.value().get(),
+                                          plan_b.value().get()};
+    for (const ParallelInput& doc : doc_set) {
+      StringSink serial_a, serial_b;
+      ASSERT_TRUE(plan_a.value()->StreamString(doc.value, &serial_a).ok())
+          << text;
+      ASSERT_TRUE(plan_b.value()->StreamString(doc.value, &serial_b).ok())
+          << text2;
+      StringSink multi_a, multi_b;
+      std::vector<OutputSink*> sinks{&multi_a, &multi_b};
+      StringSource source(doc.value);
+      Status st = StreamAllTransform(pair, &source, sinks);
+      ASSERT_TRUE(st.ok()) << text << "\n+ " << text2 << "\n"
+                           << st.ToString();
+      ASSERT_EQ(multi_a.str(), serial_a.str())
+          << "multi-query vs serial (query 1)\nquery: " << text
+          << "\nquery2: " << text2 << "\ndoc: " << doc.value;
+      ASSERT_EQ(multi_b.str(), serial_b.str())
+          << "multi-query vs serial (query 2)\nquery: " << text
+          << "\nquery2: " << text2 << "\ndoc: " << doc.value;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryProperty, ::testing::Range(0, 80));

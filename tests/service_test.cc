@@ -420,6 +420,108 @@ TEST(QueryServiceTest, BatchOutputMatchesSerialAtAnyThreadCount) {
   }
 }
 
+TEST(QueryServiceTest, ExecuteBatchMatchesSerialAndParsesEachDocumentOnce) {
+  QueryService service;
+  // Four requests over one shared document: two distinct queries, one
+  // duplicate (different whitespace, same normalized key), one more
+  // distinct. Serial ground truth comes from per-request Execute.
+  std::vector<ServiceRequest> requests(4);
+  requests[0].query = QueryFor("a");
+  requests[1].query = QueryFor("b");
+  requests[2].query = "  " + QueryFor("a") + "  ";  // dedups onto [0]'s plan
+  requests[3].query = QueryFor("c");
+  for (ServiceRequest& r : requests) {
+    r.inputs.push_back(ParallelInput::XmlText(kDoc));
+  }
+
+  std::vector<std::string> want;
+  for (const ServiceRequest& r : requests) {
+    QueryService fresh;
+    StringSink sink;
+    ASSERT_TRUE(fresh.Execute(r, &sink).ok());
+    want.push_back(sink.str());
+  }
+
+  std::vector<StringSink> sinks(requests.size());
+  std::vector<OutputSink*> sink_ptrs;
+  for (StringSink& s : sinks) sink_ptrs.push_back(&s);
+  ServiceBatchStats stats;
+  ASSERT_TRUE(service.ExecuteBatch(requests, sink_ptrs, &stats).ok());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_TRUE(stats.per_request[i].status.ok());
+    EXPECT_EQ(sinks[i].str(), want[i]) << "request " << i;
+  }
+  // The single-parse attribution: one document, tokenized once, however
+  // many requests read it.
+  EXPECT_EQ(stats.documents, 1u);
+  EXPECT_EQ(stats.parsed_bytes, std::string(kDoc).size());
+  EXPECT_EQ(stats.unique_plans, 3u);
+  EXPECT_EQ(stats.deduped_requests, 1u);
+  EXPECT_TRUE(stats.per_request[2].deduped);
+  EXPECT_TRUE(stats.per_request[2].cache_hit);
+  EXPECT_FALSE(stats.per_request[0].deduped);
+}
+
+TEST(QueryServiceTest, ExecuteBatchGroupsByDocumentList) {
+  QueryService service;
+  const std::string doc2 = "<doc><a>9</a></doc>";
+  std::vector<ServiceRequest> requests(3);
+  requests[0].query = QueryFor("a");
+  requests[0].inputs.push_back(ParallelInput::XmlText(kDoc));
+  requests[1].query = QueryFor("a");
+  requests[1].inputs.push_back(ParallelInput::XmlText(doc2));
+  requests[2].query = QueryFor("b");
+  requests[2].inputs.push_back(ParallelInput::XmlText(kDoc));
+
+  std::vector<StringSink> sinks(3);
+  std::vector<OutputSink*> sink_ptrs{&sinks[0], &sinks[1], &sinks[2]};
+  ServiceBatchStats stats;
+  ASSERT_TRUE(service.ExecuteBatch(requests, sink_ptrs, &stats).ok());
+  EXPECT_EQ(sinks[0].str(), DirectOutput(QueryFor("a"), kDoc));
+  EXPECT_EQ(sinks[1].str(), DirectOutput(QueryFor("a"), doc2));
+  EXPECT_EQ(sinks[2].str(), DirectOutput(QueryFor("b"), kDoc));
+  // Two document lists => two groups, each parsed once: requests 0 and 2
+  // share one pass, request 1 gets its own.
+  EXPECT_EQ(stats.documents, 2u);
+  EXPECT_EQ(stats.parsed_bytes, std::string(kDoc).size() + doc2.size());
+  // One plan (QueryFor("a")) streams in both groups but counts once.
+  EXPECT_EQ(stats.unique_plans, 2u);
+  EXPECT_EQ(stats.deduped_requests, 0u);
+}
+
+TEST(QueryServiceTest, ExecuteBatchIsolatesFailures) {
+  QueryService service;
+  std::vector<ServiceRequest> requests(3);
+  requests[0].query = QueryFor("a");
+  requests[1].query = "<<< not a query";
+  requests[2].query = QueryFor("b");
+  for (ServiceRequest& r : requests) {
+    r.inputs.push_back(ParallelInput::XmlText(kDoc));
+  }
+  std::vector<StringSink> sinks(3);
+  std::vector<OutputSink*> sink_ptrs{&sinks[0], &sinks[1], &sinks[2]};
+  ServiceBatchStats stats;
+  // One bad query does not fail the batch when the caller can see
+  // per-request statuses.
+  ASSERT_TRUE(service.ExecuteBatch(requests, sink_ptrs, &stats).ok());
+  EXPECT_TRUE(stats.per_request[0].status.ok());
+  EXPECT_FALSE(stats.per_request[1].status.ok());
+  EXPECT_TRUE(stats.per_request[2].status.ok());
+  EXPECT_EQ(sinks[0].str(), DirectOutput(QueryFor("a"), kDoc));
+  EXPECT_TRUE(sinks[1].str().empty());
+  EXPECT_EQ(sinks[2].str(), DirectOutput(QueryFor("b"), kDoc));
+
+  // Without a stats out-param the first failure surfaces as the return.
+  std::vector<StringSink> sinks2(3);
+  std::vector<OutputSink*> sink_ptrs2{&sinks2[0], &sinks2[1], &sinks2[2]};
+  EXPECT_FALSE(service.ExecuteBatch(requests, sink_ptrs2).ok());
+
+  // Batch-level misuse is always an error.
+  EXPECT_FALSE(service.ExecuteBatch({}, {}).ok());
+  EXPECT_FALSE(service.ExecuteBatch(requests, {&sinks[0]}).ok());
+}
+
 TEST(QueryServiceTest, RejectsEmptyRequestsAndBadQueries) {
   QueryService service;
   ServiceRequest empty;

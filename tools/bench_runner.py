@@ -53,6 +53,7 @@ TABLE1_BENCH = "bench_table1_datasets"
 PARSER_BENCH = "bench_parser"
 PARALLEL_BENCH = "bench_parallel"
 SERVICE_BENCH = "bench_service"
+MULTIQUERY_BENCH = "bench_multiquery"
 
 # Compile-time deltas below this many milliseconds are timer jitter, not a
 # compiler regression; the compile_ms gate ignores them.
@@ -223,7 +224,7 @@ def main():
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
     binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, SERVICE_BENCH,
-                               TABLE1_BENCH]
+                               MULTIQUERY_BENCH, TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:

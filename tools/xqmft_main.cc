@@ -20,12 +20,21 @@
 // pretok input splits at top-level forest boundaries; 0 = one worker per
 // hardware thread).
 //
+// Multi-query runs: `run` with repeated --query/-q flags (or --query-file,
+// one query per line) streams EVERY query over one input document in a
+// single pass — one tokenization, one engine per query, a union projection
+// automaton skipping subtrees no query can match. Outputs print in query
+// order. --no-union-projection disables the skip automaton (measurement).
+// Multi-query is serial: combining it with --threads is rejected (sharded
+// multi-query execution is future work), as are --schema and --dag.
+//
 // `serve` reads newline-delimited JSON requests from stdin and writes framed
 // responses with per-request statistics (see service/serve.h for the
-// protocol). Queries compile once into a process-wide cache and every later
-// request for the same query streams against the cached immutable plan;
-// --cache-capacity / --cache-bytes bound the cache, --threads sets the
-// default per-request worker count.
+// protocol, including the "queries" batch form that shares one parse across
+// a request set). Queries compile once into a process-wide cache and every
+// later request for the same query streams against the cached immutable
+// plan; --cache-capacity / --cache-bytes bound the cache, --threads sets
+// the default per-request worker count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +46,7 @@
 
 #include "core/pipeline.h"
 #include "data/generators.h"
+#include "parallel/merge_sink.h"
 #include "service/query_service.h"
 #include "service/serve.h"
 #include "mft/mft.h"
@@ -57,6 +67,7 @@ int Usage() {
       stderr,
       "usage: xqmft <command> [flags] <args>\n"
       "  run <query> [input ...]      compile and stream (files or stdin)\n"
+      "  run -q <q1> -q <q2> [input]  all queries over one input, one pass\n"
       "  compile <query>              print the optimized transducer\n"
       "  translate <query>            print the unoptimized translation\n"
       "  mft <rules> [input ...]      run a hand-written MFT\n"
@@ -65,6 +76,8 @@ int Usage() {
       "  serve                        JSON request loop on stdin/stdout\n"
       "flags: --no-opt --schema <file> --dag --stats "
       "--pretok-cache <file> --threads <N>\n"
+      "       --query/-q <q> --query-file <file> --no-union-projection "
+      "(multi-query run)\n"
       "       --cache-capacity <N> --cache-bytes <N>  (serve)\n");
   return 2;
 }
@@ -99,6 +112,9 @@ struct Flags {
   bool no_opt = false;
   bool dag = false;
   bool stats = false;
+  bool no_union_projection = false;
+  std::vector<std::string> queries;      ///< repeated --query/-q
+  std::vector<std::string> query_files;  ///< --query-file, one per line
   bool threads_set = false;
   long threads = 0;  ///< 0 = one worker per hardware thread
   long cache_capacity = -1;  ///< serve: max resident plans (-1 = default)
@@ -307,6 +323,141 @@ int StreamWith(const CompiledPlan& plan,
   return 0;
 }
 
+// `run` with --query/-q flags: every query over one input, one pass.
+int RunMulti(const std::vector<std::string>& inputs, const Flags& flags) {
+  if (flags.threads_set) {
+    return Fail(Status::InvalidArgument(
+        "--threads cannot combine with multi-query --query: the shared "
+        "single-pass execution is serial (sharding a multi-query run is "
+        "future work)"));
+  }
+  if (!flags.schema_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--schema cannot combine with multi-query --query; validate the "
+        "input separately with `xqmft validate`"));
+  }
+  if (flags.dag) {
+    return Fail(Status::InvalidArgument(
+        "--dag cannot combine with multi-query --query"));
+  }
+  if (!flags.pretok_cache.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--pretok-cache cannot combine with multi-query --query; build the "
+        "cache with a single-query run and pass the .ptk file as the "
+        "input"));
+  }
+  if (inputs.size() > 1) {
+    return Fail(Status::InvalidArgument(
+        "multi-query run streams one input document; got " +
+        std::to_string(inputs.size())));
+  }
+
+  std::vector<std::string> texts;
+  for (const std::string& q : flags.queries) {
+    Result<std::string> text = FileOrInline(q);
+    if (!text.ok()) return Fail(text.status());
+    texts.push_back(std::move(text).value());
+  }
+  for (const std::string& path : flags.query_files) {
+    if (!IsFile(path)) {
+      return Fail(Status::InvalidArgument("cannot open " + path));
+    }
+    Result<std::string> body = FileOrInline(path);
+    if (!body.ok()) return Fail(body.status());
+    // One query per line; blank lines separate and are skipped.
+    std::string_view rest = body.value();
+    while (!rest.empty()) {
+      std::size_t nl = rest.find('\n');
+      std::string_view line = rest.substr(0, nl);
+      rest = nl == std::string_view::npos ? std::string_view() : rest.substr(nl + 1);
+      if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+      texts.emplace_back(line);
+    }
+  }
+  if (texts.empty()) {
+    return Fail(Status::InvalidArgument(
+        "no queries: every --query-file line was blank"));
+  }
+
+  PipelineOptions po;
+  po.optimize = !flags.no_opt;
+  std::vector<std::shared_ptr<const CompiledPlan>> plans;
+  std::vector<const CompiledPlan*> raw;
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    Result<std::shared_ptr<const CompiledPlan>> plan =
+        CompiledPlan::Compile(texts[i], po);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: query %zu: %s\n", i + 1,
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    plans.push_back(std::move(plan).value());
+    raw.push_back(plans.back().get());
+  }
+
+  ParallelInput input;
+  if (inputs.empty()) {
+    StdinSource stdin_source;
+    std::string xml;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = stdin_source.Read(buf, sizeof buf)) > 0) xml.append(buf, n);
+    input = ParallelInput::XmlText(std::move(xml));
+  } else if (!IsFile(inputs[0])) {
+    return Fail(Status::InvalidArgument("cannot open " + inputs[0]));
+  } else {
+    input = IsPretokFile(inputs[0]) ? ParallelInput::PretokFile(inputs[0])
+                                    : ParallelInput::XmlFile(inputs[0]);
+  }
+
+  // Each engine records into its own buffer; stdout gets the replays in
+  // query order once the pass is done, so interleaved engine output never
+  // interleaves on the wire.
+  std::vector<EventBuffer> buffers(raw.size());
+  std::vector<OutputSink*> sinks;
+  for (EventBuffer& b : buffers) sinks.push_back(&b);
+  MultiQueryOptions multi;
+  multi.union_projection = !flags.no_union_projection;
+  std::vector<MultiPlanResult> results;
+  MultiQueryStats run_stats;
+  Status st =
+      StreamAllTransformInput(raw, input, sinks, multi, &results, &run_stats);
+  if (results.size() != raw.size()) return Fail(st);
+
+  FileSink out(stdout);
+  int failed = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (results[i].status.ok()) {
+      buffers[i].Replay(&out);
+      out.Flush();
+      std::printf("\n");
+    } else {
+      ++failed;
+      std::fprintf(stderr, "error: query %zu: %s\n", i + 1,
+                   results[i].status.ToString().c_str());
+    }
+  }
+  if (flags.stats) {
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const StreamStats& s = results[i].stats;
+      std::fprintf(stderr,
+                   "query %zu: events fed: %llu, output events: %zu, "
+                   "peak memory: %s\n",
+                   i + 1,
+                   static_cast<unsigned long long>(results[i].events_fed),
+                   s.output_events, HumanBytes(s.peak_bytes).c_str());
+    }
+    std::fprintf(stderr,
+                 "shared pass: bytes in: %llu, events: %llu, skipped by "
+                 "projection: %llu (projection %s)\n",
+                 static_cast<unsigned long long>(run_stats.bytes_in),
+                 static_cast<unsigned long long>(run_stats.events_total),
+                 static_cast<unsigned long long>(run_stats.events_skipped),
+                 run_stats.projection_enabled ? "on" : "off");
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +469,12 @@ int main(int argc, char** argv) {
     std::string a = argv[i];
     if (a == "--no-opt") {
       flags.no_opt = true;
+    } else if ((a == "--query" || a == "-q") && i + 1 < argc) {
+      flags.queries.push_back(argv[++i]);
+    } else if (a == "--query-file" && i + 1 < argc) {
+      flags.query_files.push_back(argv[++i]);
+    } else if (a == "--no-union-projection") {
+      flags.no_union_projection = true;
     } else if (a == "--dag") {
       flags.dag = true;
     } else if (a == "--stats") {
@@ -352,6 +509,16 @@ int main(int argc, char** argv) {
     } else {
       args.push_back(std::move(a));
     }
+  }
+
+  const bool multi_query =
+      !flags.queries.empty() || !flags.query_files.empty();
+  if (multi_query && cmd != "run") {
+    std::fprintf(stderr, "error: --query/--query-file only apply to run\n");
+    return 2;
+  }
+  if (cmd == "run" && multi_query) {
+    return RunMulti(args, flags);
   }
 
   if (cmd == "run" || cmd == "compile" || cmd == "translate") {

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "lower/lower.h"
 #include "mft/dispatch.h"
 #include "mft/interp.h"
 #include "parallel/pretok_split.h"
@@ -39,6 +40,10 @@ Status FinishPlan(const Mft& mft, const PipelineOptions& options) {
   }
   XQMFT_RETURN_NOT_OK(mft.Validate());
   mft.dispatch();  // compile-once: warm before the plan is shareable
+  // Warm the execution lowering too (or cache the not-lowerable verdict):
+  // engine construction then only ever reads the immutable cached result,
+  // keeping concurrent runs of a shared plan race-free.
+  lower::GetLoweredPlan(mft);
   return Status::OK();
 }
 

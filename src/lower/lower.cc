@@ -1,0 +1,297 @@
+#include "lower/lower.h"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "mft/dispatch.h"
+
+namespace xqmft {
+namespace lower {
+
+namespace {
+
+// Hard cap on generated code: x0 inlining is exponential in the worst case
+// (a chain of states each calling the previous twice), so a runaway blowup
+// must degrade to "not lowerable", not to an OOM.
+constexpr std::size_t kMaxCodeSize = std::size_t{1} << 20;
+
+// Compilation context of a program: which input the state is being applied
+// to, which determines how %t and x1 resolve.
+//   [0, width)   element node with that interned symbol (%t is a literal)
+//   width        element node with an id outside the alphabet (%t is kOpenCur)
+//   width + 1    text node (%t is kTextCur; x1 is the empty forest)
+//   width + 2    end of forest (epsilon rule; emission only)
+class Compiler {
+ public:
+  explicit Compiler(const Mft& mft)
+      : mft_(mft), dispatch_(mft.dispatch()), width_(dispatch_.width()) {}
+
+  Result<LoweredPlan> Run() {
+    if (!mft_.IsForestTransducer()) {
+      return Fail("transducer has accumulating parameters");
+    }
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      for (const auto& [symbol, rhs] : mft_.rules(q).symbol_rules) {
+        (void)rhs;
+        if (symbol.kind == NodeKind::kText) {
+          return Fail("state '" + mft_.state_name(q) +
+                      "' matches on text content");
+        }
+      }
+    }
+
+    const std::size_t n_ctx = static_cast<std::size_t>(width_) + 3;
+    memo_.assign(static_cast<std::size_t>(mft_.num_states()) * n_ctx, -1);
+
+    plan_.width = width_;
+    plan_.initial = mft_.initial_state();
+    plan_.states.resize(static_cast<std::size_t>(mft_.num_states()));
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      LoweredState& st = plan_.states[static_cast<std::size_t>(q)];
+      st.element.resize(width_);
+      for (SymbolId id = 0; id < width_; ++id) {
+        int p = CompileProgram(q, id);
+        if (p < 0) return Fail(error_);
+        st.element[id] = finished_[static_cast<std::size_t>(p)];
+      }
+      int p = CompileProgram(q, CtxDefault());
+      if (p < 0) return Fail(error_);
+      st.element_default = finished_[static_cast<std::size_t>(p)];
+      p = CompileProgram(q, CtxText());
+      if (p < 0) return Fail(error_);
+      st.text = finished_[static_cast<std::size_t>(p)];
+      p = CompileProgram(q, CtxEps());
+      if (p < 0) return Fail(error_);
+      st.eps = finished_[static_cast<std::size_t>(p)];
+    }
+    return std::move(plan_);
+  }
+
+ private:
+  std::uint32_t CtxDefault() const { return width_; }
+  std::uint32_t CtxText() const { return width_ + 1; }
+  std::uint32_t CtxEps() const { return width_ + 2; }
+
+  static Status Fail(std::string why) {
+    return Status::InvalidArgument("not lowerable: " + std::move(why));
+  }
+
+  // Compiles the program for (q, ctx); returns its index in finished_, or -1
+  // with error_ set. Memoized; a cycle through the memo means the x0-call
+  // closure of some rule revisits (q, ctx) before emitting anything that
+  // consumes input — the lazy engine would spin on it too.
+  int CompileProgram(StateId q, std::uint32_t ctx) {
+    const std::size_t n_ctx = static_cast<std::size_t>(width_) + 3;
+    std::int32_t& slot = memo_[static_cast<std::size_t>(q) * n_ctx + ctx];
+    if (slot >= 0) return slot;
+    if (slot == kInProgress) {
+      error_ = "x0-call cycle through state '" + mft_.state_name(q) + "'";
+      return -1;
+    }
+    slot = kInProgress;
+
+    const Rhs* rhs;
+    if (ctx < width_) {
+      rhs = dispatch_.ForElement(q, ctx);
+      if (rhs == nullptr) {
+        // A text-kind id: no element event can carry it, but the dense table
+        // must stay rectangular — alias the generic-element program.
+        int p = CompileProgram(q, CtxDefault());
+        slot = p;
+        return p;
+      }
+    } else if (ctx == CtxDefault()) {
+      rhs = dispatch_.ForElement(q, width_);
+    } else if (ctx == CtxText()) {
+      // Safe without content: states matching text literals were rejected,
+      // so ForText never takes its content-keyed probe path here.
+      rhs = dispatch_.ForText(q, std::string_view());
+    } else {
+      rhs = dispatch_.Epsilon(q);
+    }
+    if (rhs == nullptr) {
+      error_ = "state '" + mft_.state_name(q) + "' has no applicable rule";
+      return -1;
+    }
+
+    std::vector<LoweredInsn> tmp;
+    if (!EmitRhs(*rhs, ctx, &tmp)) return -1;
+
+    int ref = Intern(std::move(tmp));
+    if (ref < 0) return -1;
+    slot = ref;
+    return ref;
+  }
+
+  // Appends the instructions for one RHS forest in context `ctx` to *out.
+  bool EmitRhs(const Rhs& rhs, std::uint32_t ctx,
+               std::vector<LoweredInsn>* out) {
+    for (const RhsNode& item : rhs) {
+      switch (item.kind) {
+        case RhsKind::kLabel: {
+          if (item.current_label) {
+            if (ctx < width_) {
+              // %t over a known element symbol folds to a literal.
+              out->push_back({LowerOp::kOpenLit, ctx});
+              if (!EmitRhs(item.children, ctx, out)) return false;
+              out->push_back({LowerOp::kCloseLit, ctx});
+            } else if (ctx == CtxDefault()) {
+              out->push_back({LowerOp::kOpenCur, 0});
+              if (!EmitRhs(item.children, ctx, out)) return false;
+              out->push_back({LowerOp::kCloseCur, 0});
+            } else if (ctx == CtxText()) {
+              // %t over a text node copies its content; an output text node
+              // has no children to emit (the lazy engine never forces them).
+              out->push_back({LowerOp::kTextCur, 0});
+            } else {
+              error_ = "%t in an epsilon rule";  // excluded by Validate()
+              return false;
+            }
+          } else if (item.symbol.kind == NodeKind::kText) {
+            out->push_back({LowerOp::kTextLit, item.symbol_id});
+          } else {
+            out->push_back({LowerOp::kOpenLit, item.symbol_id});
+            if (!EmitRhs(item.children, ctx, out)) return false;
+            out->push_back({LowerOp::kCloseLit, item.symbol_id});
+          }
+          break;
+        }
+        case RhsKind::kCall: {
+          if (!item.args.empty()) {
+            error_ = "state call carries arguments";  // excluded upfront
+            return false;
+          }
+          switch (item.input) {
+            case InputVar::kX0: {
+              // Stay move: splice the callee's program for the same input.
+              if (!Splice(item.state, ctx, out)) return false;
+              break;
+            }
+            case InputVar::kX1: {
+              if (ctx == CtxText()) {
+                // A text node's child forest is empty: running q over it is
+                // exactly q's epsilon program.
+                if (!Splice(item.state, CtxEps(), out)) return false;
+              } else if (ctx == CtxEps()) {
+                error_ = "x1 in an epsilon rule";  // excluded by Validate()
+                return false;
+              } else {
+                out->push_back(
+                    {LowerOp::kChild, static_cast<std::uint32_t>(item.state)});
+              }
+              break;
+            }
+            case InputVar::kX2: {
+              if (ctx == CtxEps()) {
+                error_ = "x2 in an epsilon rule";  // excluded by Validate()
+                return false;
+              }
+              out->push_back(
+                  {LowerOp::kSib, static_cast<std::uint32_t>(item.state)});
+              break;
+            }
+          }
+          break;
+        }
+        case RhsKind::kParam: {
+          error_ = "parameter reference in rhs";  // excluded upfront
+          return false;
+        }
+      }
+      if (out->size() > kMaxCodeSize) {
+        error_ = "lowered program exceeds the size limit";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Splice(StateId q, std::uint32_t ctx, std::vector<LoweredInsn>* out) {
+    int p = CompileProgram(q, ctx);
+    if (p < 0) return false;
+    const LoweredProgramRef& ref = finished_[static_cast<std::size_t>(p)];
+    out->insert(out->end(), plan_.code.begin() + ref.off,
+                plan_.code.begin() + ref.off + ref.len);
+    return true;
+  }
+
+  // Deduplicates and appends a finished program; returns its finished_
+  // index, or -1 when the code store would exceed the cap.
+  int Intern(std::vector<LoweredInsn> tmp) {
+    std::vector<std::uint64_t> key;
+    key.reserve(tmp.size());
+    for (const LoweredInsn& insn : tmp) {
+      key.push_back((static_cast<std::uint64_t>(insn.op) << 32) | insn.arg);
+    }
+    auto it = dedupe_.find(key);
+    if (it != dedupe_.end()) return it->second;
+
+    if (plan_.code.size() + tmp.size() > kMaxCodeSize) {
+      error_ = "lowered program exceeds the size limit";
+      return -1;
+    }
+    LoweredProgramRef ref;
+    ref.off = static_cast<std::uint32_t>(plan_.code.size());
+    ref.len = static_cast<std::uint32_t>(tmp.size());
+    for (const LoweredInsn& insn : tmp) {
+      if (insn.op == LowerOp::kChild) ++ref.n_child;
+      if (insn.op == LowerOp::kSib) ++ref.n_sib;
+    }
+    ref.tail_spawn = !tmp.empty() && (tmp.back().op == LowerOp::kChild ||
+                                      tmp.back().op == LowerOp::kSib);
+    ref.simple_sib = tmp.size() == 1 && tmp[0].op == LowerOp::kSib;
+    plan_.code.insert(plan_.code.end(), tmp.begin(), tmp.end());
+
+    int idx = static_cast<int>(finished_.size());
+    finished_.push_back(ref);
+    dedupe_.emplace(std::move(key), idx);
+    return idx;
+  }
+
+  static constexpr std::int32_t kInProgress = -2;
+
+  const Mft& mft_;
+  const RuleDispatch& dispatch_;
+  const SymbolId width_;
+  LoweredPlan plan_;
+  std::vector<std::int32_t> memo_;  // (state, ctx) -> finished_ index
+  std::vector<LoweredProgramRef> finished_;
+  std::map<std::vector<std::uint64_t>, int> dedupe_;
+  std::string error_;
+};
+
+// What the Mft's type-erased lowering-cache slot actually holds: the plan,
+// or the reason there is none. Negative results are cached too — an
+// unlowerable transducer should not re-run the analysis per engine.
+struct LoweredCacheEntry {
+  std::unique_ptr<const LoweredPlan> plan;
+  std::string reason;
+};
+
+}  // namespace
+
+Result<LoweredPlan> LowerMft(const Mft& mft) { return Compiler(mft).Run(); }
+
+const LoweredPlan* GetLoweredPlan(const Mft& mft, std::string* why) {
+  auto cached =
+      std::static_pointer_cast<const LoweredCacheEntry>(mft.lowering_cache());
+  if (cached == nullptr) {
+    auto entry = std::make_shared<LoweredCacheEntry>();
+    Result<LoweredPlan> r = LowerMft(mft);
+    if (r.ok()) {
+      entry->plan =
+          std::make_unique<const LoweredPlan>(std::move(r).value());
+    } else {
+      entry->reason = r.status().message();
+    }
+    cached = std::move(entry);
+    mft.set_lowering_cache(
+        std::static_pointer_cast<const void>(cached));
+  }
+  if (why != nullptr) *why = cached->reason;
+  return cached->plan.get();
+}
+
+}  // namespace lower
+}  // namespace xqmft

@@ -1,0 +1,118 @@
+// Execution lowering: compiles a RuleDispatch into per-state opcode programs.
+//
+// The table engine (stream/engine.cc) interprets rules one thunk at a time:
+// every rule application allocates Call/Cons/Cat expressions, and every
+// input event re-enters the graph reducer. For the large class of
+// transducers the XQuery translation actually produces — parameter-free
+// (rank 1 everywhere) and never matching on text *content* — that machinery
+// is pure overhead: with no accumulating parameters there is no sharing to
+// exploit, every call site's output lands at a fixed position in the output
+// stream, and rule selection per node is a single dense-table index.
+//
+// Lowering turns each (state, input-label) rule into a flat program of
+// packed instructions executed straight-line per input event:
+//
+//   kOpenLit s   emit <s>                  kTextLit s   emit text literal s
+//   kCloseLit s  emit </s>                 kTextCur     emit the node's text
+//   kOpenCur     emit <current-label>      kChild q     run q over children
+//   kCloseCur    emit </current-label>     kSib q       run q over siblings
+//
+// Stay moves (x0 calls) are inlined at compile time — a program is the whole
+// x0-closure of a rule, so the runtime never "applies a rule" at all; it
+// executes one program per (consumer, event). Programs are deduplicated and
+// memoized per (state, context); an x0 cycle (which the lazy engine would
+// grind through its step budget) makes the plan unlowerable instead.
+//
+// A plan is lowerable iff:
+//   * the optimized transducer is parameter-free (Mft::IsForestTransducer),
+//   * no state matches on text content (no Symbol(kText) rule patterns —
+//     those need a content-keyed probe per text node), and
+//   * x0-call inlining terminates and the generated code stays under the
+//     size cap.
+// Unlowerable plans keep the table engine; lowering is a strict fast path,
+// never a semantics change (asserted wholesale by the differential suites).
+#ifndef XQMFT_LOWER_LOWER_H_
+#define XQMFT_LOWER_LOWER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mft/mft.h"
+#include "util/status.h"
+#include "xml/symbol_table.h"
+
+namespace xqmft {
+namespace lower {
+
+enum class LowerOp : unsigned char {
+  kOpenLit = 0,  ///< StartElement(arg), arg an interned element symbol
+  kCloseLit,     ///< EndElement(arg)
+  kOpenCur,      ///< StartElement(current event's symbol)
+  kCloseCur,     ///< EndElement(current event's symbol)
+  kTextLit,      ///< Text(name of arg), arg an interned text-kind symbol
+  kTextCur,      ///< Text(current text event's content)
+  kChild,        ///< spawn a consumer in state arg over the node's children
+  kSib,          ///< continue in state arg over the node's following siblings
+};
+
+/// Number of LowerOp values (dispatch-table size for the execution loop).
+inline constexpr int kNumLowerOps = 8;
+
+struct LoweredInsn {
+  LowerOp op;
+  std::uint32_t arg = 0;
+};
+
+/// \brief One program: a [off, off+len) slice of LoweredPlan::code, plus the
+/// facts the runtime wants without scanning it.
+struct LoweredProgramRef {
+  std::uint32_t off = 0;
+  std::uint32_t len = 0;
+  std::uint32_t n_child = 0;  ///< number of kChild instructions
+  std::uint32_t n_sib = 0;    ///< number of kSib instructions
+  /// Last instruction is kChild/kSib: the spawned consumer inherits the
+  /// writer's output segment instead of splitting it (the program writes
+  /// nothing after the spawn). Collapses scan states to zero segment churn.
+  bool tail_spawn = false;
+  /// The program is exactly [kSib q]: the consumer just retargets to q and
+  /// skips the subtree — no allocation, no segment work.
+  bool simple_sib = false;
+};
+
+/// \brief All programs of one state, indexed the same way RuleDispatch
+/// resolves rules: dense per-symbol for ids below the alphabet width,
+/// fallbacks for everything else.
+struct LoweredState {
+  std::vector<LoweredProgramRef> element;  ///< by SymbolId, size = width
+  LoweredProgramRef element_default;       ///< element ids >= width
+  LoweredProgramRef text;                  ///< any text node
+  LoweredProgramRef eps;                   ///< end of the consumed forest
+};
+
+/// \brief The lowered form of a transducer. Immutable once built; shared by
+/// every concurrent run of the plan (same contract as RuleDispatch).
+struct LoweredPlan {
+  std::vector<LoweredInsn> code;
+  std::vector<LoweredState> states;  ///< by StateId
+  SymbolId width = 0;                ///< dense-table width (= dispatch width)
+  StateId initial = 0;
+};
+
+/// Compiles `mft` to a LoweredPlan. The dispatch is compiled as a side
+/// effect (lowering translates its tables). Fails with InvalidArgument and a
+/// human-readable reason when the transducer is not lowerable.
+Result<LoweredPlan> LowerMft(const Mft& mft);
+
+/// The cached lowering of `mft`: compiles on first call and parks the result
+/// (or the not-lowerable reason) in the transducer's lowering-cache slot.
+/// Returns null when the plan is not lowerable, with the reason in `*why`.
+/// Same thread contract as Mft::dispatch(): the first call is
+/// single-threaded; afterwards the plan is immutable and safe to share
+/// (CompiledPlan forces the fill before a plan can be shared).
+const LoweredPlan* GetLoweredPlan(const Mft& mft, std::string* why = nullptr);
+
+}  // namespace lower
+}  // namespace xqmft
+
+#endif  // XQMFT_LOWER_LOWER_H_

@@ -1,0 +1,590 @@
+#include "lower/ops_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "schema/schema.h"
+
+namespace xqmft {
+namespace lower {
+
+namespace {
+constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
+constexpr std::size_t kAlign = alignof(std::max_align_t);
+}  // namespace
+
+void* OpsEngine::BumpArena::Alloc(std::size_t n) {
+  n = (n + (kAlign - 1)) & ~(kAlign - 1);
+  // Advance past chunks too small for this request (possible after a Reset
+  // replays the chunk sequence with different allocation sizes).
+  while (chunk_ < chunks_.size() && chunks_[chunk_].size - off_ < n) {
+    ++chunk_;
+    off_ = 0;
+  }
+  if (chunk_ == chunks_.size()) {
+    Chunk c;
+    c.size = std::max(kChunkBytes, n);
+    c.bytes = std::make_unique<char[]>(c.size);
+    chunks_.push_back(std::move(c));
+    off_ = 0;
+  }
+  void* p = chunks_[chunk_].bytes.get() + off_;
+  off_ += n;
+  live_ += n;
+  tracker_->Charge(n);
+  return p;
+}
+
+OpsEngine::OpsEngine(const LoweredPlan& plan, OutputSink* sink,
+                     SymbolTable* symbols, MemoryTracker* tracker,
+                     std::uint64_t max_steps, SchemaValidator* validator)
+    : plan_(&plan),
+      sink_(sink),
+      symbols_(symbols),
+      tracker_(tracker),
+      max_steps_(max_steps),
+      validator_(validator),
+      arena_(tracker) {}
+
+OpsEngine::~OpsEngine() {
+  // Segments may still hold charges when a run ends early (error or an
+  // abandoned engine); settle the shared tracker's balance wholesale.
+  tracker_->Release(charged_bytes_);
+}
+
+OpsEngine::Segment* OpsEngine::NewSegment() {
+  Segment* s;
+  if (free_segments_ != nullptr) {
+    s = free_segments_;
+    free_segments_ = s->next;
+  } else {
+    all_segments_.push_back(std::make_unique<Segment>());
+    s = all_segments_.back().get();
+  }
+  s->next = nullptr;
+  s->closed = false;
+  s->live = false;
+  const std::size_t charge = sizeof(Segment) + s->data.capacity();
+  tracker_->Charge(charge);
+  charged_bytes_ += charge;
+  return s;
+}
+
+void OpsEngine::RecycleSegment(Segment* s) {
+  const std::size_t charge = sizeof(Segment) + s->data.capacity();
+  tracker_->Release(charge);
+  charged_bytes_ -= charge;
+  s->data.clear();  // keeps capacity for the next acquire
+  s->next = free_segments_;
+  free_segments_ = s;
+}
+
+void OpsEngine::ChargeAppend(Segment* s, const char* bytes, std::size_t n) {
+  const std::size_t old_cap = s->data.capacity();
+  s->data.append(bytes, n);
+  const std::size_t new_cap = s->data.capacity();
+  if (new_cap != old_cap) {
+    tracker_->Charge(new_cap - old_cap);
+    charged_bytes_ += new_cap - old_cap;
+  }
+}
+
+OpsEngine::Segment* OpsEngine::SplitAfter(Segment* cur) {
+  cur->closed = true;
+  return InsertAfter(cur);
+}
+
+OpsEngine::Segment* OpsEngine::InsertAfter(Segment* prev) {
+  Segment* s = NewSegment();
+  s->next = prev->next;
+  prev->next = s;
+  return s;
+}
+
+namespace {
+inline void PackTag(char* buf, char tag, std::uint32_t v) {
+  buf[0] = tag;
+  std::memcpy(buf + 1, &v, sizeof(v));
+}
+}  // namespace
+
+void OpsEngine::EmitStart(Segment* s, SymbolId sym) {
+  if (s->live) {
+    sink_->StartElement(symbols_->name(sym));
+    ++output_events_;
+    return;
+  }
+  char buf[5];
+  PackTag(buf, 'S', sym);
+  ChargeAppend(s, buf, sizeof(buf));
+}
+
+void OpsEngine::EmitEnd(Segment* s, SymbolId sym) {
+  if (s->live) {
+    sink_->EndElement(symbols_->name(sym));
+    ++output_events_;
+    return;
+  }
+  char buf[5];
+  PackTag(buf, 'E', sym);
+  ChargeAppend(s, buf, sizeof(buf));
+}
+
+void OpsEngine::EmitTextSym(Segment* s, SymbolId sym) {
+  if (s->live) {
+    sink_->Text(symbols_->name(sym));
+    ++output_events_;
+    return;
+  }
+  char buf[5];
+  PackTag(buf, 'L', sym);
+  ChargeAppend(s, buf, sizeof(buf));
+}
+
+void OpsEngine::EmitTextBytes(Segment* s, std::string_view text) {
+  if (s->live) {
+    // The zero-copy path: input text reaching the output of a live head
+    // goes straight from the parser's buffer to the sink.
+    sink_->Text(text);
+    ++output_events_;
+    return;
+  }
+  char buf[5];
+  PackTag(buf, 'T', static_cast<std::uint32_t>(text.size()));
+  ChargeAppend(s, buf, sizeof(buf));
+  ChargeAppend(s, text.data(), text.size());
+}
+
+void OpsEngine::Replay(const std::string& data) {
+  const char* p = data.data();
+  const char* end = p + data.size();
+  while (p < end) {
+    const char tag = *p++;
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof(v));
+    p += sizeof(v);
+    switch (tag) {
+      case 'S':
+        sink_->StartElement(symbols_->name(v));
+        break;
+      case 'E':
+        sink_->EndElement(symbols_->name(v));
+        break;
+      case 'L':
+        sink_->Text(symbols_->name(v));
+        break;
+      default:  // 'T'
+        sink_->Text(std::string_view(p, v));
+        p += v;
+        break;
+    }
+    ++output_events_;
+  }
+}
+
+void OpsEngine::FlushHead() {
+  while (head_ != nullptr) {
+    Segment* s = head_;
+    if (s->closed) {
+      Replay(s->data);
+      head_ = s->next;
+      RecycleSegment(s);
+      continue;
+    }
+    if (!s->live) {
+      // The head is still being written: drain what it buffered and switch
+      // it to write-through until its writer splits or closes it.
+      Replay(s->data);
+      s->data.clear();
+      s->live = true;
+    }
+    return;
+  }
+}
+
+Status OpsEngine::ChargeSteps(std::uint64_t n) {
+  if (steps_ >= max_steps_ || n > max_steps_ - steps_) {
+    return Status::ResourceExhausted(
+        "streaming engine exceeded the step budget");
+  }
+  steps_ += n;
+  return Status::OK();
+}
+
+void OpsEngine::ExecProgram(const LoweredProgramRef& ref, Segment* cur,
+                            SymbolId sym, std::string_view text,
+                            Consumer* child_out, std::uint32_t* child_n,
+                            Consumer* sib_out, std::uint32_t* sib_n) {
+  const LoweredInsn* pc = plan_->code.data() + ref.off;
+  const LoweredInsn* const end = pc + ref.len;
+
+#if defined(__GNUC__) || defined(__clang__)
+  // Direct-threaded dispatch: each handler jumps straight to the next
+  // instruction's handler, giving the branch predictor one indirect target
+  // per opcode instead of a single shared switch branch.
+  static const void* const kJump[kNumLowerOps] = {
+      &&op_open_lit, &&op_close_lit, &&op_open_cur, &&op_close_cur,
+      &&op_text_lit, &&op_text_cur, &&op_child,    &&op_sib,
+  };
+#define XQMFT_OPS_DISPATCH()                          \
+  do {                                                \
+    if (pc == end) goto op_done;                      \
+    goto* kJump[static_cast<unsigned>(pc->op)];       \
+  } while (0)
+
+  XQMFT_OPS_DISPATCH();
+op_open_lit:
+  EmitStart(cur, pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_close_lit:
+  EmitEnd(cur, pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_open_cur:
+  EmitStart(cur, sym);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_close_cur:
+  EmitEnd(cur, sym);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_text_lit:
+  EmitTextSym(cur, pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_text_cur:
+  EmitTextBytes(cur, text);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_child: {
+  const std::uint32_t q = pc->arg;
+  ++pc;
+  if (pc == end) {
+    // Tail spawn: the child inherits the writer's segment outright.
+    child_out[(*child_n)++] = Consumer{q, cur};
+    return;
+  }
+  Segment* child_seg = SplitAfter(cur);
+  child_out[(*child_n)++] = Consumer{q, child_seg};
+  cur = InsertAfter(child_seg);
+  XQMFT_OPS_DISPATCH();
+}
+op_sib: {
+  const std::uint32_t q = pc->arg;
+  ++pc;
+  if (pc == end) {
+    sib_out[(*sib_n)++] = Consumer{q, cur};
+    return;
+  }
+  Segment* sib_seg = SplitAfter(cur);
+  sib_out[(*sib_n)++] = Consumer{q, sib_seg};
+  cur = InsertAfter(sib_seg);
+  XQMFT_OPS_DISPATCH();
+}
+op_done:
+  cur->closed = true;
+#undef XQMFT_OPS_DISPATCH
+#else
+  // Portable fallback: plain switch dispatch, same semantics.
+  while (pc != end) {
+    const LoweredInsn insn = *pc++;
+    switch (insn.op) {
+      case LowerOp::kOpenLit:
+        EmitStart(cur, insn.arg);
+        break;
+      case LowerOp::kCloseLit:
+        EmitEnd(cur, insn.arg);
+        break;
+      case LowerOp::kOpenCur:
+        EmitStart(cur, sym);
+        break;
+      case LowerOp::kCloseCur:
+        EmitEnd(cur, sym);
+        break;
+      case LowerOp::kTextLit:
+        EmitTextSym(cur, insn.arg);
+        break;
+      case LowerOp::kTextCur:
+        EmitTextBytes(cur, text);
+        break;
+      case LowerOp::kChild: {
+        if (pc == end) {
+          child_out[(*child_n)++] = Consumer{insn.arg, cur};
+          return;
+        }
+        Segment* child_seg = SplitAfter(cur);
+        child_out[(*child_n)++] = Consumer{insn.arg, child_seg};
+        cur = InsertAfter(child_seg);
+        break;
+      }
+      case LowerOp::kSib: {
+        if (pc == end) {
+          sib_out[(*sib_n)++] = Consumer{insn.arg, cur};
+          return;
+        }
+        Segment* sib_seg = SplitAfter(cur);
+        sib_out[(*sib_n)++] = Consumer{insn.arg, sib_seg};
+        cur = InsertAfter(sib_seg);
+        break;
+      }
+    }
+  }
+  cur->closed = true;
+#endif
+}
+
+Status OpsEngine::Prime() {
+  if (!status_.ok()) return status_;
+  if (started_) return Status::OK();
+  started_ = true;
+  Segment* root = NewSegment();
+  head_ = root;
+  Scope scope;
+  scope.mark = arena_.TakeMark();
+  scope.items = AllocConsumers(1);
+  scope.items[0] = Consumer{static_cast<std::uint32_t>(plan_->initial), root};
+  scope.count = 1;
+  scope.cap = 1;
+  scopes_.push_back(scope);
+  total_consumers_ = 1;
+  spawned_ = 1;
+  // Nothing is emitted before the first event (parity with the table
+  // engine, whose root call blocks on the pending input cell), but the root
+  // segment goes live so the first event's output streams through.
+  FlushHead();
+  return Status::OK();
+}
+
+Status OpsEngine::Feed(const XmlEvent& event) {
+  if (!status_.ok()) return status_;
+  if (!started_) XQMFT_RETURN_NOT_OK(Prime());
+  if (done_) return Status::OK();  // output complete; ignore (table parity)
+  if (validator_ != nullptr) {
+    XQMFT_RETURN_NOT_OK(Sticky(validator_->Feed(event)));
+  }
+  switch (event.type) {
+    case XmlEventType::kStartElement:
+      XQMFT_RETURN_NOT_OK(Sticky(OnStartElement(event)));
+      break;
+    case XmlEventType::kText:
+      XQMFT_RETURN_NOT_OK(Sticky(OnText(event)));
+      break;
+    case XmlEventType::kEndElement:
+      XQMFT_RETURN_NOT_OK(Sticky(OnEndElement()));
+      break;
+    case XmlEventType::kEndOfDocument:
+      XQMFT_RETURN_NOT_OK(Sticky(OnEndOfDocument()));
+      break;
+    default:
+      return Sticky(Status::Internal("unknown event type"));
+  }
+  FlushHead();
+  if (total_consumers_ == 0) done_ = true;
+  return Status::OK();
+}
+
+Status OpsEngine::OnStartElement(const XmlEvent& event) {
+  if (skip_depth_ > 0) {
+    ++skip_depth_;
+    return Status::OK();
+  }
+  Scope& top = scopes_.back();
+  if (top.count == 0) {
+    skip_depth_ = 1;
+    return Status::OK();
+  }
+  const SymbolId sym =
+      event.symbol != kInvalidSymbol
+          ? event.symbol
+          : symbols_->Intern(NodeKind::kElement, event.name);
+
+  XQMFT_RETURN_NOT_OK(ChargeSteps(top.count));
+
+  // Resolve every consumer's program first: sibling rewrites may reuse
+  // top.items in place, so nothing may read it once execution starts.
+  scratch_.clear();
+  std::uint32_t total_child = 0;
+  std::uint32_t total_sib = 0;
+  bool all_simple = true;
+  for (std::uint32_t i = 0; i < top.count; ++i) {
+    const Consumer& c = top.items[i];
+    const LoweredState& st = plan_->states[c.state];
+    const LoweredProgramRef* prog =
+        sym < plan_->width ? &st.element[sym] : &st.element_default;
+    all_simple = all_simple && prog->simple_sib;
+    total_child += prog->n_child;
+    total_sib += prog->n_sib;
+    scratch_.push_back(PendingExec{c.state, prog, c.seg});
+  }
+
+  if (all_simple) {
+    // Every consumer just retargets over the siblings and skips the
+    // subtree: no allocation, no segment traffic — the scan hot path.
+    for (std::uint32_t i = 0; i < top.count; ++i) {
+      top.items[i].state = plan_->code[scratch_[i].prog->off].arg;
+    }
+    spawned_ += top.count;
+    skip_depth_ = 1;
+    return Status::OK();
+  }
+
+  // Sibling continuations replace the scope's consumers. Reuse the array in
+  // place when it fits (a constant-size consumer set never allocates at
+  // steady depth); grow geometrically otherwise. Growth happens before the
+  // child mark so the array survives the child scope's reset — the retired
+  // smaller arrays leak only until the parent closes, bounded by the
+  // geometric sum.
+  Consumer* sibs = top.items;
+  std::uint32_t sib_cap = top.cap;
+  if (sib_cap < total_sib) {
+    sib_cap = std::max(total_sib, top.cap * 2);
+    sibs = AllocConsumers(sib_cap);
+  }
+  const BumpArena::Mark mark = arena_.TakeMark();
+  Consumer* children =
+      total_child > 0 ? AllocConsumers(total_child) : nullptr;
+
+  std::uint32_t n_child = 0;
+  std::uint32_t n_sib = 0;
+  for (const PendingExec& p : scratch_) {
+    ExecProgram(*p.prog, p.seg, sym, std::string_view(), children, &n_child,
+                sibs, &n_sib);
+  }
+
+  total_consumers_ += n_sib + n_child;
+  total_consumers_ -= top.count;
+  spawned_ += n_sib + n_child;
+  top.items = sibs;
+  top.count = n_sib;
+  top.cap = sib_cap;
+
+  if (n_child == 0) {
+    arena_.Reset(mark);
+    skip_depth_ = 1;
+  } else {
+    Scope scope;
+    scope.items = children;
+    scope.count = n_child;
+    scope.cap = n_child;
+    scope.mark = mark;
+    scopes_.push_back(scope);
+  }
+  return Status::OK();
+}
+
+Status OpsEngine::OnText(const XmlEvent& event) {
+  if (skip_depth_ > 0) return Status::OK();
+  Scope& top = scopes_.back();
+  if (top.count == 0) return Status::OK();
+
+  XQMFT_RETURN_NOT_OK(ChargeSteps(top.count));
+
+  scratch_.clear();
+  std::uint32_t total_sib = 0;
+  bool all_simple = true;
+  for (std::uint32_t i = 0; i < top.count; ++i) {
+    const Consumer& c = top.items[i];
+    const LoweredProgramRef* prog = &plan_->states[c.state].text;
+    all_simple = all_simple && prog->simple_sib;
+    total_sib += prog->n_sib;
+    scratch_.push_back(PendingExec{c.state, prog, c.seg});
+  }
+
+  if (all_simple) {
+    for (std::uint32_t i = 0; i < top.count; ++i) {
+      top.items[i].state = plan_->code[scratch_[i].prog->off].arg;
+    }
+    spawned_ += top.count;
+    return Status::OK();
+  }
+
+  Consumer* sibs = top.items;
+  std::uint32_t sib_cap = top.cap;
+  if (sib_cap < total_sib) {
+    sib_cap = std::max(total_sib, top.cap * 2);
+    sibs = AllocConsumers(sib_cap);
+  }
+
+  // Text programs never spawn children (x1 over a text node lowers to the
+  // callee's spliced epsilon program), so no child array and no scope push.
+  std::uint32_t n_sib = 0;
+  for (const PendingExec& p : scratch_) {
+    std::uint32_t n_child = 0;
+    ExecProgram(*p.prog, p.seg, kInvalidSymbol, event.text, nullptr, &n_child,
+                sibs, &n_sib);
+  }
+
+  total_consumers_ += n_sib;
+  total_consumers_ -= top.count;
+  spawned_ += n_sib;
+  top.items = sibs;
+  top.count = n_sib;
+  top.cap = sib_cap;
+  return Status::OK();
+}
+
+Status OpsEngine::OnEndElement() {
+  if (skip_depth_ > 0) {
+    --skip_depth_;
+    return Status::OK();
+  }
+  if (scopes_.size() == 1) {
+    return Status::InvalidArgument("unbalanced end element event");
+  }
+  Scope top = scopes_.back();
+  XQMFT_RETURN_NOT_OK(ChargeSteps(top.count));
+  for (std::uint32_t i = 0; i < top.count; ++i) {
+    const Consumer& c = top.items[i];
+    std::uint32_t n_child = 0;
+    std::uint32_t n_sib = 0;
+    // Epsilon programs are emission-only; ExecProgram closes the segment.
+    ExecProgram(plan_->states[c.state].eps, c.seg, kInvalidSymbol,
+                std::string_view(), nullptr, &n_child, nullptr, &n_sib);
+  }
+  total_consumers_ -= top.count;
+  scopes_.pop_back();
+  arena_.Reset(top.mark);
+  return Status::OK();
+}
+
+Status OpsEngine::OnEndOfDocument() {
+  if (skip_depth_ > 0 || scopes_.size() > 1) {
+    return Status::InvalidArgument("end of document with unclosed elements");
+  }
+  Scope& top = scopes_.back();
+  XQMFT_RETURN_NOT_OK(ChargeSteps(top.count));
+  for (std::uint32_t i = 0; i < top.count; ++i) {
+    const Consumer& c = top.items[i];
+    std::uint32_t n_child = 0;
+    std::uint32_t n_sib = 0;
+    ExecProgram(plan_->states[c.state].eps, c.seg, kInvalidSymbol,
+                std::string_view(), nullptr, &n_child, nullptr, &n_sib);
+  }
+  total_consumers_ -= top.count;
+  top.count = 0;
+  input_done_ = true;
+  return Status::OK();
+}
+
+Status OpsEngine::Finish() {
+  if (status_.ok()) {
+    if (!started_) Prime();  // Sticky() inside records any failure
+    if (status_.ok() && !done_ && !input_done_) {
+      XmlEvent end;
+      end.type = XmlEventType::kEndOfDocument;
+      Feed(end);
+    }
+    if (status_.ok() && !done_) {
+      // Unreachable via the public API (end-of-document either completes
+      // the run or errors); guard against direct misuse.
+      Sticky(
+          Status::Internal("streaming engine finished with output pending"));
+    }
+  }
+  return status_;
+}
+
+}  // namespace lower
+}  // namespace xqmft

@@ -1,0 +1,212 @@
+// Register-machine execution core for lowered plans.
+//
+// Where the table engine materializes the output as a lazy thunk graph, the
+// ops engine executes one straight-line program per (consumer, input event)
+// and never allocates a thunk:
+//
+//   * A *consumer* is a (state, output segment) pair positioned in some
+//     forest of the input. Each element/text event runs the consumer's
+//     program for that label; kSib instructions yield the consumer's
+//     continuations over the following siblings, kChild instructions spawn
+//     consumers over the element's children. At the end of a forest
+//     (EndElement of the parent) the epsilon program runs and the consumer
+//     dies.
+//   * Consumer records live in a bump arena. The static lowering analysis
+//     already proved them non-escaping — a consumer never outlives the
+//     subtree of the scope that spawned it — so closing an element resets
+//     the arena to the mark taken when it opened, retiring the whole
+//     subtree's records in O(1) instead of refcounting each cell.
+//   * Output is a chain of *segments*: single-writer byte buffers ordered by
+//     final output position. A program writes its emissions into its
+//     segment; a spawn splits the segment so the spawned consumer's output
+//     lands exactly where the call appeared in the rule. The chain head
+//     drains to the sink as soon as its writer closes it — and an *open*
+//     head goes "live", forwarding writes straight to the sink with no
+//     buffering, which is the steady state of a single-consumer scan.
+//
+// Same contract as the table machine behind Engine: done() may become true
+// before the input ends (drivers stop feeding), errors are sticky, Finish
+// synthesizes the end-of-document. Selection between the two lives in
+// stream/engine.cc.
+#ifndef XQMFT_LOWER_OPS_ENGINE_H_
+#define XQMFT_LOWER_OPS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lower/lower.h"
+#include "util/memory_tracker.h"
+#include "util/status.h"
+#include "xml/events.h"
+#include "xml/symbol_table.h"
+
+namespace xqmft {
+
+class SchemaValidator;
+
+namespace lower {
+
+class OpsEngine {
+ public:
+  /// `plan` must outlive the engine (it is the CompiledPlan-cached lowering).
+  /// `symbols` is the run-local table events are interned through; `tracker`
+  /// accounts segment buffers and live consumer records (the ops-engine
+  /// analogue of the cell/expr accounting behind Figure 4).
+  OpsEngine(const LoweredPlan& plan, OutputSink* sink, SymbolTable* symbols,
+            MemoryTracker* tracker, std::uint64_t max_steps,
+            SchemaValidator* validator);
+  ~OpsEngine();
+  OpsEngine(const OpsEngine&) = delete;
+  OpsEngine& operator=(const OpsEngine&) = delete;
+
+  Status Prime();
+  Status Feed(const XmlEvent& event);
+  /// Feeds the end-of-document if the driver has not; sticky status.
+  Status Finish();
+  bool done() const { return done_; }
+
+  std::size_t output_events() const { return output_events_; }
+  std::uint64_t steps() const { return steps_; }
+  /// Consumer records served from the arena (reported as cells_arena).
+  std::uint64_t consumers_spawned() const { return spawned_; }
+
+ private:
+  // A single-writer span of the output stream. `data` buffers packed records
+  // ('S'/'E'/'L' + symbol id, 'T' + length + bytes) until the segment
+  // becomes the chain head; a live head skips the buffer entirely.
+  struct Segment {
+    std::string data;
+    Segment* next = nullptr;
+    bool closed = false;  ///< writer finished; drains when it becomes head
+    bool live = false;    ///< is the open head: writes go straight to sink
+  };
+
+  struct Consumer {
+    std::uint32_t state;
+    Segment* seg;
+  };
+
+  // Bump allocator for consumer records. Reset(mark) retires everything
+  // allocated since Mark() in O(1); chunks are retained for reuse. Only the
+  // live (allocated-since-reset) bytes are charged to the tracker, matching
+  // how the slab engines charge live cells but not free-list capacity.
+  class BumpArena {
+   public:
+    struct Mark {
+      std::size_t chunk = 0;
+      std::size_t off = 0;
+      std::size_t live = 0;
+    };
+
+    explicit BumpArena(MemoryTracker* tracker) : tracker_(tracker) {}
+    ~BumpArena() { tracker_->Release(live_); }
+
+    void* Alloc(std::size_t n);
+    Mark TakeMark() const { return Mark{chunk_, off_, live_}; }
+    void Reset(const Mark& m) {
+      tracker_->Release(live_ - m.live);
+      chunk_ = m.chunk;
+      off_ = m.off;
+      live_ = m.live;
+    }
+
+   private:
+    struct Chunk {
+      std::unique_ptr<char[]> bytes;
+      std::size_t size = 0;
+    };
+
+    MemoryTracker* tracker_;
+    std::vector<Chunk> chunks_;
+    std::size_t chunk_ = 0;  ///< current chunk index
+    std::size_t off_ = 0;    ///< bump offset in the current chunk
+    std::size_t live_ = 0;   ///< bytes allocated since the outermost reset
+  };
+
+  // The consumers positioned in one open forest: the top-level forest for
+  // scopes_[0], an open element's children otherwise. `mark` is the arena
+  // position when the scope opened; closing the scope resets to it.
+  struct Scope {
+    Consumer* items = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;  ///< in-place reuse bound for sibling rewrites
+    BumpArena::Mark mark;
+  };
+
+  // Program resolution snapshot taken before execution: sibling rewrites may
+  // reuse the scope's own array in place, so consumers are copied out first.
+  struct PendingExec {
+    std::uint32_t state;
+    const LoweredProgramRef* prog;
+    Segment* seg;
+  };
+
+  Status Sticky(Status s) {
+    if (!s.ok() && status_.ok()) status_ = std::move(s);
+    return status_.ok() ? Status::OK() : status_;
+  }
+  Status ChargeSteps(std::uint64_t n);
+
+  Status OnStartElement(const XmlEvent& event);
+  Status OnText(const XmlEvent& event);
+  Status OnEndElement();
+  Status OnEndOfDocument();
+
+  // Runs one program over the current event. `cur` is the consumer's
+  // segment; spawns append to child_out/sib_out (counts via *child_n /
+  // *sib_n). Closes `cur` unless the final instruction handed it off.
+  void ExecProgram(const LoweredProgramRef& ref, Segment* cur, SymbolId sym,
+                   std::string_view text, Consumer* child_out,
+                   std::uint32_t* child_n, Consumer* sib_out,
+                   std::uint32_t* sib_n);
+
+  Consumer* AllocConsumers(std::uint32_t n) {
+    return static_cast<Consumer*>(arena_.Alloc(n * sizeof(Consumer)));
+  }
+
+  Segment* NewSegment();
+  void RecycleSegment(Segment* s);
+  void ChargeAppend(Segment* s, const char* bytes, std::size_t n);
+  Segment* SplitAfter(Segment* cur);
+  Segment* InsertAfter(Segment* prev);
+
+  void EmitStart(Segment* s, SymbolId sym);
+  void EmitEnd(Segment* s, SymbolId sym);
+  void EmitTextSym(Segment* s, SymbolId sym);
+  void EmitTextBytes(Segment* s, std::string_view text);
+  void Replay(const std::string& data);
+  void FlushHead();
+
+  const LoweredPlan* plan_;
+  OutputSink* sink_;
+  SymbolTable* symbols_;
+  MemoryTracker* tracker_;
+  const std::uint64_t max_steps_;
+  SchemaValidator* validator_;
+
+  BumpArena arena_;
+  std::vector<std::unique_ptr<Segment>> all_segments_;
+  Segment* free_segments_ = nullptr;
+  std::size_t charged_bytes_ = 0;  ///< tracker balance owed by segments
+
+  Segment* head_ = nullptr;  ///< oldest undrained segment of the chain
+  std::vector<Scope> scopes_;
+  std::vector<PendingExec> scratch_;
+  std::uint64_t skip_depth_ = 0;     ///< open elements with no consumer
+  std::uint64_t total_consumers_ = 0;
+
+  bool started_ = false;
+  bool input_done_ = false;
+  bool done_ = false;
+  Status status_ = Status::OK();
+  std::uint64_t steps_ = 0;
+  std::uint64_t spawned_ = 0;
+  std::size_t output_events_ = 0;
+};
+
+}  // namespace lower
+}  // namespace xqmft
+
+#endif  // XQMFT_LOWER_OPS_ENGINE_H_

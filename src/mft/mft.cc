@@ -12,7 +12,10 @@ namespace xqmft {
 // storage.
 Mft::Mft() = default;
 Mft::~Mft() = default;
-void Mft::InvalidateDispatch() { dispatch_.reset(); }
+void Mft::InvalidateDispatch() {
+  dispatch_.reset();
+  lowering_cache_.reset();
+}
 Mft::Mft(const Mft& o)
     : states_(o.states_), rules_(o.rules_), initial_(o.initial_) {}
 Mft::Mft(Mft&& o) noexcept

@@ -226,6 +226,18 @@ class Mft {
   /// Sum of num_params over all states (optimization metric).
   std::size_t TotalParams() const;
 
+  /// Opaque slot for the execution-lowering cache (src/lower). Type-erased
+  /// so mft stays independent of the lower module; the slot follows the
+  /// dispatch-cache lifecycle exactly — any rule mutation clears it, copies
+  /// and moves start cold, and lazy fills are single-threaded until a
+  /// CompiledPlan forces the fill before the transducer is shared.
+  const std::shared_ptr<const void>& lowering_cache() const {
+    return lowering_cache_;
+  }
+  void set_lowering_cache(std::shared_ptr<const void> cache) const {
+    lowering_cache_ = std::move(cache);
+  }
+
  private:
   struct StateInfo {
     std::string name;
@@ -243,6 +255,7 @@ class Mft {
   // Mutable: compilation is observable only through dispatch()/symbols().
   mutable SymbolTable symbols_;
   mutable std::unique_ptr<RuleDispatch> dispatch_;
+  mutable std::shared_ptr<const void> lowering_cache_;
 };
 
 /// Parses the textual rule syntax printed by Mft::ToString. One rule per

@@ -17,9 +17,11 @@ StreamStats AggregateStreamStats(const std::vector<StreamStats>& per_input) {
     out.final_bytes += s.final_bytes;
     out.rule_applications += s.rule_applications;
     out.cells_created += s.cells_created;
+    out.cells_arena += s.cells_arena;
     out.exprs_created += s.exprs_created;
     out.bytes_in += s.bytes_in;
     out.output_events += s.output_events;
+    out.used_ops_engine = out.used_ops_engine || s.used_ops_engine;
   }
   return out;
 }

@@ -273,6 +273,7 @@ Status ServeBatch(std::FILE* out, QueryService* service, const JsonValue& json,
     w.Raw("events_skipped", std::to_string(rs.events_skipped));
     w.Raw("output_events", std::to_string(rs.total.output_events));
     w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
+    w.Field("engine", rs.total.used_ops_engine ? "ops" : "table");
     XQMFT_RETURN_NOT_OK(WriteAll(out, w.Finish() + "\n"));
     XQMFT_RETURN_NOT_OK(WriteAll(out, sinks[i].str()));
     XQMFT_RETURN_NOT_OK(WriteAll(out, "\n"));
@@ -352,6 +353,7 @@ Status ServeLoop(std::FILE* in, std::FILE* out, const ServeOptions& options) {
     w.Raw("bytes_in", std::to_string(stats.total.bytes_in));
     w.Raw("output_events", std::to_string(stats.total.output_events));
     w.Raw("peak_mem_bytes", std::to_string(stats.total.peak_bytes));
+    w.Field("engine", stats.total.used_ops_engine ? "ops" : "table");
     w.Raw("cache_hits", std::to_string(cache.hits));
     w.Raw("cache_misses", std::to_string(cache.misses));
     w.Raw("cache_entries", std::to_string(cache.entries));

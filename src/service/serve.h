@@ -34,9 +34,11 @@
 //
 // Each response is one JSON header line; successful query responses are
 // followed by exactly `bytes` bytes of serialized output and a trailing
-// newline:
+// newline. The header's "engine" field reports which streaming engine
+// served the request: "ops" when the lowered opcode engine ran (any input,
+// for aggregated stats), "table" otherwise (see lower/lower.h):
 //
-//   {"id":7,"ok":true,"bytes":27,"cache":"hit","compile_ms":0.0, ...}
+//   {"id":7,"ok":true,"bytes":27,"cache":"hit","engine":"ops", ...}
 //   <out>...</out>
 //
 // A malformed or failing request produces {"ok":false,"error":"..."} and

@@ -1,7 +1,11 @@
 #include "stream/engine.h"
 
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
+#include "lower/lower.h"
+#include "lower/ops_engine.h"
 #include "mft/dispatch.h"
 #include "schema/schema.h"
 #include "stream/cells.h"
@@ -134,24 +138,23 @@ StreamScratch::StreamScratch(const Mft& mft)
     : impl_(std::make_unique<Impl>(mft)) {}
 StreamScratch::~StreamScratch() = default;
 
-using engine_detail::Expr;
-using engine_detail::ExprKind;
+namespace engine_detail {
 
-// The push-mode engine core. The former pull loop is split at its input
-// boundary: Pump() emits everything determined and *returns* when it needs
-// input (instead of calling events->Next), Feed() supplies one event and
-// re-pumps, Finish() closes the input and verifies completion. The pump
-// order — reduce, emit, block, fill cell, resume — is exactly the old
-// loop's, so output bytes, step counts and error positions are unchanged.
-struct Engine::Impl {
-  Impl(const Mft& mft, OutputSink* sink, const StreamOptions& options,
-       StreamScratch::Impl* scratch)
+// The table-machine engine core (the lazy thunk interpreter). The former
+// pull loop is split at its input boundary: Pump() emits everything
+// determined and *returns* when it needs input (instead of calling
+// events->Next), Feed() supplies one event and re-pumps, Finish() closes
+// the input and verifies completion. The pump order — reduce, emit, block,
+// fill cell, resume — is exactly the old loop's, so output bytes, step
+// counts and error positions are unchanged. The run context (arenas,
+// tracker, run table) is owned by the Engine facade below, which picks
+// between this machine and the lowered ops engine.
+struct TableMachine {
+  TableMachine(const Mft& mft, OutputSink* sink, const StreamOptions& options,
+               StreamScratch::Impl* ctx)
       : mft_(mft),
         dispatch_(&mft.dispatch()),
-        owned_(scratch == nullptr ? std::make_unique<StreamScratch::Impl>(mft)
-                                  : nullptr),
-        ctx_(Prepare(scratch != nullptr ? scratch : owned_.get(),
-                     /*reused=*/scratch != nullptr)),
+        ctx_(ctx),
         sink_(sink),
         options_(options),
         builder_(&ctx_->cell_arena, &ctx_->symbols) {
@@ -483,30 +486,15 @@ struct Engine::Impl {
     return nil_;
   }
 
-  // Re-entry of a serving loop: snapshot the run table back to the plan's
-  // base alphabet (input names interned by earlier documents are forgotten,
-  // keeping the table alphabet-sized instead of growing with the union of
-  // all inputs ever served) and restart peak accounting for this run.
-  static StreamScratch::Impl* Prepare(StreamScratch::Impl* ctx, bool reused) {
-    if (reused) {
-      ctx->symbols.TruncateToSnapshot(ctx->base_symbols);
-      ctx->tracker.ResetPeak();
-    }
-    return ctx;
-  }
-
   const Mft& mft_;
   const RuleDispatch* dispatch_;
   // The run context (tracker, arenas, run-local symbol table — the table is
   // deliberately outside the tracked metric: it is bounded by the number of
   // *distinct* names, alphabet-sized like the transducer, while the tracker
   // measures what Figure 4 measures, retention proportional to the streamed
-  // input). Owned per run, or borrowed from a StreamScratch that persists
-  // it across the runs of a serving loop. owned_ precedes every member that
-  // can hold cells or exprs (builder_, nil_): members destruct in reverse
-  // order, and all nodes must be recycled before their slab frees its
-  // blocks.
-  std::unique_ptr<StreamScratch::Impl> owned_;
+  // input). Owned by the Engine facade, which guarantees it outlives the
+  // machine and that all cells/exprs are recycled before the slabs free
+  // their blocks (the facade destroys the machine before the context).
   StreamScratch::Impl* ctx_;
   OutputSink* sink_;
   StreamOptions options_;
@@ -523,6 +511,104 @@ struct Engine::Impl {
   std::size_t output_events_ = 0;
 };
 
+}  // namespace engine_detail
+
+namespace {
+
+// Resolves kAuto through XQMFT_FORCE_ENGINE ("ops"/"table"); an explicit
+// option always wins over the environment. Read once per process — the
+// variable is a CI/debugging lever, not a runtime switch.
+EngineChoice ResolveEngineChoice(EngineChoice opt) {
+  if (opt != EngineChoice::kAuto) return opt;
+  static const EngineChoice from_env = [] {
+    const char* e = std::getenv("XQMFT_FORCE_ENGINE");
+    if (e == nullptr) return EngineChoice::kAuto;
+    const std::string_view v(e);
+    if (v == "table") return EngineChoice::kTable;
+    if (v == "ops") return EngineChoice::kOps;
+    return EngineChoice::kAuto;
+  }();
+  return from_env;
+}
+
+}  // namespace
+
+// The engine facade: owns the run context and selects the execution core.
+// The lowered ops engine runs whenever the plan is lowerable and the caller
+// did not pin the table machine; unlowerable plans always take the table
+// machine (kOps included — the fallback is silent here, and the CLI reports
+// it). Both cores sit behind the same Prime/Feed/Finish contract, so every
+// driver — single-query pumps, multi-query fan-out, sharding, the service
+// loop — inherits the selection untouched.
+struct Engine::Impl {
+  Impl(const Mft& mft, OutputSink* sink, const StreamOptions& options,
+       StreamScratch::Impl* scratch)
+      : owned_(scratch == nullptr ? std::make_unique<StreamScratch::Impl>(mft)
+                                  : nullptr),
+        ctx_(Prepare(scratch != nullptr ? scratch : owned_.get(),
+                     /*reused=*/scratch != nullptr)) {
+    const lower::LoweredPlan* lowered = nullptr;
+    if (ResolveEngineChoice(options.engine) != EngineChoice::kTable) {
+      lowered = lower::GetLoweredPlan(mft);
+    }
+    if (lowered != nullptr) {
+      ops_ = std::make_unique<lower::OpsEngine>(
+          *lowered, sink, &ctx_->symbols, &ctx_->tracker, options.max_steps,
+          options.validator);
+    } else {
+      table_ = std::make_unique<engine_detail::TableMachine>(mft, sink,
+                                                             options, ctx_);
+    }
+  }
+
+  // Re-entry of a serving loop: snapshot the run table back to the plan's
+  // base alphabet (input names interned by earlier documents are forgotten,
+  // keeping the table alphabet-sized instead of growing with the union of
+  // all inputs ever served) and restart peak accounting for this run.
+  static StreamScratch::Impl* Prepare(StreamScratch::Impl* ctx, bool reused) {
+    if (reused) {
+      ctx->symbols.TruncateToSnapshot(ctx->base_symbols);
+      ctx->tracker.ResetPeak();
+    }
+    return ctx;
+  }
+
+  bool done() const { return ops_ != nullptr ? ops_->done() : table_->done(); }
+  Status Prime() {
+    return ops_ != nullptr ? ops_->Prime() : table_->Prime();
+  }
+  Status Feed(const XmlEvent& event) {
+    return ops_ != nullptr ? ops_->Feed(event) : table_->Feed(event);
+  }
+  std::size_t output_events() const {
+    return ops_ != nullptr ? ops_->output_events() : table_->output_events_;
+  }
+
+  Status Finish(StreamStats* stats) {
+    if (ops_ == nullptr) return table_->Finish(stats);
+    Status s = ops_->Finish();
+    if (stats != nullptr) {
+      stats->peak_bytes = ctx_->tracker.peak_bytes();
+      stats->final_bytes = ctx_->tracker.current_bytes();
+      stats->rule_applications = ops_->steps();
+      stats->cells_created = 0;
+      stats->exprs_created = 0;
+      stats->cells_arena = ops_->consumers_spawned();
+      stats->used_ops_engine = true;
+      stats->output_events = ops_->output_events();
+    }
+    return s;
+  }
+
+  // owned_ precedes the machines: members destruct in reverse order, and
+  // the table machine's cells/exprs must be recycled before their slabs
+  // free their blocks.
+  std::unique_ptr<StreamScratch::Impl> owned_;
+  StreamScratch::Impl* ctx_;
+  std::unique_ptr<engine_detail::TableMachine> table_;
+  std::unique_ptr<lower::OpsEngine> ops_;
+};
+
 Engine::Engine(const Mft& mft, OutputSink* sink, StreamOptions options,
                StreamScratch* scratch)
     : impl_(std::make_unique<Impl>(
@@ -534,7 +620,7 @@ Status Engine::Prime() { return impl_->Prime(); }
 Status Engine::Feed(const XmlEvent& event) { return impl_->Feed(event); }
 Status Engine::Finish(StreamStats* stats) { return impl_->Finish(stats); }
 bool Engine::done() const { return impl_->done(); }
-std::size_t Engine::output_events() const { return impl_->output_events_; }
+std::size_t Engine::output_events() const { return impl_->output_events(); }
 
 namespace {
 

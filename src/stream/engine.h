@@ -32,6 +32,15 @@ namespace xqmft {
 
 class SchemaValidator;
 
+/// Which execution core runs the transducer. kAuto (the default) picks the
+/// lowered opcode engine whenever the plan is lowerable (see lower/lower.h)
+/// and falls back to the table machine otherwise; the XQMFT_FORCE_ENGINE
+/// environment variable ("ops"/"table") overrides kAuto only. kOps also
+/// falls back to the table machine for unlowerable plans — lowering is a
+/// fast path, never a capability switch; callers that want to report the
+/// fallback (the CLI does) ask lower::GetLoweredPlan for the reason.
+enum class EngineChoice : unsigned char { kAuto, kTable, kOps };
+
 struct StreamOptions {
   /// Rule applications before aborting with ResourceExhausted (guards
   /// against non-terminating stay loops in hand-written transducers).
@@ -41,6 +50,8 @@ struct StreamOptions {
   /// Section 1 "validate the input during transformation" feature): every
   /// input event is fed to the validator; a violation aborts the run.
   SchemaValidator* validator = nullptr;
+  /// Execution core selection (see EngineChoice).
+  EngineChoice engine = EngineChoice::kAuto;
 };
 
 /// Statistics of one streaming run (the measurements behind Figure 4).
@@ -48,8 +59,16 @@ struct StreamStats {
   std::size_t peak_bytes = 0;      ///< peak tracked engine memory
   std::size_t final_bytes = 0;     ///< tracked memory at completion
   std::uint64_t rule_applications = 0;
+  /// Refcounted input cells built by the table machine (0 on the ops
+  /// engine, which has no cell graph).
   std::uint64_t cells_created = 0;
   std::uint64_t exprs_created = 0;
+  /// Consumer records the ops engine served from its bump arena (0 on the
+  /// table machine). The arena/refcounted split of a run's cell traffic is
+  /// exactly (cells_arena, cells_created).
+  std::uint64_t cells_arena = 0;
+  /// True when the run executed on the lowered opcode engine.
+  bool used_ops_engine = false;
   std::size_t bytes_in = 0;        ///< input bytes consumed
   std::size_t output_events = 0;   ///< sink events emitted
   /// Input bytes consumed before the first output event: small values mean

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/strings.h"
+#include "xml/char_class.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define XQMFT_HAVE_MMAP 1
@@ -14,46 +15,11 @@
 
 namespace xqmft {
 
+// Character classification (the table and the bulk Scan* helpers, scalar
+// and SIMD) lives in xml/char_class.h so the two scan paths share one
+// definition.
 namespace {
 constexpr std::size_t kBufSize = 1 << 16;
-
-// 256-entry character class table: one load classifies a byte for all three
-// bulk-scan states (text runs use memchr directly; names and whitespace use
-// the class bits).
-enum : unsigned char {
-  kClsNameStart = 1,  // [A-Za-z_:]
-  kClsNameChar = 2,   // name start plus [0-9.-]
-  kClsWs = 4,         // space \t \n \r
-};
-
-struct CharClassTable {
-  unsigned char cls[256] = {};
-  constexpr CharClassTable() {
-    for (int c = 'a'; c <= 'z'; ++c) cls[c] = kClsNameStart | kClsNameChar;
-    for (int c = 'A'; c <= 'Z'; ++c) cls[c] = kClsNameStart | kClsNameChar;
-    cls[static_cast<unsigned char>('_')] = kClsNameStart | kClsNameChar;
-    cls[static_cast<unsigned char>(':')] = kClsNameStart | kClsNameChar;
-    for (int c = '0'; c <= '9'; ++c) cls[c] = kClsNameChar;
-    cls[static_cast<unsigned char>('-')] = kClsNameChar;
-    cls[static_cast<unsigned char>('.')] = kClsNameChar;
-    cls[static_cast<unsigned char>(' ')] = kClsWs;
-    cls[static_cast<unsigned char>('\t')] = kClsWs;
-    cls[static_cast<unsigned char>('\n')] = kClsWs;
-    cls[static_cast<unsigned char>('\r')] = kClsWs;
-  }
-};
-constexpr CharClassTable kTable;
-
-inline unsigned char ClassOf(char c) {
-  return kTable.cls[static_cast<unsigned char>(c)];
-}
-
-inline bool IsAllWs(const char* p, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!(ClassOf(p[i]) & kClsWs)) return false;
-  }
-  return true;
-}
 }  // namespace
 
 std::size_t StringSource::Read(char* buf, std::size_t n) {
@@ -186,9 +152,7 @@ void SaxParser::Advance(std::size_t n) {
 
 void SaxParser::SkipWs() {
   while (true) {
-    std::size_t p = pos_;
-    while (p < len_ && (ClassOf(data_[p]) & kClsWs)) ++p;
-    Advance(p - pos_);
+    Advance(ScanWsRun(data_ + pos_, len_ - pos_));
     if (pos_ < len_ || !Refill()) return;
   }
 }
@@ -261,17 +225,15 @@ Status SaxParser::LexText(XmlEvent* event) {
     }
     const char* base = data_ + pos_;
     std::size_t n = len_ - pos_;
-    const char* lt = static_cast<const char*>(std::memchr(base, '<', n));
-    std::size_t limit = lt != nullptr ? static_cast<std::size_t>(lt - base) : n;
-    const char* amp = static_cast<const char*>(std::memchr(base, '&', limit));
-    std::size_t take =
-        amp != nullptr ? static_cast<std::size_t>(amp - base) : limit;
+    // One fused sweep finds the run limit ('<' or '&') and accumulates the
+    // all-whitespace bit — the SIMD path classifies 16 bytes per step.
+    std::size_t take = ScanTextRun(base, n, &all_ws);
+    int stop = take < n ? static_cast<unsigned char>(base[take]) : -1;
     if (take > 0) {
-      if (all_ws) all_ws = IsAllWs(base, take);
       Advance(take);
       if (spilled) text_spill_.append(base, take);
     }
-    if (amp != nullptr) {
+    if (stop == '&') {
       if (!spilled) {
         text_spill_.append(data_ + run_start, pos_ - run_start);
         spilled = true;
@@ -281,7 +243,7 @@ Status SaxParser::LexText(XmlEvent* event) {
       all_ws = false;
       continue;
     }
-    if (lt != nullptr) break;  // markup ends the run
+    if (stop == '<') break;  // markup ends the run
   }
   std::string_view text =
       spilled ? std::string_view(text_spill_)
@@ -445,9 +407,11 @@ Status SaxParser::LexMarkup(XmlEvent* event) {
 
 Status SaxParser::LexName(std::string_view* out) {
   if (pos_ >= len_ && !Refill()) return Fail("expected a name");
-  if (!(ClassOf(data_[pos_]) & kClsNameStart)) return Fail("expected a name");
+  if (!(CharClassOf(data_[pos_]) & kClsNameStart)) {
+    return Fail("expected a name");
+  }
   std::size_t p = pos_ + 1;
-  while (p < len_ && (ClassOf(data_[p]) & kClsNameChar)) ++p;
+  p += ScanNameRun(data_ + p, len_ - p);
   if (p < len_) {
     *out = std::string_view(data_ + pos_, p - pos_);
     Advance(p - pos_);
@@ -458,8 +422,7 @@ Status SaxParser::LexName(std::string_view* out) {
   name_spill_.assign(data_ + pos_, p - pos_);
   Advance(p - pos_);
   while (pos_ < len_ || Refill()) {
-    std::size_t q = pos_;
-    while (q < len_ && (ClassOf(data_[q]) & kClsNameChar)) ++q;
+    std::size_t q = pos_ + ScanNameRun(data_ + pos_, len_ - pos_);
     name_spill_.append(data_ + pos_, q - pos_);
     Advance(q - pos_);
     if (pos_ < len_) break;  // a non-name byte ended the scan
@@ -480,20 +443,16 @@ Status SaxParser::LexAttrValue(std::uint32_t* off, std::uint32_t* len) {
     if (pos_ >= len_ && !Refill()) return Fail("unterminated attribute value");
     const char* base = data_ + pos_;
     std::size_t n = len_ - pos_;
-    const char* q = static_cast<const char*>(
-        std::memchr(base, quote, n));
-    std::size_t limit = q != nullptr ? static_cast<std::size_t>(q - base) : n;
-    const char* amp = static_cast<const char*>(std::memchr(base, '&', limit));
-    std::size_t take =
-        amp != nullptr ? static_cast<std::size_t>(amp - base) : limit;
+    std::size_t take = ScanAttrRun(base, n, static_cast<char>(quote));
+    int stop = take < n ? static_cast<unsigned char>(base[take]) : -1;
     tag_spill_.append(base, take);
     Advance(take);
-    if (amp != nullptr) {
+    if (stop == '&') {
       GetChar();  // '&'
       XQMFT_RETURN_NOT_OK(DecodeEntity(&tag_spill_));
       continue;
     }
-    if (q != nullptr) {
+    if (stop == quote) {
       GetChar();  // closing quote
       break;
     }

@@ -163,6 +163,40 @@ case "$CASE" in
     expect_contains "$OUT" '"id":8,"ok":true'
     expect_contains "$OUT" "$WANT"
     ;;
+  run_engine_ops)
+    # Forced lowered engine: byte-identical output, and --stats reports the
+    # engine that actually served plus the arena cell accounting.
+    OUT=$("$XQMFT" run --engine=ops "$QUERY" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "$WANT"
+    STATS=$("$XQMFT" run --engine ops --stats "$QUERY" "$XML" 2>&1) \
+      || fail "exit $?"
+    expect_contains "$STATS" "engine: ops"
+    expect_contains "$STATS" "cells refcounted: 0"
+    # Pinning the table engine flips the report and still matches.
+    TOUT=$("$XQMFT" run --engine=table "$QUERY" "$XML") || fail "exit $?"
+    test "$TOUT" = "$OUT" || fail "table output differs: $TOUT"
+    TSTATS=$("$XQMFT" run --engine=table --stats "$QUERY" "$XML" 2>&1) \
+      || fail "exit $?"
+    expect_contains "$TSTATS" "engine: table"
+    expect_contains "$TSTATS" "cells arena: 0"
+    # A bogus engine name is a usage error.
+    "$XQMFT" run --engine=bogus "$QUERY" "$XML" 2>/dev/null \
+      && fail "expected nonzero exit for --engine=bogus"
+    ;;
+  run_engine_fallback)
+    # --engine=ops on a plan that does not lower (the predicate translates
+    # to accumulating parameters): a stderr note names the reason and the
+    # run serves from the table engine with identical output.
+    PQUERY='<out>{ for $x in $input/doc/item[./text()="a"] return <hit>ok</hit> }</out>'
+    OUT=$("$XQMFT" run --engine=ops "$PQUERY" "$XML" 2>"$TMPDIR_SMOKE/err") \
+      || fail "exit $?"
+    expect_contains "$OUT" "<out><hit>ok</hit></out>"
+    expect_contains "$(cat "$TMPDIR_SMOKE/err")" "not lowerable"
+    expect_contains "$(cat "$TMPDIR_SMOKE/err")" "falling back to table engine"
+    STATS=$("$XQMFT" run --engine=ops --stats "$PQUERY" "$XML" 2>&1) \
+      || fail "exit $?"
+    expect_contains "$STATS" "engine: table"
+    ;;
   run_dag)
     OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
     expect_contains "$OUT" "output nodes:"

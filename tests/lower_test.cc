@@ -1,0 +1,311 @@
+// The execution-lowering stage (lower/): lowerability classification, the
+// lowered opcode engine's differential equivalence against the table
+// machine, and the ops engine's runtime contract (stats accounting, step
+// budget, schema validation, sticky errors, done short-circuit).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common/queries.h"
+#include "core/pipeline.h"
+#include "data/generators.h"
+#include "event_trace_util.h"
+#include "lower/lower.h"
+#include "mft/mft.h"
+#include "schema/schema.h"
+#include "stream/engine.h"
+#include "xml/events.h"
+#include "xml/sax_parser.h"
+
+namespace xqmft {
+namespace {
+
+Mft MustParseMft(const std::string& text) {
+  Result<Mft> r = ParseMft(text);
+  if (!r.ok()) {
+    ADD_FAILURE() << "ParseMft failed: " << r.status().ToString();
+  }
+  return std::move(r).ValueOrDie();
+}
+
+// Compiles query text through the full pipeline (so the plan is warmed the
+// way serving paths see it) and returns the shared plan.
+std::shared_ptr<const CompiledPlan> MustCompile(const std::string& text) {
+  auto plan = CompiledPlan::Compile(text);
+  EXPECT_TRUE(plan.ok()) << text << "\n" << plan.status().ToString();
+  return plan.value();
+}
+
+std::string XmarkDoc(std::size_t bytes) {
+  auto doc = GenerateDatasetString(DatasetKind::kXmark, bytes, /*seed=*/11);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.value();
+}
+
+// ---------------------------------------------------------------------------
+// Lowerability classification
+
+TEST(Lowerability, ParameterFreeCopyLowers) {
+  Mft m = MustParseMft(
+      "qcopy(%t(x1)x2) -> %t(qcopy(x1)) qcopy(x2)\nqcopy(eps) -> eps\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();  // compile the tables the lowering reads
+  std::string why;
+  const lower::LoweredPlan* plan = lower::GetLoweredPlan(m, &why);
+  ASSERT_NE(plan, nullptr) << why;
+  EXPECT_FALSE(plan->code.empty());
+  EXPECT_EQ(plan->states.size(), static_cast<std::size_t>(m.num_states()));
+  // The verdict is cached on the transducer: same pointer on re-query.
+  EXPECT_EQ(lower::GetLoweredPlan(m), plan);
+}
+
+TEST(Lowerability, AccumulatingParametersDoNotLower) {
+  auto plan = MustCompile(QueryById("q01").text);
+  std::string why;
+  EXPECT_EQ(lower::GetLoweredPlan(plan->mft(), &why), nullptr);
+  EXPECT_NE(why.find("accumulating parameters"), std::string::npos) << why;
+}
+
+TEST(Lowerability, TextContentMatchDoesNotLower) {
+  // A rule keyed on text content ("hit") needs the event's character data
+  // for dispatch; the opcode programs are resolved per element id only.
+  Mft m = MustParseMft(
+      "q(\"hit\"(x1)x2) -> mark(eps) q(x2)\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  std::string why;
+  EXPECT_EQ(lower::GetLoweredPlan(m, &why), nullptr);
+  EXPECT_NE(why.find("matches on text content"), std::string::npos) << why;
+}
+
+TEST(Lowerability, X0CallCycleDoesNotLower) {
+  // q(eps) -> q(x0) never terminates; x0 inlining must detect the cycle
+  // instead of recursing forever.
+  Mft m = MustParseMft(
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> q(x0)\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  std::string why;
+  EXPECT_EQ(lower::GetLoweredPlan(m, &why), nullptr);
+  EXPECT_NE(why.find("x0-call cycle"), std::string::npos) << why;
+}
+
+TEST(Lowerability, Fig3CorpusClassification) {
+  // The parameter-free half of the corpus lowers; every query with a
+  // predicate translates to accumulating parameters and falls back.
+  const std::set<std::string> kLowerable = {"q02", "q13", "double",
+                                            "fourstar", "deepdup"};
+  for (const BenchQuery& q : Figure3Queries()) {
+    auto plan = MustCompile(q.text);
+    std::string why;
+    const lower::LoweredPlan* lp = lower::GetLoweredPlan(plan->mft(), &why);
+    if (kLowerable.count(q.id) != 0) {
+      EXPECT_NE(lp, nullptr) << q.id << ": " << why;
+    } else {
+      EXPECT_EQ(lp, nullptr) << q.id;
+      EXPECT_NE(why.find("not lowerable"), std::string::npos)
+          << q.id << ": " << why;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential: ops engine vs table engine over the Figure 3 corpus
+
+TEST(LoweredDifferential, Fig3CorpusChunkedRefill) {
+  const std::string xml = XmarkDoc(16 * 1024);
+  for (const BenchQuery& q : Figure3Queries()) {
+    auto plan = MustCompile(q.text);
+    const bool lowers = lower::GetLoweredPlan(plan->mft()) != nullptr;
+
+    StreamOptions table_opts;
+    table_opts.engine = EngineChoice::kTable;
+    StringSink want;
+    ASSERT_TRUE(
+        StreamTransformString(plan->mft(), xml, &want, table_opts).ok())
+        << q.id;
+
+    // Chunked refill: the lowered engine must be insensitive to how the
+    // parser's buffer boundaries slice tags and text runs.
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                              std::size_t{64}, std::size_t{4096}}) {
+      StreamOptions ops_opts;
+      ops_opts.engine = EngineChoice::kOps;
+      ChunkedSource source(xml, chunk);
+      StringSink got;
+      StreamStats stats;
+      Status st = StreamTransform(plan->mft(), &source, &got, ops_opts,
+                                  &stats);
+      ASSERT_TRUE(st.ok()) << q.id << " chunk=" << chunk << ": "
+                           << st.ToString();
+      ASSERT_EQ(got.str(), want.str()) << q.id << " chunk=" << chunk;
+      EXPECT_EQ(stats.used_ops_engine, lowers) << q.id;
+      if (lowers) {
+        // Arena-served consumers, no refcounted cells, no thunks.
+        EXPECT_GT(stats.cells_arena, 0u) << q.id;
+        EXPECT_EQ(stats.cells_created, 0u) << q.id;
+        EXPECT_EQ(stats.exprs_created, 0u) << q.id;
+        EXPECT_GT(stats.rule_applications, 0u) << q.id;
+        EXPECT_GT(stats.peak_bytes, 0u) << q.id;
+      }
+    }
+  }
+}
+
+TEST(LoweredDifferential, MultiTreeForestInput) {
+  // The document-as-forest contract: multiple top-level trees stream
+  // through the ops engine identically to the table machine.
+  auto plan = MustCompile("<out>{ for $x in $input/a return <h>{$x}</h> }</out>");
+  ASSERT_NE(lower::GetLoweredPlan(plan->mft()), nullptr);
+  const std::string xml = "<a><b>1</b></a><c>skip</c><a>2</a>";
+  StreamOptions table_opts;
+  table_opts.engine = EngineChoice::kTable;
+  StringSink want;
+  ASSERT_TRUE(StreamTransformString(plan->mft(), xml, &want, table_opts).ok());
+  StreamOptions ops_opts;
+  ops_opts.engine = EngineChoice::kOps;
+  StringSink got;
+  StreamStats stats;
+  ASSERT_TRUE(
+      StreamTransformString(plan->mft(), xml, &got, ops_opts, &stats).ok());
+  EXPECT_TRUE(stats.used_ops_engine);
+  EXPECT_EQ(got.str(), want.str());
+}
+
+// ---------------------------------------------------------------------------
+// Runtime contract
+
+TEST(OpsEngine, ForcedOpsOnUnlowerablePlanFallsBack) {
+  auto plan = MustCompile(QueryById("q01").text);
+  const std::string xml =
+      "<site><people><person><person_id>person0</person_id>"
+      "<name>n</name></person></people></site>";
+  StreamOptions table_opts;
+  table_opts.engine = EngineChoice::kTable;
+  StringSink want;
+  ASSERT_TRUE(StreamTransformString(plan->mft(), xml, &want, table_opts).ok());
+
+  StreamOptions ops_opts;
+  ops_opts.engine = EngineChoice::kOps;
+  StringSink got;
+  StreamStats stats;
+  ASSERT_TRUE(
+      StreamTransformString(plan->mft(), xml, &got, ops_opts, &stats).ok());
+  EXPECT_FALSE(stats.used_ops_engine);
+  EXPECT_EQ(stats.cells_arena, 0u);
+  EXPECT_GT(stats.cells_created, 0u);
+  EXPECT_EQ(got.str(), want.str());
+}
+
+TEST(OpsEngine, StepBudgetTrips) {
+  auto plan = MustCompile("<out>{$input//a}</out>");
+  ASSERT_NE(lower::GetLoweredPlan(plan->mft()), nullptr);
+  StreamOptions options;
+  options.engine = EngineChoice::kOps;
+  options.max_steps = 2;  // the //a scan charges per consumer per event
+  std::string xml = "<doc>";
+  for (int i = 0; i < 64; ++i) xml += "<a>x</a>";
+  xml += "</doc>";
+  // Stats are only populated by a successful Finish, so the status is the
+  // whole observable here.
+  StringSink sink;
+  Status st = StreamTransformString(plan->mft(), xml, &sink, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpsEngine, ValidatorRunsUnderOpsEngine) {
+  auto plan = MustCompile("<out>{$input//b}</out>");
+  ASSERT_NE(lower::GetLoweredPlan(plan->mft()), nullptr);
+  auto schema = Schema::Parse("a -> b*\nb -> \n");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  StreamOptions ok_opts;
+  ok_opts.engine = EngineChoice::kOps;
+  SchemaValidator ok_validator(schema.value());
+  ok_opts.validator = &ok_validator;
+  StringSink ok_sink;
+  StreamStats ok_stats;
+  Status ok_st = StreamTransformString(plan->mft(), "<a><b/><b/></a>",
+                                       &ok_sink, ok_opts, &ok_stats);
+  EXPECT_TRUE(ok_st.ok()) << ok_st.ToString();
+  EXPECT_TRUE(ok_stats.used_ops_engine);
+  EXPECT_EQ(ok_sink.str(), "<out><b></b><b></b></out>");
+
+  StreamOptions bad_opts;
+  bad_opts.engine = EngineChoice::kOps;
+  SchemaValidator bad_validator(schema.value());
+  bad_opts.validator = &bad_validator;
+  StringSink bad_sink;
+  Status bad_st = StreamTransformString(plan->mft(), "<a><c/></a>",
+                                        &bad_sink, bad_opts);
+  EXPECT_FALSE(bad_st.ok());
+}
+
+TEST(OpsEngine, UnbalancedEndElementIsStickyError) {
+  auto plan = MustCompile("<out>{$input//a}</out>");
+  StreamOptions options = plan->options().stream;
+  options.engine = EngineChoice::kOps;
+  StringSink sink;
+  Engine engine(plan->mft(), &sink, options);
+  XmlEvent ev;
+  ev.type = XmlEventType::kEndElement;
+  ev.name = "a";
+  Status first = engine.Feed(ev);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.code(), StatusCode::kInvalidArgument);
+  // Sticky: the same status again on every later call.
+  ev.type = XmlEventType::kStartElement;
+  EXPECT_EQ(engine.Feed(ev).ToString(), first.ToString());
+  EXPECT_EQ(engine.Finish().ToString(), first.ToString());
+}
+
+TEST(OpsEngine, DoneAfterEndOfDocumentIgnoresLaterEvents) {
+  auto plan = MustCompile("<out>{$input//a}</out>");
+  StreamOptions options = plan->options().stream;
+  options.engine = EngineChoice::kOps;
+  StringSink sink;
+  Engine engine(plan->mft(), &sink, options);
+  ASSERT_TRUE(engine.Prime().ok());
+  XmlEvent ev;
+  ev.type = XmlEventType::kStartElement;
+  ev.name = "a";
+  ASSERT_TRUE(engine.Feed(ev).ok());
+  ev.type = XmlEventType::kEndElement;
+  ASSERT_TRUE(engine.Feed(ev).ok());
+  ev.type = XmlEventType::kEndOfDocument;
+  ASSERT_TRUE(engine.Feed(ev).ok());
+  EXPECT_TRUE(engine.done());
+  const std::string after_done = sink.str();
+  // Feeding past done is a no-op (the same short-circuit the table machine
+  // applies, before any validation).
+  ev.type = XmlEventType::kStartElement;
+  ev.name = "zzz";
+  EXPECT_TRUE(engine.Feed(ev).ok());
+  EXPECT_EQ(sink.str(), after_done);
+  StreamStats stats;
+  ASSERT_TRUE(engine.Finish(&stats).ok());
+  EXPECT_TRUE(stats.used_ops_engine);
+  EXPECT_EQ(sink.str(), "<out><a></a></out>");
+}
+
+TEST(OpsEngine, FinishSuppliesEndOfDocument) {
+  // Constant output without a single input event: Prime + Finish.
+  auto plan = MustCompile("<out>done</out>");
+  ASSERT_NE(lower::GetLoweredPlan(plan->mft()), nullptr);
+  StreamOptions options = plan->options().stream;
+  options.engine = EngineChoice::kOps;
+  StringSink sink;
+  Engine engine(plan->mft(), &sink, options);
+  EXPECT_TRUE(engine.Finish().ok());
+  EXPECT_EQ(sink.str(), "<out>done</out>");
+}
+
+}  // namespace
+}  // namespace xqmft

@@ -146,6 +146,9 @@ TEST(PushEngine, ErrorsAreSticky) {
   ASSERT_TRUE(plan.ok());
   StreamOptions options = plan.value()->options().stream;
   options.max_steps = 1;  // the step budget trips immediately
+  // Pin the table machine: the ops engine charges one step per consumer
+  // per event, so this budget would only trip at the end element there.
+  options.engine = EngineChoice::kTable;
   StringSink sink;
   Engine engine(plan.value()->mft(), &sink, options);
   XmlEvent ev;

@@ -14,6 +14,10 @@
 //   7. the optimized MFT through the QueryCache (service/query_cache):
 //      cold lookup compiles, warm lookup hits — both byte-identical to the
 //      direct CompiledQuery/streaming output
+//   9. the lowered opcode engine vs the table engine (lower/): when the
+//      plan lowers, a forced --engine=ops run must be byte-identical to a
+//      forced table run; when it does not, the ops request must fall back
+//      and still match
 //
 // All of these must produce identical serialized output (for the sharded
 // paths: identical to the matching serial evaluation — see the in-line
@@ -29,6 +33,7 @@
 
 #include "core/pipeline.h"
 #include "gcx/gcx_engine.h"
+#include "lower/lower.h"
 #include "service/query_cache.h"
 #include "mft/interp.h"
 #include "mft/optimize.h"
@@ -385,6 +390,39 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
       ASSERT_EQ(multi_b.str(), serial_b.str())
           << "multi-query vs serial (query 2)\nquery: " << text
           << "\nquery2: " << text2 << "\ndoc: " << doc.value;
+    }
+  }
+
+  // 9. Lowered opcode engine vs table engine: a forced table run and a
+  // forced ops run must be byte-identical on every document. When the plan
+  // does not lower, the forced ops run exercises the silent fall-back to
+  // the table machine and must still match. The per-run stats confirm
+  // which engine actually served.
+  {
+    std::string why;
+    const bool lowers = lower::GetLoweredPlan(opt, &why) != nullptr;
+    if (debug && !lowers) std::fprintf(stderr, "no lowering: %s\n", why.c_str());
+    for (const ParallelInput& doc : doc_set) {
+      StreamOptions table_opts;
+      table_opts.engine = EngineChoice::kTable;
+      StringSink table_sink;
+      StreamStats table_stats;
+      Status ts = StreamTransformString(opt, doc.value, &table_sink,
+                                        table_opts, &table_stats);
+      ASSERT_TRUE(ts.ok()) << text << "\n" << ts.ToString();
+      ASSERT_FALSE(table_stats.used_ops_engine) << text;
+
+      StreamOptions ops_opts;
+      ops_opts.engine = EngineChoice::kOps;
+      StringSink ops_sink;
+      StreamStats ops_stats;
+      Status os = StreamTransformString(opt, doc.value, &ops_sink, ops_opts,
+                                        &ops_stats);
+      ASSERT_TRUE(os.ok()) << text << "\n" << os.ToString();
+      ASSERT_EQ(ops_stats.used_ops_engine, lowers) << text;
+      ASSERT_EQ(ops_sink.str(), table_sink.str())
+          << "ops engine vs table engine\nquery: " << text
+          << "\ndoc: " << doc.value << "\nlowers: " << lowers;
     }
   }
 }

@@ -631,7 +631,12 @@ TEST(QueryRunTest, ReusedRunMatchesFreshRunsAcrossDocuments) {
 }
 
 TEST(QueryRunTest, PeakMemoryIsPerRunNotCumulative) {
-  auto plan = CompiledPlan::Compile("<out>{ $input//a }</out>");
+  // Pin the table machine: the ops engine streams this query at a flat,
+  // document-independent peak, which would make the two peaks equal and
+  // prove nothing about per-run accounting.
+  PipelineOptions options;
+  options.stream.engine = EngineChoice::kTable;
+  auto plan = CompiledPlan::Compile("<out>{ $input//a }</out>", options);
   ASSERT_TRUE(plan.ok());
   QueryRun run(plan.value());
   // A big document, then a tiny one: the tiny run's peak must reflect the

@@ -376,15 +376,34 @@ TEST(StreamMemoryTest, VeryDeepDocumentsStreamInLinearTime) {
 TEST(StreamMemoryTest, StatsArePopulated) {
   Mft m = MustParseMft(
       "qcopy(%t(x1)x2) -> %t(qcopy(x1)) qcopy(x2)\nqcopy(eps) -> eps\n");
+  // The copy transducer is lowerable, so the default (auto) selection runs
+  // the ops engine: its cell traffic is arena-served consumer records, and
+  // the refcounted cell/expr counters stay at zero.
   StreamStats stats;
   StringSink sink;
   ASSERT_TRUE(StreamTransformString(m, "<a><b/>t</a>", &sink, {}, &stats).ok());
-  EXPECT_GT(stats.cells_created, 0u);
-  EXPECT_GT(stats.exprs_created, 0u);
+  EXPECT_TRUE(stats.used_ops_engine);
+  EXPECT_GT(stats.cells_arena, 0u);
+  EXPECT_EQ(stats.cells_created, 0u);
+  EXPECT_EQ(stats.exprs_created, 0u);
   EXPECT_GT(stats.rule_applications, 0u);
   EXPECT_GT(stats.peak_bytes, 0u);
   EXPECT_EQ(stats.bytes_in, std::string("<a><b/>t</a>").size());
   EXPECT_EQ(stats.output_events, 5u);  // <a>, <b>, </b>, t, </a>
+
+  // Pinning the table machine restores the thunk-graph accounting — and the
+  // output bytes must not depend on the engine.
+  StreamOptions table;
+  table.engine = EngineChoice::kTable;
+  StreamStats tstats;
+  StringSink tsink;
+  ASSERT_TRUE(
+      StreamTransformString(m, "<a><b/>t</a>", &tsink, table, &tstats).ok());
+  EXPECT_FALSE(tstats.used_ops_engine);
+  EXPECT_EQ(tstats.cells_arena, 0u);
+  EXPECT_GT(tstats.cells_created, 0u);
+  EXPECT_GT(tstats.exprs_created, 0u);
+  EXPECT_EQ(tsink.str(), sink.str());
 }
 
 }  // namespace

@@ -54,6 +54,7 @@ PARSER_BENCH = "bench_parser"
 PARALLEL_BENCH = "bench_parallel"
 SERVICE_BENCH = "bench_service"
 MULTIQUERY_BENCH = "bench_multiquery"
+LOWER_BENCH = "bench_lower"
 
 # Compile-time deltas below this many milliseconds are timer jitter, not a
 # compiler regression; the compile_ms gate ignores them.
@@ -224,7 +225,7 @@ def main():
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
     binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, SERVICE_BENCH,
-                               MULTIQUERY_BENCH, TABLE1_BENCH]
+                               MULTIQUERY_BENCH, LOWER_BENCH, TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:

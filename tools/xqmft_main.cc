@@ -18,7 +18,10 @@
 // later runs stream the cache with zero scanning), --threads <N> (parallel
 // sharded streaming: a document set fans out across N workers; a single
 // pretok input splits at top-level forest boundaries; 0 = one worker per
-// hardware thread).
+// hardware thread), --engine table|ops (pin the streaming engine; the
+// default picks the lowered opcode engine whenever the plan qualifies —
+// see lower/lower.h. --engine=ops on an unlowerable plan notes the reason
+// on stderr and runs the table engine).
 //
 // Multi-query runs: `run` with repeated --query/-q flags (or --query-file,
 // one query per line) streams EVERY query over one input document in a
@@ -46,6 +49,7 @@
 
 #include "core/pipeline.h"
 #include "data/generators.h"
+#include "lower/lower.h"
 #include "parallel/merge_sink.h"
 #include "service/query_service.h"
 #include "service/serve.h"
@@ -75,7 +79,7 @@ int Usage() {
       "  stats <input.xml>            document size/depth statistics\n"
       "  serve                        JSON request loop on stdin/stdout\n"
       "flags: --no-opt --schema <file> --dag --stats "
-      "--pretok-cache <file> --threads <N>\n"
+      "--pretok-cache <file> --threads <N> --engine table|ops\n"
       "       --query/-q <q> --query-file <file> --no-union-projection "
       "(multi-query run)\n"
       "       --cache-capacity <N> --cache-bytes <N>  (serve)\n");
@@ -119,6 +123,7 @@ struct Flags {
   long threads = 0;  ///< 0 = one worker per hardware thread
   long cache_capacity = -1;  ///< serve: max resident plans (-1 = default)
   long cache_bytes = -1;     ///< serve: plan byte budget (-1 = unbounded)
+  EngineChoice engine = EngineChoice::kAuto;  ///< --engine table|ops
   std::string schema_path;
   std::string pretok_cache;
 };
@@ -126,6 +131,37 @@ struct Flags {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+// --engine value: "table" pins the tree-building machine, "ops" requests
+// the lowered opcode engine (falls back with a note when the plan does not
+// lower). Anything else is a usage error.
+bool ParseEngine(const std::string& value, Flags* flags) {
+  if (value == "table") {
+    flags->engine = EngineChoice::kTable;
+  } else if (value == "ops") {
+    flags->engine = EngineChoice::kOps;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// When the user asked for the opcode engine explicitly but the plan cannot
+// lower, say why before the run silently serves from the table engine.
+void NoteEngineFallback(const Flags& flags, const Mft& mft) {
+  if (flags.engine != EngineChoice::kOps) return;
+  std::string why;
+  if (lower::GetLoweredPlan(mft, &why) == nullptr) {
+    // The cached reason already reads "not lowerable: ..."; strip the
+    // prefix so the note does not say it twice.
+    const std::string prefix = "not lowerable: ";
+    if (why.compare(0, prefix.size(), prefix) == 0) why.erase(0, prefix.size());
+    std::fprintf(stderr,
+                 "note: plan is not lowerable (%s); falling back to table "
+                 "engine\n",
+                 why.c_str());
+  }
 }
 
 // Opens a pretok file as the run's event source, rejecting a stream whose
@@ -312,13 +348,15 @@ int StreamWith(const CompiledPlan& plan,
   if (flags.stats) {
     std::fprintf(stderr,
                  "bytes in: %zu, output events: %zu, peak memory: %s, "
-                 "rule applications: %llu, cells created: %llu, "
-                 "exprs created: %llu\n",
+                 "rule applications: %llu, cells arena: %llu, "
+                 "cells refcounted: %llu, exprs created: %llu, engine: %s\n",
                  stats.bytes_in, stats.output_events,
                  HumanBytes(stats.peak_bytes).c_str(),
                  static_cast<unsigned long long>(stats.rule_applications),
+                 static_cast<unsigned long long>(stats.cells_arena),
                  static_cast<unsigned long long>(stats.cells_created),
-                 static_cast<unsigned long long>(stats.exprs_created));
+                 static_cast<unsigned long long>(stats.exprs_created),
+                 stats.used_ops_engine ? "ops" : "table");
   }
   return 0;
 }
@@ -381,6 +419,7 @@ int RunMulti(const std::vector<std::string>& inputs, const Flags& flags) {
 
   PipelineOptions po;
   po.optimize = !flags.no_opt;
+  po.stream.engine = flags.engine;
   std::vector<std::shared_ptr<const CompiledPlan>> plans;
   std::vector<const CompiledPlan*> raw;
   for (std::size_t i = 0; i < texts.size(); ++i) {
@@ -483,6 +522,16 @@ int main(int argc, char** argv) {
       flags.schema_path = argv[++i];
     } else if (a == "--pretok-cache" && i + 1 < argc) {
       flags.pretok_cache = argv[++i];
+    } else if (a == "--engine" && i + 1 < argc) {
+      if (!ParseEngine(argv[++i], &flags)) {
+        std::fprintf(stderr, "error: --engine expects 'table' or 'ops'\n");
+        return 2;
+      }
+    } else if (a.rfind("--engine=", 0) == 0) {
+      if (!ParseEngine(a.substr(std::strlen("--engine=")), &flags)) {
+        std::fprintf(stderr, "error: --engine expects 'table' or 'ops'\n");
+        return 2;
+      }
     } else if (a == "--threads" && i + 1 < argc) {
       char* end = nullptr;
       flags.threads = std::strtol(argv[++i], &end, 10);
@@ -527,6 +576,7 @@ int main(int argc, char** argv) {
     if (!query_text.ok()) return Fail(query_text.status());
     PipelineOptions po;
     po.optimize = !flags.no_opt;
+    po.stream.engine = flags.engine;
     Result<std::unique_ptr<CompiledQuery>> cq =
         CompiledQuery::Compile(query_text.value(), po);
     if (!cq.ok()) return Fail(cq.status());
@@ -540,6 +590,7 @@ int main(int argc, char** argv) {
       std::printf("%s", cq.value()->unoptimized_mft().ToString().c_str());
       return 0;
     }
+    NoteEngineFallback(flags, cq.value()->mft());
     return StreamWith(
         *cq.value()->plan(),
         std::vector<std::string>(args.begin() + 1, args.end()), flags);
@@ -553,9 +604,12 @@ int main(int argc, char** argv) {
     if (!mft.ok()) return Fail(mft.status());
     // Hand-written rules serve through the same immutable plan artifact as
     // compiled queries (validated + dispatch warmed before any fan-out).
+    PipelineOptions po;
+    po.stream.engine = flags.engine;
     Result<std::shared_ptr<const CompiledPlan>> plan =
-        CompiledPlan::FromMft(std::move(mft).value());
+        CompiledPlan::FromMft(std::move(mft).value(), po);
     if (!plan.ok()) return Fail(plan.status());
+    NoteEngineFallback(flags, plan.value()->mft());
     return StreamWith(*plan.value(),
                       std::vector<std::string>(args.begin() + 1, args.end()),
                       flags);
@@ -596,6 +650,7 @@ int main(int argc, char** argv) {
       so.cache.max_bytes = static_cast<std::size_t>(flags.cache_bytes);
     }
     so.pipeline.optimize = !flags.no_opt;
+    so.pipeline.stream.engine = flags.engine;
     if (flags.threads_set) {
       so.default_threads = static_cast<std::size_t>(flags.threads);
     }

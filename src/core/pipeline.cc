@@ -38,6 +38,12 @@ Status FinishPlan(const Mft& mft, const PipelineOptions& options) {
         "into an immutable CompiledPlan; stream with per-run options via "
         "StreamTransform instead");
   }
+  if (options.stream.cancel != nullptr) {
+    return Status::InvalidArgument(
+        "a cancel token is per-request state and cannot be baked into an "
+        "immutable CompiledPlan; pass it per run via ParallelOptions / "
+        "MultiQueryOptions or per-run StreamOptions instead");
+  }
   XQMFT_RETURN_NOT_OK(mft.Validate());
   mft.dispatch();  // compile-once: warm before the plan is shareable
   // Warm the execution lowering too (or cache the not-lowerable verdict):
@@ -131,7 +137,11 @@ Status StreamManyTransform(const CompiledPlan& plan,
                            OutputSink* sink, const ParallelOptions& par,
                            std::vector<StreamStats>* stats) {
   const Mft& mft = plan.mft();
-  const StreamOptions& stream = plan.options().stream;
+  // Per-run copy of the plan's baked options: the request's cancel token
+  // (never baked — FinishPlan rejects it) rides in via ParallelOptions and
+  // reaches every worker engine of the fan-out.
+  StreamOptions stream = plan.options().stream;
+  if (par.cancel != nullptr) stream.cancel = par.cancel;
   if (stats != nullptr) {
     stats->assign(inputs.size(), StreamStats{});
   }
@@ -180,7 +190,8 @@ Status StreamShardedPretokTransform(const CompiledPlan& plan,
                                     const ParallelOptions& par,
                                     std::vector<StreamStats>* stats) {
   const Mft& mft = plan.mft();
-  const StreamOptions& stream = plan.options().stream;
+  StreamOptions stream = plan.options().stream;
+  if (par.cancel != nullptr) stream.cancel = par.cancel;
   if (shards == 0) {
     // Default: split at every top-level forest boundary (the splitter
     // clamps to the tree count). Deliberately NOT the worker count — on a

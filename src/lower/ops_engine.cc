@@ -38,13 +38,17 @@ void* OpsEngine::BumpArena::Alloc(std::size_t n) {
 
 OpsEngine::OpsEngine(const LoweredPlan& plan, OutputSink* sink,
                      SymbolTable* symbols, MemoryTracker* tracker,
-                     std::uint64_t max_steps, SchemaValidator* validator)
+                     std::uint64_t max_steps, SchemaValidator* validator,
+                     const CancelToken* cancel,
+                     std::uint32_t cancel_check_events)
     : plan_(&plan),
       sink_(sink),
       symbols_(symbols),
       tracker_(tracker),
       max_steps_(max_steps),
       validator_(validator),
+      cancel_(cancel),
+      cancel_check_events_(cancel_check_events),
       arena_(tracker) {}
 
 OpsEngine::~OpsEngine() {
@@ -361,6 +365,13 @@ Status OpsEngine::Feed(const XmlEvent& event) {
   if (!status_.ok()) return status_;
   if (!started_) XQMFT_RETURN_NOT_OK(Prime());
   if (done_) return Status::OK();  // output complete; ignore (table parity)
+  // Cancellation check precedes the event's programs AND the FlushHead at
+  // the bottom: a tripped run commits nothing past the previous event.
+  if (cancel_ != nullptr &&
+      ++events_since_cancel_check_ >= cancel_check_events_) {
+    events_since_cancel_check_ = 0;
+    XQMFT_RETURN_NOT_OK(Sticky(cancel_->Check()));
+  }
   if (validator_ != nullptr) {
     XQMFT_RETURN_NOT_OK(Sticky(validator_->Feed(event)));
   }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "lower/lower.h"
+#include "util/cancel.h"
 #include "util/memory_tracker.h"
 #include "util/status.h"
 #include "xml/events.h"
@@ -53,10 +54,15 @@ class OpsEngine {
   /// `plan` must outlive the engine (it is the CompiledPlan-cached lowering).
   /// `symbols` is the run-local table events are interned through; `tracker`
   /// accounts segment buffers and live consumer records (the ops-engine
-  /// analogue of the cell/expr accounting behind Figure 4).
+  /// analogue of the cell/expr accounting behind Figure 4). `cancel` (may be
+  /// null) is polled every `cancel_check_events` fed events; a trip becomes
+  /// the sticky run status before the event does any work, so the sink ends
+  /// at the previous event boundary and Finish never drains the segments a
+  /// cancelled run left buffered (stream/engine.h's cancelled-run contract).
   OpsEngine(const LoweredPlan& plan, OutputSink* sink, SymbolTable* symbols,
             MemoryTracker* tracker, std::uint64_t max_steps,
-            SchemaValidator* validator);
+            SchemaValidator* validator, const CancelToken* cancel = nullptr,
+            std::uint32_t cancel_check_events = 128);
   ~OpsEngine();
   OpsEngine(const OpsEngine&) = delete;
   OpsEngine& operator=(const OpsEngine&) = delete;
@@ -185,6 +191,9 @@ class OpsEngine {
   MemoryTracker* tracker_;
   const std::uint64_t max_steps_;
   SchemaValidator* validator_;
+  const CancelToken* cancel_;
+  const std::uint32_t cancel_check_events_;
+  std::uint32_t events_since_cancel_check_ = 0;
 
   BumpArena arena_;
   std::vector<std::unique_ptr<Segment>> all_segments_;

@@ -61,7 +61,12 @@ Status MultiQueryRun::Run(EventSource* events) {
   first_output_bytes_.assign(plans_.size(), 0);
   std::vector<char> saw_output(plans_.size(), 0);
   engines_.reserve(plans_.size());
-  for (const MultiPlanSpec& p : plans_) {
+  for (MultiPlanSpec& p : plans_) {
+    // The run-level token reaches every engine (per-spec tokens, if any,
+    // are preserved — a run token overrides only absent ones).
+    if (options_.cancel != nullptr && p.options.cancel == nullptr) {
+      p.options.cancel = options_.cancel;
+    }
     engines_.push_back(std::make_unique<Engine>(*p.mft, p.sink, p.options));
   }
   std::unique_ptr<UnionProjection> projection;
@@ -122,6 +127,32 @@ Status MultiQueryRun::Run(EventSource* events) {
     }
     if (event.type == XmlEventType::kEndOfDocument) break;
     ++stats_.events_total;
+    // Run-level cancellation, polled here as well as inside the engines:
+    // under the union projection a long unmatchable stretch feeds no engine
+    // at all, so only the shared pump can observe a deadline during it.
+    // Abort handling mirrors a source error: completed plans keep their
+    // results, unfinished ones fail with the token's status.
+    if (options_.cancel != nullptr && (stats_.events_total & 255u) == 0) {
+      Status cst = options_.cancel->Check();
+      if (!cst.ok()) {
+        for (std::size_t i = 0; i < engines_.size(); ++i) {
+          if (!results_[i].status.ok()) continue;
+          if (engines_[i]->done()) {
+            engines_[i]->Finish(&results_[i].stats);
+            results_[i].stats.bytes_in = events->bytes_consumed();
+            results_[i].stats.bytes_in_at_first_output =
+                first_output_bytes_[i];
+          } else {
+            // No Finish here: the engine is still live, and Finish would
+            // synthesize end-of-document and emit output for a run we are
+            // abandoning. Status only, like a source error.
+            results_[i].status = cst;
+          }
+        }
+        stats_.bytes_in = events->bytes_consumed();
+        return cst;
+      }
+    }
     if (projection != nullptr && !projection->Feed(event)) {
       ++stats_.events_skipped;
       continue;

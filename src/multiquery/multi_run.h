@@ -54,6 +54,14 @@ struct MultiQueryOptions {
   /// Merge the per-plan projections and skip unmatchable subtrees at the
   /// source; off means every engine sees every event (the N-pass count).
   bool union_projection = true;
+  /// Run-level cooperative cancellation (batch deadline, client
+  /// disconnect): injected into every engine's StreamOptions and also
+  /// polled in the shared pump itself, so projection-skipped stretches —
+  /// where no engine sees events — cannot outrun a deadline. A trip aborts
+  /// every unfinished plan with the token's status; plans that already
+  /// completed keep their results, mirroring source-error handling. Must
+  /// outlive the run; null means not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct MultiQueryStats {

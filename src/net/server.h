@@ -1,0 +1,150 @@
+// Hardened socket front end for the serving stack.
+//
+// NetServer multiplexes N client connections over one poll(2) event loop
+// and executes their requests on a bounded worker pool, speaking exactly
+// the stdin serve protocol (service/wire.h): NDJSON request lines in,
+// framed responses out, per-connection responses in request order whatever
+// order the workers finish in.
+//
+// Robustness model — the loop thread never blocks and never executes a
+// query; everything that can be slow, large, or hostile is bounded:
+//
+//   admission    A bounded job queue. When it is full, new requests are
+//                rejected immediately with {"status":"unavailable",
+//                "error":"...overloaded...","retry_after_ms":N} instead of
+//                queueing without bound (load shedding). "cmd" requests
+//                (stats polls) bypass the queue — they stay answerable
+//                under full load, which is when you want them.
+//   deadlines    "deadline_ms" is armed at ADMISSION on the job's
+//                CancelToken, so time spent queued counts against the
+//                budget; engines abort mid-stream via cooperative checks.
+//   disconnect   A client that goes away (reset, error) has its in-flight
+//                runs cancelled — the server does not keep computing
+//                responses nobody will read. A half-close (shutdown(WR))
+//                is the opposite contract: pending responses are computed,
+//                delivered, and then the server closes.
+//   slow client  Responses buffer up to max_write_buffer_bytes; reading is
+//                paused (backpressure) at half that, and a client that
+//                still will not drain is disconnected, not buffered into
+//                server memory.
+//   input size   Request lines are discarded past limits.max_line_bytes
+//                without being buffered; inline "xml" bytes are capped by
+//                the wire layer.
+//   shutdown     RequestShutdown() (async-signal-safe, callable from a
+//                SIGTERM handler) stops accepting, rejects new work with
+//                "shutting_down", drains in-flight requests up to
+//                drain_ms, then cancels stragglers and returns from Run().
+//
+// Fault injection: allow_fault_injection exposes the request-level "fault"
+// field (service/fault.h); fault_abort_conn_after_responses is the
+// socket-level hook — the server drops the connection abruptly after that
+// many responses, for client-robustness stress. Both are test harness
+// surfaces, off by default.
+#ifndef XQMFT_NET_SERVER_H_
+#define XQMFT_NET_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/serve.h"
+#include "service/wire.h"
+#include "util/status.h"
+
+namespace xqmft {
+
+struct NetServerOptions {
+  /// TCP listener: -1 = none, 0 = ephemeral (read the bound port back with
+  /// port()). Binds loopback by default; serving beyond localhost is a
+  /// deployment decision, not a default.
+  int tcp_port = -1;
+  std::string tcp_address = "127.0.0.1";
+  /// Unix-domain listener path; empty = none. An existing socket file at
+  /// the path is replaced.
+  std::string unix_path;
+
+  /// Query worker threads (>= 1).
+  std::size_t workers = 2;
+  /// Admitted-but-unstarted requests held before load shedding kicks in.
+  std::size_t queue_limit = 64;
+  /// Admitted requests per connection before its reads pause
+  /// (backpressure; nothing is rejected, the client just stops being read).
+  std::size_t max_inflight_per_conn = 32;
+  /// Buffered response bytes per connection: reads pause at half, the
+  /// connection is dropped (slow_client_closed) at the full limit.
+  std::size_t max_write_buffer_bytes = 4u << 20;
+  /// Hint echoed in overload rejections.
+  std::uint64_t retry_after_ms = 50;
+  /// Graceful-shutdown drain budget; in-flight runs still going when it
+  /// expires are cancelled.
+  std::uint64_t drain_ms = 5000;
+
+  // Request execution (same knobs as the stdin ServeLoop).
+  QueryCacheOptions cache;
+  PipelineOptions pipeline;
+  std::size_t default_threads = 1;
+  RequestLimits limits;
+  bool allow_fault_injection = false;
+
+  /// Socket-level fault hook: abruptly close each connection after this
+  /// many responses (0 = never). Test harness only.
+  std::uint32_t fault_abort_conn_after_responses = 0;
+};
+
+/// \brief Monotonic serving counters (atomically readable while serving).
+///
+/// Also exposed over the wire as {"cmd":"server_stats"} — and because cmd
+/// requests bypass admission, the counters stay observable at full load.
+struct NetServerCounters {
+  std::uint64_t connections = 0;     ///< accepted
+  std::uint64_t admitted = 0;        ///< requests admitted to the queue
+  std::uint64_t completed_ok = 0;    ///< admitted requests that succeeded
+  std::uint64_t failed = 0;          ///< admitted requests that errored
+  std::uint64_t cancelled_runs = 0;  ///< runs aborted by cancellation
+  std::uint64_t deadline_exceeded_runs = 0;  ///< runs aborted by deadline
+  std::uint64_t rejected_overload = 0;       ///< shed: queue full
+  std::uint64_t rejected_shutdown = 0;       ///< shed: draining
+  std::uint64_t rejected_line_length = 0;    ///< overlong request lines
+  std::uint64_t disconnects_inflight = 0;    ///< aborts with runs in flight
+  std::uint64_t slow_client_closed = 0;      ///< write-buffer limit closes
+  std::uint64_t inline_cmds = 0;             ///< cmd requests (no queue)
+};
+
+/// \brief The socket server. Construct, Start() (listeners + workers, after
+/// which port() is bound), then Run() on a serving thread until
+/// RequestShutdown().
+class NetServer {
+ public:
+  explicit NetServer(NetServerOptions options);
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Creates the listeners and the worker pool. Fails on unusable
+  /// addresses; no traffic is served until Run().
+  Status Start();
+
+  /// The event loop: blocks until a completed shutdown. Call Start first.
+  Status Run();
+
+  /// Initiates graceful shutdown; async-signal-safe (an atomic store and a
+  /// self-pipe write), so SIGTERM handlers may call it directly. Run()
+  /// returns once drained (or drain_ms expires).
+  void RequestShutdown();
+
+  /// Bound TCP port (after Start); -1 without a TCP listener.
+  int port() const;
+  const std::string& unix_path() const;
+
+  NetServerCounters counters() const;
+
+  struct Impl;  // private to server.cc
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_NET_SERVER_H_

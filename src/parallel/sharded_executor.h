@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "util/cancel.h"
 #include "util/status.h"
 #include "xml/events.h"
 
@@ -37,6 +38,12 @@ struct ParallelOptions {
   /// the differential suite compares against); output is still staged per
   /// item, so error behavior is identical at every thread count.
   std::size_t threads = 0;
+  /// Per-run cooperative cancellation, threaded by the streaming entry
+  /// points into every worker engine's StreamOptions (a CompiledPlan's
+  /// baked options cannot carry a token — it is per-request mutable state —
+  /// so this is how serving layers abort a fan-out mid-stream). The token
+  /// must outlive the run; null means not cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 /// \brief Runs indexed work items across worker threads with ordered merge.

@@ -1,0 +1,55 @@
+#include "service/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace xqmft {
+
+bool ParseFaultKind(std::string_view name, FaultSpec::Kind* kind) {
+  if (name == "none") {
+    *kind = FaultSpec::Kind::kNone;
+  } else if (name == "truncate") {
+    *kind = FaultSpec::Kind::kTruncate;
+  } else if (name == "error") {
+    *kind = FaultSpec::Kind::kError;
+  } else if (name == "stall") {
+    *kind = FaultSpec::Kind::kStall;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status FaultInjectingSource::Next(XmlEvent* event) {
+  switch (spec_.kind) {
+    case FaultSpec::Kind::kNone:
+      break;
+    case FaultSpec::Kind::kTruncate:
+      if (produced_ >= spec_.at_event) {
+        // The source just ends: whatever elements are open stay unclosed,
+        // exactly like a connection dropped mid-document.
+        *event = XmlEvent{};
+        event->type = XmlEventType::kEndOfDocument;
+        ++produced_;
+        return Status::OK();
+      }
+      break;
+    case FaultSpec::Kind::kError:
+      if (produced_ >= spec_.at_event) {
+        return Status::InvalidArgument("injected source fault");
+      }
+      break;
+    case FaultSpec::Kind::kStall:
+      if (produced_ >= spec_.at_event && !stalled_) {
+        stalled_ = true;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(spec_.stall_ms));
+      }
+      break;
+  }
+  Status st = inner_->Next(event);
+  if (st.ok()) ++produced_;
+  return st;
+}
+
+}  // namespace xqmft

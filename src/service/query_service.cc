@@ -45,6 +45,16 @@ Status QueryService::Execute(const ServiceRequest& request, OutputSink* sink,
 
   ParallelOptions par;
   par.threads = request.threads;
+  // A deadline with no caller token arms a request-local one; a caller token
+  // that already carries a deadline (armed from admission time, so queue
+  // wait counts against the budget) is left alone.
+  CancelToken local_token;
+  CancelToken* token = request.cancel;
+  if (request.deadline_ms > 0) {
+    if (token == nullptr) token = &local_token;
+    if (!token->has_deadline()) token->SetDeadlineAfterMs(request.deadline_ms);
+  }
+  par.cancel = token;
   std::vector<StreamStats> per_input;
   auto t0 = std::chrono::steady_clock::now();
   Status st = lookup.plan->StreamMany(request.inputs, sink, par, &per_input);

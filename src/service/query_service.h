@@ -19,6 +19,7 @@
 
 #include "core/pipeline.h"
 #include "service/query_cache.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace xqmft {
@@ -32,6 +33,16 @@ struct ServiceRequest {
   std::size_t threads = 1;
   /// Skip the Section 4.1 optimizations (measurement requests).
   bool no_opt = false;
+  /// Wall-clock budget for the streaming pass, in milliseconds; 0 = none.
+  /// When `cancel` is provided the deadline is armed on it (if the caller
+  /// has not armed one already — a server arms from admission time so queue
+  /// wait counts); otherwise Execute arms a request-local token. A trip
+  /// aborts the run with kDeadlineExceeded at the next engine check.
+  std::uint64_t deadline_ms = 0;
+  /// Cooperative cancellation for this request (client disconnect, server
+  /// shutdown). Must outlive the call; null = not cancellable (unless
+  /// deadline_ms arms a local token).
+  CancelToken* cancel = nullptr;
 };
 
 /// \brief What one request cost, compile and stream separated.
@@ -115,6 +126,10 @@ class QueryService {
 
   QueryCache* cache() { return &cache_; }
   const QueryCache& cache() const { return cache_; }
+  /// The options every request's plan is compiled under (before per-request
+  /// no_opt). The wire layer uses these to run fault-injected streams
+  /// through the same pipeline configuration as normal requests.
+  const PipelineOptions& base_options() const { return base_options_; }
 
  private:
   PipelineOptions base_options_;

@@ -1,102 +1,42 @@
 #include "service/serve.h"
 
-#include <cmath>
 #include <string>
-#include <vector>
 
-#include "service/json.h"
+#include "service/wire.h"
 #include "util/strings.h"
-#include "xml/events.h"
-#include "xml/pretok.h"
 
 namespace xqmft {
 
 namespace {
 
-// Reads one newline-terminated line (without the newline); false on EOF
-// with nothing read.
-bool ReadLine(std::FILE* in, std::string* line) {
+enum class LineRead {
+  kOk,        // one complete line in *line (newline stripped)
+  kEof,       // end of input, nothing read
+  kOverlong,  // line exceeded max_bytes; excess discarded, reader is at the
+              // next line boundary
+};
+
+// Reads one newline-terminated line without buffering more than
+// `max_bytes` of it: an overlong line is consumed (so the stream stays
+// line-synchronized) but not stored — the caller rejects it and continues.
+LineRead ReadLineLimited(std::FILE* in, std::size_t max_bytes,
+                         std::string* line) {
   line->clear();
+  bool overlong = false;
   int c;
   while ((c = std::fgetc(in)) != EOF) {
-    if (c == '\n') return true;
-    line->push_back(static_cast<char>(c));
-  }
-  return !line->empty();
-}
-
-// Serializes a scalar-or-structured JsonValue back out (the request id is
-// echoed verbatim whatever its shape).
-void AppendJsonValue(std::string* out, const JsonValue& v) {
-  switch (v.kind) {
-    case JsonValue::Kind::kNull:
-      *out += "null";
-      return;
-    case JsonValue::Kind::kBool:
-      *out += v.boolean ? "true" : "false";
-      return;
-    case JsonValue::Kind::kNumber: {
-      // Integers (the common id shape) print without an exponent.
-      if (v.number == std::floor(v.number) && std::fabs(v.number) < 1e15) {
-        *out += StrFormat("%lld", static_cast<long long>(v.number));
+    if (c == '\n') return overlong ? LineRead::kOverlong : LineRead::kOk;
+    if (!overlong) {
+      if (max_bytes != 0 && line->size() >= max_bytes) {
+        overlong = true;
       } else {
-        *out += StrFormat("%g", v.number);
+        line->push_back(static_cast<char>(c));
       }
-      return;
     }
-    case JsonValue::Kind::kString:
-      AppendJsonString(out, v.string);
-      return;
-    case JsonValue::Kind::kArray:
-      out->push_back('[');
-      for (std::size_t i = 0; i < v.items.size(); ++i) {
-        if (i != 0) out->push_back(',');
-        AppendJsonValue(out, v.items[i]);
-      }
-      out->push_back(']');
-      return;
-    case JsonValue::Kind::kObject:
-      out->push_back('{');
-      for (std::size_t i = 0; i < v.fields.size(); ++i) {
-        if (i != 0) out->push_back(',');
-        AppendJsonString(out, v.fields[i].first);
-        out->push_back(':');
-        AppendJsonValue(out, v.fields[i].second);
-      }
-      out->push_back('}');
-      return;
   }
+  if (overlong) return LineRead::kOverlong;
+  return line->empty() ? LineRead::kEof : LineRead::kOk;
 }
-
-struct ResponseWriter {
-  explicit ResponseWriter(const JsonValue* id) {
-    line = "{";
-    if (id != nullptr) {
-      line += "\"id\":";
-      AppendJsonValue(&line, *id);
-      line += ",";
-    }
-  }
-  void Field(std::string_view key, std::string_view string_value) {
-    AppendJsonString(&line, key);
-    line += ":";
-    AppendJsonString(&line, string_value);
-    line += ",";
-  }
-  void Raw(std::string_view key, std::string_view raw) {
-    AppendJsonString(&line, key);
-    line += ":";
-    line += raw;
-    line += ",";
-  }
-  // One JSON line, closing brace swapped in for the trailing comma.
-  std::string Finish() {
-    if (line.back() == ',') line.back() = '}';
-    else line += "}";
-    return line;
-  }
-  std::string line;
-};
 
 Status WriteAll(std::FILE* out, std::string_view bytes) {
   if (std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size() ||
@@ -106,260 +46,35 @@ Status WriteAll(std::FILE* out, std::string_view bytes) {
   return Status::OK();
 }
 
-Status WriteError(std::FILE* out, const JsonValue* id,
-                  const std::string& message) {
-  ResponseWriter w(id);
-  w.Raw("ok", "false");
-  w.Field("error", message);
-  return WriteAll(out, w.Finish() + "\n");
-}
-
-Status WriteStats(std::FILE* out, const JsonValue* id,
-                  const QueryCacheStats& stats) {
-  ResponseWriter w(id);
-  w.Raw("ok", "true");
-  w.Raw("stats",
-        StrFormat("{\"hits\":%llu,\"misses\":%llu,\"compiles\":%llu,"
-                  "\"failures\":%llu,\"evictions\":%llu,\"entries\":%zu,"
-                  "\"bytes\":%zu,\"compile_ms_total\":%.3f}",
-                  static_cast<unsigned long long>(stats.hits),
-                  static_cast<unsigned long long>(stats.misses),
-                  static_cast<unsigned long long>(stats.compiles),
-                  static_cast<unsigned long long>(stats.failures),
-                  static_cast<unsigned long long>(stats.evictions),
-                  stats.entries, stats.bytes, stats.compile_ms_total));
-  return WriteAll(out, w.Finish() + "\n");
-}
-
-// Parses the shared "inputs" (file paths) and "xml" (inline documents)
-// fields into ParallelInputs; used by single and batch requests alike.
-Status ParseInputs(const JsonValue& json, std::vector<ParallelInput>* out) {
-  if (const JsonValue* inputs = json.Find("inputs")) {
-    if (!inputs->is_array()) {
-      return Status::InvalidArgument("\"inputs\" must be an array of paths");
-    }
-    for (const JsonValue& item : inputs->items) {
-      if (!item.is_string()) {
-        return Status::InvalidArgument("\"inputs\" must be an array of paths");
-      }
-      // Same sniff as the CLI's positional inputs: a pretok cache replays
-      // as events, anything else parses as text XML.
-      out->push_back(IsPretokFile(item.string)
-                         ? ParallelInput::PretokFile(item.string)
-                         : ParallelInput::XmlFile(item.string));
-    }
-  }
-  if (const JsonValue* xml = json.Find("xml")) {
-    if (!xml->is_array()) {
-      return Status::InvalidArgument(
-          "\"xml\" must be an array of inline documents");
-    }
-    for (const JsonValue& item : xml->items) {
-      if (!item.is_string()) {
-        return Status::InvalidArgument(
-            "\"xml\" must be an array of inline documents");
-      }
-      out->push_back(ParallelInput::XmlText(item.string));
-    }
-  }
-  return Status::OK();
-}
-
-// Builds the request from its parsed JSON; error strings are user-facing.
-Result<ServiceRequest> BuildRequest(const JsonValue& json,
-                                    std::size_t default_threads) {
-  ServiceRequest req;
-  req.threads = default_threads;
-  const JsonValue* query = json.Find("query");
-  if (query == nullptr || !query->is_string()) {
-    return Status::InvalidArgument("request needs a string \"query\" field");
-  }
-  req.query = query->string;
-  XQMFT_RETURN_NOT_OK(ParseInputs(json, &req.inputs));
-  if (const JsonValue* threads = json.Find("threads")) {
-    if (!threads->is_number() || threads->number < 0 ||
-        threads->number != std::floor(threads->number)) {
-      return Status::InvalidArgument("\"threads\" must be a count >= 0");
-    }
-    req.threads = static_cast<std::size_t>(threads->number);
-  }
-  if (const JsonValue* no_opt = json.Find("no_opt")) {
-    if (!no_opt->is_bool()) {
-      return Status::InvalidArgument("\"no_opt\" must be a boolean");
-    }
-    req.no_opt = no_opt->boolean;
-  }
-  if (req.inputs.empty()) {
-    return Status::InvalidArgument(
-        "request has no documents (give \"inputs\" paths or inline \"xml\")");
-  }
-  return req;
-}
-
-// Handles a {"queries":[...]} batch: one ExecuteBatch over the shared
-// document list, then per-query framed responses written strictly in
-// request order (the service fills per_request[] by batch index, so the
-// order the engines finish in never reorders the wire) followed by one
-// batch summary line carrying the shared-parse attribution.
-Status ServeBatch(std::FILE* out, QueryService* service, const JsonValue& json,
-                  const JsonValue* id) {
-  const JsonValue* queries = json.Find("queries");
-  if (!queries->is_array() || queries->items.empty()) {
-    return WriteError(out, id, "\"queries\" must be a non-empty array");
-  }
-  std::vector<ParallelInput> inputs;
-  Status in_st = ParseInputs(json, &inputs);
-  if (!in_st.ok()) return WriteError(out, id, in_st.ToString());
-  if (inputs.empty()) {
-    return WriteError(
-        out, id,
-        "batch has no documents (give \"inputs\" paths or inline \"xml\")");
-  }
-  MultiQueryOptions multi;
-  if (const JsonValue* up = json.Find("union_projection")) {
-    if (!up->is_bool()) {
-      return WriteError(out, id, "\"union_projection\" must be a boolean");
-    }
-    multi.union_projection = up->boolean;
-  }
-
-  std::vector<ServiceRequest> requests;
-  std::vector<const JsonValue*> ids;
-  for (const JsonValue& item : queries->items) {
-    const JsonValue* query = item.is_object() ? item.Find("query") : nullptr;
-    if (query == nullptr || !query->is_string()) {
-      return WriteError(
-          out, id,
-          "every \"queries\" entry needs an object with a string \"query\"");
-    }
-    ServiceRequest req;
-    req.query = query->string;
-    req.inputs = inputs;
-    if (const JsonValue* no_opt = item.Find("no_opt")) {
-      if (!no_opt->is_bool()) {
-        return WriteError(out, id, "\"no_opt\" must be a boolean");
-      }
-      req.no_opt = no_opt->boolean;
-    }
-    ids.push_back(item.Find("id"));
-    requests.push_back(std::move(req));
-  }
-
-  std::vector<StringSink> sinks(requests.size());
-  std::vector<OutputSink*> sink_ptrs;
-  sink_ptrs.reserve(sinks.size());
-  for (StringSink& sink : sinks) sink_ptrs.push_back(&sink);
-  ServiceBatchStats stats;
-  Status st = service->ExecuteBatch(requests, sink_ptrs, &stats, multi);
-  if (stats.per_request.size() != requests.size()) {
-    // Batch-level rejection: nothing ran, one error response.
-    return WriteError(out, id, st.ToString());
-  }
-
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    const ServiceRequestStats& rs = stats.per_request[i];
-    if (!rs.status.ok()) {
-      XQMFT_RETURN_NOT_OK(WriteError(out, ids[i], rs.status.ToString()));
-      continue;
-    }
-    ResponseWriter w(ids[i]);
-    w.Raw("ok", "true");
-    w.Raw("bytes", std::to_string(sinks[i].str().size()));
-    w.Field("cache", rs.cache_hit ? "hit" : "miss");
-    w.Raw("compile_ms", StrFormat("%.3f", rs.compile_ms));
-    w.Raw("stream_ms", StrFormat("%.3f", rs.stream_ms));
-    w.Raw("deduped", rs.deduped ? "true" : "false");
-    w.Raw("events_fed", std::to_string(rs.events_fed));
-    w.Raw("events_skipped", std::to_string(rs.events_skipped));
-    w.Raw("output_events", std::to_string(rs.total.output_events));
-    w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
-    w.Field("engine", rs.total.used_ops_engine ? "ops" : "table");
-    XQMFT_RETURN_NOT_OK(WriteAll(out, w.Finish() + "\n"));
-    XQMFT_RETURN_NOT_OK(WriteAll(out, sinks[i].str()));
-    XQMFT_RETURN_NOT_OK(WriteAll(out, "\n"));
-  }
-
-  ResponseWriter w(id);
-  w.Raw("ok", st.ok() ? "true" : "false");
-  w.Raw("batch", "true");
-  w.Raw("requests", std::to_string(requests.size()));
-  w.Raw("documents", std::to_string(stats.documents));
-  w.Raw("parsed_bytes", std::to_string(stats.parsed_bytes));
-  w.Raw("unique_plans", std::to_string(stats.unique_plans));
-  w.Raw("deduped_requests", std::to_string(stats.deduped_requests));
-  w.Raw("stream_ms", StrFormat("%.3f", stats.stream_ms));
-  return WriteAll(out, w.Finish() + "\n");
-}
-
 }  // namespace
 
 Status ServeLoop(std::FILE* in, std::FILE* out, const ServeOptions& options) {
   QueryService service(options.cache, options.pipeline);
+  WireOptions wire;
+  wire.limits = options.limits;
+  wire.default_threads = options.default_threads;
+  wire.allow_fault_injection = options.allow_fault_injection;
+  RequestHandler handler(&service, wire);
+
   std::string line;
-  while (ReadLine(in, &line)) {
+  std::string response;
+  for (;;) {
+    LineRead read = ReadLineLimited(in, options.limits.max_line_bytes, &line);
+    if (read == LineRead::kEof) break;
+    response.clear();
+    if (read == LineRead::kOverlong) {
+      AppendErrorResponse(
+          &response, nullptr,
+          StrFormat("request line exceeds the %zu-byte limit",
+                    options.limits.max_line_bytes),
+          StatusCode::kInvalidArgument);
+      XQMFT_RETURN_NOT_OK(WriteAll(out, response));
+      continue;
+    }
     // Blank lines keep the loop responsive under sloppy drivers.
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-
-    Result<JsonValue> parsed = ParseJson(line);
-    if (!parsed.ok()) {
-      XQMFT_RETURN_NOT_OK(
-          WriteError(out, nullptr, parsed.status().ToString()));
-      continue;
-    }
-    const JsonValue& json = parsed.value();
-    if (!json.is_object()) {
-      XQMFT_RETURN_NOT_OK(
-          WriteError(out, nullptr, "request must be a JSON object"));
-      continue;
-    }
-    const JsonValue* id = json.Find("id");
-
-    if (const JsonValue* cmd = json.Find("cmd")) {
-      if (cmd->is_string() && cmd->string == "stats") {
-        XQMFT_RETURN_NOT_OK(WriteStats(out, id, service.cache()->stats()));
-      } else {
-        XQMFT_RETURN_NOT_OK(WriteError(out, id, "unknown \"cmd\""));
-      }
-      continue;
-    }
-
-    if (json.Find("queries") != nullptr) {
-      XQMFT_RETURN_NOT_OK(ServeBatch(out, &service, json, id));
-      continue;
-    }
-
-    Result<ServiceRequest> request =
-        BuildRequest(json, options.default_threads);
-    if (!request.ok()) {
-      XQMFT_RETURN_NOT_OK(WriteError(out, id, request.status().ToString()));
-      continue;
-    }
-
-    StringSink sink;
-    ServiceRequestStats stats;
-    Status st = service.Execute(request.value(), &sink, &stats);
-    if (!st.ok()) {
-      XQMFT_RETURN_NOT_OK(WriteError(out, id, st.ToString()));
-      continue;
-    }
-
-    QueryCacheStats cache = service.cache()->stats();
-    ResponseWriter w(id);
-    w.Raw("ok", "true");
-    w.Raw("bytes", std::to_string(sink.str().size()));
-    w.Field("cache", stats.cache_hit ? "hit" : "miss");
-    w.Raw("compile_ms", StrFormat("%.3f", stats.compile_ms));
-    w.Raw("stream_ms", StrFormat("%.3f", stats.stream_ms));
-    w.Raw("bytes_in", std::to_string(stats.total.bytes_in));
-    w.Raw("output_events", std::to_string(stats.total.output_events));
-    w.Raw("peak_mem_bytes", std::to_string(stats.total.peak_bytes));
-    w.Field("engine", stats.total.used_ops_engine ? "ops" : "table");
-    w.Raw("cache_hits", std::to_string(cache.hits));
-    w.Raw("cache_misses", std::to_string(cache.misses));
-    w.Raw("cache_entries", std::to_string(cache.entries));
-    XQMFT_RETURN_NOT_OK(WriteAll(out, w.Finish() + "\n"));
-    XQMFT_RETURN_NOT_OK(WriteAll(out, sink.str()));
-    XQMFT_RETURN_NOT_OK(WriteAll(out, "\n"));
+    handler.HandleLine(line, nullptr, &response);
+    XQMFT_RETURN_NOT_OK(WriteAll(out, response));
   }
   return Status::OK();
 }

@@ -8,6 +8,7 @@
 //    "xml": ["<doc><a/></doc>"],          // inline documents (after inputs)
 //    "threads": 2,                        // optional, default serial
 //    "no_opt": false,                     // optional
+//    "deadline_ms": 250,                  // optional wall-clock budget
 //    "id": 7}                             // optional, echoed verbatim
 //
 //   {"cmd": "stats"}                      // cache statistics snapshot
@@ -21,6 +22,7 @@
 //                {"query": "...", "id": 2, "no_opt": true}],
 //    "inputs": [...], "xml": [...],       // shared by every query
 //    "union_projection": true,            // optional, default true
+//    "deadline_ms": 250,                  // optional, batch-wide
 //    "id": "batch-7"}                     // optional, echoed on the summary
 //
 // The response is one framed per-query response per entry — emitted in
@@ -41,15 +43,23 @@
 //   {"id":7,"ok":true,"bytes":27,"cache":"hit","engine":"ops", ...}
 //   <out>...</out>
 //
-// A malformed or failing request produces {"ok":false,"error":"..."} and
-// the loop continues — one bad request never kills the session. EOF on
-// `in` ends the loop.
+// A malformed or failing request produces
+// {"ok":false,"error":"...","status":"<token>"} — the "status" field is the
+// machine-readable outcome (wire.h: "invalid_argument",
+// "deadline_exceeded", ...) — and the loop continues: one bad request never
+// kills the session. Hardening (shared with the socket server, see
+// ServeOptions::limits): a request line longer than max_line_bytes is
+// discarded and rejected without being buffered, inline "xml" documents are
+// capped in total bytes, and "deadline_ms" aborts a slow request
+// mid-stream via the engines' cooperative cancellation. EOF on `in` ends
+// the loop.
 #ifndef XQMFT_SERVICE_SERVE_H_
 #define XQMFT_SERVICE_SERVE_H_
 
 #include <cstdio>
 
 #include "service/query_service.h"
+#include "service/wire.h"
 #include "util/status.h"
 
 namespace xqmft {
@@ -61,6 +71,11 @@ struct ServeOptions {
   PipelineOptions pipeline;
   /// Worker threads when a request does not say (0 = hardware, 1 = serial).
   std::size_t default_threads = 1;
+  /// Request line / inline document size caps (wire.h).
+  RequestLimits limits;
+  /// Accept the per-request "fault" field (service/fault.h) — test/stress
+  /// harness, off by default.
+  bool allow_fault_injection = false;
 };
 
 /// Runs the request/response loop until EOF on `in`. Per-request failures

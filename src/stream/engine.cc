@@ -194,6 +194,14 @@ struct TableMachine {
     if (!status_.ok()) return status_;
     if (!started_) XQMFT_RETURN_NOT_OK(Prime());
     if (stack_.empty()) return Status::OK();  // output complete; ignore
+    // Cooperative cancellation, checked before the event does any work so a
+    // trip never commits partial output for this event (the cancelled-run
+    // contract: the sink ends at the previous event's boundary).
+    if (options_.cancel != nullptr &&
+        ++events_since_cancel_check_ >= options_.cancel_check_events) {
+      events_since_cancel_check_ = 0;
+      XQMFT_RETURN_NOT_OK(Sticky(options_.cancel->Check()));
+    }
     if (options_.validator != nullptr) {
       XQMFT_RETURN_NOT_OK(Sticky(options_.validator->Feed(event)));
     }
@@ -370,6 +378,13 @@ struct TableMachine {
             return Status::ResourceExhausted(
                 "streaming engine exceeded the step budget");
           }
+          // Step-granular cancellation: one event can trigger an unbounded
+          // reduction (a no-opt plan pumps its whole buffered output at the
+          // end-of-document), so deadlines are also polled on the rule
+          // application path, amortized to one clock read per ~1k steps.
+          if (options_.cancel != nullptr && (steps_ & 1023u) == 0) {
+            XQMFT_RETURN_NOT_OK(options_.cancel->Check());
+          }
           ++steps_;
           // Dense dispatch: rule selection is an array index on the interned
           // symbol — no hashing, no label strings on the element path.
@@ -505,6 +520,7 @@ struct TableMachine {
   Expr* whnf_resume_ = nullptr;  // blocked call to resume from
   bool resume_valid_ = false;    // last pump blocked; spine still valid
   bool started_ = false;         // root thunk built, prefix pumped
+  std::uint32_t events_since_cancel_check_ = 0;
   Status status_ = Status::OK();  // sticky: first failure of the run
   std::uint64_t steps_ = 0;
   std::uint64_t exprs_created_ = 0;
@@ -554,7 +570,7 @@ struct Engine::Impl {
     if (lowered != nullptr) {
       ops_ = std::make_unique<lower::OpsEngine>(
           *lowered, sink, &ctx_->symbols, &ctx_->tracker, options.max_steps,
-          options.validator);
+          options.validator, options.cancel, options.cancel_check_events);
     } else {
       table_ = std::make_unique<engine_detail::TableMachine>(mft, sink,
                                                              options, ctx_);
@@ -639,21 +655,38 @@ Status PumpEvents(Engine* engine, EventSource* events, StreamStats* stats) {
       bytes_at_first_output = events->bytes_consumed();
     }
   };
-  XQMFT_RETURN_NOT_OK(engine->Prime());
+  auto fill_bytes = [&]() {
+    if (stats != nullptr) {
+      stats->bytes_in = events->bytes_consumed();
+      stats->bytes_in_at_first_output = bytes_at_first_output;
+    }
+  };
+  // An engine-side failure (rule miss, step budget, cancellation) is sticky:
+  // Finish is then a stats-only no-op returning the same status, so calling
+  // it here keeps `stats` populated for aborted runs — the cancelled-run
+  // contract serving layers rely on for accounting. Source-side failures
+  // (malformed XML) must NOT Finish: the engine is still healthy and Finish
+  // would synthesize an end-of-document, emitting output for a document
+  // that never ended.
+  auto abort_run = [&](Status st) {
+    engine->Finish(stats);
+    fill_bytes();
+    return st;
+  };
+  Status st = engine->Prime();
+  if (!st.ok()) return abort_run(std::move(st));
   note_output();
   XmlEvent event;
   while (!engine->done()) {
     XQMFT_RETURN_NOT_OK(events->Next(&event));
-    XQMFT_RETURN_NOT_OK(engine->Feed(event));
+    st = engine->Feed(event);
+    if (!st.ok()) return abort_run(std::move(st));
     note_output();
     if (event.type == XmlEventType::kEndOfDocument) break;
   }
-  XQMFT_RETURN_NOT_OK(engine->Finish(stats));
-  if (stats != nullptr) {
-    stats->bytes_in = events->bytes_consumed();
-    stats->bytes_in_at_first_output = bytes_at_first_output;
-  }
-  return Status::OK();
+  st = engine->Finish(stats);
+  fill_bytes();
+  return st;
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "mft/mft.h"
+#include "util/cancel.h"
 #include "util/memory_tracker.h"
 #include "util/status.h"
 #include "xml/event_source.h"
@@ -52,6 +53,21 @@ struct StreamOptions {
   SchemaValidator* validator = nullptr;
   /// Execution core selection (see EngineChoice).
   EngineChoice engine = EngineChoice::kAuto;
+  /// Optional cooperative cancellation (explicit cancel or deadline): both
+  /// engine cores poll the token every `cancel_check_events` input events
+  /// (and the table machine additionally every ~1k reduction steps, so a
+  /// buffered no-opt pump cannot overshoot a deadline by the whole output).
+  /// A tripped check becomes the run's sticky error — kCancelled or
+  /// kDeadlineExceeded — at an event boundary: stats stay populated through
+  /// Finish and the sink holds exactly the output committed before the trip
+  /// (the cancelled-run contract; see Engine::Finish). Per-run state: must
+  /// be null in options baked into a CompiledPlan — serving layers inject a
+  /// per-request token via ParallelOptions/MultiQueryOptions instead.
+  const CancelToken* cancel = nullptr;
+  /// Cancellation poll cadence in input events. Small enough that a
+  /// deadline trips within tens of microseconds of stream time, large
+  /// enough that the steady-state Feed pays one counter increment.
+  std::uint32_t cancel_check_events = 128;
 };
 
 /// Statistics of one streaming run (the measurements behind Figure 4).
@@ -167,6 +183,14 @@ class Engine {
   /// the rest of the output, verifies the run completed, and fills `stats`
   /// (event-side fields; byte accounting is the driver's). Fills stats even
   /// on error. Idempotent.
+  ///
+  /// Cancelled-run contract (pinned for both cores by net_test): after a
+  /// Feed tripped the run's CancelToken, Finish still fills `stats` with
+  /// everything accumulated, returns the sticky kCancelled /
+  /// kDeadlineExceeded status, and does NOT pump, replay, or flush anything
+  /// further into the sink — the sink ends at the last byte committed
+  /// before the trip, so no partial thunk output (table) or buffered
+  /// segment (ops) leaks downstream.
   Status Finish(StreamStats* stats = nullptr);
 
   /// True once the output is fully emitted: no further event can change it,

@@ -1,0 +1,94 @@
+// Cooperative cancellation for streaming runs.
+//
+// A CancelToken carries two independent abort signals — an explicit cancel
+// flag (client disconnect, operator abort) and an optional monotonic-clock
+// deadline — behind one cheap Check() the engines poll between input events.
+// Cancellation is cooperative: nothing is interrupted mid-event; the engine
+// observes the token at its next check boundary, records the resulting
+// status as its sticky run error, and stops without emitting further output
+// (see the cancelled-run contract on stream/engine.h).
+//
+// Thread-safety: Cancel() / SetDeadline*() may race with Check() from
+// another thread (the serving layer cancels from its event loop while a
+// worker streams). All state is atomic; the token itself must outlive every
+// run holding a pointer to it.
+#ifndef XQMFT_UTIL_CANCEL_H_
+#define XQMFT_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace xqmft {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation: every Check() from now on returns kCancelled.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the deadline at an absolute steady_clock instant. Later of two
+  /// arms wins (the token is per-request; re-arming is a caller bug, but a
+  /// harmless one).
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+    has_deadline_.store(true, std::memory_order_release);
+  }
+
+  /// Arms the deadline `ms` milliseconds after `base` (defaulting to now) —
+  /// serving layers pass the request's admission instant as `base` so queue
+  /// wait counts against the budget.
+  void SetDeadlineAfterMs(std::uint64_t ms,
+                          std::chrono::steady_clock::time_point base =
+                              std::chrono::steady_clock::now()) {
+    SetDeadline(base + std::chrono::milliseconds(ms));
+  }
+
+  bool has_deadline() const {
+    return has_deadline_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the run may continue; kCancelled after Cancel(), or
+  /// kDeadlineExceeded once the armed deadline passes. Reads the clock only
+  /// when a deadline is armed.
+  Status Check() const {
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      return Status::Cancelled("request cancelled");
+    }
+    if (has_deadline_.load(std::memory_order_acquire)) {
+      const auto now =
+          std::chrono::steady_clock::now().time_since_epoch().count();
+      if (now >= deadline_ns_.load(std::memory_order_relaxed)) {
+        return Status::DeadlineExceeded("deadline exceeded");
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Disarms both signals for token reuse across requests (the stdin serve
+  /// loop keeps one token; the net server allocates per request). Must not
+  /// race with a run still holding the token.
+  void Reset() {
+    cancelled_.store(false, std::memory_order_relaxed);
+    has_deadline_.store(false, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> has_deadline_{false};
+  std::atomic<std::chrono::steady_clock::rep> deadline_ns_{0};
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_UTIL_CANCEL_H_

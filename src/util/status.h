@@ -21,6 +21,9 @@ enum class StatusCode {
   kOutOfRange,        ///< index/position out of bounds
   kResourceExhausted, ///< fuel/memory/step budget exceeded
   kInternal,          ///< invariant violation inside the library
+  kCancelled,         ///< run aborted by a CancelToken (caller's request)
+  kDeadlineExceeded,  ///< run aborted by a CancelToken deadline
+  kUnavailable,       ///< serving layer refused admission (overload, drain)
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -49,6 +52,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

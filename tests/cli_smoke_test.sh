@@ -274,6 +274,89 @@ case "$CASE" in
     test $? -eq 0 && fail "expected nonzero exit for invalid document"
     expect_contains "$OUT" "schema violation"
     ;;
+  serve_limits)
+    # Stdin serving hardening: an overlong request line is rejected without
+    # killing the session, inline documents are byte-capped, and
+    # deadline_ms aborts a slow request mid-stream.
+    LONG=$(head -c 400 /dev/zero | tr '\0' 'x')
+    OUT=$( { printf '%s\n' "$LONG"; \
+             printf '%s\n' "{\"id\":1,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\"]}"; } \
+           | "$XQMFT" serve --max-line-bytes 256) || fail "exit $?"
+    expect_contains "$OUT" "exceeds the 256-byte limit"
+    expect_contains "$OUT" '"id":1,"ok":true'
+    expect_contains "$OUT" "$WANT"
+    OUT=$(printf '%s\n' '{"query":"<o/>","xml":["<doc><item>a</item></doc>"]}' \
+          | "$XQMFT" serve --max-xml-bytes 8) || fail "exit $?"
+    expect_contains "$OUT" '"status":"invalid_argument"'
+    # A stalled source (fault injection) blows a 20ms budget; the request
+    # aborts with deadline_exceeded and the loop exits cleanly on EOF.
+    BIGXML="$TMPDIR_SMOKE/big.xml"
+    { printf '<doc>'
+      i=0
+      while [ $i -lt 300 ]; do printf '<item>abc</item>'; i=$((i+1)); done
+      printf '</doc>'; } > "$BIGXML"
+    OUT=$(printf '%s\n' "{\"id\":2,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$BIGXML\"],\"deadline_ms\":20,\"fault\":{\"kind\":\"stall\",\"at_event\":1,\"stall_ms\":200}}" \
+          | "$XQMFT" serve --enable-fault-injection) || fail "exit $?"
+    expect_contains "$OUT" '"id":2,"ok":false'
+    expect_contains "$OUT" '"status":"deadline_exceeded"'
+    ;;
+  serve_net)
+    # The socket front end: serve --port 0 prints the bound ephemeral port,
+    # the client subcommand round-trips a request and a server_stats
+    # command, and SIGTERM drains to a clean exit 0.
+    SRVOUT="$TMPDIR_SMOKE/server.out"
+    "$XQMFT" serve --port 0 --workers 2 > "$SRVOUT" 2>/dev/null &
+    SRV=$!
+    PORT=
+    i=0
+    while [ $i -lt 100 ]; do
+      PORT=$(sed -n 's/^listening port=//p' "$SRVOUT")
+      [ -n "$PORT" ] && break
+      i=$((i+1)); sleep 0.1
+    done
+    [ -n "$PORT" ] || { kill "$SRV" 2>/dev/null; fail "no listening port"; }
+    OUT=$(printf '%s\n' \
+      "{\"id\":1,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\"]}" \
+      '{"cmd":"server_stats"}' \
+      | "$XQMFT" client --port "$PORT") \
+      || { kill "$SRV" 2>/dev/null; fail "client exit $?"; }
+    expect_contains "$OUT" '"id":1,"ok":true'
+    expect_contains "$OUT" "$WANT"
+    expect_contains "$OUT" '"server":{"connections":1'
+    kill -TERM "$SRV"
+    wait "$SRV"
+    RC=$?
+    [ "$RC" -eq 0 ] || fail "server exit $RC after SIGTERM"
+    ;;
+  serve_net_sigterm)
+    # Graceful drain under SIGTERM: a request mid-stall on the worker when
+    # the signal lands is still computed and delivered in full before the
+    # server exits 0.
+    SRVOUT="$TMPDIR_SMOKE/server.out"
+    "$XQMFT" serve --port 0 --workers 1 --enable-fault-injection \
+      > "$SRVOUT" 2>/dev/null &
+    SRV=$!
+    PORT=
+    i=0
+    while [ $i -lt 100 ]; do
+      PORT=$(sed -n 's/^listening port=//p' "$SRVOUT")
+      [ -n "$PORT" ] && break
+      i=$((i+1)); sleep 0.1
+    done
+    [ -n "$PORT" ] || { kill "$SRV" 2>/dev/null; fail "no listening port"; }
+    CLOUT="$TMPDIR_SMOKE/client.out"
+    printf '%s\n' "{\"id\":9,\"query\":\"<out>{ for \$x in \$input/doc/item return <hit>{\$x/text()}</hit> }</out>\",\"inputs\":[\"$XML\"],\"fault\":{\"kind\":\"stall\",\"at_event\":1,\"stall_ms\":600}}" \
+      | "$XQMFT" client --port "$PORT" > "$CLOUT" &
+    CL=$!
+    sleep 0.3  # the request is now mid-stall on the worker
+    kill -TERM "$SRV"
+    wait "$SRV"
+    RC=$?
+    [ "$RC" -eq 0 ] || fail "server exit $RC after SIGTERM"
+    wait "$CL" || fail "client failed"
+    expect_contains "$(cat "$CLOUT")" '"id":9,"ok":true'
+    expect_contains "$(cat "$CLOUT")" "$WANT"
+    ;;
   stats)
     OUT=$("$XQMFT" stats "$XML") || fail "exit $?"
     expect_contains "$OUT" "elements: 3"

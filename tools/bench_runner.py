@@ -14,7 +14,9 @@ Regression gating: ``--compare BASELINE.json`` diffs the fresh run against a
 previously committed aggregate, prints a per-benchmark wall-time,
 peak-tracked-memory, parser-throughput (MB/s, from bytes_per_second), and
 compile-time (the ``compile_ms`` counter reported by bench_service and the
-service series) delta table, and exits nonzero when any benchmark regresses
+service series) delta table — plus display-only ``p50_ms``/``p99_ms``
+serving-latency columns from bench_serve_net — and exits nonzero when any
+benchmark regresses
 by more than the tolerance (``--time-tol`` / ``--mem-tol``, both 10% by
 default; a throughput *drop* beyond ``--time-tol`` gates like a time
 regression; compile time gates separately under ``--compile-tol`` with a
@@ -55,6 +57,7 @@ PARALLEL_BENCH = "bench_parallel"
 SERVICE_BENCH = "bench_service"
 MULTIQUERY_BENCH = "bench_multiquery"
 LOWER_BENCH = "bench_lower"
+SERVE_NET_BENCH = "bench_serve_net"
 
 # Compile-time deltas below this many milliseconds are timer jitter, not a
 # compiler regression; the compile_ms gate ignores them.
@@ -115,12 +118,21 @@ def compare_aggregates(baseline, fresh, time_tol, mem_tol, compile_tol):
     def fmt_cms(v):
         return "-" if v is None else "%.3f" % v
 
+    # Serving-latency percentiles (bench_serve_net). Display-only: open-loop
+    # tail latency on shared CI hardware is too noisy to gate, but the
+    # side-by-side base/new columns make a serving regression visible in the
+    # same table the gated metrics live in.
+    def fmt_lat(v):
+        return "-" if v is None else "%.3f" % v
+
     name_w = max([len(n) for _, n in fresh_ix] + [9])
     print("%-*s %12s %12s %9s %12s %12s %9s %9s %9s %9s %9s %9s %9s"
+          " %9s %9s %9s %9s"
           % (name_w, "benchmark", "base_ms", "new_ms", "time",
              "base_mem_B", "new_mem_B", "mem",
              "base_MBps", "new_MBps", "thru",
-             "base_cms", "new_cms", "compile"))
+             "base_cms", "new_cms", "compile",
+             "base_p50", "new_p50", "base_p99", "new_p99"))
     for key in sorted(fresh_ix):
         bench = fresh_ix[key]
         base = base_ix.get(key)
@@ -128,27 +140,36 @@ def compare_aggregates(baseline, fresh, time_tol, mem_tol, compile_tol):
         new_mem = bench.get("peak_mem_B")
         new_thru = mbps(bench)
         new_cms = cms(bench)
+        new_p50 = bench.get("p50_ms")
+        new_p99 = bench.get("p99_ms")
         if base is None:
             print("%-*s %12s %12.2f %9s %12s %12s %9s %9s %9s %9s %9s %9s %9s"
+                  " %9s %9s %9s %9s"
                   % (name_w, key[1], "-", new_ms, "new",
                      "-", "-" if new_mem is None else "%d" % new_mem, "new",
                      "-", fmt_mbps(new_thru), "new",
-                     "-", fmt_cms(new_cms), "new"))
+                     "-", fmt_cms(new_cms), "new",
+                     "-", fmt_lat(new_p50), "-", fmt_lat(new_p99)))
             continue
         base_ms = base.get("real_time")
         base_mem = base.get("peak_mem_B")
         base_thru = mbps(base)
         base_cms = cms(base)
+        base_p50 = base.get("p50_ms")
+        base_p99 = base.get("p99_ms")
         dt = pct_change(base_ms, new_ms)
         dm = pct_change(base_mem, new_mem)
         dthru = pct_change(base_thru, new_thru)
         dcms = pct_change(base_cms, new_cms)
         print("%-*s %12.2f %12.2f %s %12s %12s %s %9s %9s %s %9s %9s %s"
+              " %9s %9s %9s %9s"
               % (name_w, key[1], base_ms, new_ms, fmt_delta(dt),
                  "-" if base_mem is None else "%d" % base_mem,
                  "-" if new_mem is None else "%d" % new_mem, fmt_delta(dm),
                  fmt_mbps(base_thru), fmt_mbps(new_thru), fmt_delta(dthru),
-                 fmt_cms(base_cms), fmt_cms(new_cms), fmt_delta(dcms)))
+                 fmt_cms(base_cms), fmt_cms(new_cms), fmt_delta(dcms),
+                 fmt_lat(base_p50), fmt_lat(new_p50),
+                 fmt_lat(base_p99), fmt_lat(new_p99)))
         if dt is not None and dt > time_tol:
             regressions.append("%s: time %+0.1f%% (tolerance %g%%)"
                                % (key[1], dt, time_tol))
@@ -225,7 +246,8 @@ def main():
     env.setdefault("XQMFT_BENCH_T1_MB", str(args.table1_mb))
 
     binaries = FIG4_BENCHES + [PARSER_BENCH, PARALLEL_BENCH, SERVICE_BENCH,
-                               MULTIQUERY_BENCH, LOWER_BENCH, TABLE1_BENCH]
+                               MULTIQUERY_BENCH, LOWER_BENCH, SERVE_NET_BENCH,
+                               TABLE1_BENCH]
     if args.filter:
         binaries = [b for b in binaries if args.filter in b]
     if not binaries:

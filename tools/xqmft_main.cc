@@ -37,7 +37,24 @@
 // a request set). Queries compile once into a process-wide cache and every
 // later request for the same query streams against the cached immutable
 // plan; --cache-capacity / --cache-bytes bound the cache, --threads sets
-// the default per-request worker count.
+// the default per-request worker count. --max-line-bytes / --max-xml-bytes
+// cap request sizes, and requests may carry "deadline_ms" wall-clock
+// budgets (see net/server.h for the full hardening model).
+//
+// `serve --port <N>` (and/or --unix <path>) serves the same protocol over
+// sockets instead of stdin: a poll event loop fans connections onto
+// --workers query threads behind a bounded admission queue
+// (--queue-limit; overload requests are shed with "overloaded" +
+// retry_after_ms). It prints one "listening ..." line to stdout when
+// ready (--port 0 picks an ephemeral port and reports it there), and
+// SIGTERM/SIGINT trigger a graceful drain bounded by --drain-ms.
+// --enable-fault-injection exposes the request-level "fault" field for
+// stress harnesses.
+//
+// `client` connects to a serving `xqmft serve --port/--unix` instance,
+// forwards stdin lines as requests, and prints the responses — enough for
+// shell scripting and smoke tests without a netcat dependency.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,11 +62,17 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "core/pipeline.h"
 #include "data/generators.h"
 #include "lower/lower.h"
+#include "net/server.h"
 #include "parallel/merge_sink.h"
 #include "service/query_service.h"
 #include "service/serve.h"
@@ -78,11 +101,16 @@ int Usage() {
       "  validate <schema> <input>    one-pass schema validation\n"
       "  stats <input.xml>            document size/depth statistics\n"
       "  serve                        JSON request loop on stdin/stdout\n"
+      "  serve --port <N>|--unix <p>  same protocol over sockets\n"
+      "  client --port <N>|--unix <p> send stdin requests to a server\n"
       "flags: --no-opt --schema <file> --dag --stats "
       "--pretok-cache <file> --threads <N> --engine table|ops\n"
       "       --query/-q <q> --query-file <file> --no-union-projection "
       "(multi-query run)\n"
-      "       --cache-capacity <N> --cache-bytes <N>  (serve)\n");
+      "       --cache-capacity <N> --cache-bytes <N> --max-line-bytes <N> "
+      "--max-xml-bytes <N>  (serve)\n"
+      "       --workers <N> --queue-limit <N> --drain-ms <N> "
+      "--retry-after-ms <N> --enable-fault-injection  (serve --port)\n");
   return 2;
 }
 
@@ -126,11 +154,142 @@ struct Flags {
   EngineChoice engine = EngineChoice::kAuto;  ///< --engine table|ops
   std::string schema_path;
   std::string pretok_cache;
+  // Socket serving / client (serve --port, client).
+  bool port_set = false;
+  long port = 0;          ///< --port (0 = ephemeral)
+  std::string unix_path;  ///< --unix
+  long workers = -1;      ///< serve: query worker threads (-1 = default)
+  long queue_limit = -1;  ///< serve: admission queue bound (-1 = default)
+  long max_line_bytes = -1;   ///< serve: request line cap (-1 = default)
+  long max_xml_bytes = -1;    ///< serve: inline xml cap (-1 = default)
+  long drain_ms = -1;         ///< serve: shutdown drain budget
+  long retry_after_ms = -1;   ///< serve: overload rejection hint
+  bool enable_fault_injection = false;  ///< serve: accept "fault" requests
 };
 
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+// Parses a numeric flag value with a lower bound; prints the usage error.
+bool ParseCountFlag(const char* value, const char* flag, long min_value,
+                    long* out) {
+  char* end = nullptr;
+  *out = std::strtol(value, &end, 10);
+  if (end == nullptr || *end != '\0' || *out < min_value) {
+    std::fprintf(stderr, "error: %s expects a number >= %ld\n", flag,
+                 min_value);
+    return false;
+  }
+  return true;
+}
+
+// SIGTERM/SIGINT ask the socket server for a graceful drain;
+// NetServer::RequestShutdown is async-signal-safe by contract.
+NetServer* g_net_server = nullptr;
+extern "C" void HandleShutdownSignal(int) {
+  if (g_net_server != nullptr) g_net_server->RequestShutdown();
+}
+
+// `serve --port/--unix`: the socket front end (net/server.h).
+int ServeNet(const Flags& flags, NetServerOptions options) {
+  if (flags.port_set) options.tcp_port = static_cast<int>(flags.port);
+  options.unix_path = flags.unix_path;
+  if (flags.workers > 0) {
+    options.workers = static_cast<std::size_t>(flags.workers);
+  }
+  if (flags.queue_limit > 0) {
+    options.queue_limit = static_cast<std::size_t>(flags.queue_limit);
+  }
+  if (flags.drain_ms >= 0) {
+    options.drain_ms = static_cast<std::uint64_t>(flags.drain_ms);
+  }
+  if (flags.retry_after_ms >= 0) {
+    options.retry_after_ms = static_cast<std::uint64_t>(flags.retry_after_ms);
+  }
+  options.allow_fault_injection = flags.enable_fault_injection;
+
+  NetServer server(std::move(options));
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  g_net_server = &server;
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  // One parseable readiness line per listener; scripts read the ephemeral
+  // port from here.
+  if (server.port() >= 0) {
+    std::printf("listening port=%d\n", server.port());
+  }
+  if (!server.unix_path().empty()) {
+    std::printf("listening unix=%s\n", server.unix_path().c_str());
+  }
+  std::fflush(stdout);
+  st = server.Run();
+  g_net_server = nullptr;
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
+// `client`: forwards stdin request lines to a server and prints the
+// responses. Sends everything, half-closes, then drains — enough for shell
+// scripting without a netcat dependency.
+int RunClient(const Flags& flags) {
+  int fd = -1;
+  if (!flags.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (flags.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Fail(Status::InvalidArgument("--unix path too long"));
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return Fail(Status::Internal("socket failed"));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, flags.unix_path.c_str(),
+                flags.unix_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return Fail(Status::Internal("cannot connect to " + flags.unix_path));
+    }
+  } else if (flags.port_set) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Fail(Status::Internal("socket failed"));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(flags.port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return Fail(Status::Internal(
+          StrFormat("cannot connect to 127.0.0.1:%ld", flags.port)));
+    }
+  } else {
+    std::fprintf(stderr, "error: client needs --port or --unix\n");
+    return 2;
+  }
+
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, stdin)) > 0) {
+    std::size_t off = 0;
+    while (off < n) {
+      ssize_t w = ::send(fd, buf + off, n - off, MSG_NOSIGNAL);
+      if (w <= 0) {
+        ::close(fd);
+        return Fail(Status::Internal("cannot send request"));
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  ::shutdown(fd, SHUT_WR);
+  ssize_t r;
+  while ((r = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    std::fwrite(buf, 1, static_cast<std::size_t>(r), stdout);
+  }
+  std::fflush(stdout);
+  ::close(fd);
+  return 0;
 }
 
 // --engine value: "table" pins the tree-building machine, "ops" requests
@@ -555,6 +714,41 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --cache-bytes expects a size >= 1\n");
         return 2;
       }
+    } else if (a == "--port" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--port", 0, &flags.port)) return 2;
+      flags.port_set = true;
+    } else if (a == "--unix" && i + 1 < argc) {
+      flags.unix_path = argv[++i];
+    } else if (a == "--workers" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--workers", 1, &flags.workers)) {
+        return 2;
+      }
+    } else if (a == "--queue-limit" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--queue-limit", 1,
+                          &flags.queue_limit)) {
+        return 2;
+      }
+    } else if (a == "--max-line-bytes" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--max-line-bytes", 0,
+                          &flags.max_line_bytes)) {
+        return 2;
+      }
+    } else if (a == "--max-xml-bytes" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--max-xml-bytes", 0,
+                          &flags.max_xml_bytes)) {
+        return 2;
+      }
+    } else if (a == "--drain-ms" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--drain-ms", 0, &flags.drain_ms)) {
+        return 2;
+      }
+    } else if (a == "--retry-after-ms" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--retry-after-ms", 0,
+                          &flags.retry_after_ms)) {
+        return 2;
+      }
+    } else if (a == "--enable-fault-injection") {
+      flags.enable_fault_injection = true;
     } else {
       args.push_back(std::move(a));
     }
@@ -639,8 +833,31 @@ int main(int argc, char** argv) {
 
   if (cmd == "serve") {
     if (!args.empty()) {
-      std::fprintf(stderr, "error: serve reads requests from stdin\n");
+      std::fprintf(stderr, "error: serve takes flags only\n");
       return 2;
+    }
+    if (flags.port_set || !flags.unix_path.empty()) {
+      NetServerOptions no;
+      if (flags.cache_capacity > 0) {
+        no.cache.capacity = static_cast<std::size_t>(flags.cache_capacity);
+      }
+      if (flags.cache_bytes > 0) {
+        no.cache.max_bytes = static_cast<std::size_t>(flags.cache_bytes);
+      }
+      no.pipeline.optimize = !flags.no_opt;
+      no.pipeline.stream.engine = flags.engine;
+      if (flags.threads_set) {
+        no.default_threads = static_cast<std::size_t>(flags.threads);
+      }
+      if (flags.max_line_bytes >= 0) {
+        no.limits.max_line_bytes =
+            static_cast<std::size_t>(flags.max_line_bytes);
+      }
+      if (flags.max_xml_bytes >= 0) {
+        no.limits.max_inline_xml_bytes =
+            static_cast<std::size_t>(flags.max_xml_bytes);
+      }
+      return ServeNet(flags, std::move(no));
     }
     ServeOptions so;
     if (flags.cache_capacity > 0) {
@@ -654,9 +871,26 @@ int main(int argc, char** argv) {
     if (flags.threads_set) {
       so.default_threads = static_cast<std::size_t>(flags.threads);
     }
+    if (flags.max_line_bytes >= 0) {
+      so.limits.max_line_bytes =
+          static_cast<std::size_t>(flags.max_line_bytes);
+    }
+    if (flags.max_xml_bytes >= 0) {
+      so.limits.max_inline_xml_bytes =
+          static_cast<std::size_t>(flags.max_xml_bytes);
+    }
+    so.allow_fault_injection = flags.enable_fault_injection;
     Status st = ServeLoop(stdin, stdout, so);
     if (!st.ok()) return Fail(st);
     return 0;
+  }
+
+  if (cmd == "client") {
+    if (!args.empty()) {
+      std::fprintf(stderr, "error: client takes flags only\n");
+      return 2;
+    }
+    return RunClient(flags);
   }
 
   if (cmd == "stats") {

@@ -16,6 +16,16 @@
 //       shedding doing its job — the shed counter is the product here, and
 //       p99 stays bounded because rejected requests answer immediately
 //       instead of queueing without bound.
+//   serve_net/coalesce/<R>rps/window<W>ms
+//       same-document load: every request streams one shared ~90 KB inline
+//       document, offered past a single worker's independent capacity.
+//       window0 is the uncoalesced baseline (every request re-tokenizes
+//       the document); with the window on, the worker gathers queued
+//       same-document requests into one shared multi-query pass. The
+//       product is parses_per_req (document tokenizations per completed
+//       request, from the server's parses_saved counter): 1.0 at window 0,
+//       well under 1.0 with the window on — with p50/p99 alongside to show
+//       the latency side of the trade.
 //
 // Environment knobs:
 //   XQMFT_BENCH_NET_RATES    comma-separated open-loop rungs (default
@@ -56,6 +66,26 @@ std::string RequestLine(std::uint64_t id) {
       "{\"id\":%llu,\"query\":\"<out>{$input//a}</out>\","
       "\"xml\":[\"<doc><a>1</a><b>2</b><a>3</a></doc>\"]}\n",
       static_cast<unsigned long long>(id));
+}
+
+// The coalescing rung's request: the SAME parse-heavy inline document on
+// every request (that is what makes them coalescible), with a query that
+// matches almost nothing so the cost is tokenization, not response bytes.
+const std::string& CoalesceDoc() {
+  static const std::string* doc = [] {
+    auto* d = new std::string("<doc>");
+    for (int i = 0; i < 8000; ++i) d->append("<b>filler</b>");
+    d->append("<a>hit</a></doc>");
+    return d;
+  }();
+  return *doc;
+}
+
+std::string CoalesceRequestLine(std::uint64_t id) {
+  return StrFormat("{\"id\":%llu,\"query\":\"<out>{$input//a}</out>\","
+                   "\"xml\":[\"%s\"]}\n",
+                   static_cast<unsigned long long>(id),
+                   CoalesceDoc().c_str());
 }
 
 // Minimal framed-protocol client: header line, then a "bytes":N payload
@@ -169,7 +199,8 @@ struct LoadResult {
 /// per-connection responses arrive in request order, so the reader matches
 /// them FIFO against the sender's scheduled timestamps.
 LoadResult RunLoad(int port, double rate, std::size_t total,
-                   std::size_t conns) {
+                   std::size_t conns,
+                   std::string (*line)(std::uint64_t) = RequestLine) {
   struct ConnState {
     Client client;
     std::mutex mu;
@@ -198,7 +229,7 @@ LoadResult RunLoad(int port, double rate, std::size_t total,
     Clock::time_point first =
         start + std::chrono::duration_cast<Clock::duration>(
                     stagger * static_cast<double>(c));
-    threads.emplace_back([&st, first, conn_interval, c]() {
+    threads.emplace_back([&st, first, conn_interval, c, line]() {
       for (std::size_t i = 0; i < st.count; ++i) {
         Clock::time_point sched =
             first + std::chrono::duration_cast<Clock::duration>(
@@ -208,7 +239,7 @@ LoadResult RunLoad(int port, double rate, std::size_t total,
           std::lock_guard<std::mutex> lock(st.mu);
           st.scheduled.push_back(sched);
         }
-        if (!st.client.Send(RequestLine(c * 1000000 + i))) {
+        if (!st.client.Send(line(c * 1000000 + i))) {
           ++st.errors;
           return;
         }
@@ -332,6 +363,86 @@ void BenchServeNet(benchmark::State& state, double rate, NetCfg cfg) {
   state.SetItemsProcessed(static_cast<int64_t>(sum.ok));
 }
 
+/// The same-document coalescing rung: one worker, a deep queue (the point
+/// is coalescing, not shedding), parse-heavy identical requests offered
+/// past the worker's uncoalesced capacity. Runs with the given gather
+/// window; parses_per_req comes from the server's own counters (delta over
+/// the measured iterations, so the warm-up request is excluded).
+void BenchServeNetCoalesce(benchmark::State& state, double rate,
+                           std::uint64_t window_ms) {
+  NetServerOptions options;
+  options.tcp_port = 0;
+  options.workers = 1;
+  options.queue_limit = 256;
+  options.batch_window_ms = window_ms;
+  options.batch_max = 16;
+  NetServer server(options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::thread serving([&server]() {
+    Status run = server.Run();
+    (void)run;
+  });
+
+  {
+    Client warm = Client::ConnectTcp(server.port());
+    std::string header;
+    if (!warm.ok() || !warm.Send(CoalesceRequestLine(0)) ||
+        !warm.ReadResponse(&header)) {
+      state.SkipWithError("warm-up request failed");
+      server.RequestShutdown();
+      serving.join();
+      return;
+    }
+  }
+
+  const NetServerCounters before = server.counters();
+  const std::size_t total =
+      std::max<std::size_t>(400, static_cast<std::size_t>(rate / 2));
+  LoadResult sum;
+  for (auto _ : state) {
+    LoadResult one =
+        RunLoad(server.port(), rate, total, /*conns=*/4, CoalesceRequestLine);
+    sum.ok += one.ok;
+    sum.shed += one.shed;
+    sum.errors += one.errors;
+    sum.elapsed_s += one.elapsed_s;
+    sum.lat_ms.insert(sum.lat_ms.end(), one.lat_ms.begin(),
+                      one.lat_ms.end());
+  }
+  const NetServerCounters after = server.counters();
+  server.RequestShutdown();
+  serving.join();
+
+  if (sum.errors > 0) {
+    state.SkipWithError(
+        StrFormat("%llu requests errored",
+                  static_cast<unsigned long long>(sum.errors))
+            .c_str());
+    return;
+  }
+  std::sort(sum.lat_ms.begin(), sum.lat_ms.end());
+  state.counters["p50_ms"] = Percentile(sum.lat_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(sum.lat_ms, 0.99);
+  state.counters["req_per_s"] =
+      sum.elapsed_s > 0.0 ? static_cast<double>(sum.ok) / sum.elapsed_s : 0.0;
+  state.counters["shed"] = static_cast<double>(sum.shed);
+  const std::uint64_t ok_runs = after.completed_ok - before.completed_ok;
+  const std::uint64_t saved = after.parses_saved - before.parses_saved;
+  state.counters["parses_saved"] = static_cast<double>(saved);
+  // Every request carries exactly one document, so uncoalesced parses per
+  // completed request is 1.0 by construction and coalescing subtracts
+  // parses_saved from the numerator.
+  state.counters["parses_per_req"] =
+      ok_runs > 0 ? static_cast<double>(ok_runs - saved) /
+                        static_cast<double>(ok_runs)
+                  : 0.0;
+  state.SetItemsProcessed(static_cast<int64_t>(sum.ok));
+}
+
 std::size_t EnvCount(const char* name, std::size_t def) {
   const char* v = std::getenv(name);
   if (v == nullptr) return def;
@@ -374,6 +485,20 @@ void RegisterAll() {
       })
       ->Unit(benchmark::kMillisecond)
       ->UseRealTime();
+  // Same-document coalescing: identical rungs with the gather window off
+  // (the uncoalesced baseline) and on, so the BENCH artifact carries the
+  // parses_per_req and tail-latency delta side by side.
+  for (std::uint64_t window_ms : {std::uint64_t{0}, std::uint64_t{4}}) {
+    benchmark::RegisterBenchmark(
+        StrFormat("serve_net/coalesce/3000rps/window%llums",
+                  static_cast<unsigned long long>(window_ms))
+            .c_str(),
+        [window_ms](benchmark::State& st) {
+          BenchServeNetCoalesce(st, 3000.0, window_ms);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->UseRealTime();
+  }
 }
 
 }  // namespace

@@ -61,9 +61,16 @@ Status MultiQueryRun::Run(EventSource* events) {
   first_output_bytes_.assign(plans_.size(), 0);
   std::vector<char> saw_output(plans_.size(), 0);
   engines_.reserve(plans_.size());
-  for (MultiPlanSpec& p : plans_) {
-    // The run-level token reaches every engine (per-spec tokens, if any,
-    // are preserved — a run token overrides only absent ones).
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    MultiPlanSpec& p = plans_[i];
+    // Token priority per engine: the spec's own token, then the plan's
+    // member token (per_plan_cancel), then the run-level token. A member
+    // token tripping makes that engine's Feed fail, which the loop below
+    // isolates like any per-plan failure; the run-level token is still
+    // polled in the shared pump either way.
+    if (p.options.cancel == nullptr && i < options_.per_plan_cancel.size()) {
+      p.options.cancel = options_.per_plan_cancel[i];
+    }
     if (options_.cancel != nullptr && p.options.cancel == nullptr) {
       p.options.cancel = options_.cancel;
     }

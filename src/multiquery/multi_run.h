@@ -62,6 +62,14 @@ struct MultiQueryOptions {
   /// completed keep their results, mirroring source-error handling. Must
   /// outlive the run; null means not cancellable.
   const CancelToken* cancel = nullptr;
+  /// Per-plan cooperative cancellation, parallel to the plan vector (empty
+  /// or short = no token for the missing plans). Each token is installed as
+  /// its engine's StreamOptions cancel (unless the spec carries one
+  /// already), so a tripped member detaches through the per-plan
+  /// failure-isolation path — status recorded, siblings keep streaming —
+  /// which is how the serving scheduler drops one disconnected request out
+  /// of a shared coalesced run. Tokens must outlive the run.
+  std::vector<const CancelToken*> per_plan_cancel;
 };
 
 struct MultiQueryStats {

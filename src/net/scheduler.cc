@@ -1,0 +1,108 @@
+#include "net/scheduler.h"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+namespace xqmft {
+
+void RetryHint::Record(double service_ms) {
+  if (service_ms < 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_sample_) {
+    ewma_ms_ = service_ms;
+    has_sample_ = true;
+    return;
+  }
+  constexpr double kAlpha = 0.2;
+  ewma_ms_ = kAlpha * service_ms + (1.0 - kAlpha) * ewma_ms_;
+}
+
+std::uint64_t RetryHint::HintMs(std::size_t queue_depth) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!has_sample_) return floor_ms_;
+  const double hint = std::ceil(ewma_ms_ * static_cast<double>(queue_depth));
+  if (hint <= static_cast<double>(floor_ms_)) return floor_ms_;
+  return static_cast<std::uint64_t>(hint);
+}
+
+double RetryHint::ewma_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return has_sample_ ? ewma_ms_ : 0.0;
+}
+
+Scheduler::Scheduler(SchedulerOptions options) : options_(options) {}
+
+void Scheduler::Enqueue(std::shared_ptr<NetJob> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+    queued_.store(queue_.size(), std::memory_order_relaxed);
+  }
+  // notify_all, not _one: a worker may be mid-gather (waiting for same-key
+  // stragglers) while another sits idle; both need to look.
+  cv_.notify_all();
+}
+
+void Scheduler::TakeMatches(const std::string& key,
+                            std::vector<std::shared_ptr<NetJob>>* group) {
+  for (auto it = queue_.begin();
+       it != queue_.end() && group->size() < options_.batch_max;) {
+    std::shared_ptr<NetJob>& job = *it;
+    // Same key, and the job can afford the window: a member whose remaining
+    // deadline budget is below the gather window must run alone (it is
+    // admitted here only because the leader's wait is already underway —
+    // joining would spend budget it does not have).
+    if (job->coalesce_key == key &&
+        job->token.RemainingMs() >= options_.batch_window_ms) {
+      group->push_back(std::move(job));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  queued_.store(queue_.size(), std::memory_order_relaxed);
+}
+
+bool Scheduler::DequeueGroup(std::vector<std::shared_ptr<NetJob>>* group) {
+  group->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+  if (queue_.empty()) return false;  // stopped and drained
+
+  std::shared_ptr<NetJob> leader = std::move(queue_.front());
+  queue_.pop_front();
+  queued_.store(queue_.size(), std::memory_order_relaxed);
+
+  // Coalescing off, a non-coalescable request, or a leader that cannot
+  // afford the window: run it alone, exactly the pre-batching behavior.
+  const bool bypass = options_.batch_window_ms == 0 || options_.batch_max <= 1 ||
+                      leader->coalesce_key.empty() ||
+                      leader->token.RemainingMs() < options_.batch_window_ms;
+  group->push_back(std::move(leader));
+  if (bypass) return true;
+
+  const std::string& key = (*group)[0]->coalesce_key;
+  TakeMatches(key, group);
+  const auto window_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.batch_window_ms);
+  while (group->size() < options_.batch_max && !stopped_) {
+    if (cv_.wait_until(lock, window_deadline) == std::cv_status::timeout) {
+      TakeMatches(key, group);
+      break;
+    }
+    TakeMatches(key, group);
+  }
+  return true;
+}
+
+void Scheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace xqmft

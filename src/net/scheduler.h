@@ -1,0 +1,140 @@
+// Deadline-aware batching scheduler: the stage between admission and the
+// worker pool.
+//
+// PR 8's server handed workers one queued request at a time, so N
+// concurrent requests over the same document cost N tokenizations even
+// though the multi-query engine (multiquery/multi_run.h, PR 6) can serve
+// them in one pass. The Scheduler closes that gap at dequeue time: a
+// worker takes the oldest job and, when coalescing is enabled, gathers
+// queued jobs with the same coalesce key (same document list and
+// compatible plan-shaping options — service/wire.h CoalesceKey) into one
+// group, waiting up to `batch_window_ms` for stragglers and capping the
+// group at `batch_max`. The group runs as a single ExecuteBatch pass: one
+// tokenization per document, plans deduped through the query cache.
+//
+// Deadline awareness is the rule that keeps coalescing from trading a
+// tight request's latency for throughput: a job whose remaining deadline
+// budget is below the gather window bypasses coalescing entirely — it is
+// never a group leader (no window wait) and is never gathered into a
+// waiting group. With `batch_window_ms == 0` (the default) every dequeue
+// returns a single job and the scheduler behaves exactly like PR 8's
+// plain queue.
+//
+// RetryHint is the admission path's load-shedding companion: an EWMA of
+// observed per-request service time turns the static retry_after_ms hint
+// into one proportional to the work actually queued in front of the
+// rejected client (hint = max(floor, queue depth × EWMA)) — deeper queue,
+// larger hint, monotonically.
+//
+// Threading: Enqueue and queued() are called from the server's event-loop
+// thread; DequeueGroup from worker threads; Stop from shutdown.
+// RetryHint::Record comes from workers while HintMs is read on the event
+// loop. Everything is internally synchronized.
+#ifndef XQMFT_NET_SCHEDULER_H_
+#define XQMFT_NET_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/json.h"
+#include "util/cancel.h"
+
+namespace xqmft {
+
+/// One admitted request, shared between the connection (for
+/// cancel-on-disconnect), the scheduler queue, and the worker running it.
+struct NetJob {
+  std::uint64_t conn_id = 0;
+  std::uint64_t seq = 0;
+  JsonValue json;
+  CancelToken token;
+  /// Coalescing group key (service/wire.h CoalesceKey), computed at
+  /// admission; empty = this job never joins a coalesced run.
+  std::string coalesce_key;
+};
+
+struct SchedulerOptions {
+  /// Largest coalesced group a worker may gather (including the leader).
+  std::size_t batch_max = 8;
+  /// How long a group leader waits for same-key stragglers before running;
+  /// 0 disables coalescing entirely (every dequeue returns one job).
+  std::uint64_t batch_window_ms = 0;
+};
+
+/// \brief Load-proportional retry_after_ms hints for overload rejections.
+///
+/// With no completed requests observed yet the hint is the configured
+/// static floor (so cold-start shedding keeps the configured value);
+/// afterwards it is max(floor, ceil(depth × EWMA of per-request service
+/// ms)) — monotone in the queue depth by construction.
+class RetryHint {
+ public:
+  explicit RetryHint(std::uint64_t floor_ms) : floor_ms_(floor_ms) {}
+
+  /// Records one completed request's service time (ms of worker time).
+  void Record(double service_ms);
+
+  /// The backoff hint for a client rejected while `queue_depth` jobs wait.
+  std::uint64_t HintMs(std::size_t queue_depth) const;
+
+  /// Current EWMA (0 before the first sample) — observability and tests.
+  double ewma_ms() const;
+
+ private:
+  const std::uint64_t floor_ms_;
+  mutable std::mutex mu_;
+  double ewma_ms_ = 0.0;
+  bool has_sample_ = false;
+};
+
+/// \brief The bounded job queue with group-forming dequeue.
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions options);
+
+  /// Adds an admitted job (admission control — the queue-depth bound — is
+  /// the caller's, via queued()).
+  void Enqueue(std::shared_ptr<NetJob> job);
+
+  /// Blocks until work or shutdown. Returns false when stopped and
+  /// drained; otherwise fills `*group` with one job, or — when coalescing
+  /// applies — the leader plus every same-key job gathered within the
+  /// window, up to batch_max. Jobs with other keys are left queued for
+  /// other workers. Stop() cuts a gather short: the group runs with
+  /// whatever it holds so drain is not delayed by the window.
+  bool DequeueGroup(std::vector<std::shared_ptr<NetJob>>* group);
+
+  /// Wakes every waiter; DequeueGroup keeps returning groups until the
+  /// queue is drained, then false.
+  void Stop();
+
+  /// Jobs waiting (admitted, not yet taken by a worker) — the admission
+  /// bound and the depth behind RetryHint.
+  std::size_t queued() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Moves queued jobs matching `key` (and able to afford the window) into
+  // *group, up to batch_max. Caller holds mu_.
+  void TakeMatches(const std::string& key,
+                   std::vector<std::shared_ptr<NetJob>>* group);
+
+  const SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<NetJob>> queue_;
+  bool stopped_ = false;
+  std::atomic<std::size_t> queued_{0};
+};
+
+}  // namespace xqmft
+
+#endif  // XQMFT_NET_SCHEDULER_H_

@@ -11,9 +11,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -21,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/scheduler.h"
 #include "service/json.h"
 #include "util/cancel.h"
 #include "util/strings.h"
@@ -28,15 +27,6 @@
 namespace xqmft {
 
 namespace {
-
-// One admitted request, shared between the connection (for
-// cancel-on-disconnect), the queue, and the worker running it.
-struct Job {
-  std::uint64_t conn_id = 0;
-  std::uint64_t seq = 0;
-  JsonValue json;
-  CancelToken token;
-};
 
 struct Completion {
   std::uint64_t conn_id = 0;
@@ -55,7 +45,7 @@ struct Conn {
   std::uint64_t next_seq = 0;      // request sequence numbers, per conn
   std::uint64_t next_to_send = 0;  // responses leave in request order
   std::map<std::uint64_t, std::string> ready;  // finished out of order
-  std::map<std::uint64_t, std::shared_ptr<Job>> inflight;
+  std::map<std::uint64_t, std::shared_ptr<NetJob>> inflight;
   bool read_closed = false;  // client half-closed: deliver, then close
   std::uint32_t responses_sent = 0;
 };
@@ -71,7 +61,10 @@ struct NetServer::Impl {
   explicit Impl(NetServerOptions opts)
       : options(std::move(opts)),
         service(options.cache, options.pipeline),
-        handler(&service, MakeWireOptions()) {}
+        handler(&service, MakeWireOptions()),
+        scheduler(SchedulerOptions{options.batch_max,
+                                   options.batch_window_ms}),
+        retry_hint(options.retry_after_ms) {}
 
   WireOptions MakeWireOptions() {
     WireOptions wire;
@@ -109,11 +102,8 @@ struct NetServer::Impl {
 
   // ---- worker pool ----
   std::vector<std::thread> workers;
-  std::mutex queue_mu;
-  std::condition_variable queue_cv;
-  std::deque<std::shared_ptr<Job>> queue;
-  bool stop_workers = false;
-  std::atomic<std::size_t> queued_jobs{0};
+  Scheduler scheduler;
+  RetryHint retry_hint;
 
   std::mutex comp_mu;
   std::vector<Completion> completions;
@@ -134,9 +124,13 @@ struct NetServer::Impl {
     std::atomic<std::uint64_t> rejected_overload{0};
     std::atomic<std::uint64_t> rejected_shutdown{0};
     std::atomic<std::uint64_t> rejected_line_length{0};
+    std::atomic<std::uint64_t> rejected_bad_request{0};
     std::atomic<std::uint64_t> disconnects_inflight{0};
     std::atomic<std::uint64_t> slow_client_closed{0};
     std::atomic<std::uint64_t> inline_cmds{0};
+    std::atomic<std::uint64_t> coalesced_runs{0};
+    std::atomic<std::uint64_t> coalesced_requests{0};
+    std::atomic<std::uint64_t> parses_saved{0};
   } counters;
 
   // ---------------------------------------------------------------- setup
@@ -162,6 +156,7 @@ struct NetServer::Impl {
   bool MaybeFinish(Conn* c);  // graceful close after half-close drains
   void CloseConn(Conn* c, bool abort);
   void ProcessCompletions();
+  NetServerCounters SnapshotCounters() const;
   void AppendServerStats(const JsonValue* id, std::string* out);
   void CountOutcome(StatusCode code);
   void BeginDrain();
@@ -257,34 +252,65 @@ void NetServer::Impl::RequestShutdown() {
 // ---------------------------------------------------------------- workers
 
 void NetServer::Impl::WorkerMain() {
+  std::vector<std::shared_ptr<NetJob>> group;
   for (;;) {
-    std::shared_ptr<Job> job;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu);
-      queue_cv.wait(lock, [this] { return stop_workers || !queue.empty(); });
-      if (queue.empty()) return;  // stop requested and drained
-      job = std::move(queue.front());
-      queue.pop_front();
-      queued_jobs.fetch_sub(1, std::memory_order_relaxed);
+    if (!scheduler.DequeueGroup(&group)) return;  // stopped and drained
+    std::vector<Completion> done(group.size());
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      done[i].conn_id = group[i]->conn_id;
+      done[i].seq = group[i]->seq;
     }
-    Completion done;
-    done.conn_id = job->conn_id;
-    done.seq = job->seq;
-    // A token tripped while the job sat queued (deadline counted from
-    // admission, disconnect, forced shutdown) skips execution entirely —
-    // no compile, no streaming, just the error response.
-    Status pre = job->token.Check();
-    if (!pre.ok()) {
-      AppendErrorResponse(&done.response, job->json.Find("id"),
-                          pre.ToString(), pre.code());
-      done.code = pre.code();
+    const auto t0 = std::chrono::steady_clock::now();
+    if (group.size() == 1) {
+      NetJob& job = *group[0];
+      // A token tripped while the job sat queued (deadline counted from
+      // admission, disconnect, forced shutdown) skips execution entirely —
+      // no compile, no streaming, just the error response.
+      Status pre = job.token.Check();
+      if (!pre.ok()) {
+        AppendErrorResponse(&done[0].response, job.json.Find("id"),
+                            pre.ToString(), pre.code());
+        done[0].code = pre.code();
+      } else {
+        done[0].code =
+            handler.HandleParsed(job.json, &job.token, &done[0].response);
+        retry_hint.Record(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+      }
     } else {
-      done.code =
-          handler.HandleParsed(job->json, &job->token, &done.response);
+      // A coalesced group: one shared multi-query pass over the common
+      // document list. Tripped or malformed members drop out with their
+      // own error responses inside HandleCoalesced.
+      std::vector<CoalescedJob> members(group.size());
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        members[i].json = &group[i]->json;
+        members[i].cancel = &group[i]->token;
+        members[i].out = &done[i].response;
+      }
+      std::size_t shared_members = 0;
+      const std::uint64_t saved =
+          handler.HandleCoalesced(&members, &shared_members);
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        done[i].code = members[i].code;
+      }
+      if (shared_members >= 2) {
+        counters.coalesced_runs.fetch_add(1);
+        counters.coalesced_requests.fetch_add(shared_members);
+        counters.parses_saved.fetch_add(saved);
+      }
+      // The EWMA tracks per-request cost: the pass's wall time is shared
+      // by every member, so each contributes its share.
+      const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count();
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        retry_hint.Record(elapsed_ms / static_cast<double>(group.size()));
+      }
     }
     {
       std::lock_guard<std::mutex> lock(comp_mu);
-      completions.push_back(std::move(done));
+      for (Completion& d : done) completions.push_back(std::move(d));
     }
     char b = 'c';
     [[maybe_unused]] ssize_t n = ::write(wake_wr, &b, 1);
@@ -292,11 +318,7 @@ void NetServer::Impl::WorkerMain() {
 }
 
 void NetServer::Impl::StopWorkers() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu);
-    stop_workers = true;
-  }
-  queue_cv.notify_all();
+  scheduler.Stop();
   for (std::thread& t : workers) {
     if (t.joinable()) t.join();
   }
@@ -315,7 +337,7 @@ void NetServer::Impl::AcceptAll(int listen_fd) {
     conn->id = next_conn_id++;
     conns_by_id[conn->id] = conn.get();
     conns[fd] = std::move(conn);
-    counters.connections.fetch_add(1, std::memory_order_relaxed);
+    counters.connections.fetch_add(1);
   }
 }
 
@@ -354,7 +376,7 @@ bool NetServer::Impl::OnData(Conn* c, const char* data, std::size_t n) {
     bool alive;
     if (c->discarding) {
       c->discarding = false;
-      counters.rejected_line_length.fetch_add(1, std::memory_order_relaxed);
+      counters.rejected_line_length.fetch_add(1);
       std::string resp;
       AppendErrorResponse(&resp, nullptr,
                           StrFormat("request line exceeds the %zu-byte limit",
@@ -365,7 +387,7 @@ bool NetServer::Impl::OnData(Conn* c, const char* data, std::size_t n) {
       c->rbuf.append(data + i, len);
       if (limit != 0 && c->rbuf.size() > limit) {
         c->rbuf.clear();
-        counters.rejected_line_length.fetch_add(1, std::memory_order_relaxed);
+        counters.rejected_line_length.fetch_add(1);
         std::string resp;
         AppendErrorResponse(
             &resp, nullptr,
@@ -409,14 +431,28 @@ bool NetServer::Impl::ProcessLine(Conn* c, std::string line) {
   // admission entirely: observability keeps working while the queue is
   // full — which is exactly when someone is polling it.
   if (json.Find("cmd") != nullptr) {
-    counters.inline_cmds.fetch_add(1, std::memory_order_relaxed);
+    counters.inline_cmds.fetch_add(1);
     std::string resp;
     handler.HandleParsed(json, nullptr, &resp);
     return Deliver(c, seq, std::move(resp));
   }
 
+  // A malformed deadline is rejected, not ignored: silently dropping a
+  // bad "deadline_ms" ("100" as a string, 0, a negative) would run the
+  // request with no budget at all — the opposite of what the client asked
+  // for.
+  const JsonValue* dl = json.Find("deadline_ms");
+  if (dl != nullptr && (!dl->is_number() || dl->number <= 0)) {
+    counters.rejected_bad_request.fetch_add(1);
+    std::string resp;
+    AppendBadRequestResponse(&resp, id,
+                             "deadline_ms must be a positive number");
+    return Deliver(c, seq, std::move(resp));
+  }
+  const double deadline_ms = dl != nullptr ? dl->number : 0.0;
+
   if (draining) {
-    counters.rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    counters.rejected_shutdown.fetch_add(1);
     ResponseWriter w(id);
     w.Raw("ok", "false");
     w.Field("error", "server is shutting down");
@@ -424,36 +460,33 @@ bool NetServer::Impl::ProcessLine(Conn* c, std::string line) {
     return Deliver(c, seq, w.Finish() + "\n");
   }
 
-  if (queued_jobs.load(std::memory_order_relaxed) >= options.queue_limit) {
-    counters.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth = scheduler.queued();
+  if (depth >= options.queue_limit) {
+    counters.rejected_overload.fetch_add(1);
     ResponseWriter w(id);
     w.Raw("ok", "false");
     w.Field("error", "server overloaded: request queue is full");
     w.Field("status", "overloaded");
-    w.Raw("retry_after_ms", std::to_string(options.retry_after_ms));
+    w.Raw("retry_after_ms", std::to_string(retry_hint.HintMs(depth)));
     return Deliver(c, seq, w.Finish() + "\n");
   }
 
-  auto job = std::make_shared<Job>();
+  auto job = std::make_shared<NetJob>();
   job->conn_id = c->id;
   job->seq = seq;
   job->json = std::move(json);
   // Deadline armed NOW, at admission: a request that waits out its budget
   // in the queue is dead on arrival at the worker, by design.
-  if (const JsonValue* dl = job->json.Find("deadline_ms")) {
-    if (dl->is_number() && dl->number > 0) {
-      job->token.SetDeadlineAfterMs(static_cast<std::uint64_t>(dl->number));
-    }
+  if (deadline_ms > 0) {
+    job->token.SetDeadlineAfterMs(static_cast<std::uint64_t>(deadline_ms));
+  }
+  if (options.batch_window_ms > 0 && options.batch_max > 1) {
+    job->coalesce_key = CoalesceKey(job->json);
   }
   c->inflight[seq] = job;
   ++outstanding;
-  counters.admitted.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(queue_mu);
-    queue.push_back(std::move(job));
-    queued_jobs.fetch_add(1, std::memory_order_relaxed);
-  }
-  queue_cv.notify_one();
+  counters.admitted.fetch_add(1);
+  scheduler.Enqueue(std::move(job));
   return true;
 }
 
@@ -474,7 +507,7 @@ bool NetServer::Impl::Deliver(Conn* c, std::uint64_t seq,
   }
   if (!FlushWrites(c)) return false;
   if (c->wbuf.size() - c->woff > options.max_write_buffer_bytes) {
-    counters.slow_client_closed.fetch_add(1, std::memory_order_relaxed);
+    counters.slow_client_closed.fetch_add(1);
     CloseConn(c, /*abort=*/true);
     return false;
   }
@@ -511,7 +544,7 @@ bool NetServer::Impl::MaybeFinish(Conn* c) {
 void NetServer::Impl::CloseConn(Conn* c, bool abort) {
   if (!c->inflight.empty()) {
     if (abort) {
-      counters.disconnects_inflight.fetch_add(1, std::memory_order_relaxed);
+      counters.disconnects_inflight.fetch_add(1);
     }
     // Nobody will read these responses; stop computing them. The jobs
     // still complete (quickly, via the cooperative checks) and their
@@ -527,17 +560,16 @@ void NetServer::Impl::CloseConn(Conn* c, bool abort) {
 void NetServer::Impl::CountOutcome(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
-      counters.completed_ok.fetch_add(1, std::memory_order_relaxed);
+      counters.completed_ok.fetch_add(1);
       break;
     case StatusCode::kCancelled:
-      counters.cancelled_runs.fetch_add(1, std::memory_order_relaxed);
+      counters.cancelled_runs.fetch_add(1);
       break;
     case StatusCode::kDeadlineExceeded:
-      counters.deadline_exceeded_runs.fetch_add(1,
-                                                std::memory_order_relaxed);
+      counters.deadline_exceeded_runs.fetch_add(1);
       break;
     default:
-      counters.failed.fetch_add(1, std::memory_order_relaxed);
+      counters.failed.fetch_add(1);
       break;
   }
 }
@@ -559,8 +591,38 @@ void NetServer::Impl::ProcessCompletions() {
   }
 }
 
+NetServerCounters NetServer::Impl::SnapshotCounters() const {
+  // Load order matters for the snapshot's internal consistency: outcomes
+  // are read BEFORE admissions. Every outcome increment is preceded (in
+  // the seq_cst total order) by its request's admitted increment, so
+  // reading outcomes first guarantees
+  //   admitted >= completed_ok + failed + cancelled_runs +
+  //               deadline_exceeded_runs
+  // in any single snapshot — independent relaxed loads could see an
+  // outcome whose admission they miss.
+  NetServerCounters out;
+  out.completed_ok = counters.completed_ok.load();
+  out.failed = counters.failed.load();
+  out.cancelled_runs = counters.cancelled_runs.load();
+  out.deadline_exceeded_runs = counters.deadline_exceeded_runs.load();
+  out.coalesced_runs = counters.coalesced_runs.load();
+  out.coalesced_requests = counters.coalesced_requests.load();
+  out.parses_saved = counters.parses_saved.load();
+  out.admitted = counters.admitted.load();
+  out.rejected_overload = counters.rejected_overload.load();
+  out.rejected_shutdown = counters.rejected_shutdown.load();
+  out.rejected_line_length = counters.rejected_line_length.load();
+  out.rejected_bad_request = counters.rejected_bad_request.load();
+  out.disconnects_inflight = counters.disconnects_inflight.load();
+  out.slow_client_closed = counters.slow_client_closed.load();
+  out.inline_cmds = counters.inline_cmds.load();
+  out.connections = counters.connections.load();
+  return out;
+}
+
 void NetServer::Impl::AppendServerStats(const JsonValue* id,
                                         std::string* out) {
+  const NetServerCounters snap = SnapshotCounters();
   ResponseWriter w(id);
   w.Raw("ok", "true");
   w.Raw(
@@ -570,24 +632,27 @@ void NetServer::Impl::AppendServerStats(const JsonValue* id,
           "\"failed\":%llu,\"cancelled_runs\":%llu,"
           "\"deadline_exceeded_runs\":%llu,\"rejected_overload\":%llu,"
           "\"rejected_shutdown\":%llu,\"rejected_line_length\":%llu,"
-          "\"disconnects_inflight\":%llu,\"slow_client_closed\":%llu,"
-          "\"inline_cmds\":%llu,\"queued\":%zu}",
-          static_cast<unsigned long long>(counters.connections.load()),
-          static_cast<unsigned long long>(counters.admitted.load()),
-          static_cast<unsigned long long>(counters.completed_ok.load()),
-          static_cast<unsigned long long>(counters.failed.load()),
-          static_cast<unsigned long long>(counters.cancelled_runs.load()),
-          static_cast<unsigned long long>(
-              counters.deadline_exceeded_runs.load()),
-          static_cast<unsigned long long>(counters.rejected_overload.load()),
-          static_cast<unsigned long long>(counters.rejected_shutdown.load()),
-          static_cast<unsigned long long>(
-              counters.rejected_line_length.load()),
-          static_cast<unsigned long long>(
-              counters.disconnects_inflight.load()),
-          static_cast<unsigned long long>(counters.slow_client_closed.load()),
-          static_cast<unsigned long long>(counters.inline_cmds.load()),
-          queued_jobs.load()));
+          "\"rejected_bad_request\":%llu,\"disconnects_inflight\":%llu,"
+          "\"slow_client_closed\":%llu,\"inline_cmds\":%llu,"
+          "\"coalesced_runs\":%llu,\"coalesced_requests\":%llu,"
+          "\"parses_saved\":%llu,\"queued\":%zu}",
+          static_cast<unsigned long long>(snap.connections),
+          static_cast<unsigned long long>(snap.admitted),
+          static_cast<unsigned long long>(snap.completed_ok),
+          static_cast<unsigned long long>(snap.failed),
+          static_cast<unsigned long long>(snap.cancelled_runs),
+          static_cast<unsigned long long>(snap.deadline_exceeded_runs),
+          static_cast<unsigned long long>(snap.rejected_overload),
+          static_cast<unsigned long long>(snap.rejected_shutdown),
+          static_cast<unsigned long long>(snap.rejected_line_length),
+          static_cast<unsigned long long>(snap.rejected_bad_request),
+          static_cast<unsigned long long>(snap.disconnects_inflight),
+          static_cast<unsigned long long>(snap.slow_client_closed),
+          static_cast<unsigned long long>(snap.inline_cmds),
+          static_cast<unsigned long long>(snap.coalesced_runs),
+          static_cast<unsigned long long>(snap.coalesced_requests),
+          static_cast<unsigned long long>(snap.parses_saved),
+          scheduler.queued()));
   *out += w.Finish();
   *out += "\n";
 }
@@ -743,20 +808,7 @@ const std::string& NetServer::unix_path() const {
 }
 
 NetServerCounters NetServer::counters() const {
-  NetServerCounters out;
-  out.connections = impl_->counters.connections.load();
-  out.admitted = impl_->counters.admitted.load();
-  out.completed_ok = impl_->counters.completed_ok.load();
-  out.failed = impl_->counters.failed.load();
-  out.cancelled_runs = impl_->counters.cancelled_runs.load();
-  out.deadline_exceeded_runs = impl_->counters.deadline_exceeded_runs.load();
-  out.rejected_overload = impl_->counters.rejected_overload.load();
-  out.rejected_shutdown = impl_->counters.rejected_shutdown.load();
-  out.rejected_line_length = impl_->counters.rejected_line_length.load();
-  out.disconnects_inflight = impl_->counters.disconnects_inflight.load();
-  out.slow_client_closed = impl_->counters.slow_client_closed.load();
-  out.inline_cmds = impl_->counters.inline_cmds.load();
-  return out;
+  return impl_->SnapshotCounters();
 }
 
 }  // namespace xqmft

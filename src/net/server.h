@@ -12,9 +12,23 @@
 //   admission    A bounded job queue. When it is full, new requests are
 //                rejected immediately with {"status":"unavailable",
 //                "error":"...overloaded...","retry_after_ms":N} instead of
-//                queueing without bound (load shedding). "cmd" requests
-//                (stats polls) bypass the queue — they stay answerable
-//                under full load, which is when you want them.
+//                queueing without bound (load shedding). The hint N is
+//                load-proportional: queue depth × an EWMA of observed
+//                per-request service time (floored at retry_after_ms), so
+//                a deeper queue tells clients to back off longer. "cmd"
+//                requests (stats polls) bypass the queue — they stay
+//                answerable under full load, which is when you want them.
+//   validation   A request carrying a malformed "deadline_ms" (a string,
+//                zero, negative) is rejected up front with
+//                {"status":"bad_request"} instead of silently running
+//                without a budget.
+//   batching     With batch_window_ms > 0, a worker dequeuing a request
+//                gathers queued requests over the same document list
+//                (net/scheduler.h) and runs them as one shared
+//                multi-query pass: one tokenization per document, plans
+//                deduplicated through the query cache, byte-identical
+//                responses. Requests whose remaining deadline budget is
+//                below the window bypass batching.
 //   deadlines    "deadline_ms" is armed at ADMISSION on the job's
 //                CancelToken, so time spent queued counts against the
 //                budget; engines abort mid-stream via cooperative checks.
@@ -74,8 +88,18 @@ struct NetServerOptions {
   /// Buffered response bytes per connection: reads pause at half, the
   /// connection is dropped (slow_client_closed) at the full limit.
   std::size_t max_write_buffer_bytes = 4u << 20;
-  /// Hint echoed in overload rejections.
+  /// Floor for the retry_after_ms hint echoed in overload rejections (the
+  /// hint itself scales with queue depth × observed service time once any
+  /// request has completed).
   std::uint64_t retry_after_ms = 50;
+  /// Most queued same-document requests a worker coalesces into one shared
+  /// multi-query pass (including the one it dequeued).
+  std::size_t batch_max = 8;
+  /// How long a worker waits for same-document stragglers before running a
+  /// coalesced pass. 0 (the default) disables coalescing: every request
+  /// runs alone, exactly the pre-batching behavior. Requests whose
+  /// remaining deadline budget is below the window are never coalesced.
+  std::uint64_t batch_window_ms = 0;
   /// Graceful-shutdown drain budget; in-flight runs still going when it
   /// expires are cancelled.
   std::uint64_t drain_ms = 5000;
@@ -96,6 +120,9 @@ struct NetServerOptions {
 ///
 /// Also exposed over the wire as {"cmd":"server_stats"} — and because cmd
 /// requests bypass admission, the counters stay observable at full load.
+/// Snapshots are ordered (outcomes read before admissions), so any single
+/// snapshot satisfies
+/// admitted >= completed_ok + failed + cancelled_runs + deadline_exceeded_runs.
 struct NetServerCounters {
   std::uint64_t connections = 0;     ///< accepted
   std::uint64_t admitted = 0;        ///< requests admitted to the queue
@@ -106,9 +133,15 @@ struct NetServerCounters {
   std::uint64_t rejected_overload = 0;       ///< shed: queue full
   std::uint64_t rejected_shutdown = 0;       ///< shed: draining
   std::uint64_t rejected_line_length = 0;    ///< overlong request lines
+  std::uint64_t rejected_bad_request = 0;    ///< structurally invalid fields
   std::uint64_t disconnects_inflight = 0;    ///< aborts with runs in flight
   std::uint64_t slow_client_closed = 0;      ///< write-buffer limit closes
   std::uint64_t inline_cmds = 0;             ///< cmd requests (no queue)
+  std::uint64_t coalesced_runs = 0;      ///< shared passes with >= 2 members
+  std::uint64_t coalesced_requests = 0;  ///< requests served by those passes
+  /// Document tokenizations avoided by coalescing: for each shared pass,
+  /// (members - 1) × documents streamed.
+  std::uint64_t parses_saved = 0;
 };
 
 /// \brief The socket server. Construct, Start() (listeners + workers, after

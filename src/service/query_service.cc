@@ -120,6 +120,16 @@ Status QueryService::ExecuteBatch(const std::vector<ServiceRequest>& requests,
   // pay for one compile between them.
   std::vector<std::shared_ptr<const CompiledPlan>> plans(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // A member whose token already tripped (deadline spent in the queue,
+    // client disconnected) is excluded before the shared pass starts: no
+    // compile, no slot, just its status.
+    if (requests[i].cancel != nullptr) {
+      Status pre = requests[i].cancel->Check();
+      if (!pre.ok()) {
+        per_request[i].status = pre;
+        continue;
+      }
+    }
     if (requests[i].inputs.empty()) {
       per_request[i].status = Status::InvalidArgument("request has no inputs");
       continue;
@@ -177,6 +187,23 @@ Status QueryService::ExecuteBatch(const std::vector<ServiceRequest>& requests,
     std::vector<std::uint64_t> slot_events_fed(slots, 0);
     std::uint64_t group_skipped = 0;
 
+    // A slot serving exactly one member (or members sharing one token)
+    // streams under that member's cancel token, so a disconnect or deadline
+    // detaches it mid-pass through the per-plan isolation path. A deduped
+    // slot with several independent members keeps streaming while any of
+    // them might still want the output; a tripped member is denied at
+    // replay time below instead.
+    std::vector<const CancelToken*> slot_cancel(slots, nullptr);
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::vector<std::size_t>& members = group.requests_for_plan[s];
+      const CancelToken* shared =
+          members.empty() ? nullptr : requests[members.front()].cancel;
+      for (std::size_t i : members) {
+        if (requests[i].cancel != shared) { shared = nullptr; break; }
+      }
+      slot_cancel[s] = shared;
+    }
+
     auto t0 = std::chrono::steady_clock::now();
     for (const ParallelInput& doc : *group.inputs) {
       // A slot that failed on an earlier document is done: the serial
@@ -193,10 +220,16 @@ Status QueryService::ExecuteBatch(const std::vector<ServiceRequest>& requests,
       }
       if (live_plans.empty()) break;
 
+      MultiQueryOptions pass_options = multi_options;
+      pass_options.per_plan_cancel.reserve(live_slots.size());
+      for (std::size_t s : live_slots) {
+        pass_options.per_plan_cancel.push_back(slot_cancel[s]);
+      }
+
       std::vector<MultiPlanResult> results;
       MultiQueryStats run_stats;
       Status st = StreamAllTransformInput(live_plans, doc, live_sinks,
-                                          multi_options, &results, &run_stats);
+                                          pass_options, &results, &run_stats);
       ++documents;
       parsed_bytes += run_stats.bytes_in;
       group_skipped += run_stats.events_skipped;
@@ -226,7 +259,18 @@ Status QueryService::ExecuteBatch(const std::vector<ServiceRequest>& requests,
         per_request[i].total = AggregateStreamStats(slot_inputs[s]);
         per_request[i].events_fed = slot_events_fed[s];
         per_request[i].events_skipped = group_skipped;
-        if (slot_status[s].ok()) buffers[s].Replay(sinks[i]);
+        if (!slot_status[s].ok()) continue;
+        // A member whose own token tripped while a shared (deduped) slot
+        // kept streaming for its siblings gets its token's status, not a
+        // replay — nobody is waiting for those bytes.
+        if (requests[i].cancel != nullptr) {
+          Status member = requests[i].cancel->Check();
+          if (!member.ok()) {
+            per_request[i].status = member;
+            continue;
+          }
+        }
+        buffers[s].Replay(sinks[i]);
       }
     }
   }

@@ -114,7 +114,12 @@ class QueryService {
   ///
   /// `sinks` parallels `requests`. `request.threads` is ignored: the shared
   /// pass is serial per document (combining multi-query execution with
-  /// document-set sharding is future work). Per-request failures (compile
+  /// document-set sharding is future work). `request.cancel` is honored per
+  /// member: a token that tripped before the pass excludes the member up
+  /// front (no compile, no slot); a single-member slot streams under its
+  /// member's token, so a mid-pass trip detaches just that plan; and a
+  /// member sharing a deduped slot with live siblings is denied its replay
+  /// once its own token trips. Per-request failures (compile
   /// errors, engine errors) are isolated in `stats->per_request[i].status`;
   /// the returned Status is non-OK for batch-level problems (empty batch,
   /// size mismatch), when `stats` is null (first failing request, lowest

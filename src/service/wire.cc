@@ -80,6 +80,52 @@ void AppendErrorResponse(std::string* out, const JsonValue* id,
   *out += "\n";
 }
 
+StatusCode AppendBadRequestResponse(std::string* out, const JsonValue* id,
+                                    std::string_view message) {
+  ResponseWriter w(id);
+  w.Raw("ok", "false");
+  w.Field("error", message);
+  w.Field("status", "bad_request");
+  *out += w.Finish();
+  *out += "\n";
+  return StatusCode::kInvalidArgument;
+}
+
+std::string CoalesceKey(const JsonValue& json) {
+  if (!json.is_object()) return std::string();
+  // Forms with their own execution paths (cmd, batch), per-request source
+  // wrapping (fault), or request-level execution knobs the shared pass
+  // ignores (threads) stay on the single-request path.
+  if (json.Find("cmd") != nullptr || json.Find("queries") != nullptr ||
+      json.Find("fault") != nullptr || json.Find("threads") != nullptr) {
+    return std::string();
+  }
+  const JsonValue* query = json.Find("query");
+  if (query == nullptr || !query->is_string()) return std::string();
+  const JsonValue* inputs = json.Find("inputs");
+  const JsonValue* xml = json.Find("xml");
+  auto strings_only = [](const JsonValue* v) {
+    if (v == nullptr) return true;
+    if (!v->is_array()) return false;
+    for (const JsonValue& item : v->items) {
+      if (!item.is_string()) return false;
+    }
+    return true;
+  };
+  if (!strings_only(inputs) || !strings_only(xml)) return std::string();
+  if ((inputs == nullptr || inputs->items.empty()) &&
+      (xml == nullptr || xml->items.empty())) {
+    return std::string();  // no documents: the single path owns the error
+  }
+  // JSON-serialized field lists: two requests with equal keys parse into
+  // identical ParallelInput lists, i.e. the same ExecuteBatch InputsKey.
+  std::string key = "i";
+  if (inputs != nullptr) AppendJsonValue(&key, *inputs);
+  key += "x";
+  if (xml != nullptr) AppendJsonValue(&key, *xml);
+  return key;
+}
+
 namespace {
 
 void AppendError(std::string* out, const JsonValue* id, const Status& st) {
@@ -383,6 +429,99 @@ StatusCode RequestHandler::HandleParsed(const JsonValue& json,
   *out += sink.str();
   *out += "\n";
   return StatusCode::kOk;
+}
+
+std::uint64_t RequestHandler::HandleCoalesced(std::vector<CoalescedJob>* group,
+                                              std::size_t* shared_members) {
+  if (shared_members != nullptr) *shared_members = 0;
+  std::vector<std::size_t> live;       // group indices that reach the pass
+  std::vector<const JsonValue*> ids(group->size(), nullptr);
+  std::vector<ServiceRequest> requests;
+  for (std::size_t m = 0; m < group->size(); ++m) {
+    CoalescedJob& job = (*group)[m];
+    ids[m] = job.json->Find("id");
+    // Expired or disconnected members are excluded before the shared run
+    // starts — same contract as the worker's pre-execution check.
+    if (job.cancel != nullptr) {
+      Status pre = job.cancel->Check();
+      if (!pre.ok()) {
+        AppendErrorResponse(job.out, ids[m], pre.ToString(), pre.code());
+        job.code = pre.code();
+        continue;
+      }
+    }
+    Result<WireRequest> request = BuildRequest(*job.json, options_);
+    if (!request.ok()) {
+      AppendError(job.out, ids[m], request.status());
+      job.code = request.status().code();
+      continue;
+    }
+    WireRequest& wire = request.value();
+    wire.req.cancel = job.cancel;
+    // Transports arm deadlines at admission; arm here only when one did not
+    // (matching ResolveToken on the single path).
+    if (wire.req.deadline_ms > 0 && job.cancel != nullptr &&
+        !job.cancel->has_deadline()) {
+      job.cancel->SetDeadlineAfterMs(wire.req.deadline_ms);
+    }
+    live.push_back(m);
+    requests.push_back(std::move(wire.req));
+  }
+  if (live.empty()) return 0;
+
+  std::vector<StringSink> sinks(requests.size());
+  std::vector<OutputSink*> sink_ptrs;
+  sink_ptrs.reserve(sinks.size());
+  for (StringSink& sink : sinks) sink_ptrs.push_back(&sink);
+  ServiceBatchStats stats;
+  Status st = service_->ExecuteBatch(requests, sink_ptrs, &stats);
+  if (stats.per_request.size() != requests.size()) {
+    // Batch-level rejection: nothing ran; every member gets the error.
+    for (std::size_t m : live) {
+      AppendError((*group)[m].out, ids[m], st);
+      (*group)[m].code = st.code();
+    }
+    return 0;
+  }
+
+  QueryCacheStats cache = service_->cache()->stats();
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    CoalescedJob& job = (*group)[live[k]];
+    const ServiceRequestStats& rs = stats.per_request[k];
+    if (!rs.status.ok()) {
+      AppendError(job.out, ids[live[k]], rs.status);
+      job.code = rs.status.code();
+      continue;
+    }
+    // The single-request response shape plus "coalesced": clients written
+    // against the single path keep parsing, and can see the sharing.
+    ResponseWriter w(ids[live[k]]);
+    w.Raw("ok", "true");
+    w.Raw("bytes", std::to_string(sinks[k].str().size()));
+    w.Field("cache", rs.cache_hit ? "hit" : "miss");
+    w.Raw("compile_ms", StrFormat("%.3f", rs.compile_ms));
+    w.Raw("stream_ms", StrFormat("%.3f", rs.stream_ms));
+    w.Raw("bytes_in", std::to_string(rs.total.bytes_in));
+    w.Raw("output_events", std::to_string(rs.total.output_events));
+    w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
+    w.Field("engine", rs.total.used_ops_engine ? "ops" : "table");
+    w.Raw("coalesced", std::to_string(live.size()));
+    w.Raw("cache_hits", std::to_string(cache.hits));
+    w.Raw("cache_misses", std::to_string(cache.misses));
+    w.Raw("cache_entries", std::to_string(cache.entries));
+    *job.out += w.Finish();
+    *job.out += "\n";
+    *job.out += sinks[k].str();
+    *job.out += "\n";
+    job.code = StatusCode::kOk;
+  }
+
+  if (live.size() < 2) return 0;
+  if (shared_members != nullptr) *shared_members = live.size();
+  // Each document was tokenized once for the whole group instead of once
+  // per member.
+  return static_cast<std::uint64_t>(stats.documents) *
+         static_cast<std::uint64_t>(live.size() - 1);
 }
 
 StatusCode RequestHandler::HandleBatch(const JsonValue& json,

@@ -108,6 +108,32 @@ const char* WireStatusString(StatusCode code);
 void AppendErrorResponse(std::string* out, const JsonValue* id,
                          std::string_view message, StatusCode code);
 
+/// Appends a request-rejection response with the literal "bad_request"
+/// status token: the request is structurally unacceptable (e.g. a
+/// malformed deadline_ms) and was refused before admission, as opposed to
+/// an accepted request that failed. Returns kInvalidArgument for the
+/// transport's outcome counters.
+StatusCode AppendBadRequestResponse(std::string* out, const JsonValue* id,
+                                    std::string_view message);
+
+/// The scheduler's coalescing key for one parsed request: requests with
+/// equal non-empty keys name the same document list (the raw "inputs" and
+/// "xml" fields, which parse deterministically into the same ParallelInput
+/// list ExecuteBatch groups by) and compatible plan-shaping options, so
+/// they may legally share one ExecuteBatch pass. Returns "" for requests
+/// that must never be coalesced: cmd and batch forms, fault injection,
+/// explicit "threads", and shapes the single-request path should reject
+/// with its exact error message.
+std::string CoalesceKey(const JsonValue& json);
+
+/// One member of a coalesced run (see RequestHandler::HandleCoalesced).
+struct CoalescedJob {
+  const JsonValue* json = nullptr;  ///< parsed request (single-query form)
+  CancelToken* cancel = nullptr;    ///< member token, armed at admission
+  std::string* out = nullptr;       ///< receives the member's framed response
+  StatusCode code = StatusCode::kOk;  ///< outcome, for transport counters
+};
+
 /// \brief Executes request lines against a QueryService.
 ///
 /// Stateless between calls apart from the service's cache; thread-safe as
@@ -136,6 +162,23 @@ class RequestHandler {
   /// loop thread (to admission-check cheaply) and execute on a worker.
   StatusCode HandleParsed(const JsonValue& json, CancelToken* cancel,
                           std::string* out);
+
+  /// Executes a group of requests sharing one CoalesceKey as a single
+  /// ExecuteBatch pass: one tokenization per document, plans deduped
+  /// through the cache, each member's output replayed into its own framed
+  /// response (the single-request response shape plus a "coalesced":N
+  /// field, N = members that actually shared the pass). Members whose
+  /// token tripped before the pass, or whose request fails to build, drop
+  /// out with their individual error responses; a member tripping
+  /// mid-stream detaches without disturbing the rest. Per-member outcomes
+  /// land in group[i].code.
+  ///
+  /// `*shared_members` (optional) receives N; the return value is the
+  /// number of document parses the group saved over independent execution
+  /// ((N - 1) × documents streamed), both 0 when fewer than two members
+  /// reached the shared pass.
+  std::uint64_t HandleCoalesced(std::vector<CoalescedJob>* group,
+                                std::size_t* shared_members = nullptr);
 
   const WireOptions& options() const { return options_; }
   QueryService* service() { return service_; }

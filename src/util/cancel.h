@@ -58,6 +58,25 @@ class CancelToken {
     return has_deadline_.load(std::memory_order_acquire);
   }
 
+  /// Milliseconds of deadline budget left: the distance to the armed
+  /// deadline (0 once it passed, and 0 after Cancel() — a cancelled request
+  /// has no budget), or kNoDeadline when no deadline is armed. Schedulers
+  /// use this to decide whether a request can afford to wait (the
+  /// batching gather window's bypass rule).
+  static constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+  std::uint64_t RemainingMs() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    if (!has_deadline_.load(std::memory_order_acquire)) return kNoDeadline;
+    const auto now =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    const auto deadline = deadline_ns_.load(std::memory_order_relaxed);
+    if (now >= deadline) return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::duration(deadline - now))
+            .count());
+  }
+
   /// OK while the run may continue; kCancelled after Cancel(), or
   /// kDeadlineExceeded once the armed deadline passes. Reads the clock only
   /// when a deadline is armed.

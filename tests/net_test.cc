@@ -26,9 +26,13 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common/queries.h"
 #include "core/pipeline.h"
+#include "data/generators.h"
+#include "net/scheduler.h"
 #include "net/server.h"
 #include "service/fault.h"
+#include "service/json.h"
 #include "service/serve.h"
 #include "service/wire.h"
 #include "stream/engine.h"
@@ -964,6 +968,424 @@ TEST(NetServerTest, PipelinedResponsesStayInRequestOrder) {
               std::string::npos)
         << "response " << id << " header: " << r.header;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Batching scheduler (net/scheduler.h) and the admission-path fixes
+// ---------------------------------------------------------------------------
+
+TEST(RetryHintTest, FloorBeforeSamplesThenScalesMonotonically) {
+  RetryHint hint(50);
+  // Before any completion is observed the hint is the configured floor,
+  // whatever the depth — cold-start shedding keeps the static contract.
+  EXPECT_EQ(hint.HintMs(0), 50u);
+  EXPECT_EQ(hint.HintMs(100), 50u);
+  EXPECT_DOUBLE_EQ(hint.ewma_ms(), 0.0);
+
+  hint.Record(10.0);  // first sample initializes the EWMA outright
+  EXPECT_DOUBLE_EQ(hint.ewma_ms(), 10.0);
+  hint.Record(20.0);  // 0.2 * 20 + 0.8 * 10
+  EXPECT_DOUBLE_EQ(hint.ewma_ms(), 12.0);
+
+  EXPECT_EQ(hint.HintMs(1), 50u);    // ceil(12) is below the floor
+  EXPECT_EQ(hint.HintMs(10), 120u);  // depth × EWMA past the floor
+  // A deeper queue never yields a smaller hint.
+  std::uint64_t prev = 0;
+  for (std::size_t depth = 0; depth <= 64; ++depth) {
+    std::uint64_t h = hint.HintMs(depth);
+    EXPECT_GE(h, prev) << "depth " << depth;
+    EXPECT_GE(h, 50u) << "depth " << depth;
+    prev = h;
+  }
+}
+
+std::shared_ptr<NetJob> MakeJob(std::uint64_t seq, std::string key) {
+  auto job = std::make_shared<NetJob>();
+  job->seq = seq;
+  job->coalesce_key = std::move(key);
+  return job;
+}
+
+TEST(SchedulerTest, WindowZeroDequeuesOneJobAtATime) {
+  Scheduler scheduler(SchedulerOptions{8, 0});
+  scheduler.Enqueue(MakeJob(1, "k"));
+  scheduler.Enqueue(MakeJob(2, "k"));
+  EXPECT_EQ(scheduler.queued(), 2u);
+  std::vector<std::shared_ptr<NetJob>> group;
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0]->seq, 1u);
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0]->seq, 2u);
+  EXPECT_EQ(scheduler.queued(), 0u);
+  scheduler.Stop();
+  EXPECT_FALSE(scheduler.DequeueGroup(&group));
+}
+
+TEST(SchedulerTest, GathersSameKeyUpToBatchMaxAndLeavesOtherKeys) {
+  // batch_max 2 keeps every dequeue deterministic: each leader finds its
+  // partner already queued and returns without waiting out the window.
+  Scheduler scheduler(SchedulerOptions{2, 5000});
+  scheduler.Enqueue(MakeJob(1, "k"));
+  scheduler.Enqueue(MakeJob(2, "other"));
+  scheduler.Enqueue(MakeJob(3, "k"));
+  scheduler.Enqueue(MakeJob(4, "other"));
+  std::vector<std::shared_ptr<NetJob>> group;
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 2u);  // 1 gathered 3 across the queued stranger
+  EXPECT_EQ(group[0]->seq, 1u);
+  EXPECT_EQ(group[1]->seq, 3u);
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0]->seq, 2u);
+  EXPECT_EQ(group[1]->seq, 4u);
+  scheduler.Stop();
+}
+
+TEST(SchedulerTest, TightDeadlineNeitherJoinsNorWaits) {
+  Scheduler scheduler(SchedulerOptions{2, 1000});
+  auto tight = MakeJob(2, "k");
+  tight->token.SetDeadlineAfterMs(5);  // budget below the window
+  scheduler.Enqueue(MakeJob(1, "k"));
+  scheduler.Enqueue(std::move(tight));
+  scheduler.Enqueue(MakeJob(3, "k"));
+  std::vector<std::shared_ptr<NetJob>> group;
+  // Leader 1 skips the tight job and completes its pair with 3.
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0]->seq, 1u);
+  EXPECT_EQ(group[1]->seq, 3u);
+  // The tight job leads next and bypasses: one job, no window wait.
+  Clock::time_point start = Clock::now();
+  ASSERT_TRUE(scheduler.DequeueGroup(&group));
+  ASSERT_EQ(group.size(), 1u);
+  EXPECT_EQ(group[0]->seq, 2u);
+  EXPECT_LT(ElapsedMs(start), 900.0);
+  scheduler.Stop();
+}
+
+TEST(NetServerTest, MalformedDeadlineIsRejectedAsBadRequest) {
+  ServerFixture fx{NetServerOptions{}};
+  TestClient client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  auto with_deadline = [](int id, const char* deadline) {
+    return "{\"id\":" + std::to_string(id) + ",\"query\":\"" +
+           std::string(kQuery) + "\",\"xml\":[\"" + kSmallDoc +
+           "\"],\"deadline_ms\":" + deadline + "}\n";
+  };
+  client.Send(with_deadline(1, "\"100\""));  // a string, not a number
+  client.Send(with_deadline(2, "0"));        // zero = no budget at all
+  client.Send(with_deadline(3, "-5"));       // negative
+  client.Send(SimpleRequest(4));             // the session continues
+  client.HalfClose();
+
+  TestClient::WireResponse r;
+  for (int id : {1, 2, 3}) {
+    ASSERT_TRUE(client.ReadResponse(&r));
+    EXPECT_NE(r.header.find("\"id\":" + std::to_string(id) + ",\"ok\":false"),
+              std::string::npos);
+    EXPECT_NE(r.header.find("\"status\":\"bad_request\""), std::string::npos)
+        << r.header;
+  }
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_NE(r.header.find("\"id\":4,\"ok\":true"), std::string::npos);
+  EXPECT_EQ(r.payload, kSmallOut);
+
+  NetServerCounters c = fx.server().counters();
+  EXPECT_EQ(c.rejected_bad_request, 3u);
+  EXPECT_EQ(c.admitted, 1u);  // the rejects never reached the queue
+}
+
+// Parses the integer value of `key` out of a response header.
+std::uint64_t HeaderCount(const std::string& header, const std::string& key) {
+  std::size_t pos = header.find("\"" + key + "\":");
+  if (pos == std::string::npos) return 0;
+  pos += key.size() + 3;
+  std::uint64_t n = 0;
+  while (pos < header.size() && header[pos] >= '0' && header[pos] <= '9') {
+    n = n * 10 + static_cast<std::uint64_t>(header[pos++] - '0');
+  }
+  return n;
+}
+
+TEST(NetServerTest, OverloadHintScalesWithObservedServiceTime) {
+  NetServerOptions options;
+  options.workers = 1;
+  options.queue_limit = 2;
+  options.retry_after_ms = 1;  // floor low enough that scaling is visible
+  options.allow_fault_injection = true;
+  ServerFixture fx(std::move(options));
+
+  TestClient client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  // Seed the service-time EWMA with one completed ~80ms request.
+  client.Send(StallRequest(1, 80));
+  ASSERT_TRUE(WaitFor([&] {
+    return fx.server().counters().completed_ok == 1;
+  }));
+
+  // Hold the worker, then fill the queue to depth 2.
+  client.Send(StallRequest(2, 700));
+  TestClient stats = fx.Connect();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(WaitFor([&] {
+    stats.Send("{\"cmd\":\"server_stats\"}\n");
+    TestClient::WireResponse r;
+    if (!stats.ReadResponse(&r)) return false;
+    return r.header.find("\"admitted\":2") != std::string::npos &&
+           r.header.find("\"queued\":0") != std::string::npos;
+  }));
+  client.Send(SimpleRequest(3));
+  client.Send(SimpleRequest(4));
+  ASSERT_TRUE(WaitFor([&] { return fx.server().counters().admitted == 4; }));
+
+  client.Send(SimpleRequest(5));  // shed at depth 2
+  client.HalfClose();
+  TestClient::WireResponse r;
+  for (int id = 1; id <= 4; ++id) ASSERT_TRUE(client.ReadResponse(&r));
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_NE(r.header.find("\"id\":5,\"ok\":false"), std::string::npos);
+  EXPECT_NE(r.header.find("\"status\":\"overloaded\""), std::string::npos);
+  // The observed service time was >= 80ms (the stall is a lower bound), so
+  // at depth 2 the hint is >= 160ms — far from the 1ms static floor.
+  EXPECT_GE(HeaderCount(r.header, "retry_after_ms"), 160u) << r.header;
+}
+
+TEST(NetServerTest, CoalescedRunSavesParsesWithExactCounts) {
+  NetServerOptions options;
+  options.workers = 1;
+  options.batch_max = 4;
+  options.batch_window_ms = 3000;
+  options.allow_fault_injection = true;
+  ServerFixture fx(std::move(options));
+
+  // A stalled head request holds the single worker while the four
+  // same-document requests queue behind it; the freed worker then gathers
+  // all four into one shared pass (batch_max reached: no window wait).
+  TestClient head = fx.Connect();
+  ASSERT_TRUE(head.ok());
+  head.Send(StallRequest(1, 200));
+  ASSERT_TRUE(WaitFor([&] { return fx.server().counters().admitted == 1; }));
+
+  TestClient client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  for (int id = 2; id <= 5; ++id) client.Send(SimpleRequest(id));
+  client.HalfClose();
+
+  TestClient::WireResponse r;
+  for (int id = 2; id <= 5; ++id) {
+    ASSERT_TRUE(client.ReadResponse(&r));
+    EXPECT_NE(r.header.find("\"id\":" + std::to_string(id) + ",\"ok\":true"),
+              std::string::npos);
+    EXPECT_EQ(HeaderCount(r.header, "coalesced"), 4u) << r.header;
+    EXPECT_EQ(r.payload, kSmallOut);  // identical to an independent run
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return fx.server().counters().completed_ok == 5;
+  }));
+  NetServerCounters c = fx.server().counters();
+  EXPECT_EQ(c.coalesced_runs, 1u);
+  EXPECT_EQ(c.coalesced_requests, 4u);
+  // One document, four members: three tokenizations avoided.
+  EXPECT_EQ(c.parses_saved, 3u);
+}
+
+TEST(NetServerTest, TightDeadlineBypassesCoalescing) {
+  NetServerOptions options;
+  options.workers = 1;
+  options.batch_max = 2;
+  options.batch_window_ms = 3000;
+  options.allow_fault_injection = true;
+  ServerFixture fx(std::move(options));
+
+  TestClient head = fx.Connect();
+  ASSERT_TRUE(head.ok());
+  head.Send(StallRequest(1, 300));
+  ASSERT_TRUE(WaitFor([&] { return fx.server().counters().admitted == 1; }));
+
+  // The tight request's whole budget (2500ms) is below the gather window,
+  // so it can never afford to wait: it runs alone the moment the worker
+  // frees, and still meets its deadline. The two unbounded requests behind
+  // it coalesce.
+  TestClient client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  client.Send("{\"id\":2,\"query\":\"" + std::string(kQuery) +
+              "\",\"xml\":[\"" + kSmallDoc + "\"],\"deadline_ms\":2500}\n");
+  client.Send(SimpleRequest(3));
+  client.Send(SimpleRequest(4));
+  client.HalfClose();
+
+  TestClient::WireResponse r;
+  ASSERT_TRUE(client.ReadResponse(&r));
+  EXPECT_NE(r.header.find("\"id\":2,\"ok\":true"), std::string::npos)
+      << r.header;
+  EXPECT_EQ(r.header.find("\"coalesced\":"), std::string::npos) << r.header;
+  for (int id : {3, 4}) {
+    ASSERT_TRUE(client.ReadResponse(&r));
+    EXPECT_NE(r.header.find("\"id\":" + std::to_string(id) + ",\"ok\":true"),
+              std::string::npos);
+    EXPECT_EQ(HeaderCount(r.header, "coalesced"), 2u) << r.header;
+    EXPECT_EQ(r.payload, kSmallOut);
+  }
+  NetServerCounters c = fx.server().counters();
+  EXPECT_EQ(c.coalesced_runs, 1u);
+  EXPECT_EQ(c.coalesced_requests, 2u);
+  EXPECT_EQ(c.parses_saved, 1u);
+}
+
+TEST(NetServerTest, CoalescedOutputsMatchIndependentRuns) {
+  // The differential property over the wire: whatever the group size, a
+  // coalesced run's responses are byte-identical to streaming each query
+  // independently (Figure 3 corpus over one XMark document).
+  auto doc = GenerateDatasetString(DatasetKind::kXmark, 20000, 7);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const auto& corpus = Figure3Queries();
+
+  for (std::size_t k : {2u, 4u, 8u}) {
+    SCOPED_TRACE("group size " + std::to_string(k));
+    std::vector<std::string> texts, expected;
+    for (std::size_t i = 0; i < k; ++i) {
+      texts.push_back(corpus[i % corpus.size()].text);
+      auto plan = CompiledPlan::Compile(texts.back());
+      ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+      StringSink sink;
+      ASSERT_TRUE(plan.value()->StreamString(doc.value(), &sink).ok());
+      expected.push_back(sink.str());
+    }
+
+    NetServerOptions options;
+    options.workers = 1;
+    options.batch_max = k;  // the gather completes without a window wait
+    options.batch_window_ms = 3000;
+    ServerFixture fx(std::move(options));
+    TestClient client = fx.Connect();
+    ASSERT_TRUE(client.ok());
+    for (std::size_t i = 0; i < k; ++i) {
+      std::string line = "{\"id\":" + std::to_string(i) + ",\"query\":";
+      AppendJsonString(&line, texts[i]);
+      line += ",\"xml\":[";
+      AppendJsonString(&line, doc.value());
+      line += "]}\n";
+      client.Send(line);
+    }
+    client.HalfClose();
+
+    for (std::size_t i = 0; i < k; ++i) {
+      TestClient::WireResponse r;
+      ASSERT_TRUE(client.ReadResponse(&r));
+      EXPECT_NE(r.header.find("\"id\":" + std::to_string(i) + ",\"ok\":true"),
+                std::string::npos)
+          << r.header;
+      EXPECT_EQ(HeaderCount(r.header, "coalesced"), k) << r.header;
+      EXPECT_EQ(r.payload, expected[i]) << "query " << i;
+    }
+    NetServerCounters c = fx.server().counters();
+    EXPECT_EQ(c.coalesced_runs, 1u);
+    EXPECT_EQ(c.coalesced_requests, k);
+    EXPECT_EQ(c.parses_saved, k - 1);  // one document, k members
+  }
+}
+
+TEST(NetServerTest, CoalescedMemberDisconnectLeavesSurvivorsIntact) {
+  NetServerOptions options;
+  options.workers = 1;
+  options.batch_max = 2;
+  options.batch_window_ms = 3000;
+  options.allow_fault_injection = true;
+  ServerFixture fx(std::move(options));
+
+  TestClient head = fx.Connect();
+  ASSERT_TRUE(head.ok());
+  head.Send(StallRequest(1, 200));
+  ASSERT_TRUE(WaitFor([&] { return fx.server().counters().admitted == 1; }));
+
+  // Two distinct queries over the same document coalesce into one run with
+  // two engine slots, each under its own member's token. Aborting B's
+  // connection — before the pass or mid-stream, whichever the race gives —
+  // must not perturb A's output by a single byte.
+  const int kHits = 20000;
+  TestClient a = fx.Connect(), b = fx.Connect();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const std::string doc = BigDoc(kHits);
+  a.Send("{\"id\":2,\"query\":\"" + std::string(kQuery) + "\",\"xml\":[\"" +
+         doc + "\"]}\n");
+  b.Send("{\"id\":3,\"query\":\"<none>{$input//zzz}</none>\",\"xml\":[\"" +
+         doc + "\"]}\n");
+  ASSERT_TRUE(WaitFor([&] { return fx.server().counters().admitted == 3; }));
+  // Let the head stall finish so the coalesced pass is starting (or has
+  // started), then reset B.
+  ASSERT_TRUE(WaitFor([&] {
+    return fx.server().counters().completed_ok >= 1;
+  }));
+  b.AbortClose();
+
+  a.HalfClose();
+  TestClient::WireResponse r;
+  ASSERT_TRUE(a.ReadResponse(&r));
+  EXPECT_NE(r.header.find("\"id\":2,\"ok\":true"), std::string::npos)
+      << r.header;
+  std::string expected = "<out>";
+  for (int i = 0; i < kHits; ++i) expected += "<a>payload-payload</a>";
+  expected += "</out>";
+  EXPECT_EQ(r.payload, expected);
+
+  // Every admitted request resolves to a counted outcome, and the server
+  // keeps serving.
+  ASSERT_TRUE(WaitFor([&] {
+    NetServerCounters c = fx.server().counters();
+    return c.completed_ok + c.failed + c.cancelled_runs +
+               c.deadline_exceeded_runs ==
+           c.admitted;
+  }));
+  TestClient fresh = fx.Connect();
+  ASSERT_TRUE(fresh.ok());
+  fresh.Send(SimpleRequest(9));
+  fresh.HalfClose();
+  ASSERT_TRUE(fresh.ReadResponse(&r));
+  EXPECT_NE(r.header.find("\"id\":9,\"ok\":true"), std::string::npos);
+}
+
+TEST(NetServerTest, CounterSnapshotsKeepTheAdmissionInvariant) {
+  // Hammer the snapshot path from a second thread while requests flow: in
+  // every observed snapshot, admitted covers all counted outcomes — the
+  // ordered-load guarantee (a torn snapshot could show an outcome whose
+  // admission it missed).
+  NetServerOptions options;
+  options.workers = 2;
+  options.allow_fault_injection = true;
+  ServerFixture fx(std::move(options));
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      NetServerCounters c = fx.server().counters();
+      if (c.completed_ok + c.failed + c.cancelled_runs +
+              c.deadline_exceeded_runs >
+          c.admitted) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  constexpr int kRequests = 40;
+  TestClient client = fx.Connect();
+  ASSERT_TRUE(client.ok());
+  for (int id = 1; id <= kRequests; ++id) {
+    client.Send(id % 5 == 0 ? StallRequest(id, 2) : SimpleRequest(id));
+  }
+  client.HalfClose();
+  for (int id = 1; id <= kRequests; ++id) {
+    TestClient::WireResponse r;
+    ASSERT_TRUE(client.ReadResponse(&r));
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+  NetServerCounters c = fx.server().counters();
+  EXPECT_EQ(c.admitted, static_cast<std::uint64_t>(kRequests));
 }
 
 TEST(NetServerTest, SocketFaultHookDropsTheConnectionAbruptly) {

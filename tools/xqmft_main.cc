@@ -110,7 +110,9 @@ int Usage() {
       "       --cache-capacity <N> --cache-bytes <N> --max-line-bytes <N> "
       "--max-xml-bytes <N>  (serve)\n"
       "       --workers <N> --queue-limit <N> --drain-ms <N> "
-      "--retry-after-ms <N> --enable-fault-injection  (serve --port)\n");
+      "--retry-after-ms <N> --enable-fault-injection  (serve --port)\n"
+      "       --batch-window-ms <N> --batch-max <N>  "
+      "(serve --port: coalesce same-document requests; 0 = off)\n");
   return 2;
 }
 
@@ -163,7 +165,9 @@ struct Flags {
   long max_line_bytes = -1;   ///< serve: request line cap (-1 = default)
   long max_xml_bytes = -1;    ///< serve: inline xml cap (-1 = default)
   long drain_ms = -1;         ///< serve: shutdown drain budget
-  long retry_after_ms = -1;   ///< serve: overload rejection hint
+  long retry_after_ms = -1;   ///< serve: overload rejection hint floor
+  long batch_window_ms = -1;  ///< serve: coalescing gather window (0 = off)
+  long batch_max = -1;        ///< serve: max requests per coalesced run
   bool enable_fault_injection = false;  ///< serve: accept "fault" requests
 };
 
@@ -207,6 +211,12 @@ int ServeNet(const Flags& flags, NetServerOptions options) {
   }
   if (flags.retry_after_ms >= 0) {
     options.retry_after_ms = static_cast<std::uint64_t>(flags.retry_after_ms);
+  }
+  if (flags.batch_window_ms >= 0) {
+    options.batch_window_ms = static_cast<std::uint64_t>(flags.batch_window_ms);
+  }
+  if (flags.batch_max > 0) {
+    options.batch_max = static_cast<std::size_t>(flags.batch_max);
   }
   options.allow_fault_injection = flags.enable_fault_injection;
 
@@ -745,6 +755,15 @@ int main(int argc, char** argv) {
     } else if (a == "--retry-after-ms" && i + 1 < argc) {
       if (!ParseCountFlag(argv[++i], "--retry-after-ms", 0,
                           &flags.retry_after_ms)) {
+        return 2;
+      }
+    } else if (a == "--batch-window-ms" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--batch-window-ms", 0,
+                          &flags.batch_window_ms)) {
+        return 2;
+      }
+    } else if (a == "--batch-max" && i + 1 < argc) {
+      if (!ParseCountFlag(argv[++i], "--batch-max", 1, &flags.batch_max)) {
         return 2;
       }
     } else if (a == "--enable-fault-injection") {

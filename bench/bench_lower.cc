@@ -1,7 +1,9 @@
 // Execution-lowering benchmark: the table engine vs the lowered opcode
-// engine (lower/ops_engine) on the parameter-free half of the Figure 3
-// corpus — the queries whose plans lower (q02, q13, double, fourstar,
-// deepdup; the predicate queries fall back and have no ops point).
+// engine (lower/ops_engine) on the Figure 3 corpus. The parameter-free
+// queries (q02, q13, double, fourstar, deepdup) lower fully; the predicate
+// queries (q01, q04, q16, q17) lower hybrid — rope-register opcodes for
+// their accumulating parameters plus table-machine bridge sub-runs at the
+// selector sites — so every corpus query now has an ops point.
 //
 // Two input shapes per query:
 //
@@ -50,7 +52,9 @@ std::size_t EnvCount(const char* name, std::size_t def) {
 std::vector<std::string> QueryList() {
   const char* env = std::getenv("XQMFT_BENCH_LOWER_QUERIES");
   std::string spec =
-      env != nullptr ? env : "q02,q13,double,fourstar,deepdup";
+      env != nullptr
+          ? env
+          : "q01,q02,q04,q13,q16,q17,double,fourstar,deepdup";
   std::vector<std::string> out;
   for (const std::string& part : SplitString(spec, ',')) {
     if (!part.empty()) out.push_back(part);
@@ -125,6 +129,8 @@ void BenchLower(benchmark::State& state, const LowerConfig& cfg) {
   state.counters["cells_refcounted"] =
       static_cast<double>(stats.cells_created);
   state.counters["ops_engine"] = stats.used_ops_engine ? 1.0 : 0.0;
+  state.counters["hybrid"] = stats.hybrid_plan ? 1.0 : 0.0;
+  state.counters["bridge_runs"] = static_cast<double>(stats.bridge_runs);
   state.SetBytesProcessed(
       static_cast<int64_t>(stats.bytes_in * state.iterations()));
 }

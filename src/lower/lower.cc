@@ -1,7 +1,9 @@
 #include "lower/lower.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "mft/dispatch.h"
@@ -16,6 +18,23 @@ namespace {
 // must degrade to "not lowerable", not to an OOM.
 constexpr std::size_t kMaxCodeSize = std::size_t{1} << 20;
 
+// Per-instruction arena budgets for the pre-mark rope block (see
+// LoweredProgramRef::prealloc_bytes). A rope append allocates at most one
+// chunk (8 pad + 16 header + 48 capacity); a rope spawn materializes one
+// register file (kMaxRopeParams ropes + pad). Overestimates are cheap: the
+// block is bump-allocated and reclaimed wholesale at scope close.
+constexpr std::uint32_t kPreallocPerAppend = 80;
+constexpr std::uint32_t kPreallocPerSpawn = 96;
+
+// How a state executes under the lowered plan.
+enum class StateClass : unsigned char {
+  kPlain,        ///< parameter-free, compiles to opcode programs
+  kPlainBridged, ///< parameter-free but matches on text content: table-only
+  kAppend,       ///< parameters thread linearly: rope registers, native
+  kSelector,     ///< pass-through cluster: factored + bridged at call sites
+  kGeneral,      ///< anything else: reachable only through a kBridge
+};
+
 // Compilation context of a program: which input the state is being applied
 // to, which determines how %t and x1 resolve.
 //   [0, width)   element node with that interned symbol (%t is a literal)
@@ -28,27 +47,32 @@ class Compiler {
       : mft_(mft), dispatch_(mft.dispatch()), width_(dispatch_.width()) {}
 
   Result<LoweredPlan> Run() {
-    if (!mft_.IsForestTransducer()) {
-      return Fail("transducer has accumulating parameters");
+    Classify();
+
+    const StateId q0 = mft_.initial_state();
+    if (mft_.num_params(q0) > 0) {
+      return Fail("initial state carries parameters");
     }
-    for (StateId q = 0; q < mft_.num_states(); ++q) {
-      for (const auto& [symbol, rhs] : mft_.rules(q).symbol_rules) {
-        (void)rhs;
-        if (symbol.kind == NodeKind::kText) {
-          return Fail("state '" + mft_.state_name(q) +
-                      "' matches on text content");
-        }
-      }
+    if (class_[static_cast<std::size_t>(q0)] == StateClass::kPlainBridged) {
+      return Fail("state '" + mft_.state_name(q0) +
+                  "' matches on text content");
     }
 
     const std::size_t n_ctx = static_cast<std::size_t>(width_) + 3;
     memo_.assign(static_cast<std::size_t>(mft_.num_states()) * n_ctx, -1);
 
     plan_.width = width_;
-    plan_.initial = mft_.initial_state();
+    plan_.initial = q0;
     plan_.states.resize(static_cast<std::size_t>(mft_.num_states()));
     for (StateId q = 0; q < mft_.num_states(); ++q) {
+      const StateClass cls = class_[static_cast<std::size_t>(q)];
+      // Selector/general parameter states and text-content matchers have no
+      // programs: they only ever run inside a table-machine bridge.
+      if (cls != StateClass::kPlain && cls != StateClass::kAppend) continue;
       LoweredState& st = plan_.states[static_cast<std::size_t>(q)];
+      st.n_ropes = cls == StateClass::kAppend
+                       ? static_cast<std::uint8_t>(mft_.num_params(q))
+                       : 0;
       st.element.resize(width_);
       for (SymbolId id = 0; id < width_; ++id) {
         int p = CompileProgram(q, id);
@@ -65,6 +89,20 @@ class Compiler {
       if (p < 0) return Fail(error_);
       st.eps = finished_[static_cast<std::size_t>(p)];
     }
+
+    if (!sites_.empty()) {
+      BuildBridgeMft();
+      plan_.hybrid = true;
+      std::string states;
+      for (StateId q : site_states_) {
+        if (!states.empty()) states += ", ";
+        states += "'" + mft_.state_name(q) + "'";
+      }
+      plan_.lowering_note = "hybrid: " + std::to_string(sites_.size()) +
+                            " table-bridge site(s) through " + states;
+    } else {
+      plan_.lowering_note = "full";
+    }
     return std::move(plan_);
   }
 
@@ -76,6 +114,311 @@ class Compiler {
   static Status Fail(std::string why) {
     return Status::InvalidArgument("not lowerable: " + std::move(why));
   }
+
+  bool HasTextContentRules(StateId q) const {
+    for (const auto& [symbol, rhs] : mft_.rules(q).symbol_rules) {
+      (void)rhs;
+      if (symbol.kind == NodeKind::kText) return true;
+    }
+    return false;
+  }
+
+  // ---------------------------------------------------------------- analysis
+
+  // Classifies every state (see StateClass) and computes the escape set:
+  // escapes_[q] is true when running q at a node can read that node's
+  // *following siblings* (an x2 call in q's x0-closure, including call
+  // arguments, which are evaluated at the caller's position). A bridged
+  // sub-run feeds only the anchor subtree, so only non-escaping states (and
+  // non-escaping argument forests) may cross the bridge.
+  void Classify() {
+    const std::size_t n = static_cast<std::size_t>(mft_.num_states());
+    class_.assign(n, StateClass::kGeneral);
+    sel_.assign(n, false);
+    app_.assign(n, false);
+    escapes_.assign(n, false);
+
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      const int np = mft_.num_params(q);
+      if (np == 0) {
+        class_[static_cast<std::size_t>(q)] = HasTextContentRules(q)
+                                                  ? StateClass::kPlainBridged
+                                                  : StateClass::kPlain;
+      } else {
+        sel_[static_cast<std::size_t>(q)] = true;
+        app_[static_cast<std::size_t>(q)] =
+            np <= static_cast<int>(kMaxRopeParams) && !HasTextContentRules(q);
+      }
+    }
+
+    // Demotion fixpoints: a shape may reference other parameter states, so
+    // iterate until no state loses its flag.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (StateId q = 0; q < mft_.num_states(); ++q) {
+        if (sel_[static_cast<std::size_t>(q)] && !SelectorShape(q)) {
+          sel_[static_cast<std::size_t>(q)] = false;
+          changed = true;
+        }
+      }
+    }
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (StateId q = 0; q < mft_.num_states(); ++q) {
+        if (app_[static_cast<std::size_t>(q)] && !AppendShape(q)) {
+          app_[static_cast<std::size_t>(q)] = false;
+          changed = true;
+        }
+      }
+    }
+    // Least fixpoint: escaping requires an actual x2 somewhere, so growing
+    // from "nothing escapes" is exact even through x0 cycles.
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (StateId q = 0; q < mft_.num_states(); ++q) {
+        if (escapes_[static_cast<std::size_t>(q)]) continue;
+        if (StateEscapes(q)) {
+          escapes_[static_cast<std::size_t>(q)] = true;
+          changed = true;
+        }
+      }
+    }
+
+    for (StateId q = 0; q < mft_.num_states(); ++q) {
+      if (mft_.num_params(q) == 0) continue;
+      std::size_t i = static_cast<std::size_t>(q);
+      class_[i] = app_[i] ? StateClass::kAppend
+                          : (sel_[i] ? StateClass::kSelector
+                                     : StateClass::kGeneral);
+    }
+  }
+
+  bool StateEscapes(StateId q) const {
+    const StateRules& r = mft_.rules(q);
+    for (const auto& [symbol, rhs] : r.symbol_rules) {
+      (void)symbol;
+      if (RhsEscapes(rhs)) return true;
+    }
+    if (r.text_rule && RhsEscapes(*r.text_rule)) return true;
+    if (r.default_rule && RhsEscapes(*r.default_rule)) return true;
+    // Epsilon rules cannot reference x2 (no input); x0 calls in them are
+    // epsilon-recursion and cannot reach siblings either.
+    return false;
+  }
+
+  bool RhsEscapes(const Rhs& rhs) const {
+    for (const RhsNode& item : rhs) {
+      switch (item.kind) {
+        case RhsKind::kLabel:
+          if (RhsEscapes(item.children)) return true;
+          break;
+        case RhsKind::kParam:
+          break;
+        case RhsKind::kCall: {
+          if (item.input == InputVar::kX2) return true;
+          if (item.input == InputVar::kX0 &&
+              escapes_[static_cast<std::size_t>(item.state)]) {
+            return true;
+          }
+          // Arguments are evaluated at the caller's position, whatever the
+          // call's input variable — x2 inside them reads the same siblings.
+          for (const Rhs& arg : item.args) {
+            if (RhsEscapes(arg)) return true;
+          }
+          break;
+        }
+      }
+    }
+    return false;
+  }
+
+  // A *selector* cluster passes parameters through verbatim: every rule is
+  // a single bare parameter or a single call into the cluster whose
+  // arguments are themselves bare parameters or cluster calls, and the
+  // epsilon rule selects a parameter. By induction the cluster's output is
+  // exactly one of the original call's arguments, unchanged — the property
+  // that licenses common-suffix factoring at the call site.
+  bool SelectorShape(StateId q) const {
+    const StateRules& r = mft_.rules(q);
+    auto rule_ok = [&](const Rhs& rhs) {
+      if (rhs.size() != 1) return false;
+      const RhsNode& n0 = rhs[0];
+      if (n0.kind == RhsKind::kParam) return true;
+      if (n0.kind != RhsKind::kCall) return false;
+      if (n0.state < 0 || mft_.num_params(n0.state) == 0) return false;
+      if (!sel_[static_cast<std::size_t>(n0.state)]) return false;
+      if (static_cast<int>(n0.args.size()) != mft_.num_params(n0.state)) {
+        return false;
+      }
+      for (const Rhs& arg : n0.args) {
+        if (!SelectorArg(arg)) return false;
+      }
+      return true;
+    };
+    for (const auto& [symbol, rhs] : r.symbol_rules) {
+      (void)symbol;
+      if (!rule_ok(rhs)) return false;
+    }
+    if (r.text_rule && !rule_ok(*r.text_rule)) return false;
+    if (r.default_rule && !rule_ok(*r.default_rule)) return false;
+    if (!r.epsilon_rule || r.epsilon_rule->size() != 1 ||
+        (*r.epsilon_rule)[0].kind != RhsKind::kParam) {
+      return false;
+    }
+    return true;
+  }
+
+  bool SelectorArg(const Rhs& arg) const {
+    if (arg.size() != 1) return false;
+    const RhsNode& n0 = arg[0];
+    if (n0.kind == RhsKind::kParam) return true;
+    if (n0.kind != RhsKind::kCall) return false;
+    if (n0.state < 0 || mft_.num_params(n0.state) == 0) return false;
+    if (!sel_[static_cast<std::size_t>(n0.state)]) return false;
+    for (const Rhs& a : n0.args) {
+      if (!SelectorArg(a)) return false;
+    }
+    return true;
+  }
+
+  // The *append-only* discipline: every rule threads each parameter
+  // linearly — used at most once, either emitted into the output or spliced
+  // into an argument of a further append-only call — and call arguments are
+  // emission-only otherwise (no state calls inside an argument). Such
+  // parameters compile to rope registers.
+  bool AppendShape(StateId q) const {
+    const StateRules& r = mft_.rules(q);
+    bool used[kMaxRopeParams];
+    auto rule_ok = [&](const Rhs& rhs) {
+      std::fill(used, used + kMaxRopeParams, false);
+      return AppendRhs(rhs, q, used);
+    };
+    for (const auto& [symbol, rhs] : r.symbol_rules) {
+      (void)symbol;
+      if (!rule_ok(rhs)) return false;
+    }
+    if (r.text_rule && !rule_ok(*r.text_rule)) return false;
+    if (r.default_rule && !rule_ok(*r.default_rule)) return false;
+    if (r.epsilon_rule && !rule_ok(*r.epsilon_rule)) return false;
+    return true;
+  }
+
+  bool AppendRhs(const Rhs& rhs, StateId q, bool* used) const {
+    for (const RhsNode& item : rhs) {
+      switch (item.kind) {
+        case RhsKind::kLabel:
+          if (!AppendRhs(item.children, q, used)) return false;
+          break;
+        case RhsKind::kParam: {
+          const int idx = item.param - 1;
+          if (idx < 0 || idx >= mft_.num_params(q) || used[idx]) return false;
+          used[idx] = true;
+          break;
+        }
+        case RhsKind::kCall: {
+          if (item.args.empty()) break;  // plain scan call, fine anywhere
+          if (item.input == InputVar::kX0) return false;  // needs remapping
+          if (item.state < 0 || !app_[static_cast<std::size_t>(item.state)]) {
+            return false;
+          }
+          for (const Rhs& arg : item.args) {
+            if (!AppendArg(arg, q, used)) return false;
+          }
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool AppendArg(const Rhs& arg, StateId q, bool* used) const {
+    for (const RhsNode& item : arg) {
+      switch (item.kind) {
+        case RhsKind::kLabel:
+          if (!AppendArg(item.children, q, used)) return false;
+          break;
+        case RhsKind::kParam: {
+          const int idx = item.param - 1;
+          if (idx < 0 || idx >= mft_.num_params(q) || used[idx]) return false;
+          used[idx] = true;
+          break;
+        }
+        case RhsKind::kCall:
+          return false;  // a call's output is not emission-only
+      }
+    }
+    return true;
+  }
+
+  // Every state a bridged sub-run can reach must be able to fire: missing
+  // default/epsilon rules would turn a table-engine error into silently
+  // different lowered output, so the drop-the-call optimization (all
+  // arguments identical) is gated on cluster totality.
+  bool ClusterTotal(StateId q0) const {
+    std::vector<StateId> stack{q0};
+    std::set<StateId> seen{q0};
+    auto visit = [&](const Rhs& rhs, auto&& self) -> void {
+      for (const RhsNode& item : rhs) {
+        if (item.kind == RhsKind::kLabel) {
+          self(item.children, self);
+        } else if (item.kind == RhsKind::kCall) {
+          if (item.state >= 0 && seen.insert(item.state).second) {
+            stack.push_back(item.state);
+          }
+          for (const Rhs& arg : item.args) self(arg, self);
+        }
+      }
+    };
+    while (!stack.empty()) {
+      const StateId q = stack.back();
+      stack.pop_back();
+      const StateRules& r = mft_.rules(q);
+      if (!r.default_rule || !r.epsilon_rule) return false;
+      for (const auto& [symbol, rhs] : r.symbol_rules) {
+        (void)symbol;
+        visit(rhs, visit);
+      }
+      if (r.text_rule) visit(*r.text_rule, visit);
+      visit(*r.default_rule, visit);
+      visit(*r.epsilon_rule, visit);
+    }
+    return true;
+  }
+
+  // Whether a forest may cross a bridge as a call argument: evaluated at
+  // the anchor with the sibling stream truncated, so it must not reference
+  // x2 and every x0 call in it must be non-escaping.
+  bool ArgBridgeable(const Rhs& rhs) {
+    for (const RhsNode& item : rhs) {
+      switch (item.kind) {
+        case RhsKind::kLabel:
+          if (!ArgBridgeable(item.children)) return false;
+          break;
+        case RhsKind::kParam:
+          error_ = "parameter reference in a bridged argument";
+          return false;
+        case RhsKind::kCall: {
+          if (item.input == InputVar::kX2) {
+            error_ = "bridged arguments reference following siblings";
+            return false;
+          }
+          if (item.input == InputVar::kX0 &&
+              escapes_[static_cast<std::size_t>(item.state)]) {
+            error_ = "bridged state '" + mft_.state_name(item.state) +
+                     "' reads past the anchor subtree";
+            return false;
+          }
+          for (const Rhs& arg : item.args) {
+            if (!ArgBridgeable(arg)) return false;
+          }
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------------- compilation
 
   // Compiles the program for (q, ctx); returns its index in finished_, or -1
   // with error_ set. Memoized; a cycle through the memo means the x0-call
@@ -104,8 +447,8 @@ class Compiler {
     } else if (ctx == CtxDefault()) {
       rhs = dispatch_.ForElement(q, width_);
     } else if (ctx == CtxText()) {
-      // Safe without content: states matching text literals were rejected,
-      // so ForText never takes its content-keyed probe path here.
+      // Safe without content: states with text-content rules are never
+      // compiled, so ForText never takes its content-keyed probe path here.
       rhs = dispatch_.ForText(q, std::string_view());
     } else {
       rhs = dispatch_.Epsilon(q);
@@ -115,8 +458,14 @@ class Compiler {
       return -1;
     }
 
+    const StateId owner =
+        mft_.num_params(q) > 0 &&
+                app_[static_cast<std::size_t>(q)]
+            ? q
+            : -1;
+    bool used[kMaxRopeParams] = {false, false, false, false};
     std::vector<LoweredInsn> tmp;
-    if (!EmitRhs(*rhs, ctx, &tmp)) return -1;
+    if (!EmitRhs(*rhs, owner, ctx, used, &tmp)) return -1;
 
     int ref = Intern(std::move(tmp));
     if (ref < 0) return -1;
@@ -125,7 +474,10 @@ class Compiler {
   }
 
   // Appends the instructions for one RHS forest in context `ctx` to *out.
-  bool EmitRhs(const Rhs& rhs, std::uint32_t ctx,
+  // `owner` is the append-only state whose rope registers parameter
+  // references resolve against (-1 in parameter-free programs); `used`
+  // tracks the rule's linear-use discipline.
+  bool EmitRhs(const Rhs& rhs, StateId owner, std::uint32_t ctx, bool* used,
                std::vector<LoweredInsn>* out) {
     for (const RhsNode& item : rhs) {
       switch (item.kind) {
@@ -134,11 +486,11 @@ class Compiler {
             if (ctx < width_) {
               // %t over a known element symbol folds to a literal.
               out->push_back({LowerOp::kOpenLit, ctx});
-              if (!EmitRhs(item.children, ctx, out)) return false;
+              if (!EmitRhs(item.children, owner, ctx, used, out)) return false;
               out->push_back({LowerOp::kCloseLit, ctx});
             } else if (ctx == CtxDefault()) {
               out->push_back({LowerOp::kOpenCur, 0});
-              if (!EmitRhs(item.children, ctx, out)) return false;
+              if (!EmitRhs(item.children, owner, ctx, used, out)) return false;
               out->push_back({LowerOp::kCloseCur, 0});
             } else if (ctx == CtxText()) {
               // %t over a text node copies its content; an output text node
@@ -152,51 +504,34 @@ class Compiler {
             out->push_back({LowerOp::kTextLit, item.symbol_id});
           } else {
             out->push_back({LowerOp::kOpenLit, item.symbol_id});
-            if (!EmitRhs(item.children, ctx, out)) return false;
+            if (!EmitRhs(item.children, owner, ctx, used, out)) return false;
             out->push_back({LowerOp::kCloseLit, item.symbol_id});
           }
           break;
         }
         case RhsKind::kCall: {
           if (!item.args.empty()) {
-            error_ = "state call carries arguments";  // excluded upfront
-            return false;
+            if (!EmitParamCall(item, owner, ctx, used, out)) return false;
+            break;
           }
-          switch (item.input) {
-            case InputVar::kX0: {
-              // Stay move: splice the callee's program for the same input.
-              if (!Splice(item.state, ctx, out)) return false;
-              break;
-            }
-            case InputVar::kX1: {
-              if (ctx == CtxText()) {
-                // A text node's child forest is empty: running q over it is
-                // exactly q's epsilon program.
-                if (!Splice(item.state, CtxEps(), out)) return false;
-              } else if (ctx == CtxEps()) {
-                error_ = "x1 in an epsilon rule";  // excluded by Validate()
-                return false;
-              } else {
-                out->push_back(
-                    {LowerOp::kChild, static_cast<std::uint32_t>(item.state)});
-              }
-              break;
-            }
-            case InputVar::kX2: {
-              if (ctx == CtxEps()) {
-                error_ = "x2 in an epsilon rule";  // excluded by Validate()
-                return false;
-              }
-              out->push_back(
-                  {LowerOp::kSib, static_cast<std::uint32_t>(item.state)});
-              break;
-            }
-          }
+          if (!EmitPlainCall(item, ctx, out)) return false;
           break;
         }
         case RhsKind::kParam: {
-          error_ = "parameter reference in rhs";  // excluded upfront
-          return false;
+          const int idx = item.param - 1;
+          if (owner < 0 || idx < 0 || idx >= mft_.num_params(owner)) {
+            error_ = "parameter reference in rhs";
+            return false;
+          }
+          if (used[idx]) {
+            error_ = "state '" + mft_.state_name(owner) +
+                     "' uses a parameter twice";
+            return false;
+          }
+          used[idx] = true;
+          out->push_back(
+              {LowerOp::kRopeEmit, static_cast<std::uint32_t>(idx)});
+          break;
         }
       }
       if (out->size() > kMaxCodeSize) {
@@ -205,6 +540,365 @@ class Compiler {
       }
     }
     return true;
+  }
+
+  // An argument-free state call: the parameter-free fast path, plus the
+  // bridge for plain states that match on text content.
+  bool EmitPlainCall(const RhsNode& item, std::uint32_t ctx,
+                     std::vector<LoweredInsn>* out) {
+    const StateId callee = item.state;
+    const StateClass cls = class_[static_cast<std::size_t>(callee)];
+    if (mft_.num_params(callee) > 0) {
+      error_ = "call to state '" + mft_.state_name(callee) +
+               "' is missing its arguments";
+      return false;
+    }
+    switch (item.input) {
+      case InputVar::kX0: {
+        if (cls == StateClass::kPlain) return Splice(callee, ctx, out);
+        // Text-content matcher: run it on the table engine over exactly
+        // this anchor.
+        return EmitBridge(RhsNode::Call(callee, InputVar::kX0), ctx, out);
+      }
+      case InputVar::kX1: {
+        if (ctx == CtxText()) {
+          // A text node's child forest is empty: running q over it is
+          // exactly q's epsilon program (safe even for text-content
+          // matchers — epsilon has no content to probe).
+          return Splice(callee, CtxEps(), out);
+        }
+        if (ctx == CtxEps()) {
+          error_ = "x1 in an epsilon rule";  // excluded by Validate()
+          return false;
+        }
+        if (cls != StateClass::kPlain) {
+          error_ = "state '" + mft_.state_name(callee) +
+                   "' matches on text content";
+          return false;
+        }
+        out->push_back(
+            {LowerOp::kChild, static_cast<std::uint32_t>(callee)});
+        return true;
+      }
+      case InputVar::kX2: {
+        if (ctx == CtxEps()) {
+          error_ = "x2 in an epsilon rule";  // excluded by Validate()
+          return false;
+        }
+        if (cls != StateClass::kPlain) {
+          error_ = "state '" + mft_.state_name(callee) +
+                   "' matches on text content";
+          return false;
+        }
+        out->push_back({LowerOp::kSib, static_cast<std::uint32_t>(callee)});
+        return true;
+      }
+    }
+    error_ = "unknown input variable";
+    return false;
+  }
+
+  // A parameter-carrying call. Tries, in order:
+  //   1. native rope execution (append-only callee, compilable arguments);
+  //   2. common-suffix factoring against a selector cluster, bridging the
+  //      residual arguments and emitting the suffix as caller code;
+  //   3. a direct table bridge over the anchor subtree.
+  bool EmitParamCall(const RhsNode& item, StateId owner, std::uint32_t ctx,
+                     bool* used, std::vector<LoweredInsn>* out) {
+    const StateId callee = item.state;
+    const int cn = mft_.num_params(callee);
+    if (cn == 0 || static_cast<int>(item.args.size()) != cn) {
+      error_ = "call to state '" + mft_.state_name(callee) +
+               "' has the wrong arity";
+      return false;
+    }
+    if (ctx == CtxEps() && item.input != InputVar::kX0) {
+      error_ = item.input == InputVar::kX1 ? "x1 in an epsilon rule"
+                                           : "x2 in an epsilon rule";
+      return false;
+    }
+
+    // 1) Native rope registers.
+    if (app_[static_cast<std::size_t>(callee)] &&
+        item.input != InputVar::kX0) {
+      if (item.input == InputVar::kX1 && ctx == CtxText()) {
+        // Empty child forest: the callee's epsilon rule with these
+        // arguments substituted — folds to plain emission at compile time.
+        const Rhs* eps = mft_.rules(callee).epsilon_rule
+                             ? &*mft_.rules(callee).epsilon_rule
+                             : nullptr;
+        if (eps == nullptr) {
+          error_ = "state '" + mft_.state_name(callee) +
+                   "' has no applicable rule";
+          return false;
+        }
+        return EmitRhs(SubstParams(*eps, item.args), owner, ctx, used, out);
+      }
+      // Identity pass q'(xi, y1..yn): the spawned consumer simply inherits
+      // the caller's register file — a plain kChild/kSib, which keeps the
+      // sibling-scan hot path allocation-free.
+      if (owner >= 0 && cn == mft_.num_params(owner) &&
+          IsIdentityArgs(item.args)) {
+        for (int i = 0; i < cn; ++i) {
+          if (used[i]) {
+            error_ = "state '" + mft_.state_name(owner) +
+                     "' uses a parameter twice";
+            return false;
+          }
+          used[i] = true;
+        }
+        out->push_back({item.input == InputVar::kX1 ? LowerOp::kChild
+                                                    : LowerOp::kSib,
+                        static_cast<std::uint32_t>(callee)});
+        return true;
+      }
+      // Stage the register file rope by rope.
+      std::vector<LoweredInsn> tmp;
+      bool saved[kMaxRopeParams];
+      std::copy(used, used + kMaxRopeParams, saved);
+      bool ok = true;
+      for (const Rhs& arg : item.args) {
+        tmp.push_back({LowerOp::kRopeNew, 0});
+        if (!EmitRopeArg(arg, owner, ctx, used, &tmp)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out->insert(out->end(), tmp.begin(), tmp.end());
+        out->push_back({item.input == InputVar::kX1 ? LowerOp::kRopeChild
+                                                    : LowerOp::kRopeSib,
+                        static_cast<std::uint32_t>(callee)});
+        return true;
+      }
+      std::copy(saved, saved + kMaxRopeParams, used);
+      error_.clear();  // fall through to the bridge paths
+    }
+
+    // 2) Common-suffix factoring against a selector cluster: with
+    //    arguments A_i = A'_i · C the cluster's output is A'_w · C for the
+    //    winner w the input selects, so bridging the residuals A'_i and
+    //    emitting C as ordinary caller code is exact.
+    if (sel_[static_cast<std::size_t>(callee)]) {
+      std::size_t min_len = item.args[0].size();
+      for (const Rhs& arg : item.args) min_len = std::min(min_len, arg.size());
+      std::size_t suffix = 0;
+      while (suffix < min_len) {
+        const RhsNode& probe =
+            item.args[0][item.args[0].size() - 1 - suffix];
+        bool all = true;
+        for (const Rhs& arg : item.args) {
+          if (!(arg[arg.size() - 1 - suffix] == probe)) {
+            all = false;
+            break;
+          }
+        }
+        if (!all) break;
+        ++suffix;
+      }
+      bool all_empty = true;
+      for (const Rhs& arg : item.args) {
+        if (arg.size() != suffix) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (all_empty && ClusterTotal(callee)) {
+        // Identical arguments: whichever the cluster selects, the output is
+        // the shared forest — drop the call entirely.
+        return EmitRhs(item.args[0], owner, ctx, used, out);
+      }
+      if (item.input == InputVar::kX0 &&
+          !escapes_[static_cast<std::size_t>(callee)]) {
+        std::vector<Rhs> residuals;
+        residuals.reserve(item.args.size());
+        bool ok = true;
+        for (const Rhs& arg : item.args) {
+          Rhs res(arg.begin(), arg.end() - static_cast<std::ptrdiff_t>(suffix));
+          if (!ArgBridgeable(res)) {
+            ok = false;
+            break;
+          }
+          residuals.push_back(std::move(res));
+        }
+        if (ok) {
+          if (!EmitBridge(
+                  RhsNode::Call(callee, InputVar::kX0, std::move(residuals)),
+                  ctx, out)) {
+            return false;
+          }
+          const Rhs& a0 = item.args[0];
+          Rhs c(a0.end() - static_cast<std::ptrdiff_t>(suffix), a0.end());
+          return EmitRhs(c, owner, ctx, used, out);
+        }
+        // error_ set by ArgBridgeable; keep the more specific message.
+        return false;
+      }
+    }
+
+    // 3) Direct bridge: x0, non-escaping callee, anchor-local arguments.
+    if (item.input == InputVar::kX0) {
+      if (escapes_[static_cast<std::size_t>(callee)]) {
+        error_ = "bridged state '" + mft_.state_name(callee) +
+                 "' reads past the anchor subtree";
+        return false;
+      }
+      for (const Rhs& arg : item.args) {
+        if (!ArgBridgeable(arg)) return false;
+      }
+      RhsNode call = item;  // deep copy, arguments included
+      return EmitBridge(std::move(call), ctx, out);
+    }
+    error_ = item.input == InputVar::kX1
+                 ? "parameter-carrying call over children does not lower"
+                 : "parameter-carrying call over following siblings";
+    return false;
+  }
+
+  static bool IsIdentityArgs(const std::vector<Rhs>& args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].size() != 1 || args[i][0].kind != RhsKind::kParam ||
+          args[i][0].param != static_cast<int>(i) + 1) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Replaces parameter references in `rhs` by the given argument forests
+  // (recursively, through label children and call arguments).
+  Rhs SubstParams(const Rhs& rhs, const std::vector<Rhs>& args) const {
+    Rhs out;
+    for (const RhsNode& item : rhs) {
+      if (item.kind == RhsKind::kParam) {
+        const Rhs& a = args[static_cast<std::size_t>(item.param) - 1];
+        out.insert(out.end(), a.begin(), a.end());
+        continue;
+      }
+      RhsNode copy = item;
+      if (copy.kind == RhsKind::kLabel) {
+        copy.children = SubstParams(copy.children, args);
+      } else if (copy.kind == RhsKind::kCall) {
+        for (Rhs& arg : copy.args) arg = SubstParams(arg, args);
+      }
+      out.push_back(std::move(copy));
+    }
+    return out;
+  }
+
+  // Compiles one call argument into rope appends on the staging rope.
+  bool EmitRopeArg(const Rhs& arg, StateId owner, std::uint32_t ctx,
+                   bool* used, std::vector<LoweredInsn>* out) {
+    for (const RhsNode& item : arg) {
+      switch (item.kind) {
+        case RhsKind::kLabel: {
+          if (item.current_label) {
+            if (ctx < width_) {
+              out->push_back({LowerOp::kRopeOpen, ctx});
+              if (!EmitRopeArg(item.children, owner, ctx, used, out)) {
+                return false;
+              }
+              out->push_back({LowerOp::kRopeClose, ctx});
+            } else if (ctx == CtxDefault()) {
+              out->push_back({LowerOp::kRopeOpenCur, 0});
+              if (!EmitRopeArg(item.children, owner, ctx, used, out)) {
+                return false;
+              }
+              out->push_back({LowerOp::kRopeCloseCur, 0});
+            } else if (ctx == CtxText()) {
+              out->push_back({LowerOp::kRopeTextCur, 0});
+            } else {
+              error_ = "%t in an epsilon rule";
+              return false;
+            }
+          } else if (item.symbol.kind == NodeKind::kText) {
+            out->push_back({LowerOp::kRopeText, item.symbol_id});
+          } else {
+            out->push_back({LowerOp::kRopeOpen, item.symbol_id});
+            if (!EmitRopeArg(item.children, owner, ctx, used, out)) {
+              return false;
+            }
+            out->push_back({LowerOp::kRopeClose, item.symbol_id});
+          }
+          break;
+        }
+        case RhsKind::kParam: {
+          const int idx = item.param - 1;
+          if (owner < 0 || idx < 0 || idx >= mft_.num_params(owner)) {
+            error_ = "parameter reference in rhs";
+            return false;
+          }
+          if (used[idx]) {
+            error_ = "state '" + mft_.state_name(owner) +
+                     "' uses a parameter twice";
+            return false;
+          }
+          used[idx] = true;
+          out->push_back(
+              {LowerOp::kRopeSplice, static_cast<std::uint32_t>(idx)});
+          break;
+        }
+        case RhsKind::kCall:
+          error_ = "state call inside an append-only argument";
+          return false;
+      }
+    }
+    return true;
+  }
+
+  bool EmitBridge(RhsNode call, std::uint32_t ctx,
+                  std::vector<LoweredInsn>* out) {
+    if (call.input == InputVar::kX0 &&
+        escapes_[static_cast<std::size_t>(call.state)]) {
+      error_ = "bridged state '" + mft_.state_name(call.state) +
+               "' reads past the anchor subtree";
+      return false;
+    }
+    int site = -1;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (sites_[i] == call) {
+        site = static_cast<int>(i);
+        break;
+      }
+    }
+    if (site < 0) {
+      if (sites_.size() >= kBridgeSiteMask) {
+        error_ = "too many bridge sites";
+        return false;
+      }
+      site = static_cast<int>(sites_.size());
+      site_states_.insert(call.state);
+      sites_.push_back(std::move(call));
+    }
+    BridgeCtx kind = BridgeCtx::kElement;
+    if (ctx == CtxText()) kind = BridgeCtx::kText;
+    if (ctx == CtxEps()) kind = BridgeCtx::kEps;
+    out->push_back(
+        {LowerOp::kBridge,
+         (static_cast<std::uint32_t>(kind) << kBridgeCtxShift) |
+             static_cast<std::uint32_t>(site)});
+    return true;
+  }
+
+  void BuildBridgeMft() {
+    auto bm = std::make_unique<Mft>(mft_);
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      StateId root =
+          bm->AddState("bridge#" + std::to_string(i), /*num_params=*/0);
+      Rhs rhs{sites_[i]};
+      // One synthetic root covers all three anchor kinds: the default rule
+      // fires on an element anchor, the text rule on a text anchor, and the
+      // epsilon rule on an empty sub-run (x0 at end of forest — the table
+      // machine resolves the x0 call against the epsilon cell).
+      bm->SetDefaultRule(root, rhs);
+      bm->SetTextRule(root, rhs);
+      bm->SetEpsilonRule(root, rhs);
+      plan_.bridge_sites.push_back(root);
+    }
+    // Force-compile now: sub-runs may start on concurrent engine threads,
+    // and the lazy dispatch fill is single-threaded by contract.
+    bm->dispatch();
+    plan_.bridge_mft = std::move(bm);
   }
 
   bool Splice(StateId q, std::uint32_t ctx, std::vector<LoweredInsn>* out) {
@@ -235,11 +929,35 @@ class Compiler {
     ref.off = static_cast<std::uint32_t>(plan_.code.size());
     ref.len = static_cast<std::uint32_t>(tmp.size());
     for (const LoweredInsn& insn : tmp) {
-      if (insn.op == LowerOp::kChild) ++ref.n_child;
-      if (insn.op == LowerOp::kSib) ++ref.n_sib;
+      switch (insn.op) {
+        case LowerOp::kChild:
+        case LowerOp::kRopeChild:
+          ++ref.n_child;
+          break;
+        case LowerOp::kSib:
+        case LowerOp::kRopeSib:
+          ++ref.n_sib;
+          break;
+        case LowerOp::kRopeOpen:
+        case LowerOp::kRopeClose:
+        case LowerOp::kRopeText:
+        case LowerOp::kRopeOpenCur:
+        case LowerOp::kRopeCloseCur:
+          ref.prealloc_bytes += kPreallocPerAppend;
+          break;
+        default:
+          break;
+      }
+      if (insn.op == LowerOp::kRopeChild || insn.op == LowerOp::kRopeSib) {
+        ref.prealloc_bytes += kPreallocPerSpawn;
+      }
     }
-    ref.tail_spawn = !tmp.empty() && (tmp.back().op == LowerOp::kChild ||
-                                      tmp.back().op == LowerOp::kSib);
+    if (!tmp.empty()) {
+      const LowerOp last = tmp.back().op;
+      ref.tail_spawn = last == LowerOp::kChild || last == LowerOp::kSib ||
+                       last == LowerOp::kRopeChild ||
+                       last == LowerOp::kRopeSib;
+    }
     ref.simple_sib = tmp.size() == 1 && tmp[0].op == LowerOp::kSib;
     plan_.code.insert(plan_.code.end(), tmp.begin(), tmp.end());
 
@@ -255,6 +973,12 @@ class Compiler {
   const RuleDispatch& dispatch_;
   const SymbolId width_;
   LoweredPlan plan_;
+  std::vector<StateClass> class_;
+  std::vector<bool> sel_;      // selector-cluster shape (factoring license)
+  std::vector<bool> app_;      // append-only shape (rope registers)
+  std::vector<bool> escapes_;  // x0-closure can read following siblings
+  std::vector<RhsNode> sites_;        // bridge call sites, deduplicated
+  std::set<StateId> site_states_;     // bridged callee states (for the note)
   std::vector<std::int32_t> memo_;  // (state, ctx) -> finished_ index
   std::vector<LoweredProgramRef> finished_;
   std::map<std::vector<std::uint64_t>, int> dedupe_;
@@ -289,7 +1013,10 @@ const LoweredPlan* GetLoweredPlan(const Mft& mft, std::string* why) {
     mft.set_lowering_cache(
         std::static_pointer_cast<const void>(cached));
   }
-  if (why != nullptr) *why = cached->reason;
+  if (why != nullptr) {
+    *why = cached->plan != nullptr ? cached->plan->lowering_note
+                                   : cached->reason;
+  }
   return cached->plan.get();
 }
 

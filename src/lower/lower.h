@@ -2,12 +2,10 @@
 //
 // The table engine (stream/engine.cc) interprets rules one thunk at a time:
 // every rule application allocates Call/Cons/Cat expressions, and every
-// input event re-enters the graph reducer. For the large class of
-// transducers the XQuery translation actually produces — parameter-free
-// (rank 1 everywhere) and never matching on text *content* — that machinery
-// is pure overhead: with no accumulating parameters there is no sharing to
-// exploit, every call site's output lands at a fixed position in the output
-// stream, and rule selection per node is a single dense-table index.
+// input event re-enters the graph reducer. For the transducers the XQuery
+// translation actually produces, most of that machinery is overhead: rule
+// selection per node is a single dense-table index and every call site's
+// output lands at a fixed position in the output stream.
 //
 // Lowering turns each (state, input-label) rule into a flat program of
 // packed instructions executed straight-line per input event:
@@ -23,23 +21,50 @@
 // memoized per (state, context); an x0 cycle (which the lazy engine would
 // grind through its step budget) makes the plan unlowerable instead.
 //
-// A plan is lowerable iff:
-//   * the optimized transducer is parameter-free (Mft::IsForestTransducer),
-//   * no state matches on text content (no Symbol(kText) rule patterns —
-//     those need a content-keyed probe per text node), and
-//   * x0-call inlining terminates and the generated code stays under the
-//     size cap.
-// Unlowerable plans keep the table engine; lowering is a strict fast path,
-// never a semantics change (asserted wholesale by the differential suites).
+// Accumulating parameters (this file's PR 10 extension) lower two ways:
+//
+//   * Append-only parameters become *rope registers*: a bounded number
+//     (kMaxRopeParams) of byte ropes whose chunks come from the engine's
+//     mark/reset bump arena — no refcounting on the fast path. The analysis
+//     admits a state when every rule threads each parameter linearly (used
+//     at most once, extended only by appending emission-only output) and
+//     the compiler emits the kRope* opcode family: stage fresh ropes,
+//     append literal/current-label records, splice a parameter through,
+//     spawn the callee with the staged register file, or emit a register
+//     into the output stream.
+//   * Everything else that is *anchor-local* bridges to the table engine:
+//     an x0 call to a general parameter-carrying state (or to a plain state
+//     that matches on text content) whose arguments are free of x2 lowers
+//     to kBridge — a sub-run of the lazy table machine over exactly the
+//     anchor subtree, spliced into the output at the call position. The
+//     caller keeps running on the opcode core; the plan is *hybrid*.
+//     Call sites whose arguments share a common suffix (the translation's
+//     `q(x0, A·C, B·C)` shape, where the suffix is the sibling-scan
+//     continuation) are factored first: when the callee is a pure
+//     *selector* cluster — every rule passes parameters through verbatim
+//     and terminates in exactly one of them — the call is equivalent to
+//     bridging the residual arguments and emitting the suffix as ordinary
+//     caller code, which makes the residuals x2-free and keeps the scan on
+//     the opcode engine. This is what takes the q01/q04-style predicate
+//     queries off the pure table path.
+//
+// A plan is lowerable iff every reachable call site lands in one of those
+// classes, x0-call inlining terminates, and the generated code stays under
+// the size cap. Unlowerable plans keep the table engine; lowering is a
+// strict fast path, never a semantics change (asserted wholesale by the
+// differential suites).
 #ifndef XQMFT_LOWER_LOWER_H_
 #define XQMFT_LOWER_LOWER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "mft/mft.h"
 #include "util/status.h"
+#include "xml/events.h"
 #include "xml/symbol_table.h"
 
 namespace xqmft {
@@ -54,10 +79,41 @@ enum class LowerOp : unsigned char {
   kTextCur,      ///< Text(current text event's content)
   kChild,        ///< spawn a consumer in state arg over the node's children
   kSib,          ///< continue in state arg over the node's following siblings
+  // Hybrid execution: a table-machine sub-run over the anchor subtree.
+  kBridge,       ///< arg = (BridgeCtx << kBridgeCtxShift) | site index
+  // Rope registers for append-only accumulating parameters. A program
+  // stages the callee's register file one rope at a time (kRopeNew opens a
+  // fresh staging rope; the append/splice ops extend the most recently
+  // staged one), then hands the staged file to the spawned consumer.
+  kRopeNew,       ///< stage a fresh empty rope
+  kRopeOpen,      ///< append <arg> to the staging rope
+  kRopeClose,     ///< append </arg> to the staging rope
+  kRopeText,      ///< append text literal arg to the staging rope
+  kRopeOpenCur,   ///< append <current-label> to the staging rope
+  kRopeCloseCur,  ///< append </current-label> to the staging rope
+  kRopeTextCur,   ///< append the text node's content to the staging rope
+  kRopeSplice,    ///< move own register arg onto the staging rope (linear)
+  kRopeChild,     ///< kChild with the staged register file as arguments
+  kRopeSib,       ///< kSib with the staged register file as arguments
+  kRopeEmit,      ///< copy own register arg into the output stream
 };
 
 /// Number of LowerOp values (dispatch-table size for the execution loop).
-inline constexpr int kNumLowerOps = 8;
+inline constexpr int kNumLowerOps = 20;
+
+/// Bound on rope registers per state (parameters of an append-only state).
+/// Small by design: the register file travels inline with each consumer.
+inline constexpr std::uint32_t kMaxRopeParams = 4;
+
+/// The input context a kBridge site anchors to, packed into the high bits
+/// of the instruction argument (the low bits are the site index).
+enum class BridgeCtx : std::uint32_t {
+  kElement = 0,  ///< anchored at an element: sub-run over the whole subtree
+  kText = 1,     ///< x0 over a text node: one-event sub-run, inline
+  kEps = 2,      ///< x0 at end of forest: empty sub-run, inline
+};
+inline constexpr std::uint32_t kBridgeCtxShift = 24;
+inline constexpr std::uint32_t kBridgeSiteMask = (1u << kBridgeCtxShift) - 1;
 
 struct LoweredInsn {
   LowerOp op;
@@ -69,14 +125,22 @@ struct LoweredInsn {
 struct LoweredProgramRef {
   std::uint32_t off = 0;
   std::uint32_t len = 0;
-  std::uint32_t n_child = 0;  ///< number of kChild instructions
-  std::uint32_t n_sib = 0;    ///< number of kSib instructions
-  /// Last instruction is kChild/kSib: the spawned consumer inherits the
-  /// writer's output segment instead of splitting it (the program writes
-  /// nothing after the spawn). Collapses scan states to zero segment churn.
+  std::uint32_t n_child = 0;  ///< number of kChild/kRopeChild instructions
+  std::uint32_t n_sib = 0;    ///< number of kSib/kRopeSib instructions
+  /// Upper bound on arena bytes the program allocates for rope chunks and
+  /// staged register files. Charged as one block *before* the event's child
+  /// mark, so ropes handed to sibling continuations survive the subtree
+  /// reset (the register-file analogue of the consumer-array growth rule).
+  std::uint32_t prealloc_bytes = 0;
+  /// Last instruction is kChild/kSib (or a rope spawn): the spawned
+  /// consumer inherits the writer's output segment instead of splitting it
+  /// (the program writes nothing after the spawn). Collapses scan states to
+  /// zero segment churn.
   bool tail_spawn = false;
   /// The program is exactly [kSib q]: the consumer just retargets to q and
-  /// skips the subtree — no allocation, no segment work.
+  /// skips the subtree — no allocation, no segment work. (An identity
+  /// parameter pass `q(x2, y1..yn)` compiles to exactly this: the consumer
+  /// keeps its register file.)
   bool simple_sib = false;
 };
 
@@ -88,16 +152,56 @@ struct LoweredState {
   LoweredProgramRef element_default;       ///< element ids >= width
   LoweredProgramRef text;                  ///< any text node
   LoweredProgramRef eps;                   ///< end of the consumed forest
+  std::uint8_t n_ropes = 0;  ///< rope registers (the state's parameters)
 };
 
 /// \brief The lowered form of a transducer. Immutable once built; shared by
 /// every concurrent run of the plan (same contract as RuleDispatch).
+/// Move-only: hybrid plans own the bridge transducer.
 struct LoweredPlan {
+  LoweredPlan() = default;
+  LoweredPlan(LoweredPlan&&) = default;
+  LoweredPlan& operator=(LoweredPlan&&) = default;
+
   std::vector<LoweredInsn> code;
   std::vector<LoweredState> states;  ///< by StateId
   SymbolId width = 0;                ///< dense-table width (= dispatch width)
   StateId initial = 0;
+
+  /// Hybrid support: a clone of the source transducer extended with one
+  /// synthetic root state per bridge site (rules `root -> callee(x0, ...)`
+  /// for element/text/eps), dispatch pre-compiled so concurrent runs never
+  /// race a lazy fill. Null for fully lowered plans.
+  std::unique_ptr<const Mft> bridge_mft;
+  /// Per-site synthetic root state in `bridge_mft`, indexed by the site
+  /// half of a kBridge instruction argument.
+  std::vector<StateId> bridge_sites;
+  /// True when the plan contains at least one kBridge site (some states
+  /// execute on the table engine under the opcode core).
+  bool hybrid = false;
+  /// Human-readable summary of how the plan lowered ("full", or
+  /// "hybrid: ..." naming what bridges), surfaced by --stats and serving.
+  std::string lowering_note;
 };
+
+/// \brief One table-machine sub-run behind a kBridge site. Constructed by
+/// the BridgeFactory when the opcode engine reaches the site's anchor; fed
+/// exactly the anchor subtree's events (start, interior, end — or a single
+/// text event, or nothing for an eps site); finished once to flush and
+/// verify. Output lands in the sink the factory was given.
+class BridgeRun {
+ public:
+  virtual ~BridgeRun() = default;
+  virtual Status Feed(const XmlEvent& event) = 0;
+  virtual Status Finish() = 0;
+};
+
+/// Supplied by the engine facade (stream/engine.cc), which owns the run
+/// context the sub-runs share: builds the BridgeRun for `site` writing into
+/// `sink`. The factory outlives the OpsEngine it is handed to.
+using BridgeFactory =
+    std::function<std::unique_ptr<BridgeRun>(std::uint32_t site,
+                                             OutputSink* sink)>;
 
 /// Compiles `mft` to a LoweredPlan. The dispatch is compiled as a side
 /// effect (lowering translates its tables). Fails with InvalidArgument and a
@@ -106,7 +210,8 @@ Result<LoweredPlan> LowerMft(const Mft& mft);
 
 /// The cached lowering of `mft`: compiles on first call and parks the result
 /// (or the not-lowerable reason) in the transducer's lowering-cache slot.
-/// Returns null when the plan is not lowerable, with the reason in `*why`.
+/// Returns null when the plan is not lowerable, with the reason in `*why`;
+/// on success `*why` carries the lowering note ("full" / "hybrid: ...").
 /// Same thread contract as Mft::dispatch(): the first call is
 /// single-threaded; afterwards the plan is immutable and safe to share
 /// (CompiledPlan forces the fill before a plan can be shared).

@@ -12,6 +12,11 @@ namespace lower {
 namespace {
 constexpr std::size_t kChunkBytes = std::size_t{1} << 16;
 constexpr std::size_t kAlign = alignof(std::max_align_t);
+// Default rope-chunk payload capacity: nine packed 5-byte records. Together
+// with the 16-byte header this stays inside the per-append prealloc budget
+// (lower.cc's kPreallocPerAppend) — the invariant that keeps element-context
+// rope appends inside the pre-mark block.
+constexpr std::uint32_t kRopeChunkCap = 48;
 }  // namespace
 
 void* OpsEngine::BumpArena::Alloc(std::size_t n) {
@@ -40,7 +45,8 @@ OpsEngine::OpsEngine(const LoweredPlan& plan, OutputSink* sink,
                      SymbolTable* symbols, MemoryTracker* tracker,
                      std::uint64_t max_steps, SchemaValidator* validator,
                      const CancelToken* cancel,
-                     std::uint32_t cancel_check_events)
+                     std::uint32_t cancel_check_events,
+                     const BridgeFactory* bridges)
     : plan_(&plan),
       sink_(sink),
       symbols_(symbols),
@@ -49,11 +55,15 @@ OpsEngine::OpsEngine(const LoweredPlan& plan, OutputSink* sink,
       validator_(validator),
       cancel_(cancel),
       cancel_check_events_(cancel_check_events),
+      bridge_factory_(bridges),
       arena_(tracker) {}
 
 OpsEngine::~OpsEngine() {
   // Segments may still hold charges when a run ends early (error or an
-  // abandoned engine); settle the shared tracker's balance wholesale.
+  // abandoned engine); settle the shared tracker's balance wholesale. The
+  // bridge records must go first: their sub-runs recycle cells and exprs
+  // into the shared scratch slabs the engine's owner destroys after us.
+  bridges_.clear();
   tracker_->Release(charged_bytes_);
 }
 
@@ -160,7 +170,7 @@ void OpsEngine::EmitTextBytes(Segment* s, std::string_view text) {
   ChargeAppend(s, text.data(), text.size());
 }
 
-void OpsEngine::Replay(const std::string& data) {
+void OpsEngine::ReplayBytes(std::string_view data) {
   const char* p = data.data();
   const char* end = p + data.size();
   while (p < end) {
@@ -191,7 +201,7 @@ void OpsEngine::FlushHead() {
   while (head_ != nullptr) {
     Segment* s = head_;
     if (s->closed) {
-      Replay(s->data);
+      ReplayBytes(s->data);
       head_ = s->next;
       RecycleSegment(s);
       continue;
@@ -199,7 +209,7 @@ void OpsEngine::FlushHead() {
     if (!s->live) {
       // The head is still being written: drain what it buffered and switch
       // it to write-through until its writer splits or closes it.
-      Replay(s->data);
+      ReplayBytes(s->data);
       s->data.clear();
       s->live = true;
     }
@@ -216,8 +226,158 @@ Status OpsEngine::ChargeSteps(std::uint64_t n) {
   return Status::OK();
 }
 
+// ------------------------------------------------------------------- ropes
+
+void* OpsEngine::RopeAlloc(std::size_t n) {
+  n = (n + 7u) & ~std::size_t{7};
+  if (prealloc_cur_ != nullptr &&
+      static_cast<std::size_t>(prealloc_end_ - prealloc_cur_) >= n) {
+    void* p = prealloc_cur_;
+    prealloc_cur_ += n;
+    return p;
+  }
+  // No block armed (text events take no mark, so a direct allocation is
+  // lifetime-safe) or — defensively — the static budget was short.
+  return arena_.Alloc(n);
+}
+
+void OpsEngine::RopeAppend(Rope* rope, const char* bytes, std::uint32_t n) {
+  RopeChunk* t = rope->tail;
+  if (t == nullptr || t->cap - t->len < n) {
+    // A packed record never splits across chunks (live emits replay chunk
+    // by chunk), so the chunk is sized for the whole record when the
+    // default capacity cannot hold it.
+    const std::uint32_t cap = std::max(kRopeChunkCap, n);
+    RopeChunk* c =
+        static_cast<RopeChunk*>(RopeAlloc(sizeof(RopeChunk) + cap));
+    c->next = nullptr;
+    c->len = 0;
+    c->cap = cap;
+    if (t == nullptr) {
+      rope->head = c;
+    } else {
+      t->next = c;
+    }
+    rope->tail = c;
+    t = c;
+  }
+  std::memcpy(t->bytes() + t->len, bytes, n);
+  t->len += n;
+}
+
+void OpsEngine::RopePack(Rope* rope, char tag, std::uint32_t v) {
+  char buf[5];
+  PackTag(buf, tag, v);
+  RopeAppend(rope, buf, sizeof(buf));
+}
+
+void OpsEngine::RopeEmit(Segment* cur, Rope* rope) {
+  for (RopeChunk* c = rope->head; c != nullptr; c = c->next) {
+    if (cur->live) {
+      ReplayBytes(std::string_view(c->bytes(), c->len));
+    } else {
+      ChargeAppend(cur, c->bytes(), c->len);
+    }
+  }
+  // Linear discipline: a register is consumed by its one use. Clearing it
+  // keeps a buggy double-use from replaying stale chunks.
+  *rope = Rope{};
+}
+
+OpsEngine::Rope* OpsEngine::MaterializeFile() {
+  Rope* file = static_cast<Rope*>(RopeAlloc(sizeof(Rope) * kMaxRopeParams));
+  for (std::uint32_t i = 0; i < kMaxRopeParams; ++i) {
+    file[i] = i < staged_n_ ? staged_[i] : Rope{};
+    staged_[i] = Rope{};
+  }
+  staged_n_ = 0;
+  return file;
+}
+
+// ----------------------------------------------------------------- bridges
+
+void OpsEngine::SegSink::StartElement(std::string_view name) {
+  engine_->EmitStart(seg_,
+                     engine_->symbols_->Intern(NodeKind::kElement, name));
+}
+
+void OpsEngine::SegSink::EndElement(std::string_view name) {
+  engine_->EmitEnd(seg_,
+                   engine_->symbols_->Intern(NodeKind::kElement, name));
+}
+
+void OpsEngine::SegSink::Text(std::string_view content) {
+  engine_->EmitTextBytes(seg_, content);
+}
+
+void OpsEngine::StartElementBridge(std::uint32_t site, Segment* seg,
+                                   const XmlEvent* event, SymbolId sym) {
+  if (bridge_factory_ == nullptr || !*bridge_factory_) {
+    if (exec_status_.ok()) {
+      exec_status_ =
+          Status::Internal("hybrid plan executed without a bridge factory");
+    }
+    seg->closed = true;  // nothing will ever write it
+    return;
+  }
+  auto rec = std::make_unique<BridgeRec>(this, seg);
+  rec->seg = seg;
+  rec->anchor_depth = depth_;
+  rec->run = (*bridge_factory_)(site, &rec->sink);
+  ++bridges_spawned_;
+  // The routing in Feed only reaches bridges that already exist, so the
+  // anchor's own StartElement is delivered here.
+  XmlEvent anchor = *event;
+  anchor.symbol = sym;
+  Status s = rec->run->Feed(anchor);
+  if (!s.ok() && exec_status_.ok()) exec_status_ = std::move(s);
+  bridges_.push_back(std::move(rec));
+}
+
+void OpsEngine::RunInlineBridge(std::uint32_t site, Segment* cur,
+                                const XmlEvent* event) {
+  if (bridge_factory_ == nullptr || !*bridge_factory_) {
+    if (exec_status_.ok()) {
+      exec_status_ =
+          Status::Internal("hybrid plan executed without a bridge factory");
+    }
+    return;
+  }
+  // A text or eps anchor is a complete sub-input: run it synchronously into
+  // the caller's segment (one text event, or nothing at all).
+  SegSink sink(this, cur);
+  std::unique_ptr<BridgeRun> run = (*bridge_factory_)(site, &sink);
+  ++bridges_spawned_;
+  Status s = Status::OK();
+  if (event != nullptr) s = run->Feed(*event);
+  if (s.ok()) s = run->Finish();
+  if (!s.ok() && exec_status_.ok()) exec_status_ = std::move(s);
+}
+
+Status OpsEngine::FeedBridges(const XmlEvent& event) {
+  for (std::unique_ptr<BridgeRec>& rec : bridges_) {
+    XQMFT_RETURN_NOT_OK(rec->run->Feed(event));
+  }
+  return Status::OK();
+}
+
+Status OpsEngine::CompleteBridges() {
+  Status result = Status::OK();
+  while (!bridges_.empty() && bridges_.back()->anchor_depth == depth_) {
+    std::unique_ptr<BridgeRec> rec = std::move(bridges_.back());
+    bridges_.pop_back();
+    Status s = rec->run->Finish();
+    rec->seg->closed = true;
+    if (!s.ok() && result.ok()) result = std::move(s);
+  }
+  return result;
+}
+
+// -------------------------------------------------------------- execution
+
 void OpsEngine::ExecProgram(const LoweredProgramRef& ref, Segment* cur,
                             SymbolId sym, std::string_view text,
+                            const XmlEvent* event, Rope* ropes,
                             Consumer* child_out, std::uint32_t* child_n,
                             Consumer* sib_out, std::uint32_t* sib_n) {
   const LoweredInsn* pc = plan_->code.data() + ref.off;
@@ -228,8 +388,13 @@ void OpsEngine::ExecProgram(const LoweredProgramRef& ref, Segment* cur,
   // instruction's handler, giving the branch predictor one indirect target
   // per opcode instead of a single shared switch branch.
   static const void* const kJump[kNumLowerOps] = {
-      &&op_open_lit, &&op_close_lit, &&op_open_cur, &&op_close_cur,
-      &&op_text_lit, &&op_text_cur, &&op_child,    &&op_sib,
+      &&op_open_lit,      &&op_close_lit,      &&op_open_cur,
+      &&op_close_cur,     &&op_text_lit,       &&op_text_cur,
+      &&op_child,         &&op_sib,            &&op_bridge,
+      &&op_rope_new,      &&op_rope_open,      &&op_rope_close,
+      &&op_rope_text,     &&op_rope_open_cur,  &&op_rope_close_cur,
+      &&op_rope_text_cur, &&op_rope_splice,    &&op_rope_child,
+      &&op_rope_sib,      &&op_rope_emit,
   };
 #define XQMFT_OPS_DISPATCH()                          \
   do {                                                \
@@ -266,12 +431,13 @@ op_child: {
   const std::uint32_t q = pc->arg;
   ++pc;
   if (pc == end) {
-    // Tail spawn: the child inherits the writer's segment outright.
-    child_out[(*child_n)++] = Consumer{q, cur};
+    // Tail spawn: the child inherits the writer's segment outright (and its
+    // register file — the identity parameter pass compiles to this).
+    child_out[(*child_n)++] = Consumer{q, cur, ropes};
     return;
   }
   Segment* child_seg = SplitAfter(cur);
-  child_out[(*child_n)++] = Consumer{q, child_seg};
+  child_out[(*child_n)++] = Consumer{q, child_seg, ropes};
   cur = InsertAfter(child_seg);
   XQMFT_OPS_DISPATCH();
 }
@@ -279,14 +445,129 @@ op_sib: {
   const std::uint32_t q = pc->arg;
   ++pc;
   if (pc == end) {
-    sib_out[(*sib_n)++] = Consumer{q, cur};
+    sib_out[(*sib_n)++] = Consumer{q, cur, ropes};
     return;
   }
   Segment* sib_seg = SplitAfter(cur);
-  sib_out[(*sib_n)++] = Consumer{q, sib_seg};
+  sib_out[(*sib_n)++] = Consumer{q, sib_seg, ropes};
   cur = InsertAfter(sib_seg);
   XQMFT_OPS_DISPATCH();
 }
+op_bridge: {
+  const std::uint32_t site = pc->arg & kBridgeSiteMask;
+  const BridgeCtx bctx = static_cast<BridgeCtx>(pc->arg >> kBridgeCtxShift);
+  ++pc;
+  if (bctx == BridgeCtx::kElement) {
+    if (pc == end) {
+      // Tail bridge: the sub-run takes over the segment outright; it closes
+      // at the anchor's EndElement.
+      StartElementBridge(site, cur, event, sym);
+      return;
+    }
+    Segment* bseg = SplitAfter(cur);
+    StartElementBridge(site, bseg, event, sym);
+    cur = InsertAfter(bseg);
+  } else {
+    RunInlineBridge(site, cur, bctx == BridgeCtx::kText ? event : nullptr);
+  }
+  XQMFT_OPS_DISPATCH();
+}
+op_rope_new:
+  staged_[staged_n_++] = Rope{};
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_open:
+  RopePack(&staged_[staged_n_ - 1], 'S', pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_close:
+  RopePack(&staged_[staged_n_ - 1], 'E', pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_text:
+  RopePack(&staged_[staged_n_ - 1], 'L', pc->arg);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_open_cur:
+  RopePack(&staged_[staged_n_ - 1], 'S', sym);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_close_cur:
+  RopePack(&staged_[staged_n_ - 1], 'E', sym);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+op_rope_text_cur: {
+  Rope* r = &staged_[staged_n_ - 1];
+  char hdr[5];
+  PackTag(hdr, 'T', static_cast<std::uint32_t>(text.size()));
+  RopeChunk* t = r->tail;
+  const std::uint32_t n = 5 + static_cast<std::uint32_t>(text.size());
+  if (t == nullptr || t->cap - t->len < n) {
+    const std::uint32_t cap = std::max(kRopeChunkCap, n);
+    RopeChunk* c =
+        static_cast<RopeChunk*>(RopeAlloc(sizeof(RopeChunk) + cap));
+    c->next = nullptr;
+    c->len = 0;
+    c->cap = cap;
+    if (t == nullptr) {
+      r->head = c;
+    } else {
+      t->next = c;
+    }
+    r->tail = c;
+    t = c;
+  }
+  std::memcpy(t->bytes() + t->len, hdr, sizeof(hdr));
+  std::memcpy(t->bytes() + t->len + sizeof(hdr), text.data(), text.size());
+  t->len += n;
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+}
+op_rope_splice: {
+  Rope& src = ropes[pc->arg];
+  if (src.head != nullptr) {
+    Rope& dst = staged_[staged_n_ - 1];
+    if (dst.tail != nullptr) {
+      dst.tail->next = src.head;
+      dst.tail = src.tail;
+    } else {
+      dst = src;
+    }
+    src = Rope{};
+  }
+  ++pc;
+  XQMFT_OPS_DISPATCH();
+}
+op_rope_child: {
+  const std::uint32_t q = pc->arg;
+  Rope* file = MaterializeFile();
+  ++pc;
+  if (pc == end) {
+    child_out[(*child_n)++] = Consumer{q, cur, file};
+    return;
+  }
+  Segment* child_seg = SplitAfter(cur);
+  child_out[(*child_n)++] = Consumer{q, child_seg, file};
+  cur = InsertAfter(child_seg);
+  XQMFT_OPS_DISPATCH();
+}
+op_rope_sib: {
+  const std::uint32_t q = pc->arg;
+  Rope* file = MaterializeFile();
+  ++pc;
+  if (pc == end) {
+    sib_out[(*sib_n)++] = Consumer{q, cur, file};
+    return;
+  }
+  Segment* sib_seg = SplitAfter(cur);
+  sib_out[(*sib_n)++] = Consumer{q, sib_seg, file};
+  cur = InsertAfter(sib_seg);
+  XQMFT_OPS_DISPATCH();
+}
+op_rope_emit:
+  RopeEmit(cur, &ropes[pc->arg]);
+  ++pc;
+  XQMFT_OPS_DISPATCH();
 op_done:
   cur->closed = true;
 #undef XQMFT_OPS_DISPATCH
@@ -315,24 +596,130 @@ op_done:
         break;
       case LowerOp::kChild: {
         if (pc == end) {
-          child_out[(*child_n)++] = Consumer{insn.arg, cur};
+          child_out[(*child_n)++] = Consumer{insn.arg, cur, ropes};
           return;
         }
         Segment* child_seg = SplitAfter(cur);
-        child_out[(*child_n)++] = Consumer{insn.arg, child_seg};
+        child_out[(*child_n)++] = Consumer{insn.arg, child_seg, ropes};
         cur = InsertAfter(child_seg);
         break;
       }
       case LowerOp::kSib: {
         if (pc == end) {
-          sib_out[(*sib_n)++] = Consumer{insn.arg, cur};
+          sib_out[(*sib_n)++] = Consumer{insn.arg, cur, ropes};
           return;
         }
         Segment* sib_seg = SplitAfter(cur);
-        sib_out[(*sib_n)++] = Consumer{insn.arg, sib_seg};
+        sib_out[(*sib_n)++] = Consumer{insn.arg, sib_seg, ropes};
         cur = InsertAfter(sib_seg);
         break;
       }
+      case LowerOp::kBridge: {
+        const std::uint32_t site = insn.arg & kBridgeSiteMask;
+        const BridgeCtx bctx =
+            static_cast<BridgeCtx>(insn.arg >> kBridgeCtxShift);
+        if (bctx == BridgeCtx::kElement) {
+          if (pc == end) {
+            StartElementBridge(site, cur, event, sym);
+            return;
+          }
+          Segment* bseg = SplitAfter(cur);
+          StartElementBridge(site, bseg, event, sym);
+          cur = InsertAfter(bseg);
+        } else {
+          RunInlineBridge(site, cur,
+                          bctx == BridgeCtx::kText ? event : nullptr);
+        }
+        break;
+      }
+      case LowerOp::kRopeNew:
+        staged_[staged_n_++] = Rope{};
+        break;
+      case LowerOp::kRopeOpen:
+        RopePack(&staged_[staged_n_ - 1], 'S', insn.arg);
+        break;
+      case LowerOp::kRopeClose:
+        RopePack(&staged_[staged_n_ - 1], 'E', insn.arg);
+        break;
+      case LowerOp::kRopeText:
+        RopePack(&staged_[staged_n_ - 1], 'L', insn.arg);
+        break;
+      case LowerOp::kRopeOpenCur:
+        RopePack(&staged_[staged_n_ - 1], 'S', sym);
+        break;
+      case LowerOp::kRopeCloseCur:
+        RopePack(&staged_[staged_n_ - 1], 'E', sym);
+        break;
+      case LowerOp::kRopeTextCur: {
+        Rope* r = &staged_[staged_n_ - 1];
+        char hdr[5];
+        PackTag(hdr, 'T', static_cast<std::uint32_t>(text.size()));
+        RopeAppend(r, hdr, sizeof(hdr));
+        // RopeAppend keeps records whole; emulate by appending into the
+        // same chunk RopeAppend just guaranteed room in.
+        RopeChunk* t = r->tail;
+        if (t->cap - t->len >= text.size()) {
+          std::memcpy(t->bytes() + t->len, text.data(), text.size());
+          t->len += static_cast<std::uint32_t>(text.size());
+        } else {
+          // Undo the header and re-append the whole record into one chunk.
+          t->len -= sizeof(hdr);
+          char* rec = static_cast<char*>(
+              RopeAlloc(sizeof(RopeChunk) + sizeof(hdr) + text.size()));
+          RopeChunk* c = reinterpret_cast<RopeChunk*>(rec);
+          c->next = nullptr;
+          c->len = static_cast<std::uint32_t>(sizeof(hdr) + text.size());
+          c->cap = c->len;
+          std::memcpy(c->bytes(), hdr, sizeof(hdr));
+          std::memcpy(c->bytes() + sizeof(hdr), text.data(), text.size());
+          if (r->tail == nullptr) {
+            r->head = c;
+          } else {
+            r->tail->next = c;
+          }
+          r->tail = c;
+        }
+        break;
+      }
+      case LowerOp::kRopeSplice: {
+        Rope& src = ropes[insn.arg];
+        if (src.head != nullptr) {
+          Rope& dst = staged_[staged_n_ - 1];
+          if (dst.tail != nullptr) {
+            dst.tail->next = src.head;
+            dst.tail = src.tail;
+          } else {
+            dst = src;
+          }
+          src = Rope{};
+        }
+        break;
+      }
+      case LowerOp::kRopeChild: {
+        Rope* file = MaterializeFile();
+        if (pc == end) {
+          child_out[(*child_n)++] = Consumer{insn.arg, cur, file};
+          return;
+        }
+        Segment* child_seg = SplitAfter(cur);
+        child_out[(*child_n)++] = Consumer{insn.arg, child_seg, file};
+        cur = InsertAfter(child_seg);
+        break;
+      }
+      case LowerOp::kRopeSib: {
+        Rope* file = MaterializeFile();
+        if (pc == end) {
+          sib_out[(*sib_n)++] = Consumer{insn.arg, cur, file};
+          return;
+        }
+        Segment* sib_seg = SplitAfter(cur);
+        sib_out[(*sib_n)++] = Consumer{insn.arg, sib_seg, file};
+        cur = InsertAfter(sib_seg);
+        break;
+      }
+      case LowerOp::kRopeEmit:
+        RopeEmit(cur, &ropes[insn.arg]);
+        break;
     }
   }
   cur->closed = true;
@@ -348,7 +735,8 @@ Status OpsEngine::Prime() {
   Scope scope;
   scope.mark = arena_.TakeMark();
   scope.items = AllocConsumers(1);
-  scope.items[0] = Consumer{static_cast<std::uint32_t>(plan_->initial), root};
+  scope.items[0] = Consumer{static_cast<std::uint32_t>(plan_->initial), root,
+                            nullptr};
   scope.count = 1;
   scope.cap = 1;
   scopes_.push_back(scope);
@@ -375,14 +763,26 @@ Status OpsEngine::Feed(const XmlEvent& event) {
   if (validator_ != nullptr) {
     XQMFT_RETURN_NOT_OK(Sticky(validator_->Feed(event)));
   }
+  // Bridge routing wraps the consumer handlers: an active table sub-run
+  // receives every event of its anchor subtree even when the ops consumers
+  // skipped it (skip_depth_), and completes at the anchor's close. depth_
+  // tracks raw input nesting for exactly this purpose.
   switch (event.type) {
     case XmlEventType::kStartElement:
+      if (!bridges_.empty()) XQMFT_RETURN_NOT_OK(Sticky(FeedBridges(event)));
+      ++depth_;
       XQMFT_RETURN_NOT_OK(Sticky(OnStartElement(event)));
       break;
     case XmlEventType::kText:
+      if (!bridges_.empty()) XQMFT_RETURN_NOT_OK(Sticky(FeedBridges(event)));
       XQMFT_RETURN_NOT_OK(Sticky(OnText(event)));
       break;
     case XmlEventType::kEndElement:
+      if (!bridges_.empty()) {
+        XQMFT_RETURN_NOT_OK(Sticky(FeedBridges(event)));
+        XQMFT_RETURN_NOT_OK(Sticky(CompleteBridges()));
+      }
+      if (depth_ > 0) --depth_;
       XQMFT_RETURN_NOT_OK(Sticky(OnEndElement()));
       break;
     case XmlEventType::kEndOfDocument:
@@ -392,7 +792,7 @@ Status OpsEngine::Feed(const XmlEvent& event) {
       return Sticky(Status::Internal("unknown event type"));
   }
   FlushHead();
-  if (total_consumers_ == 0) done_ = true;
+  if (total_consumers_ == 0 && bridges_.empty()) done_ = true;
   return Status::OK();
 }
 
@@ -418,6 +818,7 @@ Status OpsEngine::OnStartElement(const XmlEvent& event) {
   scratch_.clear();
   std::uint32_t total_child = 0;
   std::uint32_t total_sib = 0;
+  std::uint32_t total_prealloc = 0;
   bool all_simple = true;
   for (std::uint32_t i = 0; i < top.count; ++i) {
     const Consumer& c = top.items[i];
@@ -427,12 +828,14 @@ Status OpsEngine::OnStartElement(const XmlEvent& event) {
     all_simple = all_simple && prog->simple_sib;
     total_child += prog->n_child;
     total_sib += prog->n_sib;
-    scratch_.push_back(PendingExec{c.state, prog, c.seg});
+    total_prealloc += prog->prealloc_bytes;
+    scratch_.push_back(PendingExec{c.state, prog, c.seg, c.ropes});
   }
 
   if (all_simple) {
     // Every consumer just retargets over the siblings and skips the
     // subtree: no allocation, no segment traffic — the scan hot path.
+    // Register files ride along untouched (the identity parameter pass).
     for (std::uint32_t i = 0; i < top.count; ++i) {
       top.items[i].state = plan_->code[scratch_[i].prog->off].arg;
     }
@@ -453,6 +856,18 @@ Status OpsEngine::OnStartElement(const XmlEvent& event) {
     sib_cap = std::max(total_sib, top.cap * 2);
     sibs = AllocConsumers(sib_cap);
   }
+  // Arm the pre-mark rope block: chunks appended and register files staged
+  // during this event may be handed to sibling continuations, which outlive
+  // the subtree reset — so their bytes must precede the mark. The static
+  // per-program budget makes the block an upper bound.
+  if (total_prealloc > 0) {
+    char* block = static_cast<char*>(arena_.Alloc(total_prealloc));
+    prealloc_cur_ = block;
+    prealloc_end_ = block + total_prealloc;
+  } else {
+    prealloc_cur_ = nullptr;
+    prealloc_end_ = nullptr;
+  }
   const BumpArena::Mark mark = arena_.TakeMark();
   Consumer* children =
       total_child > 0 ? AllocConsumers(total_child) : nullptr;
@@ -460,8 +875,8 @@ Status OpsEngine::OnStartElement(const XmlEvent& event) {
   std::uint32_t n_child = 0;
   std::uint32_t n_sib = 0;
   for (const PendingExec& p : scratch_) {
-    ExecProgram(*p.prog, p.seg, sym, std::string_view(), children, &n_child,
-                sibs, &n_sib);
+    ExecProgram(*p.prog, p.seg, sym, std::string_view(), &event, p.ropes,
+                children, &n_child, sibs, &n_sib);
   }
 
   total_consumers_ += n_sib + n_child;
@@ -482,6 +897,7 @@ Status OpsEngine::OnStartElement(const XmlEvent& event) {
     scope.mark = mark;
     scopes_.push_back(scope);
   }
+  if (!exec_status_.ok()) return exec_status_;
   return Status::OK();
 }
 
@@ -492,6 +908,12 @@ Status OpsEngine::OnText(const XmlEvent& event) {
 
   XQMFT_RETURN_NOT_OK(ChargeSteps(top.count));
 
+  // Text events take no mark: rope chunks and register files alloc straight
+  // from the arena (they live until the enclosing element closes — exactly
+  // as long as any consumer that can hold them).
+  prealloc_cur_ = nullptr;
+  prealloc_end_ = nullptr;
+
   scratch_.clear();
   std::uint32_t total_sib = 0;
   bool all_simple = true;
@@ -500,7 +922,7 @@ Status OpsEngine::OnText(const XmlEvent& event) {
     const LoweredProgramRef* prog = &plan_->states[c.state].text;
     all_simple = all_simple && prog->simple_sib;
     total_sib += prog->n_sib;
-    scratch_.push_back(PendingExec{c.state, prog, c.seg});
+    scratch_.push_back(PendingExec{c.state, prog, c.seg, c.ropes});
   }
 
   if (all_simple) {
@@ -523,8 +945,8 @@ Status OpsEngine::OnText(const XmlEvent& event) {
   std::uint32_t n_sib = 0;
   for (const PendingExec& p : scratch_) {
     std::uint32_t n_child = 0;
-    ExecProgram(*p.prog, p.seg, kInvalidSymbol, event.text, nullptr, &n_child,
-                sibs, &n_sib);
+    ExecProgram(*p.prog, p.seg, kInvalidSymbol, event.text, &event, p.ropes,
+                nullptr, &n_child, sibs, &n_sib);
   }
 
   total_consumers_ += n_sib;
@@ -533,6 +955,7 @@ Status OpsEngine::OnText(const XmlEvent& event) {
   top.items = sibs;
   top.count = n_sib;
   top.cap = sib_cap;
+  if (!exec_status_.ok()) return exec_status_;
   return Status::OK();
 }
 
@@ -550,13 +973,16 @@ Status OpsEngine::OnEndElement() {
     const Consumer& c = top.items[i];
     std::uint32_t n_child = 0;
     std::uint32_t n_sib = 0;
-    // Epsilon programs are emission-only; ExecProgram closes the segment.
+    // Epsilon programs are emission-only (register emits and eps bridges
+    // included); ExecProgram closes the segment.
     ExecProgram(plan_->states[c.state].eps, c.seg, kInvalidSymbol,
-                std::string_view(), nullptr, &n_child, nullptr, &n_sib);
+                std::string_view(), nullptr, c.ropes, nullptr, &n_child,
+                nullptr, &n_sib);
   }
   total_consumers_ -= top.count;
   scopes_.pop_back();
   arena_.Reset(top.mark);
+  if (!exec_status_.ok()) return exec_status_;
   return Status::OK();
 }
 
@@ -571,11 +997,13 @@ Status OpsEngine::OnEndOfDocument() {
     std::uint32_t n_child = 0;
     std::uint32_t n_sib = 0;
     ExecProgram(plan_->states[c.state].eps, c.seg, kInvalidSymbol,
-                std::string_view(), nullptr, &n_child, nullptr, &n_sib);
+                std::string_view(), nullptr, c.ropes, nullptr, &n_child,
+                nullptr, &n_sib);
   }
   total_consumers_ -= top.count;
   top.count = 0;
   input_done_ = true;
+  if (!exec_status_.ok()) return exec_status_;
   return Status::OK();
 }
 

@@ -4,13 +4,13 @@
 // ops engine executes one straight-line program per (consumer, input event)
 // and never allocates a thunk:
 //
-//   * A *consumer* is a (state, output segment) pair positioned in some
-//     forest of the input. Each element/text event runs the consumer's
-//     program for that label; kSib instructions yield the consumer's
-//     continuations over the following siblings, kChild instructions spawn
-//     consumers over the element's children. At the end of a forest
-//     (EndElement of the parent) the epsilon program runs and the consumer
-//     dies.
+//   * A *consumer* is a (state, output segment, register file) triple
+//     positioned in some forest of the input. Each element/text event runs
+//     the consumer's program for that label; kSib instructions yield the
+//     consumer's continuations over the following siblings, kChild
+//     instructions spawn consumers over the element's children. At the end
+//     of a forest (EndElement of the parent) the epsilon program runs and
+//     the consumer dies.
 //   * Consumer records live in a bump arena. The static lowering analysis
 //     already proved them non-escaping — a consumer never outlives the
 //     subtree of the scope that spawned it — so closing an element resets
@@ -23,6 +23,22 @@
 //     drains to the sink as soon as its writer closes it — and an *open*
 //     head goes "live", forwarding writes straight to the sink with no
 //     buffering, which is the steady state of a single-consumer scan.
+//   * Append-only accumulating parameters are *rope registers*: per-consumer
+//     byte ropes whose chunks come from the same mark/reset arena as the
+//     consumer records (no refcounting). A program stages the callee's
+//     register file with the kRope* opcodes — appends are packed output
+//     records, a splice is an O(1) chunk-chain move (the compile-time
+//     linearity discipline makes moves safe), and kRopeEmit copies a
+//     register into the output stream. Chunks are drawn from a block
+//     pre-allocated *before* the event's child mark (LoweredProgramRef::
+//     prealloc_bytes bounds it statically), so ropes handed to sibling
+//     continuations survive the subtree reset.
+//   * kBridge instructions execute *hybrid* plans: the site's anchor subtree
+//     is run through a table-machine sub-run (built by the BridgeFactory the
+//     engine was given) whose output lands in a dedicated segment at the
+//     call position. The ops core keeps scanning concurrently; the sub-run
+//     is fed every event of the anchor subtree and finished at the anchor's
+//     close.
 //
 // Same contract as the table machine behind Engine: done() may become true
 // before the input ends (drivers stop feeding), errors are sticky, Finish
@@ -59,10 +75,14 @@ class OpsEngine {
   /// the sticky run status before the event does any work, so the sink ends
   /// at the previous event boundary and Finish never drains the segments a
   /// cancelled run left buffered (stream/engine.h's cancelled-run contract).
+  /// `bridges` builds the table-machine sub-runs behind kBridge sites; it
+  /// must outlive the engine and may be null only for non-hybrid plans
+  /// (reaching a kBridge without a factory is a run error).
   OpsEngine(const LoweredPlan& plan, OutputSink* sink, SymbolTable* symbols,
             MemoryTracker* tracker, std::uint64_t max_steps,
             SchemaValidator* validator, const CancelToken* cancel = nullptr,
-            std::uint32_t cancel_check_events = 128);
+            std::uint32_t cancel_check_events = 128,
+            const BridgeFactory* bridges = nullptr);
   ~OpsEngine();
   OpsEngine(const OpsEngine&) = delete;
   OpsEngine& operator=(const OpsEngine&) = delete;
@@ -77,6 +97,8 @@ class OpsEngine {
   std::uint64_t steps() const { return steps_; }
   /// Consumer records served from the arena (reported as cells_arena).
   std::uint64_t consumers_spawned() const { return spawned_; }
+  /// Table-machine sub-runs started for kBridge sites.
+  std::uint64_t bridge_runs() const { return bridges_spawned_; }
 
  private:
   // A single-writer span of the output stream. `data` buffers packed records
@@ -89,9 +111,28 @@ class OpsEngine {
     bool live = false;    ///< is the open head: writes go straight to sink
   };
 
+  // One rope-register chunk: a header followed by `cap` payload bytes, all
+  // from the bump arena. Appends never split a packed record across chunks,
+  // so a live-segment emit can replay chunk by chunk.
+  struct RopeChunk {
+    RopeChunk* next;
+    std::uint32_t len;
+    std::uint32_t cap;
+    char* bytes() { return reinterpret_cast<char*>(this + 1); }
+    const char* bytes() const { return reinterpret_cast<const char*>(this + 1); }
+  };
+
+  // A rope register: a chain of chunks. Plain old data — register files are
+  // arena arrays, moved by pointer swap (the linearity discipline).
+  struct Rope {
+    RopeChunk* head = nullptr;
+    RopeChunk* tail = nullptr;
+  };
+
   struct Consumer {
     std::uint32_t state;
     Segment* seg;
+    Rope* ropes;  ///< register file, null for parameter-free states
   };
 
   // Bump allocator for consumer records. Reset(mark) retires everything
@@ -147,6 +188,36 @@ class OpsEngine {
     std::uint32_t state;
     const LoweredProgramRef* prog;
     Segment* seg;
+    Rope* ropes;
+  };
+
+  // Adapts the OutputSink interface back onto a segment: a bridged table
+  // sub-run emits resolved names, which are re-interned and written as
+  // packed records (or streamed straight through when the segment is the
+  // live head). Symbol ids are shared — the sub-run uses the same run table.
+  class SegSink : public OutputSink {
+   public:
+    SegSink(OpsEngine* engine, Segment* seg) : engine_(engine), seg_(seg) {}
+    void StartElement(std::string_view name) override;
+    void EndElement(std::string_view name) override;
+    void Text(std::string_view content) override;
+
+   private:
+    OpsEngine* engine_;
+    Segment* seg_;
+  };
+
+  // One in-flight kBridge sub-run over an element anchor. Lives from the
+  // anchor's StartElement (fed synthetically at creation, since the routing
+  // in Feed only reaches bridges that already exist) to its EndElement, at
+  // which point the run is finished and the segment closed. Text/eps anchors
+  // never create a record: their sub-runs complete inline.
+  struct BridgeRec {
+    BridgeRec(OpsEngine* engine, Segment* seg) : sink(engine, seg) {}
+    SegSink sink;
+    std::unique_ptr<BridgeRun> run;
+    Segment* seg = nullptr;
+    std::uint64_t anchor_depth = 0;
   };
 
   Status Sticky(Status s) {
@@ -161,12 +232,16 @@ class OpsEngine {
   Status OnEndOfDocument();
 
   // Runs one program over the current event. `cur` is the consumer's
-  // segment; spawns append to child_out/sib_out (counts via *child_n /
-  // *sib_n). Closes `cur` unless the final instruction handed it off.
+  // segment; `ropes` its register file; `event` the driving input event
+  // (null for epsilon programs — only bridges read it). Spawns append to
+  // child_out/sib_out (counts via *child_n / *sib_n). Closes `cur` unless
+  // the final instruction handed it off. Failures (a bridge site without a
+  // factory, a sub-run error) land in exec_status_ — callers check after
+  // the event's programs ran.
   void ExecProgram(const LoweredProgramRef& ref, Segment* cur, SymbolId sym,
-                   std::string_view text, Consumer* child_out,
-                   std::uint32_t* child_n, Consumer* sib_out,
-                   std::uint32_t* sib_n);
+                   std::string_view text, const XmlEvent* event, Rope* ropes,
+                   Consumer* child_out, std::uint32_t* child_n,
+                   Consumer* sib_out, std::uint32_t* sib_n);
 
   Consumer* AllocConsumers(std::uint32_t n) {
     return static_cast<Consumer*>(arena_.Alloc(n * sizeof(Consumer)));
@@ -182,8 +257,27 @@ class OpsEngine {
   void EmitEnd(Segment* s, SymbolId sym);
   void EmitTextSym(Segment* s, SymbolId sym);
   void EmitTextBytes(Segment* s, std::string_view text);
-  void Replay(const std::string& data);
+  void ReplayBytes(std::string_view data);
   void FlushHead();
+
+  // Rope machinery. RopeAlloc serves from the event's pre-mark block when
+  // one is armed (element events) and falls back to the arena (text events
+  // take no mark, so a direct allocation is lifetime-safe there).
+  void* RopeAlloc(std::size_t n);
+  void RopeAppend(Rope* rope, const char* bytes, std::uint32_t n);
+  void RopePack(Rope* rope, char tag, std::uint32_t v);
+  void RopeEmit(Segment* cur, Rope* rope);
+  Rope* MaterializeFile();
+
+  // Bridge machinery: starts the sub-run for `site` over an element anchor
+  // writing into `seg` (the anchor StartElement is fed from `event`), or
+  // runs a text/eps anchor to completion inline.
+  void StartElementBridge(std::uint32_t site, Segment* seg,
+                          const XmlEvent* event, SymbolId sym);
+  void RunInlineBridge(std::uint32_t site, Segment* cur,
+                       const XmlEvent* event);
+  Status FeedBridges(const XmlEvent& event);
+  Status CompleteBridges();  ///< finish bridges anchored at depth_
 
   const LoweredPlan* plan_;
   OutputSink* sink_;
@@ -193,6 +287,7 @@ class OpsEngine {
   SchemaValidator* validator_;
   const CancelToken* cancel_;
   const std::uint32_t cancel_check_events_;
+  const BridgeFactory* bridge_factory_;
   std::uint32_t events_since_cancel_check_ = 0;
 
   BumpArena arena_;
@@ -205,6 +300,23 @@ class OpsEngine {
   std::vector<PendingExec> scratch_;
   std::uint64_t skip_depth_ = 0;     ///< open elements with no consumer
   std::uint64_t total_consumers_ = 0;
+
+  // Staged register file for the next rope spawn, and the event's pre-mark
+  // allocation block (see LoweredProgramRef::prealloc_bytes).
+  Rope staged_[kMaxRopeParams];
+  std::uint32_t staged_n_ = 0;
+  char* prealloc_cur_ = nullptr;
+  char* prealloc_end_ = nullptr;
+
+  // Active element-anchored bridge sub-runs, a stack ordered by anchor
+  // depth (anchors nest with the input). depth_ counts open elements of the
+  // whole input — independent of skip_depth_, which only governs consumer
+  // scopes; a bridge keeps receiving the events of a subtree the ops
+  // consumers skipped.
+  std::vector<std::unique_ptr<BridgeRec>> bridges_;
+  std::uint64_t depth_ = 0;
+  std::uint64_t bridges_spawned_ = 0;
+  Status exec_status_ = Status::OK();  ///< first failure inside ExecProgram
 
   bool started_ = false;
   bool input_done_ = false;

@@ -90,6 +90,16 @@ StateId Mft::AddState(std::string name, int num_params) {
   return static_cast<StateId>(states_.size()) - 1;
 }
 
+void Mft::set_state_name(StateId q, std::string name) {
+  InvalidateDispatch();
+  states_[q].name = std::move(name);
+}
+
+void Mft::set_initial_state(StateId q) {
+  InvalidateDispatch();
+  initial_ = q;
+}
+
 void Mft::SetSymbolRule(StateId q, Symbol s, Rhs rhs) {
   InvalidateDispatch();
   rules_[q].symbol_rules[std::move(s)] = std::move(rhs);

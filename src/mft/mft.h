@@ -149,12 +149,14 @@ class Mft {
   int num_params(StateId q) const { return states_[q].num_params; }
   int rank(StateId q) const { return states_[q].num_params + 1; }
   const std::string& state_name(StateId q) const { return states_[q].name; }
-  void set_state_name(StateId q, std::string name) {
-    states_[q].name = std::move(name);
-  }
+  // Out of line (mft.cc): mutators invalidate the dispatch AND the lowering
+  // cache — a cached lowering bakes in the initial state and bakes state
+  // names into its diagnostics, so either mutation must drop both, exactly
+  // like the rule setters.
+  void set_state_name(StateId q, std::string name);
 
   StateId initial_state() const { return initial_; }
-  void set_initial_state(StateId q) { initial_ = q; }
+  void set_initial_state(StateId q);
 
   void SetSymbolRule(StateId q, Symbol s, Rhs rhs);
   void SetTextRule(StateId q, Rhs rhs);

@@ -77,6 +77,15 @@ struct NetServer::Impl {
       AppendServerStats(id, out);
       return true;
     };
+    wire.run_observer = [this](const StreamStats& total) {
+      if (!total.used_ops_engine) {
+        counters.table_runs.fetch_add(1);
+      } else if (total.hybrid_plan) {
+        counters.hybrid_runs.fetch_add(1);
+      } else {
+        counters.ops_runs.fetch_add(1);
+      }
+    };
     return wire;
   }
 
@@ -131,6 +140,12 @@ struct NetServer::Impl {
     std::atomic<std::uint64_t> coalesced_runs{0};
     std::atomic<std::uint64_t> coalesced_requests{0};
     std::atomic<std::uint64_t> parses_saved{0};
+    // Execution-core split of successful runs (via WireOptions::run_observer):
+    // fully lowered opcode runs, hybrid (opcode + table bridge sub-runs),
+    // and pure table-machine runs.
+    std::atomic<std::uint64_t> ops_runs{0};
+    std::atomic<std::uint64_t> hybrid_runs{0};
+    std::atomic<std::uint64_t> table_runs{0};
   } counters;
 
   // ---------------------------------------------------------------- setup
@@ -608,6 +623,9 @@ NetServerCounters NetServer::Impl::SnapshotCounters() const {
   out.coalesced_runs = counters.coalesced_runs.load();
   out.coalesced_requests = counters.coalesced_requests.load();
   out.parses_saved = counters.parses_saved.load();
+  out.ops_runs = counters.ops_runs.load();
+  out.hybrid_runs = counters.hybrid_runs.load();
+  out.table_runs = counters.table_runs.load();
   out.admitted = counters.admitted.load();
   out.rejected_overload = counters.rejected_overload.load();
   out.rejected_shutdown = counters.rejected_shutdown.load();
@@ -635,7 +653,8 @@ void NetServer::Impl::AppendServerStats(const JsonValue* id,
           "\"rejected_bad_request\":%llu,\"disconnects_inflight\":%llu,"
           "\"slow_client_closed\":%llu,\"inline_cmds\":%llu,"
           "\"coalesced_runs\":%llu,\"coalesced_requests\":%llu,"
-          "\"parses_saved\":%llu,\"queued\":%zu}",
+          "\"parses_saved\":%llu,\"ops_runs\":%llu,"
+          "\"hybrid_runs\":%llu,\"table_runs\":%llu,\"queued\":%zu}",
           static_cast<unsigned long long>(snap.connections),
           static_cast<unsigned long long>(snap.admitted),
           static_cast<unsigned long long>(snap.completed_ok),
@@ -652,6 +671,9 @@ void NetServer::Impl::AppendServerStats(const JsonValue* id,
           static_cast<unsigned long long>(snap.coalesced_runs),
           static_cast<unsigned long long>(snap.coalesced_requests),
           static_cast<unsigned long long>(snap.parses_saved),
+          static_cast<unsigned long long>(snap.ops_runs),
+          static_cast<unsigned long long>(snap.hybrid_runs),
+          static_cast<unsigned long long>(snap.table_runs),
           scheduler.queued()));
   *out += w.Finish();
   *out += "\n";

@@ -142,6 +142,12 @@ struct NetServerCounters {
   /// Document tokenizations avoided by coalescing: for each shared pass,
   /// (members - 1) × documents streamed.
   std::uint64_t parses_saved = 0;
+  /// Execution-core split of successful runs (single, batch member, or
+  /// coalesced member): fully lowered opcode runs, hybrid runs (opcode core
+  /// with table-machine bridge sub-runs), and pure table-machine runs.
+  std::uint64_t ops_runs = 0;
+  std::uint64_t hybrid_runs = 0;
+  std::uint64_t table_runs = 0;
 };
 
 /// \brief The socket server. Construct, Start() (listeners + workers, after

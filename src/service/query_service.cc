@@ -22,6 +22,8 @@ StreamStats AggregateStreamStats(const std::vector<StreamStats>& per_input) {
     out.bytes_in += s.bytes_in;
     out.output_events += s.output_events;
     out.used_ops_engine = out.used_ops_engine || s.used_ops_engine;
+    out.bridge_runs += s.bridge_runs;
+    out.hybrid_plan = out.hybrid_plan || s.hybrid_plan;
   }
   return out;
 }

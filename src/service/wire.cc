@@ -14,6 +14,17 @@
 
 namespace xqmft {
 
+namespace {
+
+// The "lowered" response field: how much of the plan the run executed on the
+// opcode engine ("full", "hybrid"), or "no" for a table-engine run.
+const char* LoweredField(const StreamStats& s) {
+  if (!s.used_ops_engine) return "no";
+  return s.hybrid_plan ? "hybrid" : "full";
+}
+
+}  // namespace
+
 void AppendJsonValue(std::string* out, const JsonValue& v) {
   switch (v.kind) {
     case JsonValue::Kind::kNull:
@@ -410,6 +421,7 @@ StatusCode RequestHandler::HandleParsed(const JsonValue& json,
     return st.code();
   }
 
+  if (options_.run_observer) options_.run_observer(stats.total);
   QueryCacheStats cache = service_->cache()->stats();
   ResponseWriter w(id);
   w.Raw("ok", "true");
@@ -421,6 +433,7 @@ StatusCode RequestHandler::HandleParsed(const JsonValue& json,
   w.Raw("output_events", std::to_string(stats.total.output_events));
   w.Raw("peak_mem_bytes", std::to_string(stats.total.peak_bytes));
   w.Field("engine", stats.total.used_ops_engine ? "ops" : "table");
+  w.Field("lowered", LoweredField(stats.total));
   w.Raw("cache_hits", std::to_string(cache.hits));
   w.Raw("cache_misses", std::to_string(cache.misses));
   w.Raw("cache_entries", std::to_string(cache.entries));
@@ -495,6 +508,7 @@ std::uint64_t RequestHandler::HandleCoalesced(std::vector<CoalescedJob>* group,
     }
     // The single-request response shape plus "coalesced": clients written
     // against the single path keep parsing, and can see the sharing.
+    if (options_.run_observer) options_.run_observer(rs.total);
     ResponseWriter w(ids[live[k]]);
     w.Raw("ok", "true");
     w.Raw("bytes", std::to_string(sinks[k].str().size()));
@@ -505,6 +519,7 @@ std::uint64_t RequestHandler::HandleCoalesced(std::vector<CoalescedJob>* group,
     w.Raw("output_events", std::to_string(rs.total.output_events));
     w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
     w.Field("engine", rs.total.used_ops_engine ? "ops" : "table");
+    w.Field("lowered", LoweredField(rs.total));
     w.Raw("coalesced", std::to_string(live.size()));
     w.Raw("cache_hits", std::to_string(cache.hits));
     w.Raw("cache_misses", std::to_string(cache.misses));
@@ -599,6 +614,7 @@ StatusCode RequestHandler::HandleBatch(const JsonValue& json,
       AppendError(out, ids[i], rs.status);
       continue;
     }
+    if (options_.run_observer) options_.run_observer(rs.total);
     ResponseWriter w(ids[i]);
     w.Raw("ok", "true");
     w.Raw("bytes", std::to_string(sinks[i].str().size()));
@@ -611,6 +627,7 @@ StatusCode RequestHandler::HandleBatch(const JsonValue& json,
     w.Raw("output_events", std::to_string(rs.total.output_events));
     w.Raw("peak_mem_bytes", std::to_string(rs.total.peak_bytes));
     w.Field("engine", rs.total.used_ops_engine ? "ops" : "table");
+    w.Field("lowered", LoweredField(rs.total));
     *out += w.Finish();
     *out += "\n";
     *out += sinks[i].str();

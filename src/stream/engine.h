@@ -85,6 +85,12 @@ struct StreamStats {
   std::uint64_t cells_arena = 0;
   /// True when the run executed on the lowered opcode engine.
   bool used_ops_engine = false;
+  /// Table-machine sub-runs a hybrid plan bridged into (0 for fully lowered
+  /// plans and for the table machine itself).
+  std::uint64_t bridge_runs = 0;
+  /// True when the plan lowered hybrid: the opcode core ran the scan but
+  /// some call sites executed as table-machine sub-runs (see lower/lower.h).
+  bool hybrid_plan = false;
   std::size_t bytes_in = 0;        ///< input bytes consumed
   std::size_t output_events = 0;   ///< sink events emitted
   /// Input bytes consumed before the first output event: small values mean

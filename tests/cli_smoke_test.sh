@@ -184,18 +184,43 @@ case "$CASE" in
       && fail "expected nonzero exit for --engine=bogus"
     ;;
   run_engine_fallback)
-    # --engine=ops on a plan that does not lower (the predicate translates
-    # to accumulating parameters): a stderr note names the reason and the
-    # run serves from the table engine with identical output.
-    PQUERY='<out>{ for $x in $input/doc/item[./text()="a"] return <hit>ok</hit> }</out>'
-    OUT=$("$XQMFT" run --engine=ops "$PQUERY" "$XML" 2>"$TMPDIR_SMOKE/err") \
+    # --engine=ops on a plan that does not lower: every corpus query now
+    # lowers (fully or hybrid), so the fallback needs a hand-written
+    # transducer with a nonlinear parameter (y1 y1 is outside the rope
+    # fragment). A stderr note names the reason and the run serves from the
+    # table engine.
+    RULES='q(a(x1)x2) -> q2(x1, m(eps)) q(x2)
+q(%t(x1)x2) -> q(x2)
+q(eps) -> eps
+q2(a(x1)x2, y1) -> y1 y1
+q2(%t(x1)x2, y1) -> y1
+q2(eps, y1) -> y1'
+    AXML="$TMPDIR_SMOKE/fallback.xml"
+    printf '<a><a>inner</a></a>' > "$AXML"
+    OUT=$("$XQMFT" mft --engine=ops "$RULES" "$AXML" 2>"$TMPDIR_SMOKE/err") \
       || fail "exit $?"
-    expect_contains "$OUT" "<out><hit>ok</hit></out>"
+    expect_contains "$OUT" "<m></m><m></m>"
     expect_contains "$(cat "$TMPDIR_SMOKE/err")" "not lowerable"
     expect_contains "$(cat "$TMPDIR_SMOKE/err")" "falling back to table engine"
-    STATS=$("$XQMFT" run --engine=ops --stats "$PQUERY" "$XML" 2>&1) \
+    STATS=$("$XQMFT" mft --engine=ops --stats "$RULES" "$AXML" 2>&1) \
       || fail "exit $?"
     expect_contains "$STATS" "engine: table"
+    expect_contains "$STATS" "lowered: no (parameter-carrying call"
+    ;;
+  run_engine_hybrid)
+    # A predicate query lowers hybrid: the opcode core runs the scan and the
+    # selector remainder executes as table-machine bridge sub-runs. --stats
+    # reports the classification and the bridge-run count.
+    PQUERY='<out>{ for $x in $input/doc/item[./text()="a"] return <hit>ok</hit> }</out>'
+    OUT=$("$XQMFT" run --engine=ops "$PQUERY" "$XML") || fail "exit $?"
+    expect_contains "$OUT" "<out><hit>ok</hit></out>"
+    TOUT=$("$XQMFT" run --engine=table "$PQUERY" "$XML") || fail "exit $?"
+    test "$TOUT" = "$OUT" || fail "table output differs: $TOUT"
+    STATS=$("$XQMFT" run --engine=ops --stats "$PQUERY" "$XML" 2>&1) \
+      || fail "exit $?"
+    expect_contains "$STATS" "engine: ops"
+    expect_contains "$STATS" "lowered: yes (hybrid"
+    expect_contains "$STATS" "bridge runs: 2"
     ;;
   run_dag)
     OUT=$("$XQMFT" run --dag "$QUERY" "$XML") || fail "exit $?"
@@ -218,6 +243,7 @@ case "$CASE" in
     expect_contains "$OUT" "$WANT"
     expect_contains "$OUT" '"id":2,"ok":true'
     expect_contains "$OUT" '"cache":"hit"'
+    expect_contains "$OUT" '"lowered":"full"'
     expect_contains "$OUT" "${WANT}<out><hit>c</hit></out>"
     ;;
   serve_error)

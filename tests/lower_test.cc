@@ -62,11 +62,55 @@ TEST(Lowerability, ParameterFreeCopyLowers) {
   EXPECT_EQ(lower::GetLoweredPlan(m), plan);
 }
 
-TEST(Lowerability, AccumulatingParametersDoNotLower) {
+TEST(Lowerability, AccumulatingParametersLowerWithRopes) {
+  // Append-only accumulating parameters lower to rope-register opcodes; the
+  // classic collect-then-emit shape runs fully on the opcode core.
+  Mft m = MustParseMft(
+      "q(a(x1)x2) -> p(x1, eps) q(x2)\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n"
+      "p(b(x1)x2, y1) -> p(x2, y1 b(eps))\n"
+      "p(%t(x1)x2, y1) -> p(x2, y1)\n"
+      "p(eps, y1) -> y1\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  std::string why;
+  const lower::LoweredPlan* lp = lower::GetLoweredPlan(m, &why);
+  ASSERT_NE(lp, nullptr) << why;
+  EXPECT_FALSE(lp->hybrid) << why;
+  EXPECT_EQ(why, "full");
+}
+
+TEST(Lowerability, PredicateQueriesLowerHybrid) {
+  // q01's predicate compiles to a selector cluster; the lowering factors the
+  // common suffix and bridges the remainder into a table-machine sub-run.
   auto plan = MustCompile(QueryById("q01").text);
   std::string why;
-  EXPECT_EQ(lower::GetLoweredPlan(plan->mft(), &why), nullptr);
-  EXPECT_NE(why.find("accumulating parameters"), std::string::npos) << why;
+  const lower::LoweredPlan* lp = lower::GetLoweredPlan(plan->mft(), &why);
+  ASSERT_NE(lp, nullptr) << why;
+  EXPECT_TRUE(lp->hybrid);
+  EXPECT_NE(lp->bridge_mft, nullptr);
+  EXPECT_FALSE(lp->bridge_sites.empty());
+  EXPECT_NE(why.find("hybrid"), std::string::npos) << why;
+}
+
+TEST(Lowerability, NonlinearParameterDoesNotLower) {
+  // y1 y1 duplicates an accumulating parameter: rope registers are linear
+  // (spliced exactly once), so the plan must stay on the table machine.
+  Mft m = MustParseMft(
+      "q(a(x1)x2) -> q2(x1, m(eps)) q(x2)\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n"
+      "q2(a(x1)x2, y1) -> y1 y1\n"
+      "q2(%t(x1)x2, y1) -> y1\n"
+      "q2(eps, y1) -> y1\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  std::string why;
+  EXPECT_EQ(lower::GetLoweredPlan(m, &why), nullptr);
+  EXPECT_NE(why.find("parameter-carrying call over children does not lower"),
+            std::string::npos)
+      << why;
 }
 
 TEST(Lowerability, TextContentMatchDoesNotLower) {
@@ -97,20 +141,21 @@ TEST(Lowerability, X0CallCycleDoesNotLower) {
 }
 
 TEST(Lowerability, Fig3CorpusClassification) {
-  // The parameter-free half of the corpus lowers; every query with a
-  // predicate translates to accumulating parameters and falls back.
-  const std::set<std::string> kLowerable = {"q02", "q13", "double",
-                                            "fourstar", "deepdup"};
+  // The whole Figure 3 corpus now leaves the pure table path: parameter-free
+  // queries lower fully; predicate queries (accumulating parameters fed by a
+  // selector cluster) lower hybrid with table-machine bridge sites.
+  const std::set<std::string> kHybrid = {"q01", "q04", "q16", "q17"};
   for (const BenchQuery& q : Figure3Queries()) {
     auto plan = MustCompile(q.text);
     std::string why;
     const lower::LoweredPlan* lp = lower::GetLoweredPlan(plan->mft(), &why);
-    if (kLowerable.count(q.id) != 0) {
-      EXPECT_NE(lp, nullptr) << q.id << ": " << why;
+    ASSERT_NE(lp, nullptr) << q.id << ": " << why;
+    if (kHybrid.count(q.id) != 0) {
+      EXPECT_TRUE(lp->hybrid) << q.id << ": " << why;
+      EXPECT_NE(why.find("hybrid"), std::string::npos) << q.id << ": " << why;
     } else {
-      EXPECT_EQ(lp, nullptr) << q.id;
-      EXPECT_NE(why.find("not lowerable"), std::string::npos)
-          << q.id << ": " << why;
+      EXPECT_FALSE(lp->hybrid) << q.id << ": " << why;
+      EXPECT_EQ(why, "full") << q.id;
     }
   }
 }
@@ -122,7 +167,9 @@ TEST(LoweredDifferential, Fig3CorpusChunkedRefill) {
   const std::string xml = XmarkDoc(16 * 1024);
   for (const BenchQuery& q : Figure3Queries()) {
     auto plan = MustCompile(q.text);
-    const bool lowers = lower::GetLoweredPlan(plan->mft()) != nullptr;
+    const lower::LoweredPlan* lp = lower::GetLoweredPlan(plan->mft());
+    const bool lowers = lp != nullptr;
+    const bool hybrid = lowers && lp->hybrid;
 
     StreamOptions table_opts;
     table_opts.engine = EngineChoice::kTable;
@@ -146,11 +193,23 @@ TEST(LoweredDifferential, Fig3CorpusChunkedRefill) {
                            << st.ToString();
       ASSERT_EQ(got.str(), want.str()) << q.id << " chunk=" << chunk;
       EXPECT_EQ(stats.used_ops_engine, lowers) << q.id;
-      if (lowers) {
-        // Arena-served consumers, no refcounted cells, no thunks.
+      if (lowers && !hybrid) {
+        // Fully lowered: arena-served consumers, no refcounted cells, no
+        // thunks, no table sub-runs.
         EXPECT_GT(stats.cells_arena, 0u) << q.id;
         EXPECT_EQ(stats.cells_created, 0u) << q.id;
         EXPECT_EQ(stats.exprs_created, 0u) << q.id;
+        EXPECT_EQ(stats.bridge_runs, 0u) << q.id;
+        EXPECT_FALSE(stats.hybrid_plan) << q.id;
+        EXPECT_GT(stats.rule_applications, 0u) << q.id;
+        EXPECT_GT(stats.peak_bytes, 0u) << q.id;
+      } else if (lowers) {
+        // Hybrid: the opcode core ran the scan (arena consumers) while the
+        // bridge sites executed as table-machine sub-runs, which account
+        // their refcounted cells/thunks into the same stats.
+        EXPECT_GT(stats.cells_arena, 0u) << q.id;
+        EXPECT_GT(stats.bridge_runs, 0u) << q.id;
+        EXPECT_TRUE(stats.hybrid_plan) << q.id;
         EXPECT_GT(stats.rule_applications, 0u) << q.id;
         EXPECT_GT(stats.peak_bytes, 0u) << q.id;
       }
@@ -182,21 +241,28 @@ TEST(LoweredDifferential, MultiTreeForestInput) {
 // Runtime contract
 
 TEST(OpsEngine, ForcedOpsOnUnlowerablePlanFallsBack) {
-  auto plan = MustCompile(QueryById("q01").text);
-  const std::string xml =
-      "<site><people><person><person_id>person0</person_id>"
-      "<name>n</name></person></people></site>";
+  // Every Figure 3 query now lowers, so the fallback path needs a
+  // handwritten transducer: a nonlinear parameter (y1 y1) is outside the
+  // rope fragment and must silently run on the table machine.
+  Mft m = MustParseMft(
+      "q(a(x1)x2) -> q2(x1, m(eps)) q(x2)\n"
+      "q(%t(x1)x2) -> q(x2)\n"
+      "q(eps) -> eps\n"
+      "q2(a(x1)x2, y1) -> y1 y1\n"
+      "q2(%t(x1)x2, y1) -> y1\n"
+      "q2(eps, y1) -> y1\n");
+  ASSERT_TRUE(m.Validate().ok());
+  const std::string xml = "<a><a>inner</a></a>";
   StreamOptions table_opts;
   table_opts.engine = EngineChoice::kTable;
   StringSink want;
-  ASSERT_TRUE(StreamTransformString(plan->mft(), xml, &want, table_opts).ok());
+  ASSERT_TRUE(StreamTransformString(m, xml, &want, table_opts).ok());
 
   StreamOptions ops_opts;
   ops_opts.engine = EngineChoice::kOps;
   StringSink got;
   StreamStats stats;
-  ASSERT_TRUE(
-      StreamTransformString(plan->mft(), xml, &got, ops_opts, &stats).ok());
+  ASSERT_TRUE(StreamTransformString(m, xml, &got, ops_opts, &stats).ok());
   EXPECT_FALSE(stats.used_ops_engine);
   EXPECT_EQ(stats.cells_arena, 0u);
   EXPECT_GT(stats.cells_created, 0u);
@@ -305,6 +371,200 @@ TEST(OpsEngine, FinishSuppliesEndOfDocument) {
   Engine engine(plan->mft(), &sink, options);
   EXPECT_TRUE(engine.Finish().ok());
   EXPECT_EQ(sink.str(), "<out>done</out>");
+}
+
+// ---------------------------------------------------------------------------
+// Lowering cache invalidation: every Mft mutator must drop the cached
+// verdict, not just the rule setters.
+
+TEST(Lowerability, MutatorsDropTheLoweringCache) {
+  Mft m = MustParseMft(
+      "qa(%t(x1)x2) -> a(eps) qa(x2)\n"
+      "qa(eps) -> eps\n"
+      "qb(%t(x1)x2) -> b(eps) qb(x2)\n"
+      "qb(eps) -> eps\n");
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  ASSERT_NE(lower::GetLoweredPlan(m), nullptr);
+  ASSERT_NE(m.lowering_cache(), nullptr);
+
+  // Renaming a state bakes into the plan's diagnostics; the cached verdict
+  // must go with the dispatch.
+  m.set_state_name(0, "qa_renamed");
+  EXPECT_EQ(m.lowering_cache(), nullptr);
+  ASSERT_NE(lower::GetLoweredPlan(m), nullptr);
+  ASSERT_NE(m.lowering_cache(), nullptr);
+
+  // Moving the initial state changes the program semantically: a stale
+  // cached plan would keep emitting <a> from the old start state.
+  StateId qb = -1;
+  for (StateId q = 0; q < m.num_states(); ++q) {
+    if (m.state_name(q) == "qb") qb = q;
+  }
+  ASSERT_GE(qb, 0);
+  StreamOptions ops;
+  ops.engine = EngineChoice::kOps;
+  StringSink before;
+  StreamStats sb;
+  ASSERT_TRUE(StreamTransformString(m, "<x/>", &before, ops, &sb).ok());
+  EXPECT_TRUE(sb.used_ops_engine);
+  EXPECT_EQ(before.str(), "<a></a>");
+
+  m.set_initial_state(qb);
+  EXPECT_EQ(m.lowering_cache(), nullptr);
+  StringSink after;
+  StreamStats sa;
+  ASSERT_TRUE(StreamTransformString(m, "<x/>", &after, ops, &sa).ok());
+  EXPECT_TRUE(sa.used_ops_engine);
+  EXPECT_EQ(after.str(), "<b></b>");
+}
+
+// ---------------------------------------------------------------------------
+// Rope-register edge cases (accumulating parameters on the opcode core)
+
+// Collects the <b> children of each <a> into an accumulating parameter and
+// emits the collection when the subtree closes.
+const char kRopeCollectMft[] =
+    "q(a(x1)x2) -> p(x1, eps) q(x2)\n"
+    "q(%t(x1)x2) -> q(x2)\n"
+    "q(eps) -> eps\n"
+    "p(b(x1)x2, y1) -> p(x2, y1 b(eps))\n"
+    "p(%t(x1)x2, y1) -> p(x2, y1)\n"
+    "p(eps, y1) -> y1\n";
+
+// Concatenates every text node under <a> into the parameter (kRopeTextCur).
+const char kRopeTextAccumMft[] =
+    "q(a(x1)x2) -> p(x1, eps) q(x2)\n"
+    "q(%t(x1)x2) -> q(x2)\n"
+    "q(eps) -> eps\n"
+    "p(%ttext(x1)x2, y1) -> p(x2, y1 %t)\n"
+    "p(%t(x1)x2, y1) -> p(x2, y1)\n"
+    "p(eps, y1) -> y1\n";
+
+// Runs `m` forced-ops over `xml`, checks byte equality against the table
+// machine, and returns the ops run's stats.
+StreamStats DiffOpsVsTable(const Mft& m, const std::string& xml) {
+  StreamOptions table_opts;
+  table_opts.engine = EngineChoice::kTable;
+  StringSink want;
+  EXPECT_TRUE(StreamTransformString(m, xml, &want, table_opts).ok());
+  StreamOptions ops_opts;
+  ops_opts.engine = EngineChoice::kOps;
+  StringSink got;
+  StreamStats stats;
+  Status st = StreamTransformString(m, xml, &got, ops_opts, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(stats.used_ops_engine);
+  EXPECT_EQ(got.str(), want.str());
+  return stats;
+}
+
+TEST(RopeRegisters, EmptyParameterEmitsNothing) {
+  Mft m = MustParseMft(kRopeCollectMft);
+  ASSERT_TRUE(m.Validate().ok());
+  // No <b> children anywhere: the rope register is created, never appended
+  // to, and spliced empty at the end of the subtree.
+  StreamStats stats = DiffOpsVsTable(m, "<a><c>t</c><c/></a>");
+  EXPECT_EQ(stats.cells_created, 0u);
+  EXPECT_EQ(stats.exprs_created, 0u);
+}
+
+TEST(RopeRegisters, GrowthAcrossArenaChunks) {
+  Mft m = MustParseMft(kRopeTextAccumMft);
+  ASSERT_TRUE(m.Validate().ok());
+  // Enough accumulated text that the rope's chunk chain spans several 64 KiB
+  // arena chunks; the <b/> separators force distinct text records instead of
+  // one whole-record chunk.
+  std::string xml = "<a>";
+  for (int i = 0; i < 6000; ++i) {
+    xml += "chunk";
+    xml += std::to_string(i);
+    xml += "<b/>";
+  }
+  xml += "</a>";
+  StreamStats stats = DiffOpsVsTable(m, xml);
+  EXPECT_EQ(stats.cells_created, 0u);
+  EXPECT_GT(stats.peak_bytes, 64u * 1024u);
+}
+
+TEST(RopeRegisters, ScratchReuseBetweenDocuments) {
+  Mft m = MustParseMft(kRopeCollectMft);
+  ASSERT_TRUE(m.Validate().ok());
+  m.dispatch();
+  ASSERT_NE(lower::GetLoweredPlan(m), nullptr);
+  // The arena mark/reset discipline: a second document through the same
+  // scratch must not see rope chunks (or prealloc blocks) left over from
+  // the first.
+  const std::string docs[] = {"<a><b>one</b>x<b>two</b></a>",
+                              "<a>just text</a>",
+                              "<a><b/><c><b/></c><b/></a>"};
+  StreamScratch scratch(m);
+  for (const std::string& xml : docs) {
+    StreamOptions table_opts;
+    table_opts.engine = EngineChoice::kTable;
+    StringSink want;
+    ASSERT_TRUE(StreamTransformString(m, xml, &want, table_opts).ok());
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+      ChunkedSource source(xml, chunk);
+      StringSink got;
+      StreamStats stats;
+      StreamOptions ops_opts;
+      ops_opts.engine = EngineChoice::kOps;
+      Status st =
+          StreamTransform(m, &source, &got, ops_opts, &stats, &scratch);
+      ASSERT_TRUE(st.ok()) << xml << ": " << st.ToString();
+      EXPECT_TRUE(stats.used_ops_engine);
+      EXPECT_EQ(got.str(), want.str()) << xml << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(RopeRegisters, StepBudgetTripsMidAppend) {
+  Mft m = MustParseMft(kRopeCollectMft);
+  ASSERT_TRUE(m.Validate().ok());
+  StreamOptions options;
+  options.engine = EngineChoice::kOps;
+  options.max_steps = 2;
+  std::string xml = "<a>";
+  for (int i = 0; i < 64; ++i) xml += "<b/>";
+  xml += "</a>";
+  StringSink sink;
+  Status st = StreamTransformString(m, xml, &sink, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid differential: the paper's section 2.1 example crosses the bridge
+
+TEST(LoweredDifferential, Section21HybridChunkedRefill) {
+  auto plan = MustCompile(kSection21Query);
+  std::string why;
+  const lower::LoweredPlan* lp = lower::GetLoweredPlan(plan->mft(), &why);
+  ASSERT_NE(lp, nullptr) << why;
+  EXPECT_TRUE(lp->hybrid) << why;
+  const std::string xml =
+      "<r><a><b><c>1</c><d>2</d><b><c>3</c></b></b></a>"
+      "<a>t<b><d>4</d></b></a></r>";
+  StreamOptions table_opts;
+  table_opts.engine = EngineChoice::kTable;
+  StringSink want;
+  ASSERT_TRUE(StreamTransformString(plan->mft(), xml, &want, table_opts).ok());
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                            std::size_t{64}, std::size_t{4096}}) {
+    ChunkedSource source(xml, chunk);
+    StringSink got;
+    StreamStats stats;
+    StreamOptions ops_opts;
+    ops_opts.engine = EngineChoice::kOps;
+    Status st =
+        StreamTransform(plan->mft(), &source, &got, ops_opts, &stats);
+    ASSERT_TRUE(st.ok()) << "chunk=" << chunk << ": " << st.ToString();
+    EXPECT_EQ(got.str(), want.str()) << "chunk=" << chunk;
+    EXPECT_TRUE(stats.used_ops_engine);
+    EXPECT_TRUE(stats.hybrid_plan);
+    EXPECT_GT(stats.bridge_runs, 0u);
+  }
 }
 
 }  // namespace

@@ -663,6 +663,10 @@ TEST(NetServerTest, TcpRoundTripWithStatsCommand) {
   EXPECT_EQ(r1.payload, kSmallOut);
   ASSERT_TRUE(client.ReadResponse(&r2));
   EXPECT_NE(r2.header.find("\"server\":{"), std::string::npos);
+  // The execution-core split is part of the stats payload.
+  EXPECT_NE(r2.header.find("\"ops_runs\":"), std::string::npos);
+  EXPECT_NE(r2.header.find("\"hybrid_runs\":"), std::string::npos);
+  EXPECT_NE(r2.header.find("\"table_runs\":"), std::string::npos);
   // Half-close: the server delivers everything, then closes.
   EXPECT_TRUE(client.ReadAll().empty());
 
@@ -673,6 +677,11 @@ TEST(NetServerTest, TcpRoundTripWithStatsCommand) {
   EXPECT_TRUE(WaitFor([&] {
     return fx.server().counters().completed_ok == 1;
   }));
+  // kQuery lowers fully, so the run counts as an opcode-core run.
+  c = fx.server().counters();
+  EXPECT_EQ(c.ops_runs, 1u);
+  EXPECT_EQ(c.hybrid_runs, 0u);
+  EXPECT_EQ(c.table_runs, 0u);
 }
 
 TEST(NetServerTest, UnixSocketRoundTrip) {

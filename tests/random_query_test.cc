@@ -400,8 +400,21 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
   // which engine actually served.
   {
     std::string why;
-    const bool lowers = lower::GetLoweredPlan(opt, &why) != nullptr;
+    const lower::LoweredPlan* lp = lower::GetLoweredPlan(opt, &why);
+    const bool lowers = lp != nullptr;
+    const bool hybrid = lowers && lp->hybrid;
     if (debug && !lowers) std::fprintf(stderr, "no lowering: %s\n", why.c_str());
+    // The classification and its note must agree: hybrid plans carry bridge
+    // sites and say so; full plans say "full".
+    if (lowers) {
+      if (hybrid) {
+        ASSERT_FALSE(lp->bridge_sites.empty()) << text;
+        ASSERT_NE(lp->bridge_mft, nullptr) << text;
+        ASSERT_NE(why.find("hybrid"), std::string::npos) << text << ": " << why;
+      } else {
+        ASSERT_EQ(why, "full") << text;
+      }
+    }
     for (const ParallelInput& doc : doc_set) {
       StreamOptions table_opts;
       table_opts.engine = EngineChoice::kTable;
@@ -420,9 +433,17 @@ TEST_P(RandomQueryProperty, AllEvaluationPathsAgree) {
                                         &ops_stats);
       ASSERT_TRUE(os.ok()) << text << "\n" << os.ToString();
       ASSERT_EQ(ops_stats.used_ops_engine, lowers) << text;
+      ASSERT_EQ(ops_stats.hybrid_plan, hybrid) << text;
+      if (lowers && !hybrid) {
+        // Fully lowered runs never enter the table machine.
+        ASSERT_EQ(ops_stats.bridge_runs, 0u) << text;
+        ASSERT_EQ(ops_stats.cells_created, 0u) << text;
+        ASSERT_EQ(ops_stats.exprs_created, 0u) << text;
+      }
       ASSERT_EQ(ops_sink.str(), table_sink.str())
           << "ops engine vs table engine\nquery: " << text
-          << "\ndoc: " << doc.value << "\nlowers: " << lowers;
+          << "\ndoc: " << doc.value << "\nlowers: " << lowers
+          << "\nwhy: " << why;
     }
   }
 }

@@ -515,17 +515,28 @@ int StreamWith(const CompiledPlan& plan,
     if (!st.ok()) return Fail(st);
   }
   if (flags.stats) {
+    // The lowering verdict is a plan property, independent of which engine
+    // this run used: "yes (full)", "yes (hybrid: ...)", or "no (<reason>)".
+    std::string why;
+    const bool lowered = lower::GetLoweredPlan(plan.mft(), &why) != nullptr;
+    const std::string prefix = "not lowerable: ";
+    if (!lowered && why.compare(0, prefix.size(), prefix) == 0) {
+      why.erase(0, prefix.size());
+    }
     std::fprintf(stderr,
                  "bytes in: %zu, output events: %zu, peak memory: %s, "
                  "rule applications: %llu, cells arena: %llu, "
-                 "cells refcounted: %llu, exprs created: %llu, engine: %s\n",
+                 "cells refcounted: %llu, exprs created: %llu, "
+                 "bridge runs: %llu, engine: %s, lowered: %s (%s)\n",
                  stats.bytes_in, stats.output_events,
                  HumanBytes(stats.peak_bytes).c_str(),
                  static_cast<unsigned long long>(stats.rule_applications),
                  static_cast<unsigned long long>(stats.cells_arena),
                  static_cast<unsigned long long>(stats.cells_created),
                  static_cast<unsigned long long>(stats.exprs_created),
-                 stats.used_ops_engine ? "ops" : "table");
+                 static_cast<unsigned long long>(stats.bridge_runs),
+                 stats.used_ops_engine ? "ops" : "table",
+                 lowered ? "yes" : "no", why.c_str());
   }
   return 0;
 }
